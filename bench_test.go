@@ -1,0 +1,82 @@
+// Package repro_test hosts one testing.B benchmark per table and figure of
+// the paper's evaluation. Each benchmark executes the corresponding
+// harness experiment end to end (device build, workload, measurement) in
+// quick mode and reports the key simulated metric alongside Go's wall-time
+// figures. For the full paper-scale output, run `go run ./cmd/lnvm-bench
+// <id>` instead.
+package repro_test
+
+import (
+	"bytes"
+	"io"
+	"regexp"
+	"strconv"
+	"testing"
+	"time"
+
+	"repro/internal/harness"
+)
+
+func quickOpts() harness.Options {
+	return harness.Defaults(harness.Options{
+		Quick:    true,
+		Duration: 20 * time.Millisecond,
+	})
+}
+
+func runExperiment(b *testing.B, id string, out io.Writer) {
+	b.Helper()
+	e, ok := harness.ByID(id)
+	if !ok {
+		b.Fatalf("unknown experiment %q", id)
+	}
+	for i := 0; i < b.N; i++ {
+		if err := e.Run(quickOpts(), out); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+// firstNumberAfter extracts the first numeric field following a label in
+// experiment output, for ReportMetric.
+func firstNumberAfter(out, label string) float64 {
+	re := regexp.MustCompile(regexp.QuoteMeta(label) + `[^0-9-]*([0-9]+(\.[0-9]+)?)`)
+	m := re.FindStringSubmatch(out)
+	if len(m) < 2 {
+		return 0
+	}
+	v, _ := strconv.ParseFloat(m[1], 64)
+	return v
+}
+
+func BenchmarkTable1(b *testing.B) {
+	var buf bytes.Buffer
+	runExperiment(b, "table1", &buf)
+	b.ReportMetric(firstNumberAfter(buf.String(), "Single Seq. PU Write"), "singlePU-write-MBps")
+}
+
+func BenchmarkOverhead(b *testing.B) {
+	var buf bytes.Buffer
+	runExperiment(b, "overhead", &buf)
+	b.ReportMetric(firstNumberAfter(buf.String(), "null + pblk datapath"), "pblk-read-us")
+}
+
+func BenchmarkFig4(b *testing.B) {
+	runExperiment(b, "fig4", io.Discard)
+}
+
+func BenchmarkFig5(b *testing.B) {
+	runExperiment(b, "fig5", io.Discard)
+}
+
+func BenchmarkFig6(b *testing.B) {
+	runExperiment(b, "fig6", io.Discard)
+}
+
+func BenchmarkFig7(b *testing.B) {
+	runExperiment(b, "fig7", io.Discard)
+}
+
+func BenchmarkFig8(b *testing.B) {
+	runExperiment(b, "fig8", io.Discard)
+}

@@ -1,0 +1,73 @@
+// Command lnvm-bench regenerates the paper's tables and figures.
+//
+// Usage:
+//
+//	lnvm-bench -list
+//	lnvm-bench [-quick] [-blocks N] [-duration D] <experiment-id>...
+//	lnvm-bench all
+//
+// Experiment ids: table1, overhead, fig4, fig5, fig6, fig7, fig8, and the
+// ablation studies (ablate-*). Output is plain text, one section per
+// table/figure, with the paper's reference values inline.
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+	"time"
+
+	"repro/internal/harness"
+)
+
+func main() {
+	var (
+		list     = flag.Bool("list", false, "list experiments and exit")
+		quick    = flag.Bool("quick", false, "shrink sweeps for a fast smoke run")
+		blocks   = flag.Int("blocks", 0, "blocks per plane (device scale; 0 = default)")
+		duration = flag.Duration("duration", 0, "virtual measurement window per data point (0 = default)")
+		seed     = flag.Int64("seed", 0, "simulation seed (0 = default)")
+	)
+	flag.Parse()
+
+	if *list {
+		for _, e := range harness.All() {
+			fmt.Printf("%-12s %s\n", e.ID, e.Title)
+		}
+		return
+	}
+	args := flag.Args()
+	if len(args) == 0 {
+		fmt.Fprintln(os.Stderr, "usage: lnvm-bench [-quick] [-blocks N] [-duration D] <experiment-id>... | all | -list")
+		os.Exit(2)
+	}
+	opts := harness.Options{
+		BlocksPerPlane: *blocks,
+		Duration:       *duration,
+		Quick:          *quick,
+		Seed:           *seed,
+	}
+
+	var ids []string
+	if len(args) == 1 && args[0] == "all" {
+		for _, e := range harness.All() {
+			ids = append(ids, e.ID)
+		}
+	} else {
+		ids = args
+	}
+	for _, id := range ids {
+		e, ok := harness.ByID(id)
+		if !ok {
+			fmt.Fprintf(os.Stderr, "lnvm-bench: unknown experiment %q (try -list)\n", id)
+			os.Exit(2)
+		}
+		fmt.Printf("\n#### %s — %s\n", e.ID, e.Title)
+		start := time.Now()
+		if err := e.Run(opts, os.Stdout); err != nil {
+			fmt.Fprintf(os.Stderr, "lnvm-bench: %s: %v\n", id, err)
+			os.Exit(1)
+		}
+		fmt.Printf("\n[%s completed in %v wall time]\n", e.ID, time.Since(start).Round(time.Millisecond))
+	}
+}

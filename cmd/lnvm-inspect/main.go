@@ -1,0 +1,56 @@
+// Command lnvm-inspect creates a simulated open-channel SSD and dumps what
+// the LightNVM subsystem exposes about it: geometry, PPA format, timing
+// model, media constraints, and capacity accounting — the sysfs/ioctl view
+// an administrator gets from a real LightNVM device.
+package main
+
+import (
+	"flag"
+	"fmt"
+
+	"repro/internal/lightnvm"
+	"repro/internal/ocssd"
+	_ "repro/internal/pblk" // register the pblk target type
+	"repro/internal/ppa"
+	"repro/internal/sim"
+)
+
+func main() {
+	blocks := flag.Int("blocks", 1067, "blocks per plane (1067 = the paper's 2TB Westlake)")
+	flag.Parse()
+
+	env := sim.NewEnv(1)
+	dev, err := ocssd.New(env, ocssd.DefaultConfig(*blocks))
+	if err != nil {
+		fmt.Println("error:", err)
+		return
+	}
+	ln := lightnvm.Register("nvme0n1", dev)
+	id := ln.Identify()
+	g := id.Geometry
+
+	fmt.Printf("device: %s\n", ln.Name())
+	fmt.Printf("geometry: %v\n", g)
+	fmt.Printf("  channels:        %d\n", g.Channels)
+	fmt.Printf("  PUs per channel: %d (total %d)\n", g.PUsPerChannel, g.TotalPUs())
+	fmt.Printf("  planes per PU:   %d\n", g.PlanesPerPU)
+	fmt.Printf("  blocks per plane:%d\n", g.BlocksPerPlane)
+	fmt.Printf("  pages per block: %d\n", g.PagesPerBlock)
+	fmt.Printf("  page size:       %d B + %d B OOB\n", g.PageSize(), g.OOBPerPage)
+	fmt.Printf("  sector size:     %d B\n", g.SectorSize)
+	fmt.Printf("  raw capacity:    %.2f GB\n", float64(g.TotalBytes())/1e9)
+
+	f, _ := ppa.NewFormat(g)
+	fmt.Printf("ppa format bits: ch=%d pu=%d plane=%d block=%d page=%d sector=%d\n",
+		f.ChBits, f.PUBits, f.PlaneBits, f.BlockBits, f.PageBits, f.SectorBits)
+	example := ppa.Addr{Ch: 3, PU: 5, Plane: 1, Block: 900, Page: 100, Sector: 2}
+	fmt.Printf("example %v -> 0x%016x\n", example, f.Encode(example))
+
+	fmt.Printf("timing: page read %v, page program %v, block erase %v, channel %.0f MB/s, cmd overhead %v\n",
+		id.Timing.PageRead, id.Timing.PageProgram, id.Timing.BlockErase,
+		id.Timing.ChannelMBps, id.Timing.CmdOverhead)
+	fmt.Printf("media: PE limit %d, pair stride %d, strict pair reads %v\n",
+		id.Media.PECycleLimit, id.Media.PairStride, id.Media.StrictPairRead)
+	fmt.Printf("limits: max vector %d addrs, per-sector OOB %d B\n", id.MaxVectorLen, id.SectorOOB)
+	fmt.Printf("target types registered: %v\n", lightnvm.TargetTypes())
+}

@@ -1,0 +1,80 @@
+// Package blockdev defines the traditional block I/O interface shared by
+// pblk (host FTL over an open-channel SSD), the baseline NVMe block SSD
+// model, and the null block device. Workload generators and the database
+// stand-ins target this interface so every experiment can swap devices.
+package blockdev
+
+import (
+	"errors"
+	"fmt"
+	"time"
+
+	"repro/internal/sim"
+)
+
+// Device errors.
+var (
+	ErrOutOfRange = errors.New("blockdev: I/O beyond device capacity")
+	ErrAlignment  = errors.New("blockdev: I/O not sector aligned")
+)
+
+// Device is a block device driven from simulation processes. Offsets and
+// lengths are bytes and must be sector aligned.
+//
+// Data buffers are optional: a nil buf with a positive length performs a
+// "synthetic" transfer that is charged full device time but carries
+// unspecified payload (reads of synthetic data observe zeros). This keeps
+// multi-gigabyte simulated workloads cheap in host memory while preserving
+// timing and placement behaviour exactly.
+type Device interface {
+	// SectorSize returns the logical sector size in bytes.
+	SectorSize() int
+	// Capacity returns the usable device size in bytes.
+	Capacity() int64
+	// Read fills buf (or discards, when buf is nil) with length bytes at off.
+	Read(p *sim.Proc, off int64, buf []byte, length int64) error
+	// Write stores length bytes from buf (or an unspecified payload, when
+	// buf is nil) at off.
+	Write(p *sim.Proc, off int64, buf []byte, length int64) error
+	// Flush blocks until all acknowledged writes are durable.
+	Flush(p *sim.Proc) error
+	// Trim discards the given range, unmapping it.
+	Trim(p *sim.Proc, off, length int64) error
+}
+
+// CheckRange validates an I/O against a device's geometry.
+func CheckRange(d Device, off int64, buf []byte, length int64) error {
+	if buf != nil && int64(len(buf)) != length {
+		return fmt.Errorf("blockdev: buffer is %dB for a %dB transfer", len(buf), length)
+	}
+	ss := int64(d.SectorSize())
+	if off%ss != 0 || length%ss != 0 {
+		return ErrAlignment
+	}
+	if length < 0 || off < 0 || off+length > d.Capacity() {
+		return ErrOutOfRange
+	}
+	return nil
+}
+
+// WithLatency wraps a device, charging extra per-request virtual time.
+// The overhead experiment uses it to model pblk's host CPU cost over a
+// null block device, mirroring the paper's §5.1 methodology.
+func WithLatency(d Device, read, write time.Duration) Device {
+	return &latencyDev{Device: d, read: read, write: write}
+}
+
+type latencyDev struct {
+	Device
+	read, write time.Duration
+}
+
+func (l *latencyDev) Read(p *sim.Proc, off int64, buf []byte, length int64) error {
+	p.Sleep(l.read)
+	return l.Device.Read(p, off, buf, length)
+}
+
+func (l *latencyDev) Write(p *sim.Proc, off int64, buf []byte, length int64) error {
+	p.Sleep(l.write)
+	return l.Device.Write(p, off, buf, length)
+}

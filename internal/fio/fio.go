@@ -1,0 +1,241 @@
+// Package fio is a flexible I/O workload generator in virtual time,
+// mirroring how the paper drives its evaluation with fio (§5). It has two
+// engines: a block engine targeting any blockdev.Device (pblk, the NVMe
+// baseline, null block), and a PPA engine issuing vector I/O directly to
+// an open-channel device — the paper's modified fio with the LightNVM I/O
+// engine.
+package fio
+
+import (
+	"fmt"
+	"math/rand"
+	"time"
+
+	"repro/internal/blockdev"
+	"repro/internal/sim"
+	"repro/internal/stats"
+)
+
+// Pattern selects the access pattern of a job.
+type Pattern int
+
+// Access patterns, matching fio's rw= parameter.
+const (
+	SeqRead Pattern = iota
+	SeqWrite
+	RandRead
+	RandWrite
+	RandRW // mixed, RWMixRead% reads
+)
+
+func (pt Pattern) String() string {
+	switch pt {
+	case SeqRead:
+		return "read"
+	case SeqWrite:
+		return "write"
+	case RandRead:
+		return "randread"
+	case RandWrite:
+		return "randwrite"
+	case RandRW:
+		return "randrw"
+	}
+	return fmt.Sprintf("pattern(%d)", int(pt))
+}
+
+// Job describes one workload, fio-style.
+type Job struct {
+	Name    string
+	Pattern Pattern
+	BS      int   // request size in bytes
+	QD      int   // queue depth: concurrent in-flight requests
+	NumJobs int   // independent workers (each with its own QD)
+	Offset  int64 // region base
+	Size    int64 // region length; random offsets and wraps stay inside
+	// RWMixRead is the read percentage for RandRW (fio rwmixread).
+	RWMixRead int
+	// WriteRateMBps rate-limits writes (fio rate); 0 = unlimited.
+	WriteRateMBps float64
+	// Runtime is the virtual duration to run; MaxOps is an alternative
+	// stop condition (whichever comes first; zero means unused).
+	Runtime time.Duration
+	MaxOps  int64
+	// SyncEvery issues a flush after every N writes (0 = never).
+	SyncEvery int
+	Seed      int64
+}
+
+func (j Job) norm() Job {
+	if j.QD == 0 {
+		j.QD = 1
+	}
+	if j.NumJobs == 0 {
+		j.NumJobs = 1
+	}
+	if j.Seed == 0 {
+		j.Seed = 1
+	}
+	return j
+}
+
+// Result aggregates a run's latencies and volume.
+type Result struct {
+	Job        Job
+	ReadLat    stats.Hist
+	WriteLat   stats.Hist
+	ReadBytes  int64
+	WriteBytes int64
+	Reads      int64
+	Writes     int64
+	Errors     int64
+	Elapsed    time.Duration
+}
+
+// ReadMBps returns read throughput in MB/s.
+func (r *Result) ReadMBps() float64 { return stats.Throughput(r.ReadBytes, r.Elapsed) }
+
+// WriteMBps returns write throughput in MB/s.
+func (r *Result) WriteMBps() float64 { return stats.Throughput(r.WriteBytes, r.Elapsed) }
+
+func (r *Result) String() string {
+	s := fmt.Sprintf("%s: ", r.Job.Name)
+	if r.Reads > 0 {
+		s += fmt.Sprintf("R %.1fMB/s lat[%v] ", r.ReadMBps(), r.ReadLat.Summarize())
+	}
+	if r.Writes > 0 {
+		s += fmt.Sprintf("W %.1fMB/s lat[%v]", r.WriteMBps(), r.WriteLat.Summarize())
+	}
+	return s
+}
+
+// Run executes the job against dev, blocking the calling process until all
+// workers finish. All timing is virtual.
+func Run(p *sim.Proc, dev blockdev.Device, job Job) *Result {
+	job = job.norm()
+	env := p.Env()
+	if job.Size == 0 {
+		job.Size = dev.Capacity() - job.Offset
+	}
+	res := &Result{Job: job}
+	start := env.Now()
+	deadline := time.Duration(1<<62 - 1)
+	if job.Runtime > 0 {
+		deadline = start + job.Runtime
+	}
+	var opBudget int64 = 1<<62 - 1
+	if job.MaxOps > 0 {
+		opBudget = job.MaxOps
+	}
+	issued := int64(0)
+
+	// Rate limiting (fio rate): a virtual-time token schedule shared by
+	// all workers of the job.
+	var nextWriteAt time.Duration
+	writeGap := time.Duration(0)
+	if job.WriteRateMBps > 0 {
+		writeGap = time.Duration(float64(job.BS) / (job.WriteRateMBps * 1e6) * float64(time.Second))
+	}
+
+	workers := job.NumJobs * job.QD
+	done := env.NewEvent()
+	running := workers
+	bsAligned := int64(job.BS) / int64(dev.SectorSize()) * int64(dev.SectorSize())
+	if bsAligned != int64(job.BS) {
+		panic("fio: BS must be a sector multiple")
+	}
+	maxOff := job.Size / int64(job.BS) // offsets in BS units
+
+	for w := 0; w < workers; w++ {
+		w := w
+		rng := rand.New(rand.NewSource(job.Seed + int64(w)*104729))
+		// Sequential workers partition the region so QD>1 stays sequential
+		// per stream.
+		seqCursor := int64(w) * (maxOff / int64(workers))
+		env.Go(fmt.Sprintf("fio.%s.%d", job.Name, w), func(pr *sim.Proc) {
+			defer func() {
+				running--
+				if running == 0 {
+					done.Signal()
+				}
+			}()
+			writesSinceSync := 0
+			for env.Now() < deadline && issued < opBudget {
+				issued++
+				isRead := false
+				var off int64
+				switch job.Pattern {
+				case SeqRead, SeqWrite:
+					off = (seqCursor % maxOff) * int64(job.BS)
+					seqCursor++
+					isRead = job.Pattern == SeqRead
+				case RandRead, RandWrite:
+					off = rng.Int63n(maxOff) * int64(job.BS)
+					isRead = job.Pattern == RandRead
+				case RandRW:
+					off = rng.Int63n(maxOff) * int64(job.BS)
+					isRead = rng.Intn(100) < job.RWMixRead
+				}
+				off += job.Offset
+				if isRead {
+					t0 := env.Now()
+					if err := dev.Read(pr, off, nil, int64(job.BS)); err != nil {
+						res.Errors++
+						continue
+					}
+					res.ReadLat.Add(env.Now() - t0)
+					res.ReadBytes += int64(job.BS)
+					res.Reads++
+				} else {
+					if writeGap > 0 {
+						// Claim the next token; sleep until it matures.
+						at := nextWriteAt
+						if at < env.Now() {
+							at = env.Now()
+						}
+						nextWriteAt = at + writeGap
+						if at > env.Now() {
+							pr.Sleep(at - env.Now())
+						}
+					}
+					t0 := env.Now()
+					if err := dev.Write(pr, off, nil, int64(job.BS)); err != nil {
+						res.Errors++
+						continue
+					}
+					res.WriteLat.Add(env.Now() - t0)
+					res.WriteBytes += int64(job.BS)
+					res.Writes++
+					writesSinceSync++
+					if job.SyncEvery > 0 && writesSinceSync >= job.SyncEvery {
+						writesSinceSync = 0
+						if err := dev.Flush(pr); err != nil {
+							res.Errors++
+						}
+					}
+				}
+			}
+		})
+	}
+	p.Wait(done)
+	res.Elapsed = env.Now() - start
+	return res
+}
+
+// Prepare sequentially fills [off, off+size) of dev with synthetic data at
+// full device bandwidth and flushes — the paper's dataset preparation step
+// before each read experiment.
+func Prepare(p *sim.Proc, dev blockdev.Device, off, size int64) error {
+	const chunk = 256 * 1024
+	for done := int64(0); done < size; {
+		n := int64(chunk)
+		if size-done < n {
+			n = size - done
+		}
+		if err := dev.Write(p, off+done, nil, n); err != nil {
+			return err
+		}
+		done += n
+	}
+	return dev.Flush(p)
+}

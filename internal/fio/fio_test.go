@@ -1,0 +1,270 @@
+package fio
+
+import (
+	"testing"
+	"time"
+
+	"repro/internal/lightnvm"
+	"repro/internal/nand"
+	"repro/internal/nullblk"
+	"repro/internal/ocssd"
+	"repro/internal/pblk"
+	"repro/internal/ppa"
+	"repro/internal/sim"
+)
+
+func newNull() (*sim.Env, *nullblk.Device) {
+	return sim.NewEnv(1), nullblk.New(nullblk.DefaultConfig())
+}
+
+func TestRunRespectsRuntime(t *testing.T) {
+	env, dev := newNull()
+	var res *Result
+	env.Go("main", func(p *sim.Proc) {
+		res = Run(p, dev, Job{Name: "t", Pattern: RandRead, BS: 4096, Runtime: 10 * time.Millisecond})
+	})
+	env.Run()
+	if res.Elapsed < 10*time.Millisecond || res.Elapsed > 11*time.Millisecond {
+		t.Fatalf("elapsed = %v, want ~10ms", res.Elapsed)
+	}
+	if res.Reads == 0 {
+		t.Fatal("no reads issued")
+	}
+	// Null device: ~1.97µs per read, one worker → ~5000 reads in 10ms.
+	if res.Reads < 4000 || res.Reads > 6000 {
+		t.Fatalf("reads = %d, want ~5000", res.Reads)
+	}
+}
+
+func TestMaxOpsStops(t *testing.T) {
+	env, dev := newNull()
+	var res *Result
+	env.Go("main", func(p *sim.Proc) {
+		res = Run(p, dev, Job{Name: "t", Pattern: SeqWrite, BS: 4096, MaxOps: 100})
+	})
+	env.Run()
+	if res.Writes != 100 {
+		t.Fatalf("writes = %d, want 100", res.Writes)
+	}
+}
+
+func TestMixedRatio(t *testing.T) {
+	env, dev := newNull()
+	var res *Result
+	env.Go("main", func(p *sim.Proc) {
+		res = Run(p, dev, Job{Name: "t", Pattern: RandRW, RWMixRead: 80, BS: 4096, MaxOps: 10000})
+	})
+	env.Run()
+	frac := float64(res.Reads) / float64(res.Reads+res.Writes)
+	if frac < 0.77 || frac > 0.83 {
+		t.Fatalf("read fraction = %.2f, want ~0.80", frac)
+	}
+}
+
+func TestQueueDepthScalesThroughput(t *testing.T) {
+	run := func(qd int) float64 {
+		env, dev := newNull()
+		var res *Result
+		env.Go("main", func(p *sim.Proc) {
+			res = Run(p, dev, Job{Name: "t", Pattern: RandRead, BS: 4096, QD: qd, Runtime: 5 * time.Millisecond})
+		})
+		env.Run()
+		return res.ReadMBps()
+	}
+	if q4 := run(4); q4 < 3*run(1) {
+		t.Fatalf("QD4 throughput %.1f not ~4x QD1", q4)
+	}
+}
+
+func TestWriteRateLimit(t *testing.T) {
+	env, dev := newNull()
+	var res *Result
+	env.Go("main", func(p *sim.Proc) {
+		res = Run(p, dev, Job{Name: "t", Pattern: SeqWrite, BS: 65536, WriteRateMBps: 200, Runtime: 50 * time.Millisecond})
+	})
+	env.Run()
+	if mbps := res.WriteMBps(); mbps < 180 || mbps > 210 {
+		t.Fatalf("rate-limited write = %.1f MB/s, want ~200", mbps)
+	}
+}
+
+func TestSyncEvery(t *testing.T) {
+	env, dev := newNull()
+	env.Go("main", func(p *sim.Proc) {
+		Run(p, dev, Job{Name: "t", Pattern: SeqWrite, BS: 4096, MaxOps: 100, SyncEvery: 10})
+	})
+	env.Run()
+	if dev.Flushes != 10 {
+		t.Fatalf("flushes = %d, want 10", dev.Flushes)
+	}
+}
+
+func TestLatencyRecorded(t *testing.T) {
+	env, dev := newNull()
+	var res *Result
+	env.Go("main", func(p *sim.Proc) {
+		res = Run(p, dev, Job{Name: "t", Pattern: RandRead, BS: 4096, MaxOps: 50})
+	})
+	env.Run()
+	if res.ReadLat.Count() != 50 {
+		t.Fatalf("latency samples = %d", res.ReadLat.Count())
+	}
+	m := res.ReadLat.Mean()
+	if m < 1900*time.Nanosecond || m > 2100*time.Nanosecond {
+		t.Fatalf("mean latency = %v, want ~1.97µs", m)
+	}
+}
+
+// ---- PPA engine against a real device ----
+
+func smallOCSSD(t *testing.T) (*sim.Env, *ocssd.Device) {
+	t.Helper()
+	env := sim.NewEnv(3)
+	m := nand.DefaultConfig()
+	m.PECycleLimit = 0
+	m.WearLatencyFactor = 0
+	dev, err := ocssd.New(env, ocssd.Config{
+		Geometry: ppa.Geometry{
+			Channels: 2, PUsPerChannel: 2, PlanesPerPU: 4,
+			BlocksPerPlane: 8, PagesPerBlock: 32,
+			SectorsPerPage: 4, SectorSize: 4096, OOBPerPage: 64,
+		},
+		Timing:    ocssd.DefaultTiming(),
+		Media:     m,
+		PageCache: true,
+		Seed:      5,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	return env, dev
+}
+
+func TestPPASeqWriteBandwidthSinglePU(t *testing.T) {
+	// Table 1: single sequential PU write ≈ 47 MB/s.
+	env, dev := smallOCSSD(t)
+	var res *Result
+	env.Go("main", func(p *sim.Proc) {
+		res = RunPPA(p, dev, PPAJob{
+			Name: "w", Pattern: SeqWrite, BS: 64 * 1024, QD: 1,
+			PUs: []int{0}, Blocks: 4, Runtime: 200 * time.Millisecond,
+		})
+	})
+	env.Run()
+	if mbps := res.WriteMBps(); mbps < 42 || mbps > 55 {
+		t.Fatalf("single PU write = %.1f MB/s, want ~47", mbps)
+	}
+}
+
+func TestPPASeqRead4KBandwidthSinglePU(t *testing.T) {
+	// Table 1: single sequential PU read ≈ 105 MB/s at 4K (page cache
+	// serves 3 of 4 sectors).
+	env, dev := smallOCSSD(t)
+	var res *Result
+	env.Go("main", func(p *sim.Proc) {
+		if err := PreparePPA(p, dev, []int{0}, 4); err != nil {
+			t.Fatal(err)
+		}
+		res = RunPPA(p, dev, PPAJob{
+			Name: "r", Pattern: SeqRead, BS: 4096, QD: 1,
+			PUs: []int{0}, Blocks: 4, Runtime: 100 * time.Millisecond,
+		})
+	})
+	env.Run()
+	if mbps := res.ReadMBps(); mbps < 90 || mbps > 130 {
+		t.Fatalf("single PU 4K seq read = %.1f MB/s, want ~105", mbps)
+	}
+}
+
+func TestPPARandRead4KSlowerThanSeq(t *testing.T) {
+	// Table 1: random 4K reads (~56 MB/s) lose the page-cache benefit.
+	env, dev := smallOCSSD(t)
+	var seq, rnd *Result
+	env.Go("main", func(p *sim.Proc) {
+		if err := PreparePPA(p, dev, []int{0}, 4); err != nil {
+			t.Fatal(err)
+		}
+		seq = RunPPA(p, dev, PPAJob{Name: "s", Pattern: SeqRead, BS: 4096, PUs: []int{0}, Blocks: 4, Runtime: 50 * time.Millisecond})
+		rnd = RunPPA(p, dev, PPAJob{Name: "r", Pattern: RandRead, BS: 4096, PUs: []int{0}, Blocks: 4, Runtime: 50 * time.Millisecond, Seed: 9})
+	})
+	env.Run()
+	if rnd.ReadMBps() >= seq.ReadMBps() {
+		t.Fatalf("random (%.1f) should be slower than sequential (%.1f)", rnd.ReadMBps(), seq.ReadMBps())
+	}
+	if mbps := rnd.ReadMBps(); mbps < 35 || mbps > 70 {
+		t.Fatalf("random 4K read = %.1f MB/s, want ~50", mbps)
+	}
+}
+
+func TestPPAIsolatedStreamsDoNotInterfere(t *testing.T) {
+	// The Fig 8 mechanism: reads on PUs disjoint from writer PUs keep flat
+	// latency.
+	env, dev := smallOCSSD(t)
+	var iso *Result
+	env.Go("main", func(p *sim.Proc) {
+		if err := PreparePPA(p, dev, []int{0, 1}, 4); err != nil {
+			t.Fatal(err)
+		}
+		wDone := env.NewEvent()
+		env.Go("writer", func(pw *sim.Proc) {
+			RunPPA(pw, dev, PPAJob{Name: "w", Pattern: SeqWrite, BS: 64 * 1024, PUs: []int{2, 3}, Blocks: 4, Runtime: 60 * time.Millisecond})
+			wDone.Signal()
+		})
+		iso = RunPPA(p, dev, PPAJob{Name: "r", Pattern: RandRead, BS: 4096, PUs: []int{0, 1}, Blocks: 4, Runtime: 60 * time.Millisecond, Seed: 4})
+		p.Wait(wDone)
+	})
+	env.Run()
+	// PUs 2,3 share channel 1 with PU 3... PUs: gpu0,1 = ch0; gpu2,3 = ch1.
+	// Full isolation: p99 should stay near the uncontended ~86µs.
+	if p99 := iso.ReadLat.Percentile(99); p99 > 250*time.Microsecond {
+		t.Fatalf("isolated reads p99 = %v, want flat", p99)
+	}
+}
+
+// ---- Block engine over pblk end to end ----
+
+func TestBlockEngineOverPblk(t *testing.T) {
+	env := sim.NewEnv(8)
+	m := nand.DefaultConfig()
+	m.PECycleLimit = 0
+	m.WearLatencyFactor = 0
+	dev, err := ocssd.New(env, ocssd.Config{
+		Geometry: ppa.Geometry{
+			Channels: 2, PUsPerChannel: 2, PlanesPerPU: 2,
+			BlocksPerPlane: 40, PagesPerBlock: 32,
+			SectorsPerPage: 4, SectorSize: 4096, OOBPerPage: 64,
+		},
+		Timing:    ocssd.DefaultTiming(),
+		Media:     m,
+		PageCache: true,
+		Seed:      5,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	ln := lightnvm.Register("d", dev)
+	var wres, rres *Result
+	env.Go("main", func(p *sim.Proc) {
+		k, err := pblk.New(p, ln, "pblk0", pblk.Config{ActivePUs: 4})
+		if err != nil {
+			t.Fatal(err)
+		}
+		defer k.Stop(p)
+		size := k.Capacity() / 2
+		wres = Run(p, k, Job{Name: "fill", Pattern: SeqWrite, BS: 65536, Size: size, MaxOps: size / 65536})
+		if err := k.Flush(p); err != nil {
+			t.Fatal(err)
+		}
+		rres = Run(p, k, Job{Name: "read", Pattern: RandRead, BS: 4096, QD: 4, Size: size, Runtime: 50 * time.Millisecond})
+	})
+	env.Run()
+	if wres.Errors != 0 || rres.Errors != 0 {
+		t.Fatalf("errors: w=%d r=%d", wres.Errors, rres.Errors)
+	}
+	if wres.WriteMBps() < 50 {
+		t.Fatalf("pblk fill bandwidth = %.1f MB/s, too low", wres.WriteMBps())
+	}
+	if rres.Reads == 0 {
+		t.Fatal("no reads")
+	}
+}

@@ -1,0 +1,206 @@
+// Package harness defines one runnable experiment per table and figure of
+// the paper's evaluation (§5), plus ablations of the design choices called
+// out in DESIGN.md. Each experiment builds its devices, runs the paper's
+// workload in virtual time, and prints rows comparable to the published
+// ones. EXPERIMENTS.md records paper-vs-measured for every run.
+package harness
+
+import (
+	"fmt"
+	"io"
+	"math/rand"
+	"sort"
+	"strings"
+	"time"
+
+	"repro/internal/lightnvm"
+	"repro/internal/nand"
+	"repro/internal/nvmedev"
+	"repro/internal/ocssd"
+	"repro/internal/pblk"
+	"repro/internal/sim"
+)
+
+// newRand returns a deterministic random source for harness-side draws.
+func newRand(seed int64) *rand.Rand { return rand.New(rand.NewSource(seed)) }
+
+// alignDown rounds n down to a multiple of unit (offsets and region sizes
+// derived from capacities must stay request-aligned).
+func alignDown(n, unit int64) int64 { return n / unit * unit }
+
+// Options scales experiments. The zero value is completed by Defaults.
+type Options struct {
+	// BlocksPerPlane scales the simulated drive; the paper's Westlake has
+	// 1067 (2 TB) — the default keeps the same structure with less host
+	// memory.
+	BlocksPerPlane int
+	// Duration is the virtual measurement window per data point.
+	Duration time.Duration
+	// Quick shrinks sweeps for smoke runs.
+	Quick bool
+	Seed  int64
+}
+
+// Defaults fills unset options.
+func Defaults(o Options) Options {
+	if o.BlocksPerPlane == 0 {
+		o.BlocksPerPlane = 24
+	}
+	if o.Duration == 0 {
+		o.Duration = 100 * time.Millisecond
+	}
+	if o.Seed == 0 {
+		o.Seed = 42
+	}
+	return o
+}
+
+// Experiment is one reproducible artifact of the paper.
+type Experiment struct {
+	ID    string
+	Title string
+	Run   func(o Options, w io.Writer) error
+}
+
+var registry []Experiment
+
+func register(e Experiment) { registry = append(registry, e) }
+
+// All lists registered experiments sorted by ID.
+func All() []Experiment {
+	out := append([]Experiment(nil), registry...)
+	sort.Slice(out, func(i, j int) bool { return out[i].ID < out[j].ID })
+	return out
+}
+
+// ByID finds an experiment.
+func ByID(id string) (Experiment, bool) {
+	for _, e := range registry {
+		if e.ID == id {
+			return e, true
+		}
+	}
+	return Experiment{}, false
+}
+
+// ---- shared builders ----
+
+// newOCSSD builds a Westlake-like open-channel SSD scaled by the options.
+func newOCSSD(o Options) (*sim.Env, *ocssd.Device, *lightnvm.Device, error) {
+	env := sim.NewEnv(o.Seed)
+	m := nand.DefaultConfig()
+	m.PECycleLimit = 0 // characterization runs should not age the media
+	m.WearLatencyFactor = 0
+	cfg := ocssd.Config{
+		Geometry:  ocssd.WestlakeGeometry(o.BlocksPerPlane),
+		Timing:    ocssd.DefaultTiming(),
+		Media:     m,
+		PageCache: true,
+		Seed:      o.Seed,
+	}
+	dev, err := ocssd.New(env, cfg)
+	if err != nil {
+		return nil, nil, nil, err
+	}
+	return env, dev, lightnvm.Register("ocssd0", dev), nil
+}
+
+// newPblk instantiates a pblk target with the given active PU count
+// (0 = all).
+func newPblk(p *sim.Proc, ln *lightnvm.Device, activePUs int) (*pblk.Pblk, error) {
+	return pblk.New(p, ln, fmt.Sprintf("pblk-%d", activePUs), pblk.Config{
+		ActivePUs:          activePUs,
+		DisableRateLimiter: false,
+	})
+}
+
+// newPblkOn builds the full OCSSD + LightNVM + pblk stack inside an
+// existing simulation environment.
+func newPblkOn(p *sim.Proc, env *sim.Env, o Options, activePUs int) (*pblk.Pblk, error) {
+	m := nand.DefaultConfig()
+	m.PECycleLimit = 0
+	m.WearLatencyFactor = 0
+	dev, err := ocssd.New(env, ocssd.Config{
+		Geometry:  ocssd.WestlakeGeometry(o.BlocksPerPlane),
+		Timing:    ocssd.DefaultTiming(),
+		Media:     m,
+		PageCache: true,
+		Seed:      o.Seed,
+	})
+	if err != nil {
+		return nil, err
+	}
+	ln := lightnvm.Register("ocssd-embed", dev)
+	return newPblk(p, ln, activePUs)
+}
+
+// newBaseline builds the NVMe block-SSD baseline scaled to a comparable
+// capacity.
+func newBaseline(p *sim.Proc, env *sim.Env, o Options) (*nvmedev.Device, error) {
+	cfg := nvmedev.DefaultConfig(o.BlocksPerPlane * 2) // 1/4 the PUs, 2x blocks
+	cfg.Media.PECycleLimit = 0
+	cfg.Media.WearLatencyFactor = 0
+	cfg.Seed = o.Seed
+	return nvmedev.New(p, env, cfg)
+}
+
+// ---- output helpers ----
+
+// table renders aligned columns.
+type table struct {
+	header []string
+	rows   [][]string
+}
+
+func (t *table) add(cells ...string) { t.rows = append(t.rows, cells) }
+
+func (t *table) write(w io.Writer) {
+	widths := make([]int, len(t.header))
+	for i, h := range t.header {
+		widths[i] = len(h)
+	}
+	for _, r := range t.rows {
+		for i, c := range r {
+			if i < len(widths) && len(c) > widths[i] {
+				widths[i] = len(c)
+			}
+		}
+	}
+	line := func(cells []string) {
+		parts := make([]string, len(cells))
+		for i, c := range cells {
+			parts[i] = pad(c, widths[i])
+		}
+		fmt.Fprintln(w, strings.TrimRight(strings.Join(parts, "  "), " "))
+	}
+	line(t.header)
+	sep := make([]string, len(t.header))
+	for i := range sep {
+		sep[i] = strings.Repeat("-", widths[i])
+	}
+	line(sep)
+	for _, r := range t.rows {
+		line(r)
+	}
+}
+
+func pad(s string, w int) string {
+	if len(s) >= w {
+		return s
+	}
+	return s + strings.Repeat(" ", w-len(s))
+}
+
+func mb(v float64) string { return fmt.Sprintf("%.0f", v) }
+
+func us(d time.Duration) string {
+	return fmt.Sprintf("%.0f", float64(d)/float64(time.Microsecond))
+}
+
+func ms(d time.Duration) string {
+	return fmt.Sprintf("%.2f", float64(d)/float64(time.Millisecond))
+}
+
+func section(w io.Writer, title string) {
+	fmt.Fprintf(w, "\n== %s ==\n", title)
+}

@@ -1,0 +1,100 @@
+package harness
+
+import (
+	"bytes"
+	"strings"
+	"testing"
+	"time"
+)
+
+func TestRegistryComplete(t *testing.T) {
+	want := []string{"table1", "overhead", "fig4", "fig5", "fig6", "fig7", "fig8",
+		"ablate-pagecache", "ablate-vector", "ablate-buffering", "ablate-gc-rl", "ablate-inflight"}
+	for _, id := range want {
+		if _, ok := ByID(id); !ok {
+			t.Errorf("experiment %q not registered", id)
+		}
+	}
+	if len(All()) < len(want) {
+		t.Fatalf("registry has %d experiments, want >= %d", len(All()), len(want))
+	}
+	// All() must be sorted and stable.
+	ids := All()
+	for i := 1; i < len(ids); i++ {
+		if ids[i-1].ID >= ids[i].ID {
+			t.Fatal("All() not sorted")
+		}
+	}
+}
+
+func TestDefaults(t *testing.T) {
+	o := Defaults(Options{})
+	if o.BlocksPerPlane == 0 || o.Duration == 0 || o.Seed == 0 {
+		t.Fatalf("defaults incomplete: %+v", o)
+	}
+	o2 := Defaults(Options{BlocksPerPlane: 5, Duration: time.Second, Seed: 9})
+	if o2.BlocksPerPlane != 5 || o2.Duration != time.Second || o2.Seed != 9 {
+		t.Fatal("defaults overwrote explicit options")
+	}
+}
+
+func TestTablePrinter(t *testing.T) {
+	var buf bytes.Buffer
+	tb := &table{header: []string{"a", "longer"}}
+	tb.add("x", "1")
+	tb.add("yyyy", "22")
+	tb.write(&buf)
+	out := buf.String()
+	lines := strings.Split(strings.TrimSpace(out), "\n")
+	if len(lines) != 4 {
+		t.Fatalf("got %d lines:\n%s", len(lines), out)
+	}
+	if !strings.HasPrefix(lines[0], "a") || !strings.Contains(lines[0], "longer") {
+		t.Fatalf("header malformed: %q", lines[0])
+	}
+}
+
+// TestOverheadExperiment runs the fastest real experiment end to end and
+// checks the paper-matching deltas appear.
+func TestOverheadExperiment(t *testing.T) {
+	e, ok := ByID("overhead")
+	if !ok {
+		t.Fatal("overhead missing")
+	}
+	var buf bytes.Buffer
+	if err := e.Run(Options{Quick: true, Duration: 5 * time.Millisecond}, &buf); err != nil {
+		t.Fatal(err)
+	}
+	out := buf.String()
+	for _, want := range []string{"+18%", "+45%", "null block device"} {
+		if !strings.Contains(out, want) {
+			t.Errorf("output missing %q:\n%s", want, out)
+		}
+	}
+}
+
+// TestAblatePageCache exercises a small device-level experiment end to end.
+func TestAblatePageCache(t *testing.T) {
+	e, _ := ByID("ablate-pagecache")
+	var buf bytes.Buffer
+	if err := e.Run(Options{Quick: true, Duration: 20 * time.Millisecond}, &buf); err != nil {
+		t.Fatal(err)
+	}
+	if !strings.Contains(buf.String(), "true") || !strings.Contains(buf.String(), "false") {
+		t.Fatalf("missing rows:\n%s", buf.String())
+	}
+}
+
+// TestAblateVector checks the vectored-vs-serial experiment shows the
+// expected ordering.
+func TestAblateVector(t *testing.T) {
+	e, _ := ByID("ablate-vector")
+	var buf bytes.Buffer
+	if err := e.Run(Options{Quick: true, Duration: 10 * time.Millisecond}, &buf); err != nil {
+		t.Fatal(err)
+	}
+	out := buf.String()
+	if !strings.Contains(out, "vectored") || !strings.Contains(out, "serial") {
+		t.Fatalf("missing rows:\n%s", out)
+	}
+}

@@ -1,0 +1,66 @@
+package harness
+
+import (
+	"fmt"
+	"io"
+	"time"
+
+	"repro/internal/blockdev"
+	"repro/internal/fio"
+	"repro/internal/nullblk"
+	"repro/internal/pblk"
+	"repro/internal/sim"
+)
+
+func init() {
+	register(Experiment{
+		ID:    "overhead",
+		Title: "§5.1: pblk host overhead over a null block device",
+		Run:   runOverhead,
+	})
+}
+
+// runOverhead mirrors the paper's methodology: compare 4K request latency
+// on a null block device with and without pblk's host-side datapath cost.
+// The paper measures 1.97→2.32 µs reads (+18%) and 2.0→2.9 µs writes
+// (+45%).
+func runOverhead(o Options, w io.Writer) error {
+	o = Defaults(o)
+	section(w, "pblk CPU/latency overhead (paper: reads 1.97->2.32us +18%, writes 2.0->2.9us +45%)")
+
+	cfg := pblk.Default(pblk.Config{})
+	measure := func(dev blockdev.Device) (r, wr time.Duration) {
+		env := sim.NewEnv(o.Seed)
+		var rr, wo *fio.Result
+		env.Go("main", func(p *sim.Proc) {
+			rr = fio.Run(p, dev, fio.Job{Name: "r", Pattern: fio.RandRead, BS: 4096, MaxOps: 20000})
+			wo = fio.Run(p, dev, fio.Job{Name: "w", Pattern: fio.RandWrite, BS: 4096, MaxOps: 20000})
+		})
+		env.Run()
+		return rr.ReadLat.Mean(), wo.WriteLat.Mean()
+	}
+
+	base := nullblk.New(nullblk.DefaultConfig())
+	withPblk := blockdev.WithLatency(nullblk.New(nullblk.DefaultConfig()),
+		cfg.HostReadOverhead, cfg.HostWriteOverhead)
+
+	r0, w0 := measure(base)
+	r1, w1 := measure(withPblk)
+
+	t := &table{header: []string{"path", "read us", "write us"}}
+	t.add("null block device", fmt.Sprintf("%.2f", usF(r0)), fmt.Sprintf("%.2f", usF(w0)))
+	t.add("null + pblk datapath", fmt.Sprintf("%.2f", usF(r1)), fmt.Sprintf("%.2f", usF(w1)))
+	t.add("overhead", fmt.Sprintf("%.2f (+%.0f%%)", usF(r1-r0), pct(r1, r0)),
+		fmt.Sprintf("%.2f (+%.0f%%)", usF(w1-w0), pct(w1, w0)))
+	t.write(w)
+	return nil
+}
+
+func usF(d time.Duration) float64 { return float64(d) / float64(time.Microsecond) }
+
+func pct(a, b time.Duration) float64 {
+	if b == 0 {
+		return 0
+	}
+	return (float64(a)/float64(b) - 1) * 100
+}

@@ -1,0 +1,142 @@
+// Package lightnvm is the open-channel SSD subsystem (paper §4.1): the
+// layer between the device driver (internal/ocssd) and high-level targets.
+//
+// It registers devices, exposes their geometry to targets and tools (the
+// kernel's nvm_dev / sysfs role), and manages target instances created on
+// top of devices. Targets are registered by name in a global registry, the
+// analogue of the kernel's target-type list; the pblk package registers
+// itself on import.
+package lightnvm
+
+import (
+	"fmt"
+	"sort"
+	"sync"
+
+	"repro/internal/ocssd"
+	"repro/internal/ppa"
+	"repro/internal/sim"
+)
+
+// Device is a registered open-channel SSD, the subsystem's nvm_dev.
+type Device struct {
+	name string
+	dev  *ocssd.Device
+
+	mu      sync.Mutex
+	targets map[string]Target
+}
+
+// Register wraps an ocssd device into the subsystem.
+func Register(name string, dev *ocssd.Device) *Device {
+	return &Device{name: name, dev: dev, targets: make(map[string]Target)}
+}
+
+// Name returns the device name.
+func (d *Device) Name() string { return d.name }
+
+// Geometry exposes the device geometry (sysfs analogue).
+func (d *Device) Geometry() ppa.Geometry { return d.dev.Geometry() }
+
+// Identify returns the device's full self-description.
+func (d *Device) Identify() ocssd.Identify { return d.dev.Identify() }
+
+// Raw returns the underlying device for targets issuing vector I/O.
+func (d *Device) Raw() *ocssd.Device { return d.dev }
+
+// Env returns the device's simulation environment.
+func (d *Device) Env() *sim.Env { return d.dev.Env() }
+
+// Target is a high-level I/O interface instantiated on a device (paper
+// §4.1, layer 3). Concrete targets usually also implement blockdev.Device
+// (pblk) or expose an application-specific API.
+type Target interface {
+	// TargetName returns the instance name.
+	TargetName() string
+	// Stop quiesces the target and releases its device resources. It must
+	// be called from simulation context.
+	Stop(p *sim.Proc) error
+}
+
+// TargetType creates target instances. cfg is target specific; pblk takes
+// *pblk.Config.
+type TargetType func(p *sim.Proc, dev *Device, instanceName string, cfg any) (Target, error)
+
+var (
+	regMu    sync.Mutex
+	registry = make(map[string]TargetType)
+)
+
+// RegisterTargetType adds a target type to the global registry. It panics
+// on duplicates, mirroring kernel module registration.
+func RegisterTargetType(name string, t TargetType) {
+	regMu.Lock()
+	defer regMu.Unlock()
+	if _, dup := registry[name]; dup {
+		panic(fmt.Sprintf("lightnvm: duplicate target type %q", name))
+	}
+	registry[name] = t
+}
+
+// TargetTypes lists registered target type names, sorted.
+func TargetTypes() []string {
+	regMu.Lock()
+	defer regMu.Unlock()
+	names := make([]string, 0, len(registry))
+	for n := range registry {
+		names = append(names, n)
+	}
+	sort.Strings(names)
+	return names
+}
+
+// CreateTarget instantiates a target of the given type on the device
+// (the `nvm create` ioctl analogue). It must run in simulation context
+// because target initialization (e.g. pblk recovery scans) performs
+// device I/O.
+func (d *Device) CreateTarget(p *sim.Proc, typeName, instanceName string, cfg any) (Target, error) {
+	regMu.Lock()
+	t, ok := registry[typeName]
+	regMu.Unlock()
+	if !ok {
+		return nil, fmt.Errorf("lightnvm: unknown target type %q", typeName)
+	}
+	d.mu.Lock()
+	if _, dup := d.targets[instanceName]; dup {
+		d.mu.Unlock()
+		return nil, fmt.Errorf("lightnvm: target %q already exists on %s", instanceName, d.name)
+	}
+	d.mu.Unlock()
+	tgt, err := t(p, d, instanceName, cfg)
+	if err != nil {
+		return nil, fmt.Errorf("lightnvm: create %s target %q: %w", typeName, instanceName, err)
+	}
+	d.mu.Lock()
+	d.targets[instanceName] = tgt
+	d.mu.Unlock()
+	return tgt, nil
+}
+
+// RemoveTarget stops and unregisters a target instance.
+func (d *Device) RemoveTarget(p *sim.Proc, instanceName string) error {
+	d.mu.Lock()
+	tgt, ok := d.targets[instanceName]
+	delete(d.targets, instanceName)
+	d.mu.Unlock()
+	if !ok {
+		return fmt.Errorf("lightnvm: no target %q on %s", instanceName, d.name)
+	}
+	return tgt.Stop(p)
+}
+
+// Targets lists target instance names on the device, sorted.
+func (d *Device) Targets() []string {
+	d.mu.Lock()
+	defer d.mu.Unlock()
+	names := make([]string, 0, len(d.targets))
+	for n := range d.targets {
+		names = append(names, n)
+	}
+	sort.Strings(names)
+	return names
+}

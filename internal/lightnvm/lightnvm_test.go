@@ -1,0 +1,114 @@
+package lightnvm
+
+import (
+	"errors"
+	"testing"
+
+	"repro/internal/nand"
+	"repro/internal/ocssd"
+	"repro/internal/ppa"
+	"repro/internal/sim"
+)
+
+func newDevice(t *testing.T) (*sim.Env, *Device) {
+	t.Helper()
+	env := sim.NewEnv(1)
+	m := nand.DefaultConfig()
+	dev, err := ocssd.New(env, ocssd.Config{
+		Geometry: ppa.Geometry{
+			Channels: 2, PUsPerChannel: 2, PlanesPerPU: 2,
+			BlocksPerPlane: 4, PagesPerBlock: 8,
+			SectorsPerPage: 4, SectorSize: 4096, OOBPerPage: 64,
+		},
+		Timing: ocssd.DefaultTiming(),
+		Media:  m,
+		Seed:   1,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	return env, Register("nvme0n1", dev)
+}
+
+type fakeTarget struct {
+	name    string
+	stopped bool
+}
+
+func (f *fakeTarget) TargetName() string     { return f.name }
+func (f *fakeTarget) Stop(p *sim.Proc) error { f.stopped = true; return nil }
+
+func init() {
+	RegisterTargetType("fake", func(p *sim.Proc, dev *Device, name string, cfg any) (Target, error) {
+		if cfg == "fail" {
+			return nil, errors.New("nope")
+		}
+		return &fakeTarget{name: name}, nil
+	})
+}
+
+func TestGeometryExposed(t *testing.T) {
+	_, d := newDevice(t)
+	if d.Name() != "nvme0n1" {
+		t.Fatal("name")
+	}
+	if d.Geometry().Channels != 2 {
+		t.Fatal("geometry not exposed")
+	}
+	if d.Identify().MaxVectorLen != ocssd.MaxVectorLen {
+		t.Fatal("identify not exposed")
+	}
+	if d.Raw() == nil || d.Env() == nil {
+		t.Fatal("raw accessors")
+	}
+}
+
+func TestTargetTypeRegistry(t *testing.T) {
+	found := false
+	for _, n := range TargetTypes() {
+		if n == "fake" {
+			found = true
+		}
+	}
+	if !found {
+		t.Fatalf("fake target not listed: %v", TargetTypes())
+	}
+	defer func() {
+		if recover() == nil {
+			t.Fatal("duplicate registration did not panic")
+		}
+	}()
+	RegisterTargetType("fake", nil)
+}
+
+func TestTargetLifecycle(t *testing.T) {
+	env, d := newDevice(t)
+	env.Go("main", func(p *sim.Proc) {
+		tgt, err := d.CreateTarget(p, "fake", "inst0", nil)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if got := d.Targets(); len(got) != 1 || got[0] != "inst0" {
+			t.Fatalf("targets = %v", got)
+		}
+		if _, err := d.CreateTarget(p, "fake", "inst0", nil); err == nil {
+			t.Fatal("duplicate instance accepted")
+		}
+		if _, err := d.CreateTarget(p, "missing", "x", nil); err == nil {
+			t.Fatal("unknown type accepted")
+		}
+		if _, err := d.CreateTarget(p, "fake", "bad", "fail"); err == nil {
+			t.Fatal("factory error swallowed")
+		}
+		if err := d.RemoveTarget(p, "inst0"); err != nil {
+			t.Fatal(err)
+		}
+		if !tgt.(*fakeTarget).stopped {
+			t.Fatal("Stop not called on removal")
+		}
+		if err := d.RemoveTarget(p, "inst0"); err == nil {
+			t.Fatal("double remove accepted")
+		}
+	})
+	env.Run()
+}

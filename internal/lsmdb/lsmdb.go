@@ -1,0 +1,630 @@
+// Package lsmdb is a storage-level LSM-tree key-value engine standing in
+// for RocksDB in the paper's application evaluation (§5.4, Fig 6/Table 2).
+//
+// It reproduces RocksDB's I/O behaviour rather than its SQL-visible
+// semantics: a write-ahead log with group commit and optional sync, an
+// in-memory memtable flushed to L0 sstables as large sequential writes,
+// leveled background compaction that consumes device bandwidth invisibly
+// to the benchmark ("internally RocksDB performs its own garbage
+// collection, i.e. sstable compaction"), write stalls when flushes or L0
+// fall behind, and point reads served through a block cache.
+//
+// Payloads are synthetic (nil buffers): placement, sizes, and timing are
+// exact; key/value bytes are not materialized.
+package lsmdb
+
+import (
+	"fmt"
+	"math/rand"
+	"time"
+
+	"repro/internal/blockdev"
+	"repro/internal/sim"
+	"repro/internal/stats"
+)
+
+// Config shapes the engine.
+type Config struct {
+	// KeySize+ValueSize is the logical entry size (db_bench: 16+100 by
+	// default; the paper-scale runs use larger values).
+	KeySize, ValueSize int
+	// MemtableSize triggers a flush to L0 (RocksDB write_buffer_size).
+	MemtableSize int64
+	// WALSyncBytes is the group-commit granularity: with SyncWAL, a device
+	// flush is issued every WALSyncBytes of log.
+	WALSyncBytes int
+	// SyncWAL enables fsync on commit batches (the paper runs with sync
+	// enabled "to guarantee data integrity").
+	SyncWAL bool
+	// DisableWAL skips the log entirely (db_bench --disable_wal).
+	DisableWAL bool
+	// L0CompactionTrigger starts a compaction; L0StallLimit stalls writers.
+	L0CompactionTrigger, L0StallLimit int
+	// LevelRatio is the size ratio between adjacent levels.
+	LevelRatio int
+	// MaxLevels bounds the tree depth.
+	MaxLevels int
+	// BlockCacheHitRate is the probability a Get is served from memory.
+	BlockCacheHitRate float64
+	// ReadBlocksPerGet is the sstable blocks fetched on a cache miss.
+	ReadBlocksPerGet int
+	// CPUPerOp is the host CPU cost charged to every Put and Get
+	// (memtable/skiplist work, comparisons, checksums).
+	CPUPerOp time.Duration
+	Seed     int64
+}
+
+// DefaultConfig returns db_bench-like defaults scaled for simulation.
+func DefaultConfig() Config {
+	return Config{
+		KeySize:             16,
+		ValueSize:           1008, // 1 KB entries keep user MB/s comparable to the paper
+		MemtableSize:        32 << 20,
+		WALSyncBytes:        32 << 10,
+		SyncWAL:             true,
+		L0CompactionTrigger: 4,
+		L0StallLimit:        8,
+		LevelRatio:          10,
+		MaxLevels:           4,
+		BlockCacheHitRate:   0.35,
+		ReadBlocksPerGet:    2,
+		CPUPerOp:            2 * time.Microsecond,
+		Seed:                1,
+	}
+}
+
+// sstable is one on-device table: an extent of the sstable area.
+type sstable struct {
+	off, size int64
+}
+
+// DB is the engine instance.
+type DB struct {
+	cfg Config
+	dev blockdev.Device
+	env *sim.Env
+	rng *rand.Rand
+
+	// WAL: a circular region at the front of the device.
+	walBase, walSize, walHead int64
+	walSinceSync              int64
+
+	// sstable area: bump allocator with wraparound over [areaBase, cap).
+	areaBase, areaHead int64
+
+	memBytes      int64
+	immutables    int // memtables waiting to flush
+	flushKick     *sim.Event
+	stallEv       *sim.Event
+	levels        [][]sstable // levels[0] = L0 files
+	levelBytes    []int64
+	compacting    bool
+	compactKick   *sim.Event
+	stopping      bool
+	flusherDone   *sim.Event
+	compactorDone *sim.Event
+
+	// Stats observable by the harness.
+	Puts, Gets           int64
+	UserBytesIn          int64
+	UserBytesOut         int64
+	FlushedBytes         int64
+	CompactionReadBytes  int64
+	CompactionWriteBytes int64
+	WALBytes             int64
+	Syncs                int64
+	WriteStalls          int64
+	CacheHits            int64
+}
+
+// Open creates an engine on dev. The first 1/16 of the device holds the
+// WAL; the rest is sstable space.
+func Open(p *sim.Proc, env *sim.Env, dev blockdev.Device, cfg Config) (*DB, error) {
+	if cfg.MemtableSize == 0 {
+		cfg = DefaultConfig()
+	}
+	ss := int64(dev.SectorSize())
+	db := &DB{
+		cfg: cfg, dev: dev, env: env,
+		rng:     rand.New(rand.NewSource(cfg.Seed)),
+		walSize: dev.Capacity() / 16 / ss * ss,
+	}
+	db.walBase = 0
+	db.areaBase = db.walSize
+	db.areaHead = db.areaBase
+	db.levels = make([][]sstable, cfg.MaxLevels)
+	db.levelBytes = make([]int64, cfg.MaxLevels)
+	db.flushKick = env.NewEvent()
+	db.compactKick = env.NewEvent()
+	db.flusherDone = env.NewEvent()
+	db.compactorDone = env.NewEvent()
+	env.Go("lsmdb.flusher", db.flusher)
+	env.Go("lsmdb.compactor", db.compactor)
+	return db, nil
+}
+
+// Quiesce blocks until background flushes and compactions settle, so a
+// read benchmark starts from a steady tree (db_bench's wait between
+// phases).
+func (db *DB) Quiesce(p *sim.Proc) {
+	for db.immutables > 0 || db.compacting || db.pickCompaction() >= 0 {
+		db.flushKick.Signal()
+		db.compactKick.Signal()
+		p.Sleep(time.Millisecond)
+	}
+}
+
+// Close stops background work, flushing the active memtable.
+func (db *DB) Close(p *sim.Proc) error {
+	if db.memBytes > 0 {
+		db.immutables++
+		db.memBytes = 0
+		db.flushKick.Signal()
+	}
+	for db.immutables > 0 || db.compacting {
+		p.Sleep(500 * time.Microsecond)
+	}
+	db.stopping = true
+	db.flushKick.Signal()
+	db.compactKick.Signal()
+	p.Wait(db.flusherDone)
+	p.Wait(db.compactorDone)
+	return nil
+}
+
+func (db *DB) entrySize() int64 { return int64(db.cfg.KeySize + db.cfg.ValueSize) }
+
+func (db *DB) sectorAlign(n int64) int64 {
+	ss := int64(db.dev.SectorSize())
+	return (n + ss - 1) / ss * ss
+}
+
+// Put appends one entry: WAL write (with group-commit sync), memtable
+// insert, and stall handling when background work falls behind.
+func (db *DB) Put(p *sim.Proc) error {
+	if db.cfg.CPUPerOp > 0 {
+		p.Sleep(db.cfg.CPUPerOp)
+	}
+	sz := db.entrySize()
+	// Write stall conditions (RocksDB behaviour): too many immutable
+	// memtables or too many L0 files.
+	for db.immutables >= 2 || len(db.levels[0]) >= db.cfg.L0StallLimit {
+		db.WriteStalls++
+		db.compactKick.Signal()
+		db.flushKick.Signal()
+		if db.stallEv == nil || db.stallEv.Fired() {
+			db.stallEv = db.env.NewEvent()
+		}
+		p.Wait(db.stallEv)
+	}
+	if !db.cfg.DisableWAL {
+		// WAL append: sector-rounded group writes.
+		walOff := db.walBase + db.walHead%db.walSize
+		wlen := db.sectorAlign(sz)
+		if walOff+wlen > db.walBase+db.walSize {
+			walOff = db.walBase
+			db.walHead = 0
+		}
+		if err := db.dev.Write(p, walOff, nil, wlen); err != nil {
+			return err
+		}
+		db.walHead += wlen
+		db.WALBytes += wlen
+		db.walSinceSync += wlen
+		if db.cfg.SyncWAL && db.walSinceSync >= int64(db.cfg.WALSyncBytes) {
+			db.walSinceSync = 0
+			db.Syncs++
+			if err := db.dev.Flush(p); err != nil {
+				return err
+			}
+		}
+	}
+	db.memBytes += sz
+	db.Puts++
+	db.UserBytesIn += sz
+	if db.memBytes >= db.cfg.MemtableSize {
+		db.memBytes = 0
+		db.immutables++
+		db.flushKick.Signal()
+	}
+	return nil
+}
+
+// Get performs one point lookup: block cache hit, or sstable block reads.
+func (db *DB) Get(p *sim.Proc) error {
+	if db.cfg.CPUPerOp > 0 {
+		p.Sleep(db.cfg.CPUPerOp)
+	}
+	db.Gets++
+	db.UserBytesOut += db.entrySize()
+	if db.rng.Float64() < db.cfg.BlockCacheHitRate {
+		db.CacheHits++
+		return nil
+	}
+	reads := db.cfg.ReadBlocksPerGet
+	if reads < 1 {
+		reads = 1
+	}
+	ss := int64(db.dev.SectorSize())
+	for i := 0; i < reads; i++ {
+		tbl := db.randomTable()
+		if tbl.size == 0 {
+			return nil // empty tree
+		}
+		sectors := tbl.size / ss
+		off := tbl.off + db.rng.Int63n(sectors)*ss
+		if err := db.dev.Read(p, off, nil, ss); err != nil {
+			return err
+		}
+	}
+	return nil
+}
+
+// randomTable picks a table weighted toward larger levels (where most data
+// lives).
+func (db *DB) randomTable() sstable {
+	var total int64
+	for _, b := range db.levelBytes {
+		total += b
+	}
+	if total == 0 {
+		return sstable{}
+	}
+	target := db.rng.Int63n(total)
+	for lv := range db.levels {
+		if target < db.levelBytes[lv] {
+			tables := db.levels[lv]
+			if len(tables) == 0 {
+				break
+			}
+			return tables[db.rng.Intn(len(tables))]
+		}
+		target -= db.levelBytes[lv]
+	}
+	for lv := len(db.levels) - 1; lv >= 0; lv-- {
+		if len(db.levels[lv]) > 0 {
+			return db.levels[lv][0]
+		}
+	}
+	return sstable{}
+}
+
+// alloc reserves an extent in the sstable area (ring bump allocation: the
+// oldest space is reclaimed by compaction dropping tables).
+func (db *DB) alloc(size int64) int64 {
+	if db.areaHead+size > db.dev.Capacity() {
+		db.areaHead = db.areaBase
+	}
+	off := db.areaHead
+	db.areaHead += size
+	return off
+}
+
+// writeTable streams an sstable to the device in 256 KB chunks and flushes.
+func (db *DB) writeTable(p *sim.Proc, size int64) (sstable, error) {
+	size = db.sectorAlign(size)
+	off := db.alloc(size)
+	const chunk = 256 << 10
+	for done := int64(0); done < size; {
+		n := int64(chunk)
+		if size-done < n {
+			n = size - done
+		}
+		if err := db.dev.Write(p, off+done, nil, n); err != nil {
+			return sstable{}, err
+		}
+		done += n
+	}
+	if err := db.dev.Flush(p); err != nil {
+		return sstable{}, err
+	}
+	return sstable{off: off, size: size}, nil
+}
+
+// flusher turns immutable memtables into L0 sstables.
+func (db *DB) flusher(p *sim.Proc) {
+	defer db.flusherDone.Signal()
+	for !db.stopping {
+		if db.immutables == 0 {
+			if db.flushKick.Fired() {
+				db.flushKick = db.env.NewEvent()
+			}
+			p.Wait(db.flushKick)
+			continue
+		}
+		tbl, err := db.writeTable(p, db.cfg.MemtableSize)
+		if err != nil {
+			panic(fmt.Sprintf("lsmdb: flush failed: %v", err))
+		}
+		db.immutables--
+		db.levels[0] = append(db.levels[0], tbl)
+		db.levelBytes[0] += tbl.size
+		db.FlushedBytes += tbl.size
+		db.wakeStalled()
+		if len(db.levels[0]) >= db.cfg.L0CompactionTrigger {
+			db.compactKick.Signal()
+		}
+	}
+}
+
+func (db *DB) wakeStalled() {
+	if db.stallEv != nil {
+		db.stallEv.Signal()
+	}
+}
+
+// targetBytes is the size budget of a level.
+func (db *DB) targetBytes(level int) int64 {
+	t := db.cfg.MemtableSize * int64(db.cfg.L0CompactionTrigger)
+	for i := 1; i <= level; i++ {
+		t *= int64(db.cfg.LevelRatio)
+	}
+	return t
+}
+
+// compactor merges levels that exceed their budget: it reads the source
+// tables plus an overlapping share of the next level and writes the merge
+// result down — bandwidth the foreground benchmark never sees.
+func (db *DB) compactor(p *sim.Proc) {
+	defer db.compactorDone.Signal()
+	for !db.stopping {
+		level := db.pickCompaction()
+		if level < 0 {
+			if db.compactKick.Fired() {
+				db.compactKick = db.env.NewEvent()
+			}
+			p.Wait(db.compactKick)
+			continue
+		}
+		db.compacting = true
+		if err := db.compact(p, level); err != nil {
+			panic(fmt.Sprintf("lsmdb: compaction failed: %v", err))
+		}
+		db.compacting = false
+		db.wakeStalled()
+	}
+}
+
+func (db *DB) pickCompaction() int {
+	if len(db.levels[0]) >= db.cfg.L0CompactionTrigger {
+		return 0
+	}
+	for lv := 1; lv < db.cfg.MaxLevels-1; lv++ {
+		if db.levelBytes[lv] > db.targetBytes(lv) {
+			return lv
+		}
+	}
+	return -1
+}
+
+// compact merges level lv into lv+1.
+func (db *DB) compact(p *sim.Proc, lv int) error {
+	src := db.levels[lv]
+	if len(src) == 0 {
+		return nil
+	}
+	var srcBytes int64
+	if lv == 0 {
+		for _, t := range src {
+			srcBytes += t.size
+		}
+		db.levels[0] = nil
+		db.levelBytes[0] = 0
+	} else {
+		// Move roughly half the level down per round.
+		n := (len(src) + 1) / 2
+		for _, t := range src[:n] {
+			srcBytes += t.size
+		}
+		db.levels[lv] = append([]sstable(nil), src[n:]...)
+		db.levelBytes[lv] -= srcBytes
+	}
+	// Overlap share of the destination level, bounded by what it holds.
+	overlap := srcBytes * 2
+	if overlap > db.levelBytes[lv+1] {
+		overlap = db.levelBytes[lv+1]
+	}
+	// Drop destination tables worth `overlap` bytes (they are re-merged).
+	var dropped int64
+	dst := db.levels[lv+1]
+	for len(dst) > 0 && dropped < overlap {
+		dropped += dst[0].size
+		dst = dst[1:]
+	}
+	db.levels[lv+1] = dst
+	db.levelBytes[lv+1] -= dropped
+
+	// Read everything being merged.
+	readBytes := srcBytes + dropped
+	const chunk = 256 << 10
+	for done := int64(0); done < readBytes; {
+		n := int64(chunk)
+		if readBytes-done < n {
+			n = readBytes - done
+		}
+		// Reads scatter over the area; model as sequential chunks from a
+		// random prior extent position.
+		off := db.areaBase + db.rng.Int63n(maxI64(1, db.areaHead-db.areaBase-n))
+		off = off / int64(db.dev.SectorSize()) * int64(db.dev.SectorSize())
+		if err := db.dev.Read(p, off, nil, n); err != nil {
+			return err
+		}
+		done += n
+	}
+	db.CompactionReadBytes += readBytes
+
+	// Write the merged result (assume ~10% dedup/tombstone savings).
+	outBytes := db.sectorAlign(readBytes * 9 / 10)
+	if outBytes > 0 {
+		tbl, err := db.writeTable(p, outBytes)
+		if err != nil {
+			return err
+		}
+		db.levels[lv+1] = append(db.levels[lv+1], tbl)
+		db.levelBytes[lv+1] += tbl.size
+	}
+	db.CompactionWriteBytes += outBytes
+	return nil
+}
+
+func maxI64(a, b int64) int64 {
+	if a > b {
+		return a
+	}
+	return b
+}
+
+// ---- db_bench-style drivers ----
+
+// BenchResult reports one workload run.
+type BenchResult struct {
+	Name     string
+	Ops      int64
+	UserMBps float64
+	Lat      stats.Hist // per-op latency of the measured op type
+	ReadLat  stats.Hist // for mixed workloads: reader latency
+	WriteLat stats.Hist // for mixed workloads: writer latency
+	Elapsed  time.Duration
+	Stalls   int64
+}
+
+// FillSeq runs sequential Puts for the given duration (db_bench fillseq).
+func FillSeq(p *sim.Proc, db *DB, d time.Duration) *BenchResult {
+	res := &BenchResult{Name: "fillseq"}
+	env := p.Env()
+	start := env.Now()
+	for env.Now() < start+d {
+		t0 := env.Now()
+		if err := db.Put(p); err != nil {
+			panic(err)
+		}
+		res.Lat.Add(env.Now() - t0)
+		res.Ops++
+	}
+	res.Elapsed = env.Now() - start
+	res.UserMBps = stats.Throughput(res.Ops*db.entrySize(), res.Elapsed)
+	res.Stalls = db.WriteStalls
+	return res
+}
+
+// FillSeqN loads a fixed number of entries using `threads` concurrent
+// writers (db_bench fillseq with --threads): group commit shares WAL syncs
+// across writers, and the run ends when the volume target is met, so the
+// resulting tree is populated deterministically for subsequent read
+// benchmarks.
+func FillSeqN(p *sim.Proc, db *DB, threads int, entries int64) *BenchResult {
+	if threads < 1 {
+		threads = 1
+	}
+	res := &BenchResult{Name: "fillseq"}
+	env := p.Env()
+	start := env.Now()
+	done := env.NewEvent()
+	running := threads
+	remaining := entries
+	for i := 0; i < threads; i++ {
+		env.Go(fmt.Sprintf("db_bench.filler%d", i), func(pw *sim.Proc) {
+			defer func() {
+				running--
+				if running == 0 {
+					done.Signal()
+				}
+			}()
+			for remaining > 0 {
+				remaining--
+				t0 := env.Now()
+				if err := db.Put(pw); err != nil {
+					panic(err)
+				}
+				res.Lat.Add(env.Now() - t0)
+				res.Ops++
+			}
+		})
+	}
+	p.Wait(done)
+	res.Elapsed = env.Now() - start
+	res.UserMBps = stats.Throughput(res.Ops*db.entrySize(), res.Elapsed)
+	res.Stalls = db.WriteStalls
+	return res
+}
+
+// ReadRandom runs point lookups with `threads` parallel readers
+// (db_bench readrandom).
+func ReadRandom(p *sim.Proc, db *DB, threads int, d time.Duration) *BenchResult {
+	res := &BenchResult{Name: "readrandom"}
+	env := p.Env()
+	start := env.Now()
+	done := env.NewEvent()
+	running := threads
+	for i := 0; i < threads; i++ {
+		env.Go(fmt.Sprintf("db_bench.reader%d", i), func(pr *sim.Proc) {
+			defer func() {
+				running--
+				if running == 0 {
+					done.Signal()
+				}
+			}()
+			for env.Now() < start+d {
+				t0 := env.Now()
+				if err := db.Get(pr); err != nil {
+					panic(err)
+				}
+				res.Lat.Add(env.Now() - t0)
+				res.Ops++
+			}
+		})
+	}
+	p.Wait(done)
+	res.Elapsed = env.Now() - start
+	res.UserMBps = stats.Throughput(res.Ops*db.entrySize(), res.Elapsed)
+	return res
+}
+
+// ReadWhileWriting runs `threads` readers against one full-speed writer
+// (db_bench readwhilewriting). Reported throughput covers reads, matching
+// db_bench; writer volume is in the DB counters.
+func ReadWhileWriting(p *sim.Proc, db *DB, threads int, d time.Duration) *BenchResult {
+	res := &BenchResult{Name: "readwhilewriting"}
+	env := p.Env()
+	start := env.Now()
+	stop := false
+	wDone := env.NewEvent()
+	env.Go("db_bench.writer", func(pw *sim.Proc) {
+		defer wDone.Signal()
+		for !stop {
+			t0 := env.Now()
+			if err := db.Put(pw); err != nil {
+				panic(err)
+			}
+			res.WriteLat.Add(env.Now() - t0)
+		}
+	})
+	done := env.NewEvent()
+	running := threads
+	for i := 0; i < threads; i++ {
+		env.Go(fmt.Sprintf("db_bench.reader%d", i), func(pr *sim.Proc) {
+			defer func() {
+				running--
+				if running == 0 {
+					done.Signal()
+				}
+			}()
+			for env.Now() < start+d {
+				t0 := env.Now()
+				if err := db.Get(pr); err != nil {
+					panic(err)
+				}
+				res.ReadLat.Add(env.Now() - t0)
+				res.Ops++
+			}
+		})
+	}
+	p.Wait(done)
+	stop = true
+	p.Wait(wDone)
+	res.Elapsed = env.Now() - start
+	res.UserMBps = stats.Throughput(res.Ops*db.entrySize(), res.Elapsed)
+	res.Lat.Merge(&res.ReadLat)
+	res.Stalls = db.WriteStalls
+	return res
+}

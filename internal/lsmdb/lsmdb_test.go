@@ -1,0 +1,242 @@
+package lsmdb
+
+import (
+	"testing"
+	"time"
+
+	"repro/internal/nullblk"
+	"repro/internal/sim"
+)
+
+func newNullDB(t *testing.T, cfg Config) (*sim.Env, *DB, *nullblk.Device) {
+	t.Helper()
+	env := sim.NewEnv(1)
+	nb := nullblk.New(nullblk.Config{
+		SectorSize: 4096, CapacityB: 4 << 30,
+		ReadLatency: 80 * time.Microsecond, WriteLatency: 100 * time.Microsecond,
+	})
+	var db *DB
+	env.Go("open", func(p *sim.Proc) {
+		var err error
+		db, err = Open(p, env, nb, cfg)
+		if err != nil {
+			t.Fatal(err)
+		}
+	})
+	env.Run()
+	return env, db, nb
+}
+
+func smallConfig() Config {
+	cfg := DefaultConfig()
+	cfg.MemtableSize = 1 << 20
+	cfg.WALSyncBytes = 16 << 10
+	return cfg
+}
+
+func TestPutFlushesMemtable(t *testing.T) {
+	env, db, _ := newNullDB(t, smallConfig())
+	env.Go("main", func(p *sim.Proc) {
+		n := int(db.cfg.MemtableSize/db.entrySize())*2 + 10
+		for i := 0; i < n; i++ {
+			if err := db.Put(p); err != nil {
+				t.Fatal(err)
+			}
+		}
+		if err := db.Close(p); err != nil {
+			t.Fatal(err)
+		}
+	})
+	env.Run()
+	if db.FlushedBytes < db.cfg.MemtableSize {
+		t.Fatalf("flushed %d bytes, want >= one memtable", db.FlushedBytes)
+	}
+	if db.WALBytes == 0 {
+		t.Fatal("no WAL written")
+	}
+}
+
+func TestSyncWALIssuesFlushes(t *testing.T) {
+	env, db, nb := newNullDB(t, smallConfig())
+	env.Go("main", func(p *sim.Proc) {
+		for i := 0; i < 200; i++ {
+			db.Put(p)
+		}
+		db.Close(p)
+	})
+	env.Run()
+	if db.Syncs == 0 || nb.Flushes == 0 {
+		t.Fatalf("sync WAL produced no flushes (syncs=%d dev=%d)", db.Syncs, nb.Flushes)
+	}
+}
+
+func TestNoSyncNoFlushes(t *testing.T) {
+	cfg := smallConfig()
+	cfg.SyncWAL = false
+	env, db, _ := newNullDB(t, cfg)
+	env.Go("main", func(p *sim.Proc) {
+		for i := 0; i < 200; i++ {
+			db.Put(p)
+		}
+	})
+	env.Run()
+	if db.Syncs != 0 {
+		t.Fatal("sync disabled but syncs counted")
+	}
+	env.Go("close", func(p *sim.Proc) { db.Close(p) })
+	env.Run()
+}
+
+func TestCompactionTriggersAndAmplifies(t *testing.T) {
+	env, db, _ := newNullDB(t, smallConfig())
+	env.Go("main", func(p *sim.Proc) {
+		// Write ~12 memtables: L0 trigger (4) must fire compactions.
+		n := int(db.cfg.MemtableSize / db.entrySize() * 12)
+		for i := 0; i < n; i++ {
+			if err := db.Put(p); err != nil {
+				t.Fatal(err)
+			}
+		}
+		db.Close(p)
+	})
+	env.Run()
+	if db.CompactionWriteBytes == 0 {
+		t.Fatal("no compaction happened")
+	}
+	total := db.FlushedBytes + db.CompactionWriteBytes + db.WALBytes
+	if total <= db.UserBytesIn {
+		t.Fatalf("write amplification missing: device %d <= user %d", total, db.UserBytesIn)
+	}
+}
+
+func TestGetReadsBlocks(t *testing.T) {
+	cfg := smallConfig()
+	cfg.BlockCacheHitRate = 0
+	env, db, nb := newNullDB(t, cfg)
+	env.Go("main", func(p *sim.Proc) {
+		n := int(db.cfg.MemtableSize / db.entrySize() * 3)
+		for i := 0; i < n; i++ {
+			db.Put(p)
+		}
+		for db.immutables > 0 {
+			p.Sleep(time.Millisecond)
+		}
+		before := nb.Reads
+		for i := 0; i < 50; i++ {
+			if err := db.Get(p); err != nil {
+				t.Fatal(err)
+			}
+		}
+		delta := nb.Reads - before
+		if delta < 50 {
+			t.Fatalf("50 gets caused %d device reads, want >= 50 with cold cache", delta)
+		}
+		db.Close(p)
+	})
+	env.Run()
+}
+
+func TestBlockCacheHits(t *testing.T) {
+	cfg := smallConfig()
+	cfg.BlockCacheHitRate = 1.0
+	env, db, nb := newNullDB(t, cfg)
+	env.Go("main", func(p *sim.Proc) {
+		for i := 0; i < 2000; i++ {
+			db.Put(p)
+		}
+		for db.immutables > 0 {
+			p.Sleep(time.Millisecond)
+		}
+		before := nb.Reads
+		for i := 0; i < 100; i++ {
+			db.Get(p)
+		}
+		if nb.Reads != before {
+			t.Fatal("fully cached gets touched the device")
+		}
+		db.Close(p)
+	})
+	env.Run()
+	if db.CacheHits != 100 {
+		t.Fatalf("cache hits = %d", db.CacheHits)
+	}
+}
+
+func TestFillSeqDriver(t *testing.T) {
+	env, db, _ := newNullDB(t, smallConfig())
+	var res *BenchResult
+	env.Go("main", func(p *sim.Proc) {
+		res = FillSeq(p, db, 50*time.Millisecond)
+		db.Close(p)
+	})
+	env.Run()
+	if res.Ops == 0 || res.UserMBps == 0 {
+		t.Fatalf("fillseq: %+v", res)
+	}
+	if res.Lat.Count() != uint64(res.Ops) {
+		t.Fatal("latency samples != ops")
+	}
+}
+
+func TestReadRandomDriver(t *testing.T) {
+	env, db, _ := newNullDB(t, smallConfig())
+	var res *BenchResult
+	env.Go("main", func(p *sim.Proc) {
+		FillSeq(p, db, 20*time.Millisecond)
+		res = ReadRandom(p, db, 4, 20*time.Millisecond)
+		db.Close(p)
+	})
+	env.Run()
+	if res.Ops == 0 {
+		t.Fatal("no reads")
+	}
+}
+
+func TestReadWhileWritingDriver(t *testing.T) {
+	env, db, _ := newNullDB(t, smallConfig())
+	var res *BenchResult
+	env.Go("main", func(p *sim.Proc) {
+		FillSeq(p, db, 20*time.Millisecond)
+		res = ReadWhileWriting(p, db, 4, 20*time.Millisecond)
+		db.Close(p)
+	})
+	env.Run()
+	if res.Ops == 0 {
+		t.Fatal("no reads in mixed workload")
+	}
+	if res.WriteLat.Count() == 0 {
+		t.Fatal("writer idle in readwhilewriting")
+	}
+	if db.Puts == 0 || db.Gets == 0 {
+		t.Fatal("counters not updated")
+	}
+}
+
+func TestWriteStallsUnderSlowDevice(t *testing.T) {
+	env := sim.NewEnv(1)
+	// Very slow writes force memtable flushes to fall behind.
+	nb := nullblk.New(nullblk.Config{
+		SectorSize: 4096, CapacityB: 1 << 30,
+		ReadLatency: 10 * time.Microsecond, WriteLatency: 5 * time.Millisecond,
+	})
+	cfg := smallConfig()
+	cfg.SyncWAL = false
+	cfg.DisableWAL = true // producer bounded only by CPU: flushes fall behind
+	var db *DB
+	env.Go("main", func(p *sim.Proc) {
+		var err error
+		db, err = Open(p, env, nb, cfg)
+		if err != nil {
+			t.Fatal(err)
+		}
+		n := int(cfg.MemtableSize / int64(cfg.KeySize+cfg.ValueSize) * 6)
+		for i := 0; i < n; i++ {
+			db.Put(p)
+		}
+		db.Close(p)
+	})
+	env.Run()
+	if db.WriteStalls == 0 {
+		t.Fatal("no write stalls despite slow device")
+	}
+}

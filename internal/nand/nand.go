@@ -1,0 +1,339 @@
+// Package nand models NAND flash media at the die level (paper §2.1).
+//
+// A Die holds planes of blocks of pages of sectors plus per-page
+// out-of-band (OOB) bytes, and enforces the three fundamental programming
+// constraints: whole-page programs, sequential programs within a block, and
+// erase-before-rewrite. It also models multi-level-cell page pairing,
+// program/erase wear, bad blocks, and injectable failure modes (§2.2).
+//
+// Timing is not modelled here; the device model (internal/ocssd) charges
+// virtual time for operations and uses Die.WearFactor to age access times.
+package nand
+
+import (
+	"errors"
+	"fmt"
+	"math/rand"
+)
+
+// Errors returned by media operations. Device-level code distinguishes them
+// to drive the paper's error-handling paths (§4.2.3).
+var (
+	ErrBadBlock       = errors.New("nand: block is marked bad")
+	ErrNonSequential  = errors.New("nand: program must be sequential within block")
+	ErrNotErased      = errors.New("nand: program to non-erased page")
+	ErrWriteFail      = errors.New("nand: program failed")
+	ErrEraseFail      = errors.New("nand: erase failed")
+	ErrReadFail       = errors.New("nand: uncorrectable read (ECC exhausted)")
+	ErrUnwritten      = errors.New("nand: read of unwritten page")
+	ErrPairIncomplete = errors.New("nand: lower page unreadable before paired upper page is programmed")
+	ErrWornOut        = errors.New("nand: block exceeded program/erase cycle limit")
+	ErrOOBTooLarge    = errors.New("nand: oob larger than page OOB area")
+)
+
+// Dims gives the media dimensions of one die.
+type Dims struct {
+	Planes         int
+	BlocksPerPlane int
+	PagesPerBlock  int
+	SectorsPerPage int
+	SectorSize     int
+	OOBPerPage     int
+}
+
+// PageBytes returns the page payload size.
+func (d Dims) PageBytes() int { return d.SectorsPerPage * d.SectorSize }
+
+// Config controls media behaviour beyond the geometry.
+type Config struct {
+	// PECycleLimit is the number of program/erase cycles a block endures
+	// before erases start failing (MLC is ~3000; paper §2.1).
+	PECycleLimit int
+	// WriteFailProb is the probability a program fails (block must then be
+	// recovered and retired by the host, §4.2.3).
+	WriteFailProb float64
+	// EraseFailProb is the probability an erase fails (block marked bad).
+	EraseFailProb float64
+	// ReadFailProb is the probability a read is uncorrectable after the
+	// device exhausted ECC and threshold tuning.
+	ReadFailProb float64
+	// InitialBadBlockProb marks factory bad blocks.
+	InitialBadBlockProb float64
+	// StrictPairRead enforces the multi-level-cell rule that a lower page
+	// may not be read until its paired upper page is programmed (§2.2).
+	StrictPairRead bool
+	// PairStride is the distance from a lower page to its paired upper
+	// page. Pages alternate in runs of PairStride lowers then PairStride
+	// uppers; 0 disables pairing (SLC-like).
+	PairStride int
+	// WearLatencyFactor scales access latency as blocks age: factor =
+	// 1 + WearLatencyFactor * pe/PECycleLimit (paper §2.3, lesson 4).
+	WearLatencyFactor float64
+}
+
+// DefaultConfig returns an MLC-like configuration matching the paper's
+// evaluation device.
+func DefaultConfig() Config {
+	return Config{
+		PECycleLimit:      3000,
+		WriteFailProb:     0,
+		EraseFailProb:     0,
+		ReadFailProb:      0,
+		StrictPairRead:    false,
+		PairStride:        2,
+		WearLatencyFactor: 0.3,
+	}
+}
+
+type block struct {
+	writePtr int // pages [0, writePtr) are programmed
+	pe       int
+	bad      bool
+	// data/oob hold only pages written with a real payload; synthetic
+	// writes (nil payload) track state via writePtr alone, keeping large
+	// simulated devices cheap in host memory.
+	data map[int][]byte
+	oob  map[int][]byte
+}
+
+// Die is one NAND die: the unit of parallelism (one I/O at a time).
+type Die struct {
+	dims Dims
+	cfg  Config
+	rng  *rand.Rand
+	// planes[p][b]
+	planes [][]block
+
+	// Stats counts media operations for utilization reporting.
+	Stats Stats
+}
+
+// Stats counts raw media operations executed by a die.
+type Stats struct {
+	PageReads    int64
+	PagePrograms int64
+	BlockErases  int64
+	ReadFails    int64
+	ProgramFails int64
+	EraseFails   int64
+}
+
+// NewDie builds a die with the given dimensions and behaviour. The rng seeds
+// failure injection and must not be shared across goroutines.
+func NewDie(dims Dims, cfg Config, rng *rand.Rand) *Die {
+	d := &Die{dims: dims, cfg: cfg, rng: rng}
+	d.planes = make([][]block, dims.Planes)
+	for p := range d.planes {
+		d.planes[p] = make([]block, dims.BlocksPerPlane)
+	}
+	if cfg.InitialBadBlockProb > 0 {
+		for p := range d.planes {
+			for b := range d.planes[p] {
+				if rng.Float64() < cfg.InitialBadBlockProb {
+					d.planes[p][b].bad = true
+				}
+			}
+		}
+	}
+	return d
+}
+
+// Dims returns the die dimensions.
+func (d *Die) Dims() Dims { return d.dims }
+
+func (d *Die) blk(plane, blockIdx int) (*block, error) {
+	if plane < 0 || plane >= d.dims.Planes || blockIdx < 0 || blockIdx >= d.dims.BlocksPerPlane {
+		return nil, fmt.Errorf("nand: address out of range plane=%d block=%d", plane, blockIdx)
+	}
+	return &d.planes[plane][blockIdx], nil
+}
+
+// isLower reports whether page is a lower page whose pair is page+stride.
+func (d *Die) isLower(page int) bool {
+	s := d.cfg.PairStride
+	if s <= 0 {
+		return false
+	}
+	return (page/s)%2 == 0 && page+s < d.dims.PagesPerBlock
+}
+
+// PairOf returns the paired upper page for a lower page, or -1 when page has
+// no pair (uppers and unpaired tail pages).
+func (d *Die) PairOf(page int) int {
+	if d.isLower(page) {
+		return page + d.cfg.PairStride
+	}
+	return -1
+}
+
+// Program writes one full page (payload data plus oob) at the given address.
+// data may be nil for synthetic workloads (reads then return zeros). The
+// sequential-in-block and erase-before-write constraints are enforced.
+// A failed program leaves the page unreadable and the write pointer advanced,
+// matching real media where the block content is suspect after failure.
+func (d *Die) Program(plane, blockIdx, page int, data, oob []byte) error {
+	b, err := d.blk(plane, blockIdx)
+	if err != nil {
+		return err
+	}
+	if b.bad {
+		return ErrBadBlock
+	}
+	if page < b.writePtr {
+		return ErrNotErased
+	}
+	if page != b.writePtr {
+		return ErrNonSequential
+	}
+	if data != nil && len(data) != d.dims.PageBytes() {
+		return fmt.Errorf("nand: program payload %dB, want full page %dB", len(data), d.dims.PageBytes())
+	}
+	if len(oob) > d.dims.OOBPerPage {
+		return ErrOOBTooLarge
+	}
+	d.Stats.PagePrograms++
+	b.writePtr++
+	if d.cfg.WriteFailProb > 0 && d.rng.Float64() < d.cfg.WriteFailProb {
+		d.Stats.ProgramFails++
+		// Content of the failed page (and, on real MLC, possibly its
+		// pair) is lost.
+		if b.data != nil {
+			delete(b.data, page)
+		}
+		if b.oob != nil {
+			delete(b.oob, page)
+		}
+		return ErrWriteFail
+	}
+	if data != nil {
+		if b.data == nil {
+			b.data = make(map[int][]byte)
+		}
+		b.data[page] = append([]byte(nil), data...)
+	}
+	if len(oob) > 0 {
+		if b.oob == nil {
+			b.oob = make(map[int][]byte)
+		}
+		b.oob[page] = append([]byte(nil), oob...)
+	}
+	return nil
+}
+
+// Read returns the payload and OOB of a programmed page. Unwritten pages
+// return ErrUnwritten. Under StrictPairRead, a lower page in a still-open
+// block whose upper pair is unprogrammed returns ErrPairIncomplete.
+// The returned slices are copies. Pages programmed with an unspecified
+// (nil) payload return nil data; readers treat that as zeros.
+func (d *Die) Read(plane, blockIdx, page int) (data, oob []byte, err error) {
+	b, err := d.blk(plane, blockIdx)
+	if err != nil {
+		return nil, nil, err
+	}
+	if page < 0 || page >= d.dims.PagesPerBlock {
+		return nil, nil, fmt.Errorf("nand: page %d out of range", page)
+	}
+	if b.bad {
+		return nil, nil, ErrBadBlock
+	}
+	if page >= b.writePtr {
+		return nil, nil, ErrUnwritten
+	}
+	if d.cfg.StrictPairRead {
+		if pair := d.PairOf(page); pair >= 0 && pair >= b.writePtr {
+			return nil, nil, ErrPairIncomplete
+		}
+	}
+	d.Stats.PageReads++
+	if d.cfg.ReadFailProb > 0 && d.rng.Float64() < d.cfg.ReadFailProb {
+		d.Stats.ReadFails++
+		return nil, nil, ErrReadFail
+	}
+	if pd, ok := b.data[page]; ok {
+		data = append([]byte(nil), pd...)
+	}
+	if po, ok := b.oob[page]; ok {
+		oob = append([]byte(nil), po...)
+	}
+	return data, oob, nil
+}
+
+// Erase wipes a block and charges one PE cycle. Erasing a worn-out block
+// returns ErrWornOut; injected failures return ErrEraseFail. In both cases
+// the block is marked bad (paper §2.2: no retry on erase failure).
+func (d *Die) Erase(plane, blockIdx int) error {
+	b, err := d.blk(plane, blockIdx)
+	if err != nil {
+		return err
+	}
+	if b.bad {
+		return ErrBadBlock
+	}
+	d.Stats.BlockErases++
+	b.pe++
+	if d.cfg.PECycleLimit > 0 && b.pe > d.cfg.PECycleLimit {
+		d.Stats.EraseFails++
+		b.bad = true
+		return ErrWornOut
+	}
+	if d.cfg.EraseFailProb > 0 && d.rng.Float64() < d.cfg.EraseFailProb {
+		d.Stats.EraseFails++
+		b.bad = true
+		return ErrEraseFail
+	}
+	b.writePtr = 0
+	b.data = nil
+	b.oob = nil
+	return nil
+}
+
+// MarkBad retires a block (host decision after a write failure, §4.2.3).
+func (d *Die) MarkBad(plane, blockIdx int) error {
+	b, err := d.blk(plane, blockIdx)
+	if err != nil {
+		return err
+	}
+	b.bad = true
+	return nil
+}
+
+// IsBad reports whether a block is retired.
+func (d *Die) IsBad(plane, blockIdx int) bool {
+	b, err := d.blk(plane, blockIdx)
+	return err == nil && b.bad
+}
+
+// WritePtr returns the next page to be programmed in a block; pages below it
+// are programmed.
+func (d *Die) WritePtr(plane, blockIdx int) int {
+	b, err := d.blk(plane, blockIdx)
+	if err != nil {
+		return 0
+	}
+	return b.writePtr
+}
+
+// PECycles returns the block's accumulated program/erase cycles.
+func (d *Die) PECycles(plane, blockIdx int) int {
+	b, err := d.blk(plane, blockIdx)
+	if err != nil {
+		return 0
+	}
+	return b.pe
+}
+
+// WearFactor returns the access-latency multiplier for a block given its
+// age (>= 1.0). The device model multiplies op latencies by it.
+func (d *Die) WearFactor(plane, blockIdx int) float64 {
+	if d.cfg.WearLatencyFactor <= 0 || d.cfg.PECycleLimit <= 0 {
+		return 1
+	}
+	b, err := d.blk(plane, blockIdx)
+	if err != nil {
+		return 1
+	}
+	return 1 + d.cfg.WearLatencyFactor*float64(b.pe)/float64(d.cfg.PECycleLimit)
+}
+
+// Config returns the die's media configuration.
+func (d *Die) Config() Config { return d.cfg }

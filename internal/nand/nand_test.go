@@ -1,0 +1,296 @@
+package nand
+
+import (
+	"bytes"
+	"errors"
+	"math/rand"
+	"testing"
+	"testing/quick"
+)
+
+func smallDims() Dims {
+	return Dims{Planes: 2, BlocksPerPlane: 4, PagesPerBlock: 8, SectorsPerPage: 4, SectorSize: 512, OOBPerPage: 64}
+}
+
+func newTestDie(cfg Config) *Die {
+	return NewDie(smallDims(), cfg, rand.New(rand.NewSource(1)))
+}
+
+func TestProgramReadRoundTrip(t *testing.T) {
+	d := newTestDie(DefaultConfig())
+	page := bytes.Repeat([]byte{0xab}, smallDims().PageBytes())
+	oob := []byte("oob-metadata")
+	if err := d.Program(0, 0, 0, page, oob); err != nil {
+		t.Fatal(err)
+	}
+	got, gotOOB, err := d.Read(0, 0, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !bytes.Equal(got, page) {
+		t.Fatal("payload mismatch")
+	}
+	if !bytes.Equal(gotOOB, oob) {
+		t.Fatalf("oob mismatch: %q", gotOOB)
+	}
+}
+
+func TestSyntheticPayloadReadsNil(t *testing.T) {
+	d := newTestDie(DefaultConfig())
+	if err := d.Program(0, 0, 0, nil, nil); err != nil {
+		t.Fatal(err)
+	}
+	data, _, err := d.Read(0, 0, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if data != nil {
+		t.Fatal("synthetic page returned data")
+	}
+}
+
+func TestSequentialProgramConstraint(t *testing.T) {
+	d := newTestDie(DefaultConfig())
+	if err := d.Program(0, 0, 1, nil, nil); !errors.Is(err, ErrNonSequential) {
+		t.Fatalf("out-of-order program: err = %v, want ErrNonSequential", err)
+	}
+	if err := d.Program(0, 0, 0, nil, nil); err != nil {
+		t.Fatal(err)
+	}
+	if err := d.Program(0, 0, 0, nil, nil); !errors.Is(err, ErrNotErased) {
+		t.Fatalf("rewrite without erase: err = %v, want ErrNotErased", err)
+	}
+}
+
+func TestEraseBeforeRewrite(t *testing.T) {
+	d := newTestDie(DefaultConfig())
+	for pg := 0; pg < smallDims().PagesPerBlock; pg++ {
+		if err := d.Program(1, 2, pg, nil, nil); err != nil {
+			t.Fatal(err)
+		}
+	}
+	if err := d.Erase(1, 2); err != nil {
+		t.Fatal(err)
+	}
+	if d.WritePtr(1, 2) != 0 {
+		t.Fatal("erase did not reset write pointer")
+	}
+	if err := d.Program(1, 2, 0, nil, nil); err != nil {
+		t.Fatal(err)
+	}
+	if d.PECycles(1, 2) != 1 {
+		t.Fatalf("PE cycles = %d, want 1", d.PECycles(1, 2))
+	}
+}
+
+func TestReadUnwritten(t *testing.T) {
+	d := newTestDie(DefaultConfig())
+	if _, _, err := d.Read(0, 0, 0); !errors.Is(err, ErrUnwritten) {
+		t.Fatalf("err = %v, want ErrUnwritten", err)
+	}
+	d.Program(0, 0, 0, nil, nil)
+	if _, _, err := d.Read(0, 0, 1); !errors.Is(err, ErrUnwritten) {
+		t.Fatalf("read beyond write pointer: err = %v, want ErrUnwritten", err)
+	}
+}
+
+func TestWrongPayloadSize(t *testing.T) {
+	d := newTestDie(DefaultConfig())
+	if err := d.Program(0, 0, 0, []byte{1, 2, 3}, nil); err == nil {
+		t.Fatal("partial page payload accepted")
+	}
+	big := make([]byte, smallDims().OOBPerPage+1)
+	if err := d.Program(0, 0, 0, nil, big); !errors.Is(err, ErrOOBTooLarge) {
+		t.Fatalf("oversize OOB: err = %v", err)
+	}
+}
+
+func TestPairing(t *testing.T) {
+	cfg := DefaultConfig()
+	cfg.PairStride = 2
+	d := newTestDie(cfg)
+	// Pages 0,1 are lower (pairs 2,3); 4,5 lower (pairs 6,7).
+	cases := []struct{ page, pair int }{{0, 2}, {1, 3}, {2, -1}, {3, -1}, {4, 6}, {5, 7}, {6, -1}, {7, -1}}
+	for _, c := range cases {
+		if got := d.PairOf(c.page); got != c.pair {
+			t.Errorf("PairOf(%d) = %d, want %d", c.page, got, c.pair)
+		}
+	}
+}
+
+func TestStrictPairRead(t *testing.T) {
+	cfg := DefaultConfig()
+	cfg.StrictPairRead = true
+	cfg.PairStride = 2
+	d := newTestDie(cfg)
+	d.Program(0, 0, 0, nil, nil) // lower page, pair = 2
+	if _, _, err := d.Read(0, 0, 0); !errors.Is(err, ErrPairIncomplete) {
+		t.Fatalf("lower page before pair: err = %v, want ErrPairIncomplete", err)
+	}
+	d.Program(0, 0, 1, nil, nil)
+	d.Program(0, 0, 2, nil, nil) // upper pair of page 0
+	if _, _, err := d.Read(0, 0, 0); err != nil {
+		t.Fatalf("lower page after pair programmed: %v", err)
+	}
+	// Page 1's pair (3) still unwritten.
+	if _, _, err := d.Read(0, 0, 1); !errors.Is(err, ErrPairIncomplete) {
+		t.Fatalf("page 1 readable before pair: %v", err)
+	}
+}
+
+func TestWearOut(t *testing.T) {
+	cfg := DefaultConfig()
+	cfg.PECycleLimit = 3
+	d := newTestDie(cfg)
+	for i := 0; i < 3; i++ {
+		if err := d.Erase(0, 0); err != nil {
+			t.Fatalf("erase %d: %v", i, err)
+		}
+	}
+	if err := d.Erase(0, 0); !errors.Is(err, ErrWornOut) {
+		t.Fatalf("err = %v, want ErrWornOut", err)
+	}
+	if !d.IsBad(0, 0) {
+		t.Fatal("worn block not marked bad")
+	}
+	if err := d.Program(0, 0, 0, nil, nil); !errors.Is(err, ErrBadBlock) {
+		t.Fatalf("program to bad block: err = %v", err)
+	}
+}
+
+func TestInjectedWriteFailure(t *testing.T) {
+	cfg := DefaultConfig()
+	cfg.WriteFailProb = 1.0
+	d := newTestDie(cfg)
+	if err := d.Program(0, 0, 0, nil, nil); !errors.Is(err, ErrWriteFail) {
+		t.Fatalf("err = %v, want ErrWriteFail", err)
+	}
+	// Write pointer advanced: the page is consumed even on failure.
+	if d.WritePtr(0, 0) != 1 {
+		t.Fatalf("write ptr = %d after failed program, want 1", d.WritePtr(0, 0))
+	}
+	if d.Stats.ProgramFails != 1 {
+		t.Fatal("failure not counted")
+	}
+}
+
+func TestInjectedEraseFailureMarksBad(t *testing.T) {
+	cfg := DefaultConfig()
+	cfg.EraseFailProb = 1.0
+	d := newTestDie(cfg)
+	if err := d.Erase(0, 1); !errors.Is(err, ErrEraseFail) {
+		t.Fatalf("err = %v, want ErrEraseFail", err)
+	}
+	if !d.IsBad(0, 1) {
+		t.Fatal("erase-failed block not retired")
+	}
+}
+
+func TestInjectedReadFailure(t *testing.T) {
+	cfg := DefaultConfig()
+	cfg.ReadFailProb = 1.0
+	d := newTestDie(cfg)
+	d.Program(0, 0, 0, nil, nil)
+	if _, _, err := d.Read(0, 0, 0); !errors.Is(err, ErrReadFail) {
+		t.Fatalf("err = %v, want ErrReadFail", err)
+	}
+}
+
+func TestFactoryBadBlocks(t *testing.T) {
+	cfg := DefaultConfig()
+	cfg.InitialBadBlockProb = 1.0
+	d := newTestDie(cfg)
+	if !d.IsBad(0, 0) || !d.IsBad(1, 3) {
+		t.Fatal("factory bad blocks not marked")
+	}
+}
+
+func TestWearFactorGrows(t *testing.T) {
+	cfg := DefaultConfig()
+	cfg.PECycleLimit = 10
+	cfg.WearLatencyFactor = 0.5
+	d := newTestDie(cfg)
+	if f := d.WearFactor(0, 0); f != 1 {
+		t.Fatalf("fresh wear factor = %v, want 1", f)
+	}
+	for i := 0; i < 5; i++ {
+		d.Erase(0, 0)
+	}
+	if f := d.WearFactor(0, 0); f != 1.25 {
+		t.Fatalf("wear factor after 5/10 PE = %v, want 1.25", f)
+	}
+}
+
+func TestMarkBad(t *testing.T) {
+	d := newTestDie(DefaultConfig())
+	if err := d.MarkBad(0, 2); err != nil {
+		t.Fatal(err)
+	}
+	if _, _, err := d.Read(0, 2, 0); !errors.Is(err, ErrBadBlock) {
+		t.Fatalf("read of bad block: err = %v", err)
+	}
+	if err := d.Erase(0, 2); !errors.Is(err, ErrBadBlock) {
+		t.Fatalf("erase of bad block: err = %v", err)
+	}
+}
+
+func TestOutOfRangeAddresses(t *testing.T) {
+	d := newTestDie(DefaultConfig())
+	if err := d.Program(2, 0, 0, nil, nil); err == nil {
+		t.Fatal("plane out of range accepted")
+	}
+	if err := d.Program(0, 4, 0, nil, nil); err == nil {
+		t.Fatal("block out of range accepted")
+	}
+	if _, _, err := d.Read(0, 0, 99); err == nil {
+		t.Fatal("page out of range accepted")
+	}
+}
+
+// Property: for any sequence of programs with random payloads, reading back
+// any programmed page returns exactly what was last programmed there since
+// the last erase.
+func TestQuickProgramReadConsistency(t *testing.T) {
+	fn := func(seed int64, ops []uint8) bool {
+		d := NewDie(smallDims(), DefaultConfig(), rand.New(rand.NewSource(seed)))
+		rng := rand.New(rand.NewSource(seed ^ 0x5eed))
+		shadow := map[[3]int][]byte{} // (plane, block, page) -> payload
+		ptr := map[[2]int]int{}       // (plane, block) -> write ptr
+		for _, op := range ops {
+			plane := int(op) % 2
+			block := int(op>>1) % 4
+			switch {
+			case op%5 == 0 && ptr[[2]int{plane, block}] > 0:
+				if err := d.Erase(plane, block); err != nil {
+					return false
+				}
+				for pg := 0; pg < 8; pg++ {
+					delete(shadow, [3]int{plane, block, pg})
+				}
+				ptr[[2]int{plane, block}] = 0
+			default:
+				pg := ptr[[2]int{plane, block}]
+				if pg >= 8 {
+					continue
+				}
+				payload := make([]byte, smallDims().PageBytes())
+				rng.Read(payload)
+				if err := d.Program(plane, block, pg, payload, nil); err != nil {
+					return false
+				}
+				shadow[[3]int{plane, block, pg}] = payload
+				ptr[[2]int{plane, block}] = pg + 1
+			}
+		}
+		for key, want := range shadow {
+			got, _, err := d.Read(key[0], key[1], key[2])
+			if err != nil || !bytes.Equal(got, want) {
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(fn, &quick.Config{MaxCount: 200}); err != nil {
+		t.Fatal(err)
+	}
+}

@@ -1,0 +1,84 @@
+// Package nullblk provides a null block device analogous to Linux null_blk:
+// I/Os complete after a fixed configurable latency and carry no storage.
+// The paper uses it to measure pblk's host-side CPU and latency overhead
+// (§5.1); we use it the same way in the `overhead` experiment.
+package nullblk
+
+import (
+	"time"
+
+	"repro/internal/blockdev"
+	"repro/internal/sim"
+)
+
+// Config sets the null device shape.
+type Config struct {
+	SectorSize   int
+	CapacityB    int64
+	ReadLatency  time.Duration
+	WriteLatency time.Duration
+}
+
+// DefaultConfig approximates the paper's null block device baseline
+// (~2 µs per request).
+func DefaultConfig() Config {
+	return Config{
+		SectorSize:   4096,
+		CapacityB:    1 << 34,
+		ReadLatency:  1970 * time.Nanosecond, // paper §5.1: 1.97 µs read without pblk
+		WriteLatency: 2000 * time.Nanosecond, // paper §5.1: 2 µs write without pblk
+	}
+}
+
+// Device is a latency-only block device. It retains no data: reads return
+// zeros.
+type Device struct {
+	cfg Config
+	// Ops counts completed requests.
+	Reads, Writes, Flushes int64
+}
+
+var _ blockdev.Device = (*Device)(nil)
+
+// New returns a null device.
+func New(cfg Config) *Device { return &Device{cfg: cfg} }
+
+// SectorSize implements blockdev.Device.
+func (d *Device) SectorSize() int { return d.cfg.SectorSize }
+
+// Capacity implements blockdev.Device.
+func (d *Device) Capacity() int64 { return d.cfg.CapacityB }
+
+// Read implements blockdev.Device.
+func (d *Device) Read(p *sim.Proc, off int64, buf []byte, length int64) error {
+	if err := blockdev.CheckRange(d, off, buf, length); err != nil {
+		return err
+	}
+	p.Sleep(d.cfg.ReadLatency)
+	for i := range buf {
+		buf[i] = 0
+	}
+	d.Reads++
+	return nil
+}
+
+// Write implements blockdev.Device.
+func (d *Device) Write(p *sim.Proc, off int64, buf []byte, length int64) error {
+	if err := blockdev.CheckRange(d, off, buf, length); err != nil {
+		return err
+	}
+	p.Sleep(d.cfg.WriteLatency)
+	d.Writes++
+	return nil
+}
+
+// Flush implements blockdev.Device.
+func (d *Device) Flush(p *sim.Proc) error {
+	d.Flushes++
+	return nil
+}
+
+// Trim implements blockdev.Device.
+func (d *Device) Trim(p *sim.Proc, off, length int64) error {
+	return blockdev.CheckRange(d, off, nil, length)
+}

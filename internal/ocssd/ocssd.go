@@ -1,0 +1,719 @@
+// Package ocssd models an open-channel SSD exposing the Physical Page
+// Address I/O interface (paper §3).
+//
+// The device is a set of channels, each with a fixed data bandwidth, wired
+// to parallel units (PUs). A PU wraps one NAND die and executes a single
+// command at a time; queueing behind a busy PU is what produces the paper's
+// read-behind-write latency spikes. Commands are vectored: one submission
+// carries up to MaxVectorLen sector addresses and completes with a separate
+// status per address (§3.3).
+//
+// All timing is charged in virtual time against an internal/sim environment,
+// so latency distributions are deterministic and hardware independent.
+package ocssd
+
+import (
+	"errors"
+	"fmt"
+	"math/rand"
+	"time"
+
+	"repro/internal/nand"
+	"repro/internal/ppa"
+	"repro/internal/sim"
+)
+
+// MaxVectorLen is the maximum number of addresses per vector command,
+// bounded by the 64 completion-status bits in the NVMe completion entry.
+const MaxVectorLen = 64
+
+// Op is a PPA data command opcode.
+type Op int
+
+// Data command opcodes.
+const (
+	OpRead Op = iota
+	OpWrite
+	OpErase
+)
+
+func (o Op) String() string {
+	switch o {
+	case OpRead:
+		return "read"
+	case OpWrite:
+		return "write"
+	case OpErase:
+		return "erase"
+	}
+	return fmt.Sprintf("op(%d)", int(o))
+}
+
+// Errors reported by command validation and execution.
+var (
+	ErrTooManyAddrs = errors.New("ocssd: vector exceeds 64 addresses")
+	ErrInvalidAddr  = errors.New("ocssd: address outside device geometry")
+	ErrPartialPage  = errors.New("ocssd: write does not cover whole flash pages")
+	ErrOOBSize      = errors.New("ocssd: per-sector OOB exceeds its share of the page OOB area")
+	ErrEmptyVector  = errors.New("ocssd: empty address vector")
+)
+
+// Timing parametrizes the device performance model (paper §3.2,
+// characteristic 2: typical/max latency for read, write, erase and channel
+// capacity).
+type Timing struct {
+	PageRead    time.Duration // flash array read, full page (all planes in a multi-plane op)
+	PageProgram time.Duration // flash program, full page
+	BlockErase  time.Duration
+	ChannelMBps float64       // per-channel transfer bandwidth, decimal MB/s
+	CmdOverhead time.Duration // controller/firmware cost per PU sub-command
+
+	// SuspendSlice enables erase/program suspension (paper §3.3: "the
+	// erase-suspend allows reads to suspend an active write or program,
+	// and thus improve its access latency, at the cost of longer write
+	// and erase time"). When positive, programs and erases yield the PU
+	// to queued commands every SuspendSlice of execution, paying
+	// SuspendPenalty per resumption.
+	SuspendSlice   time.Duration
+	SuspendPenalty time.Duration
+}
+
+// DefaultTiming matches the paper's Table 1 characterization (see DESIGN.md
+// for the calibration).
+func DefaultTiming() Timing {
+	return Timing{
+		PageRead:    65 * time.Microsecond,
+		PageProgram: 1100 * time.Microsecond,
+		BlockErase:  3 * time.Millisecond,
+		ChannelMBps: 280,
+		CmdOverhead: 6 * time.Microsecond,
+	}
+}
+
+// Config assembles a device.
+type Config struct {
+	Geometry ppa.Geometry
+	Timing   Timing
+	Media    nand.Config
+	// PageCache enables the controller's per-PU last-read-page buffer
+	// (gives Table 1's fast sequential 4K reads).
+	PageCache bool
+	Seed      int64
+}
+
+// WestlakeGeometry returns the paper's CNEX Labs Westlake geometry
+// (Table 1). blocksPerPlane scales capacity: 1067 is the real drive (2 TB);
+// tests and benches use fewer blocks to bound host memory.
+func WestlakeGeometry(blocksPerPlane int) ppa.Geometry {
+	return ppa.Geometry{
+		Channels:       16,
+		PUsPerChannel:  8,
+		PlanesPerPU:    4,
+		BlocksPerPlane: blocksPerPlane,
+		PagesPerBlock:  256,
+		SectorsPerPage: 4,
+		SectorSize:     4096,
+		OOBPerPage:     64,
+	}
+}
+
+// DefaultConfig returns a Westlake-like device with the given blocks per
+// plane.
+func DefaultConfig(blocksPerPlane int) Config {
+	return Config{
+		Geometry:  WestlakeGeometry(blocksPerPlane),
+		Timing:    DefaultTiming(),
+		Media:     nand.DefaultConfig(),
+		PageCache: true,
+		Seed:      1,
+	}
+}
+
+// Vector is one PPA data command.
+type Vector struct {
+	Op    Op
+	Addrs []ppa.Addr
+	// Data holds one sector payload per address for writes (entries may be
+	// nil for synthetic workloads); it is ignored for reads and erases.
+	Data [][]byte
+	// OOB holds per-sector out-of-band metadata for writes; each entry is
+	// limited to OOBPerPage/SectorsPerPage bytes.
+	OOB [][]byte
+	// Buffered marks a write for the device-side controller memory buffer:
+	// the command completes once data reaches the controller, and media
+	// programming proceeds asynchronously (flushed by FlushCMB). This is
+	// the paper's §2.3 lesson-3 device-buffering mode.
+	Buffered bool
+}
+
+// Completion reports the outcome of a vector command.
+type Completion struct {
+	// Status has bit i set when Addrs[i] failed (paper §3.3: separate
+	// completion status per address).
+	Status uint64
+	// Errs holds the per-address error, nil where the address succeeded.
+	Errs []error
+	// Data and OOB hold per-address results for reads.
+	Data [][]byte
+	OOB  [][]byte
+	// Submitted and Done are the virtual submission/completion times.
+	Submitted, Done time.Duration
+}
+
+// Failed reports whether any address failed.
+func (c *Completion) Failed() bool { return c.Status != 0 }
+
+// FirstErr returns the first per-address error, or nil.
+func (c *Completion) FirstErr() error {
+	for _, e := range c.Errs {
+		if e != nil {
+			return e
+		}
+	}
+	return nil
+}
+
+// Stats aggregates device activity.
+type Stats struct {
+	Reads, Writes, Erases       int64 // vector commands
+	SectorsRead, SectorsWritten int64
+	FlashReads, FlashPrograms   int64 // media page ops (multi-plane counts once)
+	CacheHits                   int64
+	BufferedWrites              int64
+	Suspensions                 int64 // program/erase suspensions granted
+}
+
+type punit struct {
+	die  *nand.Die
+	busy *sim.Resource // one command at a time (paper §3.1, invariant 1)
+	// cache is the last flash page read, keyed per plane.
+	cache map[int]pageKey
+	ch    int
+}
+
+type pageKey struct {
+	plane, block, page int
+}
+
+type channel struct {
+	xfer *sim.Resource // serializes transfers; duration models bandwidth
+}
+
+// Device is an open-channel SSD instance.
+type Device struct {
+	env  *sim.Env
+	cfg  Config
+	fmtr ppa.Format
+	chs  []*channel
+	pus  []*punit // indexed by global PU (ch*PUsPerChannel + pu)
+
+	// pendingCMB counts buffered writes not yet programmed to media.
+	pendingCMB int
+	cmbDrained *sim.Event
+
+	Stats Stats
+}
+
+// New builds a device in env. It panics only on invalid configuration.
+func New(env *sim.Env, cfg Config) (*Device, error) {
+	f, err := ppa.NewFormat(cfg.Geometry)
+	if err != nil {
+		return nil, err
+	}
+	if cfg.Timing.ChannelMBps <= 0 {
+		return nil, fmt.Errorf("ocssd: channel bandwidth must be positive")
+	}
+	d := &Device{env: env, cfg: cfg, fmtr: f}
+	d.chs = make([]*channel, cfg.Geometry.Channels)
+	for i := range d.chs {
+		d.chs[i] = &channel{xfer: env.NewResource(1)}
+	}
+	dims := nand.Dims{
+		Planes:         cfg.Geometry.PlanesPerPU,
+		BlocksPerPlane: cfg.Geometry.BlocksPerPlane,
+		PagesPerBlock:  cfg.Geometry.PagesPerBlock,
+		SectorsPerPage: cfg.Geometry.SectorsPerPage,
+		SectorSize:     cfg.Geometry.SectorSize,
+		OOBPerPage:     cfg.Geometry.OOBPerPage,
+	}
+	d.pus = make([]*punit, cfg.Geometry.TotalPUs())
+	for i := range d.pus {
+		rng := rand.New(rand.NewSource(cfg.Seed + int64(i)*7919))
+		d.pus[i] = &punit{
+			die:  nand.NewDie(dims, cfg.Media, rng),
+			busy: env.NewResource(1),
+			ch:   i / cfg.Geometry.PUsPerChannel,
+		}
+		if cfg.PageCache {
+			d.pus[i].cache = make(map[int]pageKey)
+		}
+	}
+	return d, nil
+}
+
+// Env returns the simulation environment the device runs in.
+func (d *Device) Env() *sim.Env { return d.env }
+
+// Geometry returns the device geometry (admin identify, §3.2).
+func (d *Device) Geometry() ppa.Geometry { return d.cfg.Geometry }
+
+// Format returns the device's PPA bit layout.
+func (d *Device) Format() ppa.Format { return d.fmtr }
+
+// Timing returns the device performance model parameters.
+func (d *Device) Timing() Timing { return d.cfg.Timing }
+
+// Die exposes the NAND die behind a global PU index, used by host recovery
+// scans and by tests; production datapaths go through Submit.
+func (d *Device) Die(globalPU int) *nand.Die { return d.pus[globalPU].die }
+
+// SectorOOBSize returns the per-sector share of the page OOB area, the
+// maximum OOB a vector write may attach to one sector.
+func (d *Device) SectorOOBSize() int {
+	return d.cfg.Geometry.OOBPerPage / d.cfg.Geometry.SectorsPerPage
+}
+
+// Identify mirrors the PPA admin identify command (§3.2).
+type Identify struct {
+	Geometry     ppa.Geometry
+	Timing       Timing
+	Media        nand.Config
+	MaxVectorLen int
+	SectorOOB    int
+}
+
+// Identify returns the device self-description.
+func (d *Device) Identify() Identify {
+	return Identify{
+		Geometry:     d.cfg.Geometry,
+		Timing:       d.cfg.Timing,
+		Media:        d.cfg.Media,
+		MaxVectorLen: MaxVectorLen,
+		SectorOOB:    d.SectorOOBSize(),
+	}
+}
+
+func (d *Device) validate(cmd *Vector) error {
+	if len(cmd.Addrs) == 0 {
+		return ErrEmptyVector
+	}
+	if len(cmd.Addrs) > MaxVectorLen {
+		return ErrTooManyAddrs
+	}
+	for _, a := range cmd.Addrs {
+		if !d.fmtr.Valid(a) {
+			return fmt.Errorf("%w: %v", ErrInvalidAddr, a)
+		}
+	}
+	if cmd.Op == OpWrite {
+		oobMax := d.SectorOOBSize()
+		for _, o := range cmd.OOB {
+			if len(o) > oobMax {
+				return ErrOOBSize
+			}
+		}
+		if cmd.Data != nil && len(cmd.Data) != len(cmd.Addrs) {
+			return fmt.Errorf("ocssd: %d data buffers for %d addresses", len(cmd.Data), len(cmd.Addrs))
+		}
+		if cmd.OOB != nil && len(cmd.OOB) != len(cmd.Addrs) {
+			return fmt.Errorf("ocssd: %d oob buffers for %d addresses", len(cmd.OOB), len(cmd.Addrs))
+		}
+	}
+	return nil
+}
+
+// flashOp is one media operation: a page read/program or block erase,
+// possibly spanning multiple planes (multi-plane mode), carrying the vector
+// indices it serves.
+type flashOp struct {
+	block, page int
+	planes      []int
+	// idx[i] lists vector indices for planes[i], ordered by sector.
+	idx [][]int
+}
+
+// groupPU groups one PU's vector indices into flash ops. Writes must cover
+// whole pages; reads may touch any subset of a page's sectors. Sectors of
+// the same (block,page) across planes merge into one multi-plane op.
+func (d *Device) groupPU(cmd *Vector, indices []int) ([]flashOp, error) {
+	g := d.cfg.Geometry
+	type pk struct{ plane, block, page int }
+	perPage := make(map[pk][]int)
+	var order []pk
+	for _, i := range indices {
+		a := cmd.Addrs[i]
+		k := pk{a.Plane, a.Block, a.Page}
+		if _, ok := perPage[k]; !ok {
+			order = append(order, k)
+		}
+		perPage[k] = append(perPage[k], i)
+	}
+	if cmd.Op == OpWrite {
+		for k, idxs := range perPage {
+			if len(idxs) != g.SectorsPerPage {
+				return nil, fmt.Errorf("%w: block %d page %d has %d of %d sectors",
+					ErrPartialPage, k.block, k.page, len(idxs), g.SectorsPerPage)
+			}
+		}
+	}
+	// Merge planes that target the same (block, page), preserving first-
+	// seen order.
+	type bp struct{ block, page int }
+	merged := make(map[bp]*flashOp)
+	var ops []*flashOp
+	for _, k := range order {
+		key := bp{k.block, k.page}
+		op, ok := merged[key]
+		if !ok {
+			op = &flashOp{block: k.block, page: k.page}
+			merged[key] = op
+			ops = append(ops, op)
+		}
+		op.planes = append(op.planes, k.plane)
+		op.idx = append(op.idx, perPage[k])
+	}
+	out := make([]flashOp, len(ops))
+	for i, op := range ops {
+		out[i] = *op
+	}
+	return out, nil
+}
+
+// xferTime returns the channel occupancy for moving n bytes.
+func (d *Device) xferTime(n int) time.Duration {
+	return time.Duration(float64(n) / (d.cfg.Timing.ChannelMBps * 1e6) * float64(time.Second))
+}
+
+// Submit issues a vector command asynchronously; done runs in simulation
+// context when all addresses complete (or, for Buffered writes, when data
+// reaches the controller). Submit itself must be called from simulation
+// context (a process or scheduled callback).
+func (d *Device) Submit(cmd *Vector, done func(*Completion)) {
+	comp := &Completion{
+		Errs:      make([]error, len(cmd.Addrs)),
+		Submitted: d.env.Now(),
+	}
+	if cmd.Op == OpRead {
+		comp.Data = make([][]byte, len(cmd.Addrs))
+		comp.OOB = make([][]byte, len(cmd.Addrs))
+	}
+	if err := d.validate(cmd); err != nil {
+		for i := range comp.Errs {
+			comp.Errs[i] = err
+			comp.Status |= 1 << uint(i)
+		}
+		comp.Done = d.env.Now()
+		d.env.Schedule(0, func() { done(comp) })
+		return
+	}
+	switch cmd.Op {
+	case OpRead:
+		d.Stats.Reads++
+		d.Stats.SectorsRead += int64(len(cmd.Addrs))
+	case OpWrite:
+		d.Stats.Writes++
+		d.Stats.SectorsWritten += int64(len(cmd.Addrs))
+		if cmd.Buffered {
+			d.Stats.BufferedWrites++
+		}
+	case OpErase:
+		d.Stats.Erases++
+	}
+
+	// Split by PU, preserving vector order within each PU.
+	perPU := make(map[int][]int)
+	var puOrder []int
+	for i, a := range cmd.Addrs {
+		gpu := d.fmtr.GlobalPU(a)
+		if _, ok := perPU[gpu]; !ok {
+			puOrder = append(puOrder, gpu)
+		}
+		perPU[gpu] = append(perPU[gpu], i)
+	}
+	remaining := len(puOrder)
+	finish := func() {
+		remaining--
+		if remaining == 0 {
+			comp.Done = d.env.Now()
+			done(comp)
+		}
+	}
+	for _, gpu := range puOrder {
+		indices := perPU[gpu]
+		pu := d.pus[gpu]
+		d.env.Go(fmt.Sprintf("ocssd.pu%d.%s", gpu, cmd.Op), func(p *sim.Proc) {
+			d.runSub(p, pu, cmd, indices, comp, finish)
+		})
+	}
+}
+
+// Do submits cmd and blocks the calling process until completion.
+func (d *Device) Do(p *sim.Proc, cmd *Vector) *Completion {
+	ev := p.Env().NewEvent()
+	var out *Completion
+	d.Submit(cmd, func(c *Completion) {
+		out = c
+		ev.Signal()
+	})
+	p.Wait(ev)
+	return out
+}
+
+func setErr(comp *Completion, idx int, err error) {
+	comp.Errs[idx] = err
+	comp.Status |= 1 << uint(idx)
+}
+
+// runSub executes one PU's share of a vector command.
+func (d *Device) runSub(p *sim.Proc, pu *punit, cmd *Vector, indices []int, comp *Completion, finish func()) {
+	pu.busy.Acquire(p)
+	defer pu.busy.Release()
+	p.Sleep(d.cfg.Timing.CmdOverhead)
+
+	ops, err := d.groupPU(cmd, indices)
+	if err != nil {
+		for _, i := range indices {
+			setErr(comp, i, err)
+		}
+		finish()
+		return
+	}
+	ch := d.chs[pu.ch]
+	switch cmd.Op {
+	case OpRead:
+		for _, op := range ops {
+			d.readOp(p, pu, ch, cmd, op, comp)
+		}
+		finish()
+	case OpWrite:
+		if cmd.Buffered {
+			// Ack once data is staged in the controller buffer (one
+			// channel transfer), then program in the background while
+			// still holding the PU.
+			bytes := 0
+			for range indices {
+				bytes += d.cfg.Geometry.SectorSize
+			}
+			ch.xfer.Acquire(p)
+			p.Sleep(d.xferTime(bytes))
+			ch.xfer.Release()
+			d.pendingCMB++
+			finish()
+			for _, op := range ops {
+				d.programOp(p, pu, cmd, op, comp, false)
+			}
+			d.pendingCMB--
+			if d.pendingCMB == 0 && d.cmbDrained != nil {
+				d.cmbDrained.Signal()
+				d.cmbDrained = nil
+			}
+			return
+		}
+		for _, op := range ops {
+			// Transfer to the device, then program.
+			bytes := 0
+			for _, idxs := range op.idx {
+				bytes += len(idxs) * d.cfg.Geometry.SectorSize
+			}
+			ch.xfer.Acquire(p)
+			p.Sleep(d.xferTime(bytes))
+			ch.xfer.Release()
+			d.programOp(p, pu, cmd, op, comp, false)
+		}
+		finish()
+	case OpErase:
+		for _, op := range ops {
+			d.eraseOp(p, pu, cmd, op, comp)
+		}
+		finish()
+	}
+}
+
+func (d *Device) readOp(p *sim.Proc, pu *punit, ch *channel, cmd *Vector, op flashOp, comp *Completion) {
+	// One flash array read covers all planes of a multi-plane op; the
+	// controller page buffer can satisfy it without touching the array.
+	hit := pu.cache != nil
+	if hit {
+		for _, plane := range op.planes {
+			got, ok := pu.cache[plane]
+			if !ok || got != (pageKey{plane, op.block, op.page}) {
+				hit = false
+				break
+			}
+		}
+	}
+	if hit {
+		d.Stats.CacheHits++
+	} else {
+		wear := 1.0
+		for _, plane := range op.planes {
+			if w := pu.die.WearFactor(plane, op.block); w > wear {
+				wear = w
+			}
+		}
+		p.Sleep(time.Duration(float64(d.cfg.Timing.PageRead) * wear))
+		d.Stats.FlashReads++
+	}
+	bytes := 0
+	for pi, plane := range op.planes {
+		data, oob, err := pu.die.Read(plane, op.block, op.page)
+		for _, i := range op.idx[pi] {
+			if err != nil {
+				setErr(comp, i, err)
+				continue
+			}
+			sec := cmd.Addrs[i].Sector
+			ss := d.cfg.Geometry.SectorSize
+			if data != nil {
+				comp.Data[i] = data[sec*ss : (sec+1)*ss]
+			}
+			comp.OOB[i] = sliceOOB(oob, sec, d.SectorOOBSize())
+			bytes += ss
+		}
+		if err == nil && pu.cache != nil {
+			pu.cache[plane] = pageKey{plane, op.block, op.page}
+		}
+	}
+	if bytes > 0 {
+		ch.xfer.Acquire(p)
+		p.Sleep(d.xferTime(bytes))
+		ch.xfer.Release()
+	}
+}
+
+func sliceOOB(pageOOB []byte, sector, per int) []byte {
+	lo := sector * per
+	hi := lo + per
+	if lo >= len(pageOOB) {
+		return nil
+	}
+	if hi > len(pageOOB) {
+		hi = len(pageOOB)
+	}
+	return pageOOB[lo:hi]
+}
+
+// occupyPU charges a long flash operation against the PU. With suspension
+// enabled, the operation runs in slices and yields the PU to queued
+// commands (typically reads) between slices, resuming with a penalty.
+func (d *Device) occupyPU(p *sim.Proc, pu *punit, total time.Duration) {
+	slice := d.cfg.Timing.SuspendSlice
+	if slice <= 0 || total <= slice {
+		p.Sleep(total)
+		return
+	}
+	remaining := total
+	for remaining > 0 {
+		step := slice
+		if remaining < step {
+			step = remaining
+		}
+		p.Sleep(step)
+		remaining -= step
+		if remaining > 0 && pu.busy.QueueLen() > 0 {
+			// Suspend: let queued commands run, then resume.
+			pu.busy.Release()
+			pu.busy.Acquire(p)
+			remaining += d.cfg.Timing.SuspendPenalty
+			d.Stats.Suspensions++
+		}
+	}
+}
+
+func (d *Device) programOp(p *sim.Proc, pu *punit, cmd *Vector, op flashOp, comp *Completion, silent bool) {
+	wear := 1.0
+	for _, plane := range op.planes {
+		if w := pu.die.WearFactor(plane, op.block); w > wear {
+			wear = w
+		}
+	}
+	d.occupyPU(p, pu, time.Duration(float64(d.cfg.Timing.PageProgram)*wear))
+	d.Stats.FlashPrograms++
+	g := d.cfg.Geometry
+	for pi, plane := range op.planes {
+		var pageData []byte
+		havePayload := false
+		for _, i := range op.idx[pi] {
+			if cmd.Data != nil && cmd.Data[i] != nil {
+				havePayload = true
+				break
+			}
+		}
+		if havePayload {
+			pageData = make([]byte, g.PageSize())
+			for _, i := range op.idx[pi] {
+				if cmd.Data != nil && cmd.Data[i] != nil {
+					copy(pageData[cmd.Addrs[i].Sector*g.SectorSize:], cmd.Data[i])
+				}
+			}
+		}
+		var pageOOB []byte
+		if cmd.OOB != nil {
+			per := d.SectorOOBSize()
+			for _, i := range op.idx[pi] {
+				if len(cmd.OOB[i]) > 0 {
+					if pageOOB == nil {
+						pageOOB = make([]byte, g.OOBPerPage)
+					}
+					copy(pageOOB[cmd.Addrs[i].Sector*per:], cmd.OOB[i])
+				}
+			}
+		}
+		err := pu.die.Program(plane, op.block, op.page, pageData, pageOOB)
+		for _, i := range op.idx[pi] {
+			if err != nil {
+				setErr(comp, i, err)
+			}
+		}
+		if pu.cache != nil {
+			// Programming invalidates the read buffer for this plane.
+			delete(pu.cache, plane)
+		}
+	}
+}
+
+func (d *Device) eraseOp(p *sim.Proc, pu *punit, cmd *Vector, op flashOp, comp *Completion) {
+	wear := 1.0
+	for _, plane := range op.planes {
+		if w := pu.die.WearFactor(plane, op.block); w > wear {
+			wear = w
+		}
+	}
+	d.occupyPU(p, pu, time.Duration(float64(d.cfg.Timing.BlockErase)*wear))
+	for pi, plane := range op.planes {
+		err := pu.die.Erase(plane, op.block)
+		for _, i := range op.idx[pi] {
+			if err != nil {
+				setErr(comp, i, err)
+			}
+		}
+		if pu.cache != nil {
+			delete(pu.cache, plane)
+		}
+	}
+}
+
+// FlushCMB blocks until all buffered (CMB) writes have been programmed to
+// media (the PPA flush command, §3.2 characteristic 4).
+func (d *Device) FlushCMB(p *sim.Proc) {
+	if d.pendingCMB == 0 {
+		return
+	}
+	if d.cmbDrained == nil {
+		d.cmbDrained = d.env.NewEvent()
+	}
+	p.Wait(d.cmbDrained)
+}
+
+// Crash simulates power loss: volatile controller state (page caches, CMB
+// contents not yet programmed) is lost; media content persists. The host
+// must run recovery before reuse.
+func (d *Device) Crash() {
+	for _, pu := range d.pus {
+		if pu.cache != nil {
+			pu.cache = make(map[int]pageKey)
+		}
+	}
+	d.pendingCMB = 0
+	d.cmbDrained = nil
+}

@@ -1,0 +1,465 @@
+package ocssd
+
+import (
+	"bytes"
+	"errors"
+	"testing"
+	"time"
+
+	"repro/internal/nand"
+	"repro/internal/ppa"
+	"repro/internal/sim"
+)
+
+func testConfig() Config {
+	cfg := DefaultConfig(8) // 8 blocks/plane keeps tests light
+	cfg.Media.PECycleLimit = 0
+	cfg.Media.WearLatencyFactor = 0
+	return cfg
+}
+
+func newTestDevice(t *testing.T, cfg Config) (*sim.Env, *Device) {
+	t.Helper()
+	env := sim.NewEnv(1)
+	dev, err := New(env, cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return env, dev
+}
+
+// run executes fn as a simulation process and drives the sim to completion.
+func run(env *sim.Env, fn func(p *sim.Proc)) {
+	env.Go("test", fn)
+	env.Run()
+}
+
+// writeUnit programs one full page on every plane of (ch, pu, blk, page).
+func writeUnit(p *sim.Proc, d *Device, ch, pu, blk, page int, fill byte) *Completion {
+	g := d.Geometry()
+	var addrs []ppa.Addr
+	var data [][]byte
+	for pl := 0; pl < g.PlanesPerPU; pl++ {
+		for s := 0; s < g.SectorsPerPage; s++ {
+			addrs = append(addrs, ppa.Addr{Ch: ch, PU: pu, Plane: pl, Block: blk, Page: page, Sector: s})
+			if fill != 0 {
+				data = append(data, bytes.Repeat([]byte{fill}, g.SectorSize))
+			} else {
+				data = append(data, nil)
+			}
+		}
+	}
+	return d.Do(p, &Vector{Op: OpWrite, Addrs: addrs, Data: data})
+}
+
+func TestWriteReadRoundTrip(t *testing.T) {
+	env, dev := newTestDevice(t, testConfig())
+	run(env, func(p *sim.Proc) {
+		if c := writeUnit(p, dev, 0, 0, 0, 0, 0x5a); c.Failed() {
+			t.Fatalf("write failed: %v", c.FirstErr())
+		}
+		c := dev.Do(p, &Vector{Op: OpRead, Addrs: []ppa.Addr{{Ch: 0, PU: 0, Plane: 2, Block: 0, Page: 0, Sector: 1}}})
+		if c.Failed() {
+			t.Fatalf("read failed: %v", c.FirstErr())
+		}
+		want := bytes.Repeat([]byte{0x5a}, dev.Geometry().SectorSize)
+		if !bytes.Equal(c.Data[0], want) {
+			t.Fatal("payload mismatch")
+		}
+	})
+}
+
+func TestPartialPageWriteRejected(t *testing.T) {
+	env, dev := newTestDevice(t, testConfig())
+	run(env, func(p *sim.Proc) {
+		c := dev.Do(p, &Vector{Op: OpWrite, Addrs: []ppa.Addr{{Sector: 0}}, Data: [][]byte{nil}})
+		if !c.Failed() || !errors.Is(c.FirstErr(), ErrPartialPage) {
+			t.Fatalf("partial page write: err = %v, want ErrPartialPage", c.FirstErr())
+		}
+	})
+}
+
+func TestVectorTooLong(t *testing.T) {
+	env, dev := newTestDevice(t, testConfig())
+	run(env, func(p *sim.Proc) {
+		addrs := make([]ppa.Addr, 65)
+		for i := range addrs {
+			addrs[i] = ppa.Addr{Page: 0, Sector: i % 4}
+		}
+		c := dev.Do(p, &Vector{Op: OpRead, Addrs: addrs})
+		if !errors.Is(c.FirstErr(), ErrTooManyAddrs) {
+			t.Fatalf("err = %v, want ErrTooManyAddrs", c.FirstErr())
+		}
+	})
+}
+
+func TestInvalidAddressRejected(t *testing.T) {
+	env, dev := newTestDevice(t, testConfig())
+	run(env, func(p *sim.Proc) {
+		c := dev.Do(p, &Vector{Op: OpRead, Addrs: []ppa.Addr{{Ch: 99}}})
+		if !errors.Is(c.FirstErr(), ErrInvalidAddr) {
+			t.Fatalf("err = %v, want ErrInvalidAddr", c.FirstErr())
+		}
+	})
+}
+
+func TestPerAddressCompletionStatus(t *testing.T) {
+	env, dev := newTestDevice(t, testConfig())
+	run(env, func(p *sim.Proc) {
+		writeUnit(p, dev, 0, 0, 0, 0, 0x11)
+		// Read one written sector and one unwritten sector: exactly one
+		// status bit must be set (paper §3.3).
+		c := dev.Do(p, &Vector{Op: OpRead, Addrs: []ppa.Addr{
+			{Ch: 0, PU: 0, Plane: 0, Block: 0, Page: 0, Sector: 0},
+			{Ch: 0, PU: 0, Plane: 0, Block: 1, Page: 0, Sector: 0},
+		}})
+		if c.Status != 0b10 {
+			t.Fatalf("status = %b, want 10", c.Status)
+		}
+		if c.Errs[0] != nil || c.Errs[1] == nil {
+			t.Fatalf("errs = %v", c.Errs)
+		}
+	})
+}
+
+func TestReadLatency4K(t *testing.T) {
+	// A cold 4K read costs flash read + 4K transfer + overhead: with the
+	// default timing ~65+14.6+6 ≈ 86 µs; a cached sector on the same flash
+	// page skips the flash read (paper: "the controller caches the flash
+	// page internally").
+	env, dev := newTestDevice(t, testConfig())
+	run(env, func(p *sim.Proc) {
+		writeUnit(p, dev, 0, 0, 0, 0, 0)
+		start := env.Now()
+		dev.Do(p, &Vector{Op: OpRead, Addrs: []ppa.Addr{{Ch: 0, PU: 0, Plane: 0, Block: 0, Page: 0, Sector: 0}}})
+		cold := env.Now() - start
+
+		start = env.Now()
+		dev.Do(p, &Vector{Op: OpRead, Addrs: []ppa.Addr{{Ch: 0, PU: 0, Plane: 0, Block: 0, Page: 0, Sector: 1}}})
+		warm := env.Now() - start
+
+		if cold < 80*time.Microsecond || cold > 95*time.Microsecond {
+			t.Fatalf("cold 4K read = %v, want ~86µs", cold)
+		}
+		if warm > 25*time.Microsecond {
+			t.Fatalf("warm 4K read = %v, want ~21µs", warm)
+		}
+		if dev.Stats.CacheHits != 1 {
+			t.Fatalf("cache hits = %d, want 1", dev.Stats.CacheHits)
+		}
+	})
+}
+
+func TestWriteLatencyUnit(t *testing.T) {
+	// A 64KB quad-plane unit: transfer 64KB at 280MB/s (~229µs) + program
+	// 1.1ms + overhead.
+	env, dev := newTestDevice(t, testConfig())
+	run(env, func(p *sim.Proc) {
+		start := env.Now()
+		writeUnit(p, dev, 0, 0, 0, 0, 0)
+		d := env.Now() - start
+		if d < 1300*time.Microsecond || d > 1400*time.Microsecond {
+			t.Fatalf("unit write = %v, want ~1.33ms", d)
+		}
+	})
+}
+
+func TestPUSerializesReadBehindWrite(t *testing.T) {
+	// A read to a PU busy programming waits for the program: the
+	// fundamental latency spike the paper addresses.
+	env, dev := newTestDevice(t, testConfig())
+	var readLat time.Duration
+	env.Go("writer", func(p *sim.Proc) {
+		writeUnit(p, dev, 0, 0, 0, 0, 0)
+	})
+	env.Go("reader", func(p *sim.Proc) {
+		p.Sleep(300 * time.Microsecond) // arrive mid-program
+		start := env.Now()
+		dev.Do(p, &Vector{Op: OpRead, Addrs: []ppa.Addr{{Ch: 0, PU: 0, Plane: 0, Block: 1, Page: 0, Sector: 0}}})
+		readLat = env.Now() - start
+	})
+	env.Run()
+	if readLat < 900*time.Microsecond {
+		t.Fatalf("read behind write latency = %v, want ~1ms+", readLat)
+	}
+}
+
+func TestSeparatePUsDoNotInterfere(t *testing.T) {
+	env, dev := newTestDevice(t, testConfig())
+	var readLat time.Duration
+	env.Go("writer", func(p *sim.Proc) {
+		writeUnit(p, dev, 0, 0, 0, 0, 0)
+	})
+	env.Go("reader", func(p *sim.Proc) {
+		p.Sleep(300 * time.Microsecond)
+		start := env.Now()
+		// Different channel entirely: no PU or channel contention.
+		dev.Do(p, &Vector{Op: OpRead, Addrs: []ppa.Addr{{Ch: 1, PU: 0, Plane: 0, Block: 1, Page: 0, Sector: 0}}})
+		readLat = env.Now() - start
+	})
+	env.Run()
+	// Unwritten read: still charges flash+overhead but no queueing.
+	if readLat > 100*time.Microsecond {
+		t.Fatalf("isolated read latency = %v, want < 100µs", readLat)
+	}
+}
+
+func TestChannelBandwidthShared(t *testing.T) {
+	// Two writes to different PUs on the same channel serialize their
+	// transfers; on different channels they overlap.
+	elapsed := func(samePU bool) time.Duration {
+		env, dev := newTestDevice(t, testConfig())
+		done := 0
+		var end time.Duration
+		for i := 0; i < 2; i++ {
+			ch := 0
+			if !samePU && i == 1 {
+				ch = 1
+			}
+			pu := i % 2 // different PUs either way
+			env.Go("w", func(p *sim.Proc) {
+				writeUnit(p, dev, ch, pu, 0, 0, 0)
+				done++
+				end = env.Now()
+			})
+		}
+		env.Run()
+		if done != 2 {
+			panic("writes did not finish")
+		}
+		return end
+	}
+	same := elapsed(true)
+	diff := elapsed(false)
+	if same <= diff {
+		t.Fatalf("same-channel writes (%v) should be slower than cross-channel (%v)", same, diff)
+	}
+	if same-diff < 150*time.Microsecond {
+		t.Fatalf("channel serialization too small: %v vs %v", same, diff)
+	}
+}
+
+func TestEraseResetsBlock(t *testing.T) {
+	env, dev := newTestDevice(t, testConfig())
+	run(env, func(p *sim.Proc) {
+		writeUnit(p, dev, 0, 0, 0, 0, 0x77)
+		g := dev.Geometry()
+		addrs := make([]ppa.Addr, g.PlanesPerPU)
+		for pl := range addrs {
+			addrs[pl] = ppa.Addr{Ch: 0, PU: 0, Plane: pl, Block: 0}
+		}
+		start := env.Now()
+		c := dev.Do(p, &Vector{Op: OpErase, Addrs: addrs})
+		if c.Failed() {
+			t.Fatalf("erase failed: %v", c.FirstErr())
+		}
+		if d := env.Now() - start; d < 3*time.Millisecond {
+			t.Fatalf("erase took %v, want >= 3ms", d)
+		}
+		rc := dev.Do(p, &Vector{Op: OpRead, Addrs: []ppa.Addr{{Ch: 0, PU: 0, Plane: 0, Block: 0, Page: 0, Sector: 0}}})
+		if !errors.Is(rc.FirstErr(), nand.ErrUnwritten) {
+			t.Fatalf("read after erase: err = %v, want ErrUnwritten", rc.FirstErr())
+		}
+	})
+}
+
+func TestMultiPlaneProgramCountsOnce(t *testing.T) {
+	env, dev := newTestDevice(t, testConfig())
+	run(env, func(p *sim.Proc) {
+		writeUnit(p, dev, 0, 0, 0, 0, 0)
+	})
+	if dev.Stats.FlashPrograms != 1 {
+		t.Fatalf("flash programs = %d, want 1 (multi-plane merge)", dev.Stats.FlashPrograms)
+	}
+}
+
+func TestOOBRoundTrip(t *testing.T) {
+	env, dev := newTestDevice(t, testConfig())
+	run(env, func(p *sim.Proc) {
+		g := dev.Geometry()
+		var addrs []ppa.Addr
+		var data, oob [][]byte
+		for pl := 0; pl < g.PlanesPerPU; pl++ {
+			for s := 0; s < g.SectorsPerPage; s++ {
+				addrs = append(addrs, ppa.Addr{Plane: pl, Page: 0, Sector: s})
+				data = append(data, nil)
+				oob = append(oob, []byte{byte(pl), byte(s), 0xee})
+			}
+		}
+		if c := dev.Do(p, &Vector{Op: OpWrite, Addrs: addrs, Data: data, OOB: oob}); c.Failed() {
+			t.Fatalf("write: %v", c.FirstErr())
+		}
+		c := dev.Do(p, &Vector{Op: OpRead, Addrs: []ppa.Addr{{Plane: 3, Page: 0, Sector: 2}}})
+		if c.Failed() {
+			t.Fatalf("read: %v", c.FirstErr())
+		}
+		if len(c.OOB[0]) < 3 || c.OOB[0][0] != 3 || c.OOB[0][1] != 2 || c.OOB[0][2] != 0xee {
+			t.Fatalf("oob = %v", c.OOB[0])
+		}
+	})
+}
+
+func TestOOBTooLarge(t *testing.T) {
+	env, dev := newTestDevice(t, testConfig())
+	run(env, func(p *sim.Proc) {
+		big := make([]byte, dev.SectorOOBSize()+1)
+		c := dev.Do(p, &Vector{
+			Op:    OpWrite,
+			Addrs: []ppa.Addr{{Sector: 0}},
+			Data:  [][]byte{nil},
+			OOB:   [][]byte{big},
+		})
+		if !errors.Is(c.FirstErr(), ErrOOBSize) {
+			t.Fatalf("err = %v, want ErrOOBSize", c.FirstErr())
+		}
+	})
+}
+
+func TestBufferedWriteAcksEarly(t *testing.T) {
+	env, dev := newTestDevice(t, testConfig())
+	run(env, func(p *sim.Proc) {
+		g := dev.Geometry()
+		var addrs []ppa.Addr
+		for pl := 0; pl < g.PlanesPerPU; pl++ {
+			for s := 0; s < g.SectorsPerPage; s++ {
+				addrs = append(addrs, ppa.Addr{Plane: pl, Page: 0, Sector: s})
+			}
+		}
+		start := env.Now()
+		dev.Do(p, &Vector{Op: OpWrite, Addrs: addrs, Buffered: true})
+		ack := env.Now() - start
+		if ack > 400*time.Microsecond {
+			t.Fatalf("buffered write acked in %v, want transfer-only ~235µs", ack)
+		}
+		start = env.Now()
+		dev.FlushCMB(p)
+		if env.Now()-start < 500*time.Microsecond {
+			t.Fatal("FlushCMB returned before programming finished")
+		}
+		// Data must be durable after flush.
+		c := dev.Do(p, &Vector{Op: OpRead, Addrs: addrs[:1]})
+		if c.Failed() {
+			t.Fatalf("read after CMB flush: %v", c.FirstErr())
+		}
+	})
+}
+
+func TestIdentify(t *testing.T) {
+	_, dev := newTestDevice(t, testConfig())
+	id := dev.Identify()
+	if id.MaxVectorLen != 64 {
+		t.Fatalf("MaxVectorLen = %d", id.MaxVectorLen)
+	}
+	if id.Geometry.Channels != 16 || id.SectorOOB != 16 {
+		t.Fatalf("identify geometry wrong: %+v", id.Geometry)
+	}
+}
+
+func TestCrashDropsCaches(t *testing.T) {
+	env, dev := newTestDevice(t, testConfig())
+	run(env, func(p *sim.Proc) {
+		writeUnit(p, dev, 0, 0, 0, 0, 0x42)
+		dev.Do(p, &Vector{Op: OpRead, Addrs: []ppa.Addr{{Page: 0, Sector: 0}}})
+		dev.Crash()
+		start := env.Now()
+		c := dev.Do(p, &Vector{Op: OpRead, Addrs: []ppa.Addr{{Page: 0, Sector: 1}}})
+		if c.Failed() {
+			t.Fatalf("media lost on crash: %v", c.FirstErr())
+		}
+		if env.Now()-start < 60*time.Microsecond {
+			t.Fatal("read after crash was served from a cache that should be gone")
+		}
+	})
+}
+
+func TestMaxAggregateReadBandwidth(t *testing.T) {
+	// Saturating all 16 channels with large reads should approach
+	// 16 × 280 MB/s = 4.48 GB/s (paper Table 1: max read 4.5 GB/s).
+	cfg := testConfig()
+	env, dev := newTestDevice(t, cfg)
+	g := dev.Geometry()
+	// Prepare one unit per PU.
+	env.Go("prep", func(p *sim.Proc) {
+		for ch := 0; ch < g.Channels; ch++ {
+			for pu := 0; pu < g.PUsPerChannel; pu++ {
+				writeUnit(p, dev, ch, pu, 0, 0, 0)
+			}
+		}
+	})
+	env.Run()
+	startT := env.Now()
+	bytesRead := 0
+	for ch := 0; ch < g.Channels; ch++ {
+		for pu := 0; pu < g.PUsPerChannel; pu++ {
+			ch, pu := ch, pu
+			env.Go("r", func(p *sim.Proc) {
+				for rep := 0; rep < 4; rep++ {
+					var addrs []ppa.Addr
+					for pl := 0; pl < g.PlanesPerPU; pl++ {
+						for s := 0; s < g.SectorsPerPage; s++ {
+							addrs = append(addrs, ppa.Addr{Ch: ch, PU: pu, Plane: pl, Block: 0, Page: 0, Sector: s})
+						}
+					}
+					dev.Do(p, &Vector{Op: OpRead, Addrs: addrs})
+					bytesRead += len(addrs) * g.SectorSize
+				}
+			})
+		}
+	}
+	env.Run()
+	dur := env.Now() - startT
+	gbps := float64(bytesRead) / dur.Seconds() / 1e9
+	if gbps < 3.0 || gbps > 5.0 {
+		t.Fatalf("aggregate read bandwidth = %.2f GB/s, want ~4.5", gbps)
+	}
+}
+
+func TestProgramSuspendCutsReadLatency(t *testing.T) {
+	// Paper §3.3: erase/program suspend lets reads preempt an active
+	// program, trading longer writes for much lower read latency.
+	run := func(suspend bool) (read, write time.Duration) {
+		cfg := testConfig()
+		if suspend {
+			cfg.Timing.SuspendSlice = 100 * time.Microsecond
+			cfg.Timing.SuspendPenalty = 50 * time.Microsecond
+		}
+		env, dev := newTestDevice(t, cfg)
+		var readLat, writeLat time.Duration
+		env.Go("writer", func(p *sim.Proc) {
+			start := env.Now()
+			writeUnit(p, dev, 0, 0, 0, 0, 0)
+			writeLat = env.Now() - start
+		})
+		env.Go("reader", func(p *sim.Proc) {
+			p.Sleep(300 * time.Microsecond) // arrive mid-program
+			start := env.Now()
+			dev.Do(p, &Vector{Op: OpRead, Addrs: []ppa.Addr{{Ch: 0, PU: 0, Plane: 0, Block: 1, Page: 0, Sector: 0}}})
+			readLat = env.Now() - start
+		})
+		env.Run()
+		return readLat, writeLat
+	}
+	rOff, wOff := run(false)
+	rOn, wOn := run(true)
+	if rOn >= rOff/2 {
+		t.Fatalf("suspend did not cut read latency: %v vs %v", rOn, rOff)
+	}
+	if wOn <= wOff {
+		t.Fatalf("suspend should lengthen the write: %v vs %v", wOn, wOff)
+	}
+}
+
+func TestSuspendCountsStat(t *testing.T) {
+	cfg := testConfig()
+	cfg.Timing.SuspendSlice = 100 * time.Microsecond
+	env, dev := newTestDevice(t, cfg)
+	env.Go("writer", func(p *sim.Proc) { writeUnit(p, dev, 0, 0, 0, 0, 0) })
+	env.Go("reader", func(p *sim.Proc) {
+		p.Sleep(250 * time.Microsecond)
+		dev.Do(p, &Vector{Op: OpRead, Addrs: []ppa.Addr{{Ch: 0, PU: 0, Plane: 0, Block: 1, Page: 0, Sector: 0}}})
+	})
+	env.Run()
+	if dev.Stats.Suspensions == 0 {
+		t.Fatal("no suspensions recorded")
+	}
+}

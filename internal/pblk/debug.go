@@ -1,0 +1,55 @@
+package pblk
+
+import (
+	"fmt"
+	"strings"
+)
+
+// DebugState returns a multi-line snapshot of the FTL's internal state:
+// ring buffer pointers, rate-limiter output, group-state census, and lane
+// positions. Intended for diagnostics and tests; the format is not stable.
+func (k *Pblk) DebugState() string {
+	var b strings.Builder
+	fmt.Fprintf(&b, "free=%d/%d spare=%d gcStart=%d gcStop=%d gcActive=%v rlIdle=%v quota=%d emergency=%d\n",
+		k.freeGroups, k.usableGroups, k.spareGroups(), k.gcStartGroups(), k.gcStopGroups(),
+		k.gcActive, k.rl.idle, k.rl.userQuota, k.emergencyReserve())
+	fmt.Fprintf(&b, "ring head=%d sub=%d tail=%d userIn=%d gcIn=%d free=%d cap=%d\n",
+		k.rb.head, k.rb.subPtr, k.rb.tail, k.rb.userIn, k.rb.gcIn, k.rb.free(), k.rb.capacity())
+	fmt.Fprintf(&b, "retry=%d flushes=%d suspects=%d stopping=%v gcStopping=%v\n",
+		len(k.retry), len(k.flushes), len(k.suspects), k.stopping, k.gcStopping)
+	states := map[groupState]int{}
+	minValid, maxValid, pending := 1<<30, -1, 0
+	for _, g := range k.groups {
+		states[g.state]++
+		pending += len(g.pending)
+		if g.state == stClosed {
+			if g.valid < minValid {
+				minValid = g.valid
+			}
+			if g.valid > maxValid {
+				maxValid = g.valid
+			}
+		}
+		if g.state == stGC {
+			fmt.Fprintf(&b, "  stGC group %d: valid=%d gcPending=%d gcDoneSet=%v\n",
+				g.id, g.valid, g.gcPending, g.gcDone != nil)
+		}
+	}
+	fmt.Fprintf(&b, "groups=%v closedValid=[%d,%d]/%d pendingUnits=%d\n",
+		states, minValid, maxValid, k.dataSectors, pending)
+	for _, s := range k.slots {
+		if s.grp != nil || s.sem.InUse() > 0 || s.sem.QueueLen() > 0 {
+			grp := -1
+			if s.grp != nil {
+				grp = s.grp.id
+			}
+			fmt.Fprintf(&b, "  lane %d: pu=%d grp=%d semInUse=%d semQueue=%d\n",
+				s.lane, s.curPU, grp, s.sem.InUse(), s.sem.QueueLen())
+		}
+	}
+	if e := k.rb.at(k.rb.tail); k.rb.tail < k.rb.head {
+		fmt.Fprintf(&b, "tail entry: pos=%d lba=%d state=%d isGC=%v addr=%v\n",
+			e.pos, e.lba, e.state, e.isGC, e.addr)
+	}
+	return b.String()
+}

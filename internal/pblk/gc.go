@@ -1,0 +1,307 @@
+package pblk
+
+import (
+	"repro/internal/ocssd"
+	"repro/internal/ppa"
+	"repro/internal/sim"
+)
+
+// rateLimiter is the PID-controlled feedback loop of §4.2.4: its input is
+// the number of free block groups measured against the spare pool (the
+// groups over-provisioning keeps beyond the exported capacity), its output
+// the share of write-buffer entries reserved away from user I/O. At ample
+// free space users own the whole buffer; as free blocks shrink toward the
+// spare floor, GC is prioritized; at exhaustion user writes stall entirely.
+//
+// When GC reports that no group holds garbage (`idle`), throttling is
+// pointless — free space cannot be below the floor in that state unless
+// the device is genuinely full of live data — so users get the full
+// buffer back and the integral is drained.
+type rateLimiter struct {
+	kp, ki, kd  float64
+	startGroups int // setpoint: GC keeps free groups at or above this
+	spare       int // total spare groups; normalizes the error signal
+	integ       float64
+	lastErr     float64
+	cap         int
+	unitSectors int
+	idle        bool // GC found nothing to reclaim
+	// userQuota is the current maximum number of user entries in the ring.
+	userQuota int
+}
+
+func newRateLimiter(cfg Config, capacity, unitSectors int) rateLimiter {
+	return rateLimiter{
+		kp: cfg.RLKp, ki: cfg.RLKi, kd: cfg.RLKd,
+		cap:         capacity,
+		unitSectors: unitSectors,
+		userQuota:   capacity,
+		spare:       1,
+	}
+}
+
+// calibrate sets the spare-pool geometry once group accounting is known.
+func (rl *rateLimiter) calibrate(spareGroups, startGroups int) {
+	if spareGroups < 1 {
+		spareGroups = 1
+	}
+	rl.spare = spareGroups
+	rl.startGroups = startGroups
+}
+
+// update recomputes the user quota from the current free-group count.
+func (rl *rateLimiter) update(freeGroups int) {
+	if rl.idle {
+		rl.integ = 0
+		rl.lastErr = 0
+		rl.userQuota = rl.cap
+		return
+	}
+	err := float64(rl.startGroups-freeGroups) / float64(rl.spare) // >0 when scarce
+	rl.integ += err
+	if rl.integ < 0 {
+		rl.integ = 0
+	}
+	if rl.integ > 3 {
+		rl.integ = 3
+	}
+	u := rl.kp*err + rl.ki*rl.integ + rl.kd*(err-rl.lastErr)
+	rl.lastErr = err
+	if u < 0 {
+		u = 0
+	}
+	if u > 1 {
+		u = 1
+	}
+	quota := int(float64(rl.cap) * (1 - u))
+	// Guarantee forward progress for user I/O unless fully saturated
+	// ("if the device reaches its capacity, user I/Os will be completely
+	// disabled until enough free blocks are available").
+	if quota < rl.unitSectors && u < 1 {
+		quota = rl.unitSectors
+	}
+	rl.userQuota = quota
+}
+
+// setIdle records whether GC has reclaimable garbage.
+func (k *Pblk) setGCIdle(idle bool) {
+	if k.rl.idle == idle {
+		return
+	}
+	k.rl.idle = idle
+	k.rl.update(k.freeGroups)
+	if idle {
+		k.rb.signalSpace()
+	}
+}
+
+// spareGroups returns the groups over-provisioning holds back from the
+// exported capacity.
+func (k *Pblk) spareGroups() int {
+	needed := int((k.capacityLBAs + int64(k.dataSectors) - 1) / int64(k.dataSectors))
+	s := k.usableGroups - needed
+	if s < 1 {
+		s = 1
+	}
+	return s
+}
+
+// gcStartGroups / gcStopGroups translate the configured spare fractions
+// into free-group thresholds.
+func (k *Pblk) gcStartGroups() int { return int(float64(k.spareGroups()) * k.cfg.GCStartFrac) }
+func (k *Pblk) gcStopGroups() int  { return int(float64(k.spareGroups()) * k.cfg.GCStopFrac) }
+
+// gcNeeded reports whether free space is below the GC trigger, with
+// hysteresis between the start and stop thresholds.
+func (k *Pblk) gcNeeded() bool {
+	if k.gcActive {
+		if k.freeGroups >= k.gcStopGroups() {
+			k.gcActive = false
+		}
+	} else if k.freeGroups < k.gcStartGroups() {
+		k.gcActive = true
+	}
+	return k.gcActive
+}
+
+// maybeKickGC wakes the GC loop when there is work.
+func (k *Pblk) maybeKickGC() {
+	if len(k.suspects) > 0 || k.freeGroups < k.gcStartGroups() {
+		k.gcKick.Signal()
+	}
+}
+
+// gcLoop is pblk's garbage collector (paper §4.2.4): suspect (write-failed)
+// groups are drained with priority and retired; otherwise the closed group
+// with the fewest valid sectors is recycled whenever free space runs low.
+func (k *Pblk) gcLoop(p *sim.Proc) {
+	defer k.gcDone.Signal()
+	for !k.stopping && !k.gcStopping {
+		if len(k.suspects) > 0 {
+			id := k.suspects[0]
+			k.suspects = k.suspects[1:]
+			k.recycle(p, k.groups[id], true)
+			continue
+		}
+		if k.gcNeeded() {
+			if v := k.pickVictim(); v != nil {
+				k.setGCIdle(false)
+				k.recycle(p, v, false)
+				continue
+			}
+			// Nothing holds garbage: throttling users cannot create free
+			// space, so stand down until overwrites or trims arrive.
+			k.setGCIdle(true)
+		}
+		if k.gcKick.Fired() {
+			k.gcKick = k.env.NewEvent()
+		}
+		p.Wait(k.gcKick)
+	}
+}
+
+// pickVictim selects the closed group with the lowest valid sector count
+// (paper: "selects the block with the lowest number of valid sectors for
+// recycling"). Fully valid groups yield no space and are skipped. PUs whose
+// free list ran dry take priority: a write lane may be stalled waiting for
+// a block there, and recycling elsewhere would not unblock it.
+func (k *Pblk) pickVictim() *group {
+	var best, bestNeedy *group
+	for _, g := range k.groups {
+		if g.state != stClosed {
+			continue
+		}
+		if g.valid >= k.dataSectors {
+			continue
+		}
+		if best == nil || g.valid < best.valid {
+			best = g
+		}
+		if len(k.freePerPU[g.gpu]) == 0 && (bestNeedy == nil || g.valid < bestNeedy.valid) {
+			bestNeedy = g
+		}
+	}
+	// Only divert to a starved PU when its best victim is nearly as cheap
+	// as the global one; lanes can otherwise borrow blocks from another PU
+	// (openGroupOn's fallback), and moving nearly-full blocks just to feed
+	// one PU multiplies write amplification.
+	if best != nil && bestNeedy != nil &&
+		bestNeedy.valid <= best.valid+k.dataSectors/8 {
+		return bestNeedy
+	}
+	return best
+}
+
+// recycle moves a group's valid sectors back through the write buffer, then
+// erases and frees it — or retires it when it is suspect.
+func (k *Pblk) recycle(p *sim.Proc, g *group, retire bool) {
+	g.state = stGC
+	if g.valid > 0 {
+		k.moveValid(p, g)
+	}
+	if retire {
+		// Write failures condemn the block (§4.2.3).
+		die := k.dev.Die(g.gpu)
+		for pl := 0; pl < k.geo.PlanesPerPU; pl++ {
+			if err := die.MarkBad(pl, g.blk); err != nil {
+				break
+			}
+		}
+		g.state = stBad
+		k.Stats.BadBlocks++
+		return
+	}
+	ch, pu := k.fmtr.PUAddr(g.gpu)
+	addrs := make([]ppa.Addr, k.geo.PlanesPerPU)
+	for pl := range addrs {
+		addrs[pl] = ppa.Addr{Ch: ch, PU: pu, Plane: pl, Block: g.blk}
+	}
+	c := k.dev.Do(p, &ocssd.Vector{Op: ocssd.OpErase, Addrs: addrs})
+	if c.Failed() {
+		// No retry or recovery on erase failure: mark bad (§2.2).
+		k.Stats.EraseErrors++
+		k.Stats.BadBlocks++
+		g.state = stBad
+		return
+	}
+	g.erases++
+	k.Stats.GCBlocksRecycled++
+	k.returnFreeGroup(g)
+}
+
+// moveValid rewrites every still-valid sector of g through the write buffer
+// and waits until all moves are persisted. The reverse map comes from the
+// close metadata stored on the group's last pages — pblk keeps no reverse
+// L2P in host memory (paper §4.2.4) — with an OOB scan as the fallback for
+// groups that died before their close metadata was written.
+func (k *Pblk) moveValid(p *sim.Proc, g *group) {
+	lbas := k.readGroupLBAs(p, g)
+	// Gather sectors whose mapping still points into this group.
+	type move struct {
+		lba  int64
+		addr ppa.Addr
+	}
+	var moves []move
+	for i, lba := range lbas {
+		if lba == padLBA || lba < 0 || lba >= k.capacityLBAs {
+			continue
+		}
+		a := k.sectorAddr(g, i)
+		if k.l2p[lba] == k.mediaEntry(a) {
+			moves = append(moves, move{lba: lba, addr: a})
+		}
+	}
+	for lo := 0; lo < len(moves); lo += ocssd.MaxVectorLen {
+		hi := lo + ocssd.MaxVectorLen
+		if hi > len(moves) {
+			hi = len(moves)
+		}
+		chunk := moves[lo:hi]
+		addrs := make([]ppa.Addr, len(chunk))
+		for j, m := range chunk {
+			addrs[j] = m.addr
+		}
+		c := k.dev.Do(p, &ocssd.Vector{Op: ocssd.OpRead, Addrs: addrs})
+		for j, m := range chunk {
+			if c.Errs[j] != nil {
+				// The sector is unreadable; its data is lost from the
+				// device's perspective and upper layers must recover.
+				continue
+			}
+			k.reserveGC(p)
+			if k.stopping {
+				return
+			}
+			// Re-validate after potentially blocking: the user may have
+			// overwritten the sector meanwhile (kernel pblk does the same
+			// L2P check before inserting GC I/O).
+			if k.l2p[m.lba] != k.mediaEntry(m.addr) {
+				continue
+			}
+			pos := k.rb.produce(m.lba, c.Data[j], true, g.id)
+			g.gcPending++
+			k.installCacheMapping(m.lba, pos)
+			k.Stats.GCMovedSectors++
+		}
+		k.consumerKick.Signal()
+	}
+	if g.gcPending > 0 {
+		// Force the moves out with an internal flush so the victim drains
+		// even when user traffic is idle.
+		g.gcDone = k.env.NewEvent()
+		k.flushes = append(k.flushes, flushReq{pos: k.rb.head - 1, ev: k.env.NewEvent()})
+		k.consumerKick.Signal()
+		p.Wait(g.gcDone)
+	}
+}
+
+// sectorAddr maps a group-relative data sector index (the order lbas were
+// appended during mapping) to its physical address.
+func (k *Pblk) sectorAddr(g *group, dataIdx int) ppa.Addr {
+	unit := 1 + dataIdx/k.unitSectors
+	within := dataIdx % k.unitSectors
+	plane := within / k.geo.SectorsPerPage
+	sector := within % k.geo.SectorsPerPage
+	ch, pu := k.fmtr.PUAddr(g.gpu)
+	return ppa.Addr{Ch: ch, PU: pu, Plane: plane, Block: g.blk, Page: unit, Sector: sector}
+}

@@ -1,0 +1,199 @@
+package pblk
+
+import (
+	"repro/internal/ocssd"
+	"repro/internal/ppa"
+	"repro/internal/sim"
+)
+
+// groupOf returns the group containing address a.
+func (k *Pblk) groupOf(a ppa.Addr) *group {
+	gpu := k.fmtr.GlobalPU(a)
+	return k.groups[gpu*k.geo.BlocksPerPlane+a.Block]
+}
+
+// unitAddrs lists the sector addresses of one write unit: page `unit` on
+// every plane of the group's PU, all sectors, plane-major. This is the
+// paper's multi-plane programming chunk (e.g. 16 KB pages with quad-plane
+// programming give 64 KB units).
+func (k *Pblk) unitAddrs(g *group, unit int) []ppa.Addr {
+	ch, pu := k.fmtr.PUAddr(g.gpu)
+	addrs := make([]ppa.Addr, 0, k.unitSectors)
+	for pl := 0; pl < k.geo.PlanesPerPU; pl++ {
+		for s := 0; s < k.geo.SectorsPerPage; s++ {
+			addrs = append(addrs, ppa.Addr{Ch: ch, PU: pu, Plane: pl, Block: g.blk, Page: unit, Sector: s})
+		}
+	}
+	return addrs
+}
+
+// dataUnits returns the number of write units available for data in a group
+// (excludes the open mark and close metadata).
+func (k *Pblk) dataUnits() int { return k.unitsPerGroup - 1 - k.metaUnits }
+
+// firstMetaUnit returns the unit index where close metadata begins.
+func (k *Pblk) firstMetaUnit() int { return k.unitsPerGroup - k.metaUnits }
+
+// takeFreeGroup removes and returns the free group with the fewest erase
+// cycles on gpu (dynamic wear leveling, paper §2.3 lesson 4), or nil.
+func (k *Pblk) takeFreeGroup(gpu int) *group {
+	free := k.freePerPU[gpu]
+	if len(free) == 0 {
+		return nil
+	}
+	best := 0
+	for i := 1; i < len(free); i++ {
+		if k.groups[free[i]].erases < k.groups[free[best]].erases {
+			best = i
+		}
+	}
+	id := free[best]
+	k.freePerPU[gpu] = append(free[:best], free[best+1:]...)
+	k.freeGroups--
+	k.rl.update(k.freeGroups)
+	k.maybeKickGC()
+	return k.groups[id]
+}
+
+// returnFreeGroup places an erased group back on its PU's free list.
+func (k *Pblk) returnFreeGroup(g *group) {
+	g.state = stFree
+	g.nextUnit = 0
+	g.lbas = nil
+	g.stamps = nil
+	g.unitDone = nil
+	g.unitFinal = nil
+	g.valid = 0
+	g.gcPending = 0
+	g.gcDone = nil
+	k.freePerPU[g.gpu] = append(k.freePerPU[g.gpu], g.id)
+	k.freeGroups++
+	k.rl.update(k.freeGroups)
+	k.rb.signalSpace() // user admission may have been gated on free blocks
+}
+
+// openGroupOn allocates and opens a group for slot s, rotating through the
+// lane's PU range: when the current PU has no free group, the next PU in
+// the range takes over (paper §4.2.1's block-granularity PU rotation).
+// When the lane's whole range is dry it immediately borrows a group from
+// any PU rather than stalling the (single) write thread — GC drains its
+// moves through this same thread, so sleeping here while free groups exist
+// elsewhere would deadlock the datapath. It blocks only when the device
+// has no free group at all.
+func (k *Pblk) openGroupOn(p *sim.Proc, s *slot) *group {
+	for {
+		span := s.puHi - s.puLo
+		for i := 0; i < span; i++ {
+			gpu := s.puLo + (s.curPU-s.puLo+i)%span
+			if g := k.takeFreeGroup(gpu); g != nil {
+				s.curPU = gpu
+				k.openGroup(g)
+				return g
+			}
+		}
+		for gpu := range k.freePerPU {
+			if g := k.takeFreeGroup(gpu); g != nil {
+				k.openGroup(g)
+				return g
+			}
+		}
+		// No free group anywhere: wait for GC to recycle one.
+		k.maybeKickGC()
+		k.rb.waitSpace(p)
+		if k.stopping {
+			return nil
+		}
+	}
+}
+
+// openGroup transitions a free group to open and submits its open mark
+// (paper §4.2.2: first page stores a sequence number and a reference to
+// the previously opened block). The mark is submitted asynchronously; the
+// per-PU FIFO guarantees it lands before the group's data.
+func (k *Pblk) openGroup(g *group) {
+	k.seqCounter++
+	g.state = stOpen
+	g.seq = k.seqCounter
+	g.prev = int64(k.lastOpened)
+	k.lastOpened = g.id
+	g.nextUnit = 1
+	g.lbas = make([]int64, 0, k.dataSectors)
+	g.stamps = make([]uint64, 0, k.dataUnits())
+	g.unitDone = make([]bool, k.unitsPerGroup)
+	g.unitFinal = make([]bool, k.unitsPerGroup)
+	mark := k.encodeOpenMark(g)
+	addrs := k.unitAddrs(g, 0)
+	data := make([][]byte, len(addrs))
+	oob := make([][]byte, len(addrs))
+	data[0] = mark
+	stamp := k.nextStamp()
+	for i := range oob {
+		oob[i] = k.encodeOOB(padLBA, false, stamp)
+	}
+	gid := g.id
+	k.dev.Submit(&ocssd.Vector{Op: ocssd.OpWrite, Addrs: addrs, Data: data, OOB: oob}, func(c *ocssd.Completion) {
+		if c.Failed() {
+			// Treat a failed open mark like any write failure: the group
+			// is suspect and will be retired once drained.
+			k.markSuspect(k.groups[gid])
+		}
+		g.unitDone[0] = true
+		g.unitFinal[0] = true
+	})
+}
+
+// advanceSlotPU moves a lane to its next PU after a block fills (paper:
+// "when a block fills up on PU0, then that PU becomes inactive and PU1
+// takes over as the active PU").
+func (s *slot) advance() {
+	s.curPU++
+	if s.curPU >= s.puHi {
+		s.curPU = s.puLo
+	}
+}
+
+// drainOpenGroups pads and closes every lane's open group; used by
+// SetActivePUs and Shutdown so all data groups carry close metadata.
+func (k *Pblk) drainOpenGroups(p *sim.Proc) {
+	for _, s := range k.slots {
+		if s.grp == nil {
+			continue
+		}
+		k.padAndClose(p, s)
+	}
+}
+
+// padAndClose fills the remainder of a lane's open group with padding and
+// writes its close metadata, blocking until submitted.
+func (k *Pblk) padAndClose(p *sim.Proc, s *slot) {
+	g := s.grp
+	for g.nextUnit < k.firstMetaUnit() {
+		unit := g.nextUnit
+		g.nextUnit++
+		addrs := k.unitAddrs(g, unit)
+		oob := make([][]byte, len(addrs))
+		stamp := k.nextStamp()
+		g.stamps = append(g.stamps, stamp)
+		for i := range oob {
+			oob[i] = k.encodeOOB(padLBA, false, stamp)
+			g.lbas = append(g.lbas, padLBA)
+		}
+		k.Stats.PaddedSectors += int64(len(addrs))
+		u := unit
+		s.sem.Acquire(p)
+		k.dev.Submit(&ocssd.Vector{Op: ocssd.OpWrite, Addrs: addrs, OOB: oob}, func(c *ocssd.Completion) {
+			s.sem.Release()
+			k.onUnitProgrammed(g, u, c)
+		})
+	}
+	k.closeGroup(p, s)
+}
+
+// closeGroup writes the group's close metadata and detaches it from the
+// lane. The group becomes GC-eligible once the metadata is programmed.
+func (k *Pblk) closeGroup(p *sim.Proc, s *slot) {
+	g := s.grp
+	s.grp = nil
+	s.advance()
+	k.submitCloseMeta(p, g)
+}

@@ -1,0 +1,509 @@
+package pblk
+
+import (
+	"encoding/binary"
+	"errors"
+	"fmt"
+	"hash/crc32"
+
+	"repro/internal/nand"
+	"repro/internal/ocssd"
+	"repro/internal/ppa"
+	"repro/internal/sim"
+)
+
+// On-media metadata formats (paper §4.2.2). All metadata carries a CRC
+// ("all metadata is persisted together with its CRC and relevant counters
+// to guarantee consistency").
+const (
+	openMagic  uint64 = 0x314e504f4b4c4250 // "PBLKOPN1"
+	closeMagic uint64 = 0x31534c434b4c4250 // "PBLKCLS1"
+	snapMagic  uint64 = 0x3150414e534b4250 // "PBKSNAP1"
+	oobMagic   uint16 = 0x4f42             // "BO"
+
+	oobBytes      = 16
+	openMarkBytes = 44
+)
+
+const lbaNone = ^uint64(0)
+
+func encLBA(lba int64) uint64 {
+	if lba < 0 {
+		return lbaNone
+	}
+	return uint64(lba)
+}
+
+func decLBA(v uint64) int64 {
+	if v == lbaNone {
+		return padLBA
+	}
+	return int64(v)
+}
+
+var le = binary.LittleEndian
+
+// encodeOOB packs one sector's out-of-band metadata: the logical address,
+// a valid bit (paper: "we store the logical addresses that correspond to
+// physical addresses on the page together with a bit that signals that the
+// page is valid"), and the write unit's global stamp. The stamp totally
+// orders units across concurrently open block groups, which scan recovery
+// needs to replay overwrites correctly (groups fill concurrently on
+// different lanes, so group sequence numbers alone cannot order sectors).
+//
+// Layout in 16 bytes: lba 48 bits, stamp 48 bits, flags+magic, crc16.
+func (k *Pblk) encodeOOB(lba int64, valid bool, stamp uint64) []byte {
+	b := make([]byte, oobBytes)
+	put48(b[0:6], encLBA(lba))
+	put48(b[6:12], stamp)
+	var flags byte = oobFlagMagic
+	if valid {
+		flags |= 1
+	}
+	if lba == padLBA {
+		flags |= 2
+	}
+	b[12] = flags
+	le.PutUint16(b[14:16], uint16(crc32.ChecksumIEEE(b[0:14])))
+	return b
+}
+
+const oobFlagMagic = 0xA0 // high nibble marks pblk-owned OOB
+
+func put48(b []byte, v uint64) {
+	b[0] = byte(v)
+	b[1] = byte(v >> 8)
+	b[2] = byte(v >> 16)
+	b[3] = byte(v >> 24)
+	b[4] = byte(v >> 32)
+	b[5] = byte(v >> 40)
+}
+
+func get48(b []byte) uint64 {
+	return uint64(b[0]) | uint64(b[1])<<8 | uint64(b[2])<<16 |
+		uint64(b[3])<<24 | uint64(b[4])<<32 | uint64(b[5])<<40
+}
+
+const lba48None = (1 << 48) - 1
+
+// parseOOB inverts encodeOOB; ok is false for corrupt or foreign OOB.
+func parseOOB(b []byte) (lba int64, stamp uint64, valid bool, ok bool) {
+	if len(b) < oobBytes {
+		return 0, 0, false, false
+	}
+	if b[12]&0xF0 != oobFlagMagic {
+		return 0, 0, false, false
+	}
+	if le.Uint16(b[14:16]) != uint16(crc32.ChecksumIEEE(b[0:14])) {
+		return 0, 0, false, false
+	}
+	l := get48(b[0:6])
+	if l == lba48None {
+		lba = padLBA
+	} else {
+		lba = int64(l)
+	}
+	return lba, get48(b[6:12]), b[12]&1 != 0, true
+}
+
+// encodeOpenMark builds the first-page record: sequence number and a
+// reference to the previously opened block.
+func (k *Pblk) encodeOpenMark(g *group) []byte {
+	b := make([]byte, k.geo.SectorSize)
+	le.PutUint64(b[0:8], openMagic)
+	le.PutUint64(b[8:16], uint64(g.id))
+	le.PutUint64(b[16:24], g.seq)
+	le.PutUint64(b[24:32], encLBA(g.prev))
+	le.PutUint32(b[32:36], crc32.ChecksumIEEE(b[0:32]))
+	return b
+}
+
+func parseOpenMark(b []byte) (gid int, seq uint64, prev int64, ok bool) {
+	if len(b) < openMarkBytes-8 {
+		return 0, 0, 0, false
+	}
+	if le.Uint64(b[0:8]) != openMagic {
+		return 0, 0, 0, false
+	}
+	if le.Uint32(b[32:36]) != crc32.ChecksumIEEE(b[0:32]) {
+		return 0, 0, 0, false
+	}
+	return int(le.Uint64(b[8:16])), le.Uint64(b[16:24]), decLBA(le.Uint64(b[24:32])), true
+}
+
+// closeMetaSize returns the serialized size of a group's close metadata:
+// header (40 B) + one encoded LBA per data sector + one stamp per data
+// unit + trailing CRC.
+func (k *Pblk) closeMetaSizeFor(dataSectors int) int {
+	dataUnits := dataSectors / k.unitSectors
+	return 40 + 8*dataSectors + 8*dataUnits + 4
+}
+
+// closeMetaUnits solves for the number of trailing units reserved for close
+// metadata; the metadata size itself depends on how many data sectors
+// remain, so iterate to a fixed point.
+func (k *Pblk) closeMetaUnits() int {
+	unitBytes := k.unitSectors * k.geo.SectorSize
+	kUnits := 1
+	for {
+		dataSectors := (k.unitsPerGroup - 1 - kUnits) * k.unitSectors
+		if dataSectors < 0 {
+			return kUnits
+		}
+		need := (k.closeMetaSizeFor(dataSectors) + unitBytes - 1) / unitBytes
+		if need <= kUnits {
+			return kUnits
+		}
+		kUnits = need
+	}
+}
+
+// encodeCloseMeta serializes the block-level FTL log: the portion of the
+// L2P map corresponding to data in the block, the per-unit write stamps
+// (for globally ordered replay), and the same sequence number as the open
+// mark.
+func (k *Pblk) encodeCloseMeta(g *group, lbas []int64, stamps []uint64) []byte {
+	size := k.closeMetaSizeFor(k.dataSectors)
+	b := make([]byte, size)
+	le.PutUint64(b[0:8], closeMagic)
+	le.PutUint64(b[8:16], uint64(g.id))
+	le.PutUint64(b[16:24], g.seq)
+	le.PutUint32(b[24:28], uint32(k.dataSectors))
+	le.PutUint32(b[36:40], crc32.ChecksumIEEE(b[0:36]))
+	off := 40
+	for i := 0; i < k.dataSectors; i++ {
+		v := lbaNone
+		if i < len(lbas) {
+			v = encLBA(lbas[i])
+		}
+		le.PutUint64(b[off:off+8], v)
+		off += 8
+	}
+	for u := 0; u < k.dataUnits(); u++ {
+		var s uint64
+		if u < len(stamps) {
+			s = stamps[u]
+		}
+		le.PutUint64(b[off:off+8], s)
+		off += 8
+	}
+	le.PutUint32(b[size-4:size], crc32.ChecksumIEEE(b[40:size-4]))
+	return b
+}
+
+func (k *Pblk) parseCloseMeta(b []byte) (seq uint64, lbas []int64, stamps []uint64, ok bool) {
+	if len(b) < 44 {
+		return 0, nil, nil, false
+	}
+	if le.Uint64(b[0:8]) != closeMagic {
+		return 0, nil, nil, false
+	}
+	if le.Uint32(b[36:40]) != crc32.ChecksumIEEE(b[0:36]) {
+		return 0, nil, nil, false
+	}
+	count := int(le.Uint32(b[24:28]))
+	if count != k.dataSectors || len(b) < k.closeMetaSizeFor(count) {
+		return 0, nil, nil, false
+	}
+	size := k.closeMetaSizeFor(count)
+	if le.Uint32(b[size-4:size]) != crc32.ChecksumIEEE(b[40:size-4]) {
+		return 0, nil, nil, false
+	}
+	lbas = make([]int64, count)
+	off := 40
+	for i := range lbas {
+		lbas[i] = decLBA(le.Uint64(b[off : off+8]))
+		off += 8
+	}
+	stamps = make([]uint64, k.dataUnits())
+	for u := range stamps {
+		stamps[u] = le.Uint64(b[off : off+8])
+		off += 8
+	}
+	return le.Uint64(b[16:24]), lbas, stamps, true
+}
+
+// submitCloseMeta writes the close metadata into the group's trailing
+// units. Submission is asynchronous; the per-PU FIFO orders it after the
+// group's data, and the group becomes GC-eligible (closed) only once every
+// metadata unit is programmed.
+func (k *Pblk) submitCloseMeta(p *sim.Proc, g *group) {
+	meta := k.encodeCloseMeta(g, g.lbas, g.stamps)
+	g.lbas = nil
+	g.stamps = nil
+	ss := k.geo.SectorSize
+	unitBytes := k.unitSectors * ss
+	remainingUnits := k.metaUnits
+	for m := 0; m < k.metaUnits; m++ {
+		unit := k.firstMetaUnit() + m
+		addrs := k.unitAddrs(g, unit)
+		data := make([][]byte, len(addrs))
+		oob := make([][]byte, len(addrs))
+		for s := range addrs {
+			off := m*unitBytes + s*ss
+			if off < len(meta) {
+				sec := make([]byte, ss)
+				copy(sec, meta[off:])
+				data[s] = sec
+			}
+			oob[s] = k.encodeOOB(padLBA, false, k.unitStamp)
+		}
+		u := unit
+		k.dev.Submit(&ocssd.Vector{Op: ocssd.OpWrite, Addrs: addrs, Data: data, OOB: oob}, func(c *ocssd.Completion) {
+			g.unitDone[u] = true
+			g.unitFinal[u] = true
+			if c.Failed() {
+				k.markSuspect(g)
+			}
+			remainingUnits--
+			if remainingUnits == 0 {
+				if g.state == stOpen {
+					g.state = stClosed
+				}
+				// Meta covers any trailing pair pages; re-run finalize.
+				k.finalizeGroup(g)
+				k.rb.advanceTail()
+				k.checkFlushes()
+				k.maybeKickGC()
+			}
+		})
+	}
+	g.nextUnit = k.unitsPerGroup
+}
+
+// readCloseMeta fetches and parses a group's close metadata from media.
+func (k *Pblk) readCloseMeta(p *sim.Proc, g *group) (seq uint64, lbas []int64, stamps []uint64, ok bool) {
+	ss := k.geo.SectorSize
+	buf := make([]byte, k.metaUnits*k.unitSectors*ss)
+	for m := 0; m < k.metaUnits; m++ {
+		addrs := k.unitAddrs(g, k.firstMetaUnit()+m)
+		c := k.dev.Do(p, &ocssd.Vector{Op: ocssd.OpRead, Addrs: addrs})
+		for s := range addrs {
+			if c.Errs[s] != nil {
+				return 0, nil, nil, false
+			}
+			if d := c.Data[s]; d != nil {
+				copy(buf[(m*k.unitSectors+s)*ss:], d)
+			}
+		}
+	}
+	return k.parseCloseMeta(buf)
+}
+
+// readGroupLBAs returns the logical address of every data sector in g, in
+// mapping order: from close metadata when available, falling back to an
+// OOB scan for groups that died before their metadata was written.
+func (k *Pblk) readGroupLBAs(p *sim.Proc, g *group) []int64 {
+	if _, lbas, _, ok := k.readCloseMeta(p, g); ok {
+		return lbas
+	}
+	_, lbas, _ := k.scanGroupOOB(p, g)
+	return lbas
+}
+
+// scanGroupOOB walks a group's data units in program order, harvesting the
+// per-sector logical addresses and per-unit write stamps from the OOB
+// area. It returns the watermark (first unwritten unit), the LBA list for
+// all scanned data sectors, and one stamp per scanned data unit.
+func (k *Pblk) scanGroupOOB(p *sim.Proc, g *group) (watermark int, lbas []int64, stamps []uint64) {
+	unit := 1
+	for ; unit < k.unitsPerGroup; unit++ {
+		addrs := k.unitAddrs(g, unit)
+		c := k.dev.Do(p, &ocssd.Vector{Op: ocssd.OpRead, Addrs: addrs})
+		if isUnwritten(c.Errs[0]) {
+			break
+		}
+		if unit >= k.firstMetaUnit() {
+			continue // metadata region reached; not data
+		}
+		var unitStamp uint64
+		for s := range addrs {
+			lba := padLBA
+			if c.Errs[s] == nil {
+				if l, st, valid, ok := parseOOB(c.OOB[s]); ok {
+					unitStamp = st
+					if valid {
+						lba = l
+					}
+				}
+			}
+			lbas = append(lbas, lba)
+		}
+		stamps = append(stamps, unitStamp)
+	}
+	return unit, lbas, stamps
+}
+
+func isUnwritten(err error) bool { return errors.Is(err, nand.ErrUnwritten) }
+
+// ---- L2P snapshot (graceful shutdown) ----
+
+// snapshotBytes serializes the full FTL state: header, L2P table, and the
+// group table (state, seq, erases).
+func (k *Pblk) snapshotBytes() []byte {
+	n := int(k.capacityLBAs)
+	size := 48 + 8*n + 16*len(k.groups) + 4
+	b := make([]byte, size)
+	le.PutUint64(b[0:8], snapMagic)
+	le.PutUint64(b[8:16], uint64(n))
+	le.PutUint64(b[16:24], uint64(len(k.groups)))
+	le.PutUint64(b[24:32], k.seqCounter)
+	le.PutUint64(b[32:40], k.unitStamp)
+	le.PutUint32(b[44:48], crc32.ChecksumIEEE(b[0:44]))
+	off := 48
+	for _, v := range k.l2p {
+		le.PutUint64(b[off:off+8], v)
+		off += 8
+	}
+	for _, g := range k.groups {
+		le.PutUint64(b[off:off+8], g.seq)
+		le.PutUint32(b[off+8:off+12], uint32(g.erases))
+		b[off+12] = byte(g.state)
+		off += 16
+	}
+	le.PutUint32(b[size-4:size], crc32.ChecksumIEEE(b[48:size-4]))
+	return b
+}
+
+func (k *Pblk) applySnapshot(b []byte) error {
+	if len(b) < 48 || le.Uint64(b[0:8]) != snapMagic {
+		return fmt.Errorf("pblk: no snapshot")
+	}
+	if le.Uint32(b[44:48]) != crc32.ChecksumIEEE(b[0:44]) {
+		return fmt.Errorf("pblk: snapshot header corrupt")
+	}
+	n := int(le.Uint64(b[8:16]))
+	ng := int(le.Uint64(b[16:24]))
+	if n != int(k.capacityLBAs) || ng != len(k.groups) {
+		return fmt.Errorf("pblk: snapshot shape mismatch")
+	}
+	size := 48 + 8*n + 16*ng + 4
+	if len(b) < size || le.Uint32(b[size-4:size]) != crc32.ChecksumIEEE(b[48:size-4]) {
+		return fmt.Errorf("pblk: snapshot body corrupt")
+	}
+	k.seqCounter = le.Uint64(b[24:32])
+	k.unitStamp = le.Uint64(b[32:40])
+	off := 48
+	for i := range k.l2p {
+		k.l2p[i] = le.Uint64(b[off : off+8])
+		off += 8
+	}
+	for _, g := range k.groups {
+		g.seq = le.Uint64(b[off : off+8])
+		g.erases = int(le.Uint32(b[off+8 : off+12]))
+		st := groupState(b[off+12])
+		off += 16
+		if g.state == stSys || g.state == stBad {
+			continue
+		}
+		switch st {
+		case stOpen, stGC:
+			// The group holds data but was never closed; treat it as
+			// closed — GC falls back to an OOB scan for its reverse map.
+			g.state = stClosed
+			g.nextUnit = k.unitsPerGroup
+		case stSuspect:
+			g.state = stSuspect
+			k.suspects = append(k.suspects, g.id)
+		default:
+			g.state = st
+			if st == stClosed {
+				g.nextUnit = k.unitsPerGroup
+			}
+		}
+	}
+	return nil
+}
+
+// sysGroup returns the reserved snapshot group.
+func (k *Pblk) sysGroup() *group { return k.groups[0] }
+
+// sysUnitAddrs returns the sector addresses of one unit in the snapshot
+// area.
+func (k *Pblk) sysUnitAddrs(unit int) []ppa.Addr {
+	return k.unitAddrs(k.sysGroup(), unit)
+}
+
+// writeSnapshot persists the FTL snapshot into the reserved system group
+// (paper §4.2.2: a full copy of the L2P stored on power-down).
+func (k *Pblk) writeSnapshot(p *sim.Proc) error {
+	snap := k.snapshotBytes()
+	ss := k.geo.SectorSize
+	unitBytes := k.unitSectors * ss
+	units := (len(snap) + unitBytes - 1) / unitBytes
+	if units > k.unitsPerGroup {
+		return fmt.Errorf("pblk: snapshot (%d B) exceeds system group capacity (%d B)",
+			len(snap), k.unitsPerGroup*unitBytes)
+	}
+	// Erase, then program sequentially.
+	g := k.sysGroup()
+	ch, pu := k.fmtr.PUAddr(g.gpu)
+	eraseAddrs := make([]ppa.Addr, k.geo.PlanesPerPU)
+	for pl := range eraseAddrs {
+		eraseAddrs[pl] = ppa.Addr{Ch: ch, PU: pu, Plane: pl, Block: g.blk}
+	}
+	if c := k.dev.Do(p, &ocssd.Vector{Op: ocssd.OpErase, Addrs: eraseAddrs}); c.Failed() {
+		return fmt.Errorf("pblk: snapshot area erase failed: %v", c.FirstErr())
+	}
+	for u := 0; u < units; u++ {
+		addrs := k.sysUnitAddrs(u)
+		data := make([][]byte, len(addrs))
+		for s := range addrs {
+			off := u*unitBytes + s*ss
+			if off < len(snap) {
+				sec := make([]byte, ss)
+				copy(sec, snap[off:])
+				data[s] = sec
+			}
+		}
+		if c := k.dev.Do(p, &ocssd.Vector{Op: ocssd.OpWrite, Addrs: addrs, Data: data}); c.Failed() {
+			return fmt.Errorf("pblk: snapshot write failed: %v", c.FirstErr())
+		}
+	}
+	return nil
+}
+
+// loadSnapshot attempts to restore FTL state from the system group. On
+// success the snapshot is invalidated (erased) so that a later crash falls
+// back to scan recovery rather than replaying stale state.
+func (k *Pblk) loadSnapshot(p *sim.Proc) bool {
+	ss := k.geo.SectorSize
+	unitBytes := k.unitSectors * ss
+	// Header first.
+	first := k.dev.Do(p, &ocssd.Vector{Op: ocssd.OpRead, Addrs: k.sysUnitAddrs(0)[:1]})
+	if first.Errs[0] != nil || first.Data[0] == nil || le.Uint64(first.Data[0][0:8]) != snapMagic {
+		return false
+	}
+	n := int(le.Uint64(first.Data[0][8:16]))
+	ng := int(le.Uint64(first.Data[0][16:24]))
+	size := 48 + 8*n + 16*ng + 4
+	if n != int(k.capacityLBAs) || ng != len(k.groups) || size <= 0 {
+		return false
+	}
+	buf := make([]byte, ((size+unitBytes-1)/unitBytes)*unitBytes)
+	units := len(buf) / unitBytes
+	for u := 0; u < units; u++ {
+		addrs := k.sysUnitAddrs(u)
+		c := k.dev.Do(p, &ocssd.Vector{Op: ocssd.OpRead, Addrs: addrs})
+		for s := range addrs {
+			if c.Errs[s] != nil {
+				return false
+			}
+			if d := c.Data[s]; d != nil {
+				copy(buf[(u*k.unitSectors+s)*ss:], d)
+			}
+		}
+	}
+	if err := k.applySnapshot(buf[:size]); err != nil {
+		return false
+	}
+	// Invalidate: future recoveries must not trust this snapshot.
+	g := k.sysGroup()
+	ch, pu := k.fmtr.PUAddr(g.gpu)
+	eraseAddrs := make([]ppa.Addr, k.geo.PlanesPerPU)
+	for pl := range eraseAddrs {
+		eraseAddrs[pl] = ppa.Addr{Ch: ch, PU: pu, Plane: pl, Block: g.blk}
+	}
+	k.dev.Do(p, &ocssd.Vector{Op: ocssd.OpErase, Addrs: eraseAddrs})
+	return true
+}

@@ -1,0 +1,511 @@
+// Package pblk implements the paper's host-based Flash Translation Layer
+// target (§4.2): a fully associative FTL that exposes an open-channel SSD
+// as a traditional block device.
+//
+// Responsibilities, mirroring the paper:
+//   - write buffering in a host-side ring buffer sized to flash page,
+//     lower/upper pair depth, and PU count (§4.2.1);
+//   - L2P mapping at 4 KB sector granularity, with striping across channels
+//     and PUs at page granularity and a run-time tunable number of active
+//     write PUs;
+//   - flush handling with padding to full flash pages;
+//   - mapping-table persistence (snapshot, block first/last page metadata,
+//     per-page OOB) and two-phase crash recovery (§4.2.2);
+//   - write/erase error handling: remap+resubmit of failed sectors, block
+//     retirement (§4.2.3);
+//   - garbage collection with a PID-controlled rate limiter (§4.2.4).
+//
+// pblk registers itself as the "pblk" LightNVM target type on import.
+package pblk
+
+import (
+	"errors"
+	"fmt"
+	"time"
+
+	"repro/internal/blockdev"
+	"repro/internal/lightnvm"
+	"repro/internal/ocssd"
+	"repro/internal/ppa"
+	"repro/internal/sim"
+)
+
+// Config tunes a pblk instance. The zero value is completed by Default.
+type Config struct {
+	// ActivePUs is the number of PUs concurrently receiving new writes
+	// (paper §4.2.1). 0 means all PUs.
+	ActivePUs int
+	// MaxInflightPerPU bounds write units queued on one PU by the write
+	// consumer (the kernel's per-LUN write semaphore).
+	MaxInflightPerPU int
+	// BufferPairDepth is the lower/upper page depth factor in the paper's
+	// buffer sizing formula: capacity = pagesize * PP * nPUs.
+	BufferPairDepth int
+	// OverProvision is the fraction of media capacity reserved for GC.
+	OverProvision float64
+	// HostReadOverhead/HostWriteOverhead model pblk's per-request CPU cost
+	// (paper §5.1: +0.4 µs reads, +0.9 µs writes).
+	HostReadOverhead  time.Duration
+	HostWriteOverhead time.Duration
+	// GCStartFrac starts garbage collection when free groups drop below
+	// this fraction of the spare (over-provisioned) pool; GCStopFrac stops
+	// it once free groups recover above that fraction of the spare pool.
+	GCStartFrac, GCStopFrac float64
+	// Rate limiter PID gains (paper §4.2.4) on the free-block error signal.
+	RLKp, RLKi, RLKd float64
+	// DisableRateLimiter lets characterization runs (paper §5.1 "rate-
+	// limiter disabled") bypass user-write throttling.
+	DisableRateLimiter bool
+}
+
+// Default fills unset Config fields with the paper-faithful defaults.
+func Default(cfg Config) Config {
+	if cfg.MaxInflightPerPU == 0 {
+		cfg.MaxInflightPerPU = 2
+	}
+	if cfg.BufferPairDepth == 0 {
+		cfg.BufferPairDepth = 8
+	}
+	if cfg.OverProvision == 0 {
+		cfg.OverProvision = 0.11
+	}
+	if cfg.HostReadOverhead == 0 {
+		cfg.HostReadOverhead = 350 * time.Nanosecond
+	}
+	if cfg.HostWriteOverhead == 0 {
+		cfg.HostWriteOverhead = 900 * time.Nanosecond
+	}
+	if cfg.GCStartFrac == 0 {
+		cfg.GCStartFrac = 0.50
+	}
+	if cfg.GCStopFrac == 0 {
+		cfg.GCStopFrac = 0.75
+	}
+	if cfg.RLKp == 0 {
+		cfg.RLKp = 4
+	}
+	if cfg.RLKi == 0 {
+		cfg.RLKi = 0.3
+	}
+	return cfg
+}
+
+// Stats aggregates pblk activity; fields the paper reports directly
+// (flushes, padding, GC volume) are first.
+type Stats struct {
+	UserWrites       int64 // sectors acknowledged
+	UserReads        int64 // sectors served
+	CacheReads       int64 // sectors served from the write buffer
+	MediaReads       int64 // sectors read from flash
+	Flushes          int64
+	PaddedSectors    int64 // padding written for flushes and partial units
+	GCMovedSectors   int64
+	GCBlocksRecycled int64
+	WriteErrors      int64 // failed sectors remapped+resubmitted
+	EraseErrors      int64
+	BadBlocks        int64
+	Recoveries       int64 // full scans performed at init
+	SnapshotLoads    int64
+}
+
+// Block-group lifecycle states.
+type groupState uint8
+
+const (
+	stFree groupState = iota
+	stOpen
+	stClosed
+	stBad
+	stGC      // victim being moved
+	stSuspect // write failure observed; awaiting priority GC + retirement
+	stSys     // reserved for the L2P snapshot
+)
+
+func (s groupState) String() string {
+	switch s {
+	case stFree:
+		return "free"
+	case stOpen:
+		return "open"
+	case stClosed:
+		return "closed"
+	case stBad:
+		return "bad"
+	case stGC:
+		return "gc"
+	case stSuspect:
+		return "suspect"
+	case stSys:
+		return "sys"
+	}
+	return "?"
+}
+
+// group is a block group: the same block index across all planes of one PU,
+// erased and programmed together (multi-plane operation unit).
+type group struct {
+	id     int
+	gpu    int // global PU
+	blk    int // block index within each plane
+	state  groupState
+	seq    uint64 // allocation sequence number, for recovery ordering
+	erases int    // host-tracked PE cycles, for dynamic wear leveling
+
+	nextUnit int // next write unit (page index) to map
+	// lbas accumulates the logical address of every mapped data sector, in
+	// order, for the close metadata (the paper's block-level FTL log).
+	lbas []int64
+	// stamps holds the global write stamp of each mapped data unit, used
+	// by scan recovery to order units across concurrently open groups.
+	stamps []uint64
+	// unitDone marks programmed units; unitFinal marks units whose entries
+	// have been finalized into the L2P.
+	unitDone, unitFinal []bool
+	// pending maps a submitted unit to the ring positions it carries,
+	// consumed when the unit finalizes.
+	pending map[int][]uint64
+	prev    int64 // previously opened group, stored in the open mark
+
+	valid int // sectors whose current L2P mapping points into this group
+	// gcPending counts in-flight GC rewrites out of this group; gcDone
+	// fires when it reaches zero.
+	gcPending int
+	gcDone    *sim.Event
+}
+
+// slot is one write lane of the mapper: at any instant it owns a single
+// active PU (paper §4.2.1) within its share of the PU space.
+type slot struct {
+	lane       int
+	puLo, puHi int // PU range [puLo, puHi) this lane rotates through
+	curPU      int
+	grp        *group        // open group, nil until first use
+	sem        *sim.Resource // bounds in-flight write units on the lane's PU
+}
+
+// flushReq tracks one Flush call: fires when the ring tail passes pos.
+type flushReq struct {
+	pos uint64
+	ev  *sim.Event
+}
+
+// Pblk is a pblk target instance. It implements blockdev.Device and
+// lightnvm.Target. All methods must be called from simulation context.
+type Pblk struct {
+	name string
+	env  *sim.Env
+	dev  *ocssd.Device
+	fmtr ppa.Format
+	geo  ppa.Geometry
+	cfg  Config
+
+	unitSectors   int // sectors per write unit (planes * sectors/page)
+	unitsPerGroup int // pages per block
+	metaUnits     int // trailing units holding close metadata
+	dataSectors   int // data sectors per group
+	pairStride    int
+	strictPair    bool
+	capacityLBAs  int64
+
+	l2p          []uint64
+	rb           ring
+	groups       []*group
+	freePerPU    [][]int
+	freeGroups   int
+	usableGroups int // groups that can ever hold data (excludes sys/bad at init)
+	seqCounter   uint64
+
+	slots      []*slot
+	rrNext     int
+	lastOpened int // most recently opened group id, -1 initially
+	// unitStamp is the global write-order counter; every mapped unit gets
+	// the next value, persisted in OOB and close metadata.
+	unitStamp uint64
+
+	// retry holds ring positions of write-failed sectors awaiting
+	// remap+resubmit ahead of buffered data (§4.2.3).
+	retry []uint64
+	// suspects queues write-failed groups for priority GC + retirement.
+	suspects []int
+
+	flushes      []flushReq
+	consumerKick *sim.Event
+	gcKick       *sim.Event
+	stopping     bool // full stop: I/O rejected, loops exit
+	gcStopping   bool // GC loop asked to exit after its current victim
+	gcActive     bool // GC hysteresis state
+	consumerDone *sim.Event
+	gcDone       *sim.Event
+
+	rl rateLimiter
+
+	Stats Stats
+}
+
+var (
+	// ErrStopped is returned for I/O after Stop.
+	ErrStopped = errors.New("pblk: target stopped")
+	// ErrReadFailed is returned when the device reports an uncorrectable
+	// read; recovery must be handled above pblk (paper §4.2.3).
+	ErrReadFailed = errors.New("pblk: uncorrectable media read")
+)
+
+var _ blockdev.Device = (*Pblk)(nil)
+var _ lightnvm.Target = (*Pblk)(nil)
+
+func init() {
+	lightnvm.RegisterTargetType("pblk", func(p *sim.Proc, dev *lightnvm.Device, name string, cfg any) (lightnvm.Target, error) {
+		var c Config
+		switch v := cfg.(type) {
+		case nil:
+		case Config:
+			c = v
+		case *Config:
+			c = *v
+		default:
+			return nil, fmt.Errorf("pblk: config must be pblk.Config, got %T", cfg)
+		}
+		return New(p, dev, name, c)
+	})
+}
+
+// New creates a pblk instance on dev, running recovery (snapshot load or
+// two-phase scan) before returning. It must be called from simulation
+// context because recovery performs device I/O.
+func New(p *sim.Proc, dev *lightnvm.Device, name string, cfg Config) (*Pblk, error) {
+	cfg = Default(cfg)
+	raw := dev.Raw()
+	geo := raw.Geometry()
+	if cfg.ActivePUs == 0 {
+		cfg.ActivePUs = geo.TotalPUs()
+	}
+	if cfg.ActivePUs < 1 || cfg.ActivePUs > geo.TotalPUs() {
+		return nil, fmt.Errorf("pblk: ActivePUs %d outside [1,%d]", cfg.ActivePUs, geo.TotalPUs())
+	}
+	if geo.TotalPUs()%cfg.ActivePUs != 0 {
+		return nil, fmt.Errorf("pblk: ActivePUs %d must divide total PUs %d", cfg.ActivePUs, geo.TotalPUs())
+	}
+	k := &Pblk{
+		name: name,
+		env:  dev.Env(),
+		dev:  raw,
+		fmtr: raw.Format(),
+		geo:  geo,
+		cfg:  cfg,
+	}
+	k.unitSectors = geo.PlanesPerPU * geo.SectorsPerPage
+	k.unitsPerGroup = geo.PagesPerBlock
+	k.metaUnits = k.closeMetaUnits()
+	if k.unitsPerGroup < k.metaUnits+2 {
+		return nil, fmt.Errorf("pblk: geometry too small: %d units/group, need %d metadata units plus open mark and data", k.unitsPerGroup, k.metaUnits)
+	}
+	k.dataSectors = (k.unitsPerGroup - 1 - k.metaUnits) * k.unitSectors
+	if raw.SectorOOBSize() < oobBytes {
+		return nil, fmt.Errorf("pblk: per-sector OOB %dB too small, need %dB for L2P metadata", raw.SectorOOBSize(), oobBytes)
+	}
+	media := raw.Identify().Media
+	k.pairStride = media.PairStride
+	k.strictPair = media.StrictPairRead
+	k.lastOpened = -1
+	k.initGroups()
+	k.initCapacity()
+	// The spare pool must cover open groups on every lane plus the GC
+	// emergency reserve, or allocation can deadlock at capacity.
+	spare := int64(k.usableGroups)*int64(k.dataSectors) - k.capacityLBAs
+	if need := int64(2*cfg.ActivePUs+8) * int64(k.dataSectors); spare < need {
+		return nil, fmt.Errorf("pblk: over-provisioning too small: %d spare sectors, need %d for %d active PUs (raise OverProvision or BlocksPerPlane)",
+			spare, need, cfg.ActivePUs)
+	}
+	k.l2p = make([]uint64, k.capacityLBAs)
+	k.rb.init(k.env, k.unitSectors*cfg.BufferPairDepth*geo.TotalPUs())
+	k.rl = newRateLimiter(cfg, k.rb.capacity(), k.unitSectors)
+	k.consumerKick = k.env.NewEvent()
+	k.gcKick = k.env.NewEvent()
+	k.consumerDone = k.env.NewEvent()
+	k.gcDone = k.env.NewEvent()
+	if err := k.recover(p); err != nil {
+		return nil, err
+	}
+	k.buildSlots()
+	k.rl.calibrate(k.spareGroups(), k.gcStartGroups())
+	k.rl.update(k.freeGroups)
+	k.env.Go("pblk."+name+".writer", k.consumer)
+	k.env.Go("pblk."+name+".gc", k.gcLoop)
+	return k, nil
+}
+
+// initGroups builds the group table and free lists. Group 0 on PU 0 is the
+// reserved snapshot area.
+func (k *Pblk) initGroups() {
+	nPU := k.geo.TotalPUs()
+	perPU := k.geo.BlocksPerPlane
+	k.groups = make([]*group, nPU*perPU)
+	k.freePerPU = make([][]int, nPU)
+	for gpu := 0; gpu < nPU; gpu++ {
+		for b := 0; b < perPU; b++ {
+			id := gpu*perPU + b
+			g := &group{id: id, gpu: gpu, blk: b, state: stFree, prev: -1}
+			k.groups[id] = g
+			if gpu == 0 && b == 0 {
+				g.state = stSys
+				continue
+			}
+			if k.groupFactoryBad(g) {
+				g.state = stBad
+				k.Stats.BadBlocks++
+				continue
+			}
+			k.freePerPU[gpu] = append(k.freePerPU[gpu], id)
+			k.freeGroups++
+			k.usableGroups++
+		}
+	}
+}
+
+// groupFactoryBad reports whether any plane block of the group is bad.
+func (k *Pblk) groupFactoryBad(g *group) bool {
+	die := k.dev.Die(g.gpu)
+	for pl := 0; pl < k.geo.PlanesPerPU; pl++ {
+		if die.IsBad(pl, g.blk) {
+			return true
+		}
+	}
+	return false
+}
+
+// initCapacity derives the exported LBA space from usable groups minus
+// over-provisioning.
+func (k *Pblk) initCapacity() {
+	total := int64(k.usableGroups) * int64(k.dataSectors)
+	k.capacityLBAs = int64(float64(total) * (1 - k.cfg.OverProvision))
+	if k.capacityLBAs < 1 {
+		k.capacityLBAs = 1
+	}
+}
+
+// pairOf returns the paired upper unit for a lower unit, or -1.
+func (k *Pblk) pairOf(unit int) int {
+	s := k.pairStride
+	if s <= 0 {
+		return -1
+	}
+	if (unit/s)%2 == 0 && unit+s < k.unitsPerGroup {
+		return unit + s
+	}
+	return -1
+}
+
+// buildSlots partitions the PU space over ActivePUs write lanes.
+func (k *Pblk) buildSlots() {
+	n := k.cfg.ActivePUs
+	total := k.geo.TotalPUs()
+	span := total / n
+	k.slots = make([]*slot, n)
+	for i := range k.slots {
+		k.slots[i] = &slot{
+			lane:  i,
+			puLo:  i * span,
+			puHi:  (i + 1) * span,
+			curPU: i * span,
+			sem:   k.env.NewResource(k.cfg.MaxInflightPerPU),
+		}
+	}
+	k.rrNext = 0
+}
+
+// TargetName implements lightnvm.Target.
+func (k *Pblk) TargetName() string { return k.name }
+
+// SectorSize implements blockdev.Device.
+func (k *Pblk) SectorSize() int { return k.geo.SectorSize }
+
+// Capacity implements blockdev.Device.
+func (k *Pblk) Capacity() int64 { return k.capacityLBAs * int64(k.geo.SectorSize) }
+
+// ActivePUs returns the current number of active write PUs.
+func (k *Pblk) ActivePUs() int { return k.cfg.ActivePUs }
+
+// Device returns the underlying open-channel device.
+func (k *Pblk) Device() *ocssd.Device { return k.dev }
+
+// FreeGroups returns the number of free (erased) block groups, the GC
+// feedback signal.
+func (k *Pblk) FreeGroups() int { return k.freeGroups }
+
+// SetActivePUs retunes write provisioning at run time (paper §4.2.1:
+// "the number of channels and PUs used for mapping incoming I/Os can be
+// tuned at run-time"). Open groups are padded and closed first so the new
+// lanes start on fresh blocks.
+func (k *Pblk) SetActivePUs(p *sim.Proc, n int) error {
+	if n < 1 || n > k.geo.TotalPUs() || k.geo.TotalPUs()%n != 0 {
+		return fmt.Errorf("pblk: invalid active PU count %d", n)
+	}
+	if err := k.Flush(p); err != nil {
+		return err
+	}
+	k.drainOpenGroups(p)
+	k.cfg.ActivePUs = n
+	k.buildSlots()
+	return nil
+}
+
+// Stop implements lightnvm.Target: quiesce GC, flush all buffered data,
+// stop the write thread. The device is left fully consistent for scan
+// recovery but no snapshot is written; use Shutdown for a graceful
+// power-down.
+func (k *Pblk) Stop(p *sim.Proc) error {
+	if k.stopping {
+		return nil
+	}
+	// Stop GC first, while the consumer is still draining its moves.
+	k.gcStopping = true
+	k.gcKick.Signal()
+	p.Wait(k.gcDone)
+	if err := k.Flush(p); err != nil {
+		return err
+	}
+	k.stopping = true
+	k.consumerKick.Signal()
+	k.rb.signalSpace()
+	p.Wait(k.consumerDone)
+	return nil
+}
+
+// Shutdown performs a graceful power-down: flush, quiesce, pad and close
+// every open block group, and persist a full L2P snapshot to the reserved
+// system group (paper §4.2.2, snapshot form).
+func (k *Pblk) Shutdown(p *sim.Proc) error {
+	if err := k.Stop(p); err != nil {
+		return err
+	}
+	k.drainOpenGroups(p)
+	k.quiesce(p)
+	return k.writeSnapshot(p)
+}
+
+// quiesce waits until no group is mid-transition and the ring is empty.
+func (k *Pblk) quiesce(p *sim.Proc) {
+	for {
+		busy := k.rb.inRing() > 0
+		for _, g := range k.groups {
+			if g.state == stOpen || g.state == stGC {
+				busy = true
+				break
+			}
+		}
+		if !busy {
+			return
+		}
+		p.Sleep(200 * time.Microsecond)
+	}
+}
+
+// Crash abandons all host state without flushing, simulating power loss.
+// The instance becomes unusable; create a new instance on the same device
+// to exercise recovery.
+func (k *Pblk) Crash() {
+	k.stopping = true
+	k.consumerKick.Signal()
+	k.gcKick.Signal()
+	k.dev.Crash()
+}

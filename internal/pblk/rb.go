@@ -1,0 +1,156 @@
+package pblk
+
+import (
+	"repro/internal/ppa"
+	"repro/internal/sim"
+)
+
+// L2P entry encoding: the table holds either nothing, a pointer into the
+// write buffer (cacheline, paper §4.2.1), or a media PPA.
+const (
+	l2pUnmapped uint64 = 0
+	l2pCacheBit uint64 = 1 << 63
+	l2pMediaBit uint64 = 1 << 62
+)
+
+func cacheEntry(pos uint64) uint64 { return pos | l2pCacheBit }
+
+func (k *Pblk) mediaEntry(a ppa.Addr) uint64 { return k.fmtr.Encode(a) | l2pMediaBit }
+
+func isCache(v uint64) bool { return v&l2pCacheBit != 0 }
+func isMedia(v uint64) bool { return v&l2pCacheBit == 0 && v&l2pMediaBit != 0 }
+
+func cachePos(v uint64) uint64 { return v &^ l2pCacheBit }
+
+func (k *Pblk) mediaAddr(v uint64) ppa.Addr { return k.fmtr.Decode(v &^ l2pMediaBit) }
+
+// entryState is the lifecycle of one ring-buffer entry.
+type entryState uint8
+
+const (
+	esBuffered  entryState = iota // produced, awaiting mapping
+	esSubmitted                   // mapped to a PPA, write in flight
+	esDone                        // programmed and finalized; freeable
+)
+
+// padLBA marks padding entries (the paper's "unmapped data").
+const padLBA int64 = -1
+
+// rbEntry is one sector in the write buffer: the paper's data buffer entry
+// plus its context-buffer metadata, fused.
+type rbEntry struct {
+	pos   uint64
+	lba   int64
+	data  []byte
+	state entryState
+	addr  ppa.Addr
+	isGC  bool
+	// origin is the group a GC rewrite was copied from, -1 for user I/O
+	// and padding; used to detect when a victim is fully moved.
+	origin int
+}
+
+// ring is the circular write buffer (paper §4.2.1): multiple producers
+// (user writes, GC), single consumer (the write thread). Positions are
+// monotonically increasing; index = pos % capacity.
+type ring struct {
+	env     *sim.Env
+	e       []rbEntry
+	head    uint64 // next position to produce
+	subPtr  uint64 // next position to consume (map + submit)
+	tail    uint64 // next position to free; all below are done
+	userIn  int    // user entries currently in the ring
+	gcIn    int    // GC entries currently in the ring
+	spaceEv *sim.Event
+}
+
+func (r *ring) init(env *sim.Env, capacity int) {
+	r.env = env
+	r.e = make([]rbEntry, capacity)
+}
+
+func (r *ring) capacity() int { return len(r.e) }
+
+// inRing returns occupied entries (produced, not yet freed).
+func (r *ring) inRing() int { return int(r.head - r.tail) }
+
+// free returns available entries.
+func (r *ring) free() int { return len(r.e) - r.inRing() }
+
+// buffered returns produced entries not yet submitted.
+func (r *ring) buffered() int { return int(r.head - r.subPtr) }
+
+func (r *ring) at(pos uint64) *rbEntry { return &r.e[pos%uint64(len(r.e))] }
+
+// produce appends one entry and returns its position. The caller must have
+// checked free space.
+func (r *ring) produce(lba int64, data []byte, isGC bool, origin int) uint64 {
+	pos := r.head
+	*r.at(pos) = rbEntry{pos: pos, lba: lba, data: data, state: esBuffered, isGC: isGC, origin: origin}
+	r.head++
+	if lba != padLBA {
+		if isGC {
+			r.gcIn++
+		} else {
+			r.userIn++
+		}
+	}
+	return pos
+}
+
+// waitSpace blocks the producing process until at least one free slot
+// exists. Callers re-check their own admission condition after waking.
+func (r *ring) waitSpace(p *sim.Proc) {
+	if r.spaceEv == nil || r.spaceEv.Fired() {
+		r.spaceEv = r.env.NewEvent()
+	}
+	p.Wait(r.spaceEv)
+}
+
+func (r *ring) signalSpace() {
+	if r.spaceEv != nil {
+		r.spaceEv.Signal()
+	}
+}
+
+// advanceTail frees contiguous done entries and returns how many were
+// released.
+func (r *ring) advanceTail() int {
+	n := 0
+	for r.tail < r.subPtr {
+		e := r.at(r.tail)
+		if e.state != esDone {
+			break
+		}
+		if e.lba != padLBA {
+			if e.isGC {
+				r.gcIn--
+			} else {
+				r.userIn--
+			}
+		}
+		e.data = nil
+		r.tail++
+		n++
+	}
+	if n > 0 {
+		r.signalSpace()
+	}
+	return n
+}
+
+// nextStamp returns the next global write-order stamp.
+func (k *Pblk) nextStamp() uint64 {
+	k.unitStamp++
+	return k.unitStamp
+}
+
+// entryIsCurrent reports whether the L2P still points at this buffer entry,
+// i.e. it has not been superseded by a newer write of the same LBA.
+func (k *Pblk) entryIsCurrent(e *rbEntry) bool {
+	if e.lba == padLBA {
+		return false
+	}
+	v := k.l2p[e.lba]
+	return isCache(v) && cachePos(v) == e.pos
+}

@@ -1,0 +1,127 @@
+package pblk
+
+import (
+	"fmt"
+
+	"repro/internal/blockdev"
+	"repro/internal/ocssd"
+	"repro/internal/ppa"
+	"repro/internal/sim"
+)
+
+// Read implements blockdev.Device. Each sector is served from the write
+// buffer when its mapping is a cacheline (paper §4.2.1: "reads are directed
+// to the write buffer until all page pairs have been persisted"), from
+// media via vector reads otherwise, and as zeros when unmapped.
+//
+// Media read failures surface as ErrReadFailed: pblk has no read recovery
+// (§4.2.3, ECC and threshold tuning live in the device).
+func (k *Pblk) Read(p *sim.Proc, off int64, buf []byte, length int64) error {
+	if k.stopping {
+		return ErrStopped
+	}
+	if err := blockdev.CheckRange(k, off, buf, length); err != nil {
+		return err
+	}
+	p.Sleep(k.cfg.HostReadOverhead)
+	ss := int64(k.geo.SectorSize)
+	n := int(length / ss)
+
+	// Gather media sectors into one or more vector reads; resolve cache and
+	// unmapped sectors immediately.
+	type mediaSector struct {
+		sector int // index within the request
+		addr   ppa.Addr
+	}
+	var media []mediaSector
+	for i := 0; i < n; i++ {
+		lba := off/ss + int64(i)
+		v := k.l2p[lba]
+		switch {
+		case isCache(v):
+			k.Stats.CacheReads++
+			e := k.rb.at(cachePos(v))
+			if buf != nil {
+				dst := buf[int64(i)*ss : int64(i+1)*ss]
+				if e.data != nil {
+					copy(dst, e.data)
+				} else {
+					zero(dst)
+				}
+			}
+		case isMedia(v):
+			k.Stats.MediaReads++
+			media = append(media, mediaSector{sector: i, addr: k.mediaAddr(v)})
+		default:
+			if buf != nil {
+				zero(buf[int64(i)*ss : int64(i+1)*ss])
+			}
+		}
+		k.Stats.UserReads++
+	}
+	if len(media) == 0 {
+		return nil
+	}
+
+	// Issue all vector commands, then wait for every completion; the device
+	// parallelizes across PUs and channels.
+	type pendingCmd struct {
+		comp *ocssd.Completion
+		sect []int
+	}
+	var cmds []pendingCmd
+	allDone := k.env.NewEvent()
+	outstanding := 0
+	for lo := 0; lo < len(media); lo += ocssd.MaxVectorLen {
+		hi := lo + ocssd.MaxVectorLen
+		if hi > len(media) {
+			hi = len(media)
+		}
+		chunk := media[lo:hi]
+		addrs := make([]ppa.Addr, len(chunk))
+		sect := make([]int, len(chunk))
+		for j, m := range chunk {
+			addrs[j] = m.addr
+			sect[j] = m.sector
+		}
+		pc := pendingCmd{sect: sect}
+		idx := len(cmds)
+		cmds = append(cmds, pc)
+		outstanding++
+		k.dev.Submit(&ocssd.Vector{Op: ocssd.OpRead, Addrs: addrs}, func(c *ocssd.Completion) {
+			cmds[idx].comp = c
+			outstanding--
+			if outstanding == 0 {
+				allDone.Signal()
+			}
+		})
+	}
+	p.Wait(allDone)
+
+	var firstErr error
+	for _, pc := range cmds {
+		for j, si := range pc.sect {
+			if pc.comp.Errs[j] != nil {
+				if firstErr == nil {
+					firstErr = fmt.Errorf("%w: lba %d: %v", ErrReadFailed, off/ss+int64(si), pc.comp.Errs[j])
+				}
+				continue
+			}
+			if buf != nil {
+				dst := buf[int64(si)*ss : int64(si+1)*ss]
+				if d := pc.comp.Data[j]; d != nil {
+					copy(dst, d)
+				} else {
+					zero(dst)
+				}
+			}
+		}
+	}
+	return firstErr
+}
+
+func zero(b []byte) {
+	for i := range b {
+		b[i] = 0
+	}
+}

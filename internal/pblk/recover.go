@@ -1,0 +1,296 @@
+package pblk
+
+import (
+	"errors"
+	"sort"
+	"time"
+
+	"repro/internal/nand"
+	"repro/internal/ocssd"
+	"repro/internal/ppa"
+	"repro/internal/sim"
+)
+
+// recover restores the mapping table at target creation (paper §4.2.2):
+// from the on-media snapshot after a graceful shutdown, otherwise by the
+// two-phase scan over block metadata and per-page OOB.
+func (k *Pblk) recover(p *sim.Proc) error {
+	if k.loadSnapshot(p) {
+		k.Stats.SnapshotLoads++
+		k.rebuildFreeLists()
+		k.recountValid()
+		return nil
+	}
+	if err := k.scanRecover(p); err != nil {
+		return err
+	}
+	k.rebuildFreeLists()
+	k.recountValid()
+	return nil
+}
+
+// rebuildFreeLists reconstructs the per-PU free lists from group states.
+func (k *Pblk) rebuildFreeLists() {
+	for i := range k.freePerPU {
+		k.freePerPU[i] = k.freePerPU[i][:0]
+	}
+	k.freeGroups = 0
+	for _, g := range k.groups {
+		if g.state == stFree {
+			k.freePerPU[g.gpu] = append(k.freePerPU[g.gpu], g.id)
+			k.freeGroups++
+		}
+	}
+}
+
+// recountValid recomputes per-group valid sector counts from the L2P.
+func (k *Pblk) recountValid() {
+	for _, g := range k.groups {
+		g.valid = 0
+	}
+	for _, v := range k.l2p {
+		if isMedia(v) {
+			k.groupOf(k.mediaAddr(v)).valid++
+		}
+	}
+}
+
+// recUnit is one recovered write unit: its global stamp and the logical
+// addresses of its sectors, in plane-major order.
+type recUnit struct {
+	stamp uint64
+	g     *group
+	unit  int
+	lbas  []int64
+}
+
+// scanRecover performs the two-phase recovery: classify every group as
+// free, fully written, or partially written by reading its first and last
+// pages; gather fully written groups' FTL logs, then partially written
+// groups' per-page OOB (padding them to completion so page pairs become
+// readable, paper §4.2.2). Units are finally replayed into the L2P in
+// global write-stamp order — groups fill concurrently on different lanes,
+// so neither group order nor classification phase alone orders overwrites
+// of the same sector correctly.
+func (k *Pblk) scanRecover(p *sim.Proc) error {
+	k.Stats.Recoveries++
+	type found struct {
+		g      *group
+		seq    uint64
+		lbas   []int64
+		stamps []uint64
+		full   bool
+	}
+	var fulls, partials []found
+	var maxSeq uint64
+
+	for _, g := range k.groups {
+		switch g.state {
+		case stSys, stBad:
+			continue
+		}
+		gid, seq, _, state, err := k.classifyGroup(p, g)
+		if err != nil {
+			return err
+		}
+		switch state {
+		case stFree:
+			g.state = stFree
+			continue
+		case stBad:
+			g.state = stBad
+			k.Stats.BadBlocks++
+			continue
+		}
+		if gid != g.id {
+			// Foreign or torn metadata: reclaim the group.
+			if err := k.eraseGroupRaw(p, g); err == nil {
+				g.state = stFree
+			} else {
+				g.state = stBad
+			}
+			continue
+		}
+		g.seq = seq
+		if seq > maxSeq {
+			maxSeq = seq
+		}
+		if metaSeq, lbas, stamps, ok := k.readCloseMeta(p, g); ok && metaSeq == seq {
+			fulls = append(fulls, found{g: g, seq: seq, lbas: lbas, stamps: stamps, full: true})
+		} else {
+			partials = append(partials, found{g: g, seq: seq})
+		}
+	}
+
+	var units []recUnit
+	collect := func(g *group, lbas []int64, stamps []uint64) {
+		for u := 0; u < len(stamps); u++ {
+			lo := u * k.unitSectors
+			hi := lo + k.unitSectors
+			if hi > len(lbas) {
+				hi = len(lbas)
+			}
+			if lo >= hi {
+				break
+			}
+			units = append(units, recUnit{stamp: stamps[u], g: g, unit: 1 + u, lbas: lbas[lo:hi]})
+		}
+	}
+
+	// Phase one: fully written blocks — the FTL log on each block's last
+	// pages supplies the mapping portion and per-unit stamps.
+	for _, f := range fulls {
+		collect(f.g, f.lbas, f.stamps)
+		f.g.state = stClosed
+		f.g.nextUnit = k.unitsPerGroup
+	}
+
+	// Phase two: partially written blocks — scanned linearly until an
+	// unwritten page, then padded so half-written lower/upper pairs become
+	// readable.
+	sort.Slice(partials, func(i, j int) bool { return partials[i].seq < partials[j].seq })
+	for _, f := range partials {
+		watermark, lbas, stamps := k.scanGroupOOB(p, f.g)
+		collect(f.g, lbas, stamps)
+		for _, s := range stamps {
+			if s > k.unitStamp {
+				k.unitStamp = s
+			}
+		}
+		if err := k.padGroupTail(p, f.g, watermark, lbas, stamps); err != nil {
+			return err
+		}
+		f.g.state = stClosed
+		f.g.nextUnit = k.unitsPerGroup
+	}
+
+	// Replay: globally ordered by write stamp, later units overwrite.
+	sort.Slice(units, func(i, j int) bool { return units[i].stamp < units[j].stamp })
+	for _, u := range units {
+		if u.stamp > k.unitStamp {
+			k.unitStamp = u.stamp
+		}
+		for i, lba := range u.lbas {
+			if lba == padLBA || lba < 0 || lba >= k.capacityLBAs {
+				continue
+			}
+			k.l2p[lba] = k.mediaEntry(k.unitSectorAddr(u.g, u.unit, i))
+		}
+	}
+
+	k.seqCounter = maxSeq
+	// The system group may hold a torn snapshot; clear it.
+	if err := k.eraseGroupRaw(p, k.sysGroup()); err != nil && !errors.Is(err, nand.ErrBadBlock) {
+		return err
+	}
+	return nil
+}
+
+// unitSectorAddr returns the address of sector i (plane-major) of a unit.
+func (k *Pblk) unitSectorAddr(g *group, unit, i int) ppa.Addr {
+	plane := i / k.geo.SectorsPerPage
+	sector := i % k.geo.SectorsPerPage
+	ch, pu := k.fmtr.PUAddr(g.gpu)
+	return ppa.Addr{Ch: ch, PU: pu, Plane: plane, Block: g.blk, Page: unit, Sector: sector}
+}
+
+// classifyGroup reads a group's open mark. state is stFree for erased
+// groups, stBad for inaccessible ones, stOpen when a mark exists. A written
+// page with an unparseable mark returns gid == -1.
+func (k *Pblk) classifyGroup(p *sim.Proc, g *group) (gid int, seq uint64, prev int64, state groupState, err error) {
+	addrs := k.unitAddrs(g, 0)[:1]
+	c := k.dev.Do(p, &ocssd.Vector{Op: ocssd.OpRead, Addrs: addrs})
+	e := c.Errs[0]
+	switch {
+	case isUnwritten(e):
+		return 0, 0, 0, stFree, nil
+	case errors.Is(e, nand.ErrBadBlock):
+		return 0, 0, 0, stBad, nil
+	case errors.Is(e, nand.ErrPairIncomplete):
+		// Mark exists but pair-unreadable; extremely early crash. Treat as
+		// unparseable so the group is reclaimed.
+		return -1, 0, 0, stOpen, nil
+	case e != nil:
+		return -1, 0, 0, stOpen, nil
+	}
+	if c.Data[0] == nil {
+		return -1, 0, 0, stOpen, nil
+	}
+	id, sq, pv, ok := parseOpenMark(c.Data[0])
+	if !ok {
+		return -1, 0, 0, stOpen, nil
+	}
+	return id, sq, pv, stOpen, nil
+}
+
+// padGroupTail pads a partially written group from its watermark to the
+// end and writes close metadata when the metadata region is still intact,
+// turning the group into a normal closed group for GC.
+func (k *Pblk) padGroupTail(p *sim.Proc, g *group, watermark int, lbas []int64, stamps []uint64) error {
+	end := k.firstMetaUnit()
+	writeMeta := watermark <= end
+	if !writeMeta {
+		end = k.unitsPerGroup
+	}
+	fullStamps := make([]uint64, 0, k.dataUnits())
+	fullStamps = append(fullStamps, stamps...)
+	for unit := watermark; unit < end; unit++ {
+		addrs := k.unitAddrs(g, unit)
+		oob := make([][]byte, len(addrs))
+		stamp := k.nextStamp()
+		fullStamps = append(fullStamps, stamp)
+		for i := range oob {
+			oob[i] = k.encodeOOB(padLBA, false, stamp)
+		}
+		k.Stats.PaddedSectors += int64(len(addrs))
+		if c := k.dev.Do(p, &ocssd.Vector{Op: ocssd.OpWrite, Addrs: addrs, OOB: oob}); c.Failed() {
+			// Padding hit a bad spot: retire the group; its mappings are
+			// already applied and GC-by-OOB still works for reads.
+			k.markSuspectRecovered(g)
+			return nil
+		}
+	}
+	if writeMeta {
+		full := make([]int64, k.dataSectors)
+		for i := range full {
+			full[i] = padLBA
+		}
+		copy(full, lbas)
+		g.unitDone = make([]bool, k.unitsPerGroup)
+		g.unitFinal = make([]bool, k.unitsPerGroup)
+		g.lbas = full
+		g.stamps = fullStamps
+		g.state = stOpen // submitCloseMeta flips it to closed on completion
+		k.submitCloseMeta(p, g)
+		k.waitGroupClosed(p, g)
+	}
+	return nil
+}
+
+// markSuspectRecovered queues a group found damaged during recovery.
+func (k *Pblk) markSuspectRecovered(g *group) {
+	g.state = stSuspect
+	k.suspects = append(k.suspects, g.id)
+}
+
+// waitGroupClosed polls until submitCloseMeta's completions have run.
+func (k *Pblk) waitGroupClosed(p *sim.Proc, g *group) {
+	for g.state == stOpen {
+		p.Sleep(50 * time.Microsecond)
+	}
+}
+
+// eraseGroupRaw erases all plane blocks of a group directly.
+func (k *Pblk) eraseGroupRaw(p *sim.Proc, g *group) error {
+	ch, pu := k.fmtr.PUAddr(g.gpu)
+	addrs := make([]ppa.Addr, k.geo.PlanesPerPU)
+	for pl := range addrs {
+		addrs[pl] = ppa.Addr{Ch: ch, PU: pu, Plane: pl, Block: g.blk}
+	}
+	c := k.dev.Do(p, &ocssd.Vector{Op: ocssd.OpErase, Addrs: addrs})
+	if c.Failed() {
+		return c.FirstErr()
+	}
+	g.erases++
+	return nil
+}

@@ -1,0 +1,449 @@
+package pblk
+
+import (
+	"repro/internal/blockdev"
+	"repro/internal/ocssd"
+	"repro/internal/ppa"
+	"repro/internal/sim"
+)
+
+// Write implements blockdev.Device: sectors are copied into the ring
+// buffer, the L2P is pointed at the buffer entries, and the write is
+// acknowledged (paper §4.2.1, producers). It blocks only when the buffer
+// is full or the rate limiter withholds user entries.
+func (k *Pblk) Write(p *sim.Proc, off int64, buf []byte, length int64) error {
+	if k.stopping {
+		return ErrStopped
+	}
+	if err := blockdev.CheckRange(k, off, buf, length); err != nil {
+		return err
+	}
+	p.Sleep(k.cfg.HostWriteOverhead)
+	ss := int64(k.geo.SectorSize)
+	for i := int64(0); i < length/ss; i++ {
+		k.reserveUser(p)
+		if k.stopping {
+			return ErrStopped
+		}
+		lba := off/ss + i
+		var data []byte
+		if buf != nil {
+			data = append([]byte(nil), buf[i*ss:(i+1)*ss]...)
+		}
+		pos := k.rb.produce(lba, data, false, -1)
+		k.installCacheMapping(lba, pos)
+		k.Stats.UserWrites++
+	}
+	k.consumerKick.Signal()
+	return nil
+}
+
+// installCacheMapping points the L2P at a fresh buffer entry, invalidating
+// whatever the sector mapped to before.
+func (k *Pblk) installCacheMapping(lba int64, pos uint64) {
+	old := k.l2p[lba]
+	if isMedia(old) {
+		k.groupOf(k.mediaAddr(old)).valid--
+	}
+	k.l2p[lba] = cacheEntry(pos)
+}
+
+// reserveUser blocks until the ring has space and the rate limiter admits
+// another user entry (paper §4.2.4: "entries are reserved as a function of
+// the feedback loop").
+func (k *Pblk) reserveUser(p *sim.Proc) {
+	for !k.stopping {
+		quota := k.rb.capacity()
+		if !k.cfg.DisableRateLimiter {
+			quota = k.rl.userQuota
+		}
+		// Hard floor independent of the PID output: when free groups fall
+		// to the lane reserve, user I/O stops entirely until GC recovers
+		// ("user I/Os will be completely disabled until enough free blocks
+		// are available").
+		if k.freeGroups <= k.emergencyReserve() {
+			quota = 0
+			k.maybeKickGC()
+		}
+		if k.rb.free() >= 1 && k.rb.userIn < quota {
+			return
+		}
+		k.maybeKickGC()
+		k.rb.waitSpace(p)
+	}
+}
+
+// emergencyReserve is the free-group floor kept for GC and lane turnover.
+func (k *Pblk) emergencyReserve() int { return len(k.slots) + 2 }
+
+// reserveGC blocks until the ring has space for a GC entry; GC competes
+// for raw space but is never throttled by the limiter.
+func (k *Pblk) reserveGC(p *sim.Proc) {
+	for !k.stopping {
+		if k.rb.free() >= 1 {
+			return
+		}
+		k.rb.waitSpace(p)
+	}
+}
+
+// Flush implements blockdev.Device (paper §4.2.1): all data buffered at
+// call time is forced to media, padding the final flash page if needed.
+func (k *Pblk) Flush(p *sim.Proc) error {
+	if k.stopping {
+		return ErrStopped
+	}
+	k.Stats.Flushes++
+	if k.rb.inRing() == 0 && len(k.retry) == 0 {
+		return nil
+	}
+	req := flushReq{pos: k.rb.head - 1, ev: k.env.NewEvent()}
+	k.flushes = append(k.flushes, req)
+	k.consumerKick.Signal()
+	p.Wait(req.ev)
+	return nil
+}
+
+// Trim implements blockdev.Device: mappings are dropped host-side; the
+// freed sectors become garbage for GC.
+func (k *Pblk) Trim(p *sim.Proc, off, length int64) error {
+	if k.stopping {
+		return ErrStopped
+	}
+	if err := blockdev.CheckRange(k, off, nil, length); err != nil {
+		return err
+	}
+	p.Sleep(k.cfg.HostWriteOverhead)
+	ss := int64(k.geo.SectorSize)
+	for lba := off / ss; lba < (off+length)/ss; lba++ {
+		v := k.l2p[lba]
+		if isMedia(v) {
+			k.groupOf(k.mediaAddr(v)).valid--
+		}
+		k.l2p[lba] = l2pUnmapped
+	}
+	k.maybeKickGC()
+	return nil
+}
+
+// flushNeedsPad reports whether a pending flush requires the consumer to
+// pad out entries now: only when data at or below the earliest barrier is
+// still buffered (or failed writes await resubmission). Writes that arrive
+// after the barrier accumulate normally — they are not covered by the
+// flush and padding them would multiply write amplification.
+func (k *Pblk) flushNeedsPad() bool {
+	if len(k.flushes) == 0 {
+		return false
+	}
+	if len(k.retry) > 0 {
+		return true
+	}
+	return k.rb.buffered() > 0 && k.flushes[0].pos >= k.rb.subPtr
+}
+
+// consumer is pblk's single write thread (paper §4.2.1): it drains the
+// ring buffer into write units, maps them round-robin across the active
+// lanes, and submits vector writes.
+func (k *Pblk) consumer(p *sim.Proc) {
+	defer k.consumerDone.Signal()
+	for {
+		pending := len(k.retry) + k.rb.buffered()
+		switch {
+		case pending >= k.unitSectors,
+			k.flushNeedsPad(),
+			len(k.retry) > 0 && k.rb.free() <= k.rb.capacity()/4:
+			k.writeUnit(p)
+		case k.strictPair && len(k.flushes) > 0:
+			k.padForFlush(p)
+			k.waitKick(p)
+		default:
+			if k.stopping {
+				return
+			}
+			k.waitKick(p)
+		}
+		if k.stopping && len(k.retry)+k.rb.buffered() == 0 {
+			return
+		}
+	}
+}
+
+func (k *Pblk) waitKick(p *sim.Proc) {
+	if k.consumerKick.Fired() {
+		k.consumerKick = k.env.NewEvent()
+	}
+	p.Wait(k.consumerKick)
+}
+
+// writeUnit forms one write unit from retried and buffered entries (plus
+// padding under flush pressure), maps it onto the next lane, and submits
+// the vector write.
+func (k *Pblk) writeUnit(p *sim.Proc) {
+	s := k.slots[k.rrNext]
+	k.rrNext = (k.rrNext + 1) % len(k.slots)
+	s.sem.Acquire(p)
+	if k.stopping && len(k.retry)+k.rb.buffered() == 0 {
+		s.sem.Release()
+		return
+	}
+	if s.grp == nil {
+		s.grp = k.openGroupOn(p, s)
+		if s.grp == nil { // stopping
+			s.sem.Release()
+			return
+		}
+	}
+	g := s.grp
+	unit := g.nextUnit
+	g.nextUnit++
+	addrs := k.unitAddrs(g, unit)
+	data := make([][]byte, len(addrs))
+	oob := make([][]byte, len(addrs))
+	poss := make([]uint64, 0, len(addrs))
+	stamp := k.nextStamp()
+	g.stamps = append(g.stamps, stamp)
+	for i := range addrs {
+		var e *rbEntry
+		switch {
+		case len(k.retry) > 0:
+			e = k.rb.at(k.retry[0])
+			k.retry = k.retry[1:]
+		case k.rb.subPtr < k.rb.head:
+			e = k.rb.at(k.rb.subPtr)
+			k.rb.subPtr++
+		default:
+			// Padding (paper: "pblk adds padding before the write
+			// command is sent to the device").
+			oob[i] = k.encodeOOB(padLBA, false, stamp)
+			g.lbas = append(g.lbas, padLBA)
+			k.Stats.PaddedSectors++
+			continue
+		}
+		e.state = esSubmitted
+		e.addr = addrs[i]
+		data[i] = e.data
+		oob[i] = k.encodeOOB(e.lba, true, stamp)
+		g.lbas = append(g.lbas, e.lba)
+		poss = append(poss, e.pos)
+	}
+	if g.pending == nil {
+		g.pending = make(map[int][]uint64)
+	}
+	g.pending[unit] = poss
+	u := unit
+	k.dev.Submit(&ocssd.Vector{Op: ocssd.OpWrite, Addrs: addrs, Data: data, OOB: oob}, func(c *ocssd.Completion) {
+		s.sem.Release()
+		k.onUnitProgrammed(g, u, c)
+	})
+	if g.nextUnit == k.firstMetaUnit() {
+		k.closeGroup(p, s)
+	}
+}
+
+// padForFlush covers lower/upper page pairs under strict pairing so that
+// flushed data becomes readable from media: each lane whose open group has
+// submitted units with uncovered pairs is padded forward.
+func (k *Pblk) padForFlush(p *sim.Proc) {
+	for _, s := range k.slots {
+		g := s.grp
+		if g == nil {
+			continue
+		}
+		for k.groupNeedsPairCover(g) {
+			if g.nextUnit >= k.firstMetaUnit() {
+				k.closeGroup(p, s)
+				break
+			}
+			unit := g.nextUnit
+			g.nextUnit++
+			addrs := k.unitAddrs(g, unit)
+			oob := make([][]byte, len(addrs))
+			stamp := k.nextStamp()
+			g.stamps = append(g.stamps, stamp)
+			for i := range oob {
+				oob[i] = k.encodeOOB(padLBA, false, stamp)
+				g.lbas = append(g.lbas, padLBA)
+			}
+			k.Stats.PaddedSectors += int64(len(addrs))
+			u := unit
+			s.sem.Acquire(p)
+			k.dev.Submit(&ocssd.Vector{Op: ocssd.OpWrite, Addrs: addrs, OOB: oob}, func(c *ocssd.Completion) {
+				s.sem.Release()
+				k.onUnitProgrammed(g, u, c)
+			})
+			if g.nextUnit == k.firstMetaUnit() {
+				k.closeGroup(p, s)
+				break
+			}
+		}
+	}
+}
+
+// groupNeedsPairCover reports whether any submitted unit's pair page is
+// still unwritten.
+func (k *Pblk) groupNeedsPairCover(g *group) bool {
+	for u := range g.pending {
+		if pair := k.pairOf(u); pair >= 0 && pair >= g.nextUnit {
+			return true
+		}
+	}
+	return false
+}
+
+// onUnitProgrammed runs at vector-write completion: handle per-sector
+// failures, mark the unit programmed, finalize pair-covered units, advance
+// the ring tail, and complete satisfied flushes. It runs in scheduler
+// context and must not block.
+func (k *Pblk) onUnitProgrammed(g *group, unit int, c *ocssd.Completion) {
+	if c.Failed() {
+		k.handleWriteError(g, unit, c)
+	}
+	g.unitDone[unit] = true
+	k.finalizeGroup(g)
+	k.rb.advanceTail()
+	k.checkFlushes()
+}
+
+// finalizeGroup finalizes every programmed unit whose lower/upper pair
+// constraint is satisfied (paper §4.2.1: "the L2P table is not modified as
+// pages are mapped ... until all page pairs have been persisted").
+func (k *Pblk) finalizeGroup(g *group) {
+	for u, poss := range g.pending {
+		if !g.unitDone[u] || g.unitFinal[u] {
+			continue
+		}
+		if !k.unitPairCovered(g, u) {
+			continue
+		}
+		g.unitFinal[u] = true
+		for _, pos := range poss {
+			k.finalizeEntry(k.rb.at(pos))
+		}
+		delete(g.pending, u)
+	}
+}
+
+// unitPairCovered reports whether unit u's data is stable for reads.
+func (k *Pblk) unitPairCovered(g *group, u int) bool {
+	if !k.strictPair || g.state == stSuspect || g.state == stBad {
+		return true
+	}
+	pair := k.pairOf(u)
+	return pair < 0 || g.unitDone[pair]
+}
+
+// finalizeEntry moves one buffer entry to its terminal state: if the L2P
+// still points at it, install the media mapping and count the sector valid
+// in its group; otherwise the written sector is already garbage.
+func (k *Pblk) finalizeEntry(e *rbEntry) {
+	if e.state != esSubmitted {
+		return
+	}
+	if k.entryIsCurrent(e) {
+		k.l2p[e.lba] = k.mediaEntry(e.addr)
+		k.groupOf(e.addr).valid++
+	}
+	k.releaseGCRef(e)
+	e.state = esDone
+}
+
+// releaseGCRef credits a completed GC move back to its victim group.
+func (k *Pblk) releaseGCRef(e *rbEntry) {
+	if e.origin < 0 {
+		return
+	}
+	og := k.groups[e.origin]
+	e.origin = -1
+	og.gcPending--
+	if og.gcPending == 0 && og.gcDone != nil {
+		og.gcDone.Signal()
+	}
+}
+
+// checkFlushes completes flush requests whose barrier the tail has passed.
+func (k *Pblk) checkFlushes() {
+	for len(k.flushes) > 0 && k.rb.tail > k.flushes[0].pos {
+		k.flushes[0].ev.Signal()
+		k.flushes = k.flushes[1:]
+	}
+	if len(k.flushes) > 0 {
+		// Wake the consumer: padding (or pair covering) may be required
+		// to let the tail progress.
+		k.consumerKick.Signal()
+	}
+}
+
+// handleWriteError implements §4.2.3: failed sectors are remapped and
+// re-submitted ahead of buffered data; the block is marked suspect, drained
+// by priority GC, and retired.
+func (k *Pblk) handleWriteError(g *group, unit int, c *ocssd.Completion) {
+	poss := g.pending[unit]
+	// Map failed vector indices back to ring entries via each entry's
+	// position in the unit's plane-major address layout.
+	failed := make([]uint64, 0, 4)
+	for _, pos := range poss {
+		e := k.rb.at(pos)
+		idx := k.vectorIndexOf(e.addr)
+		if idx >= 0 && idx < len(c.Errs) && c.Errs[idx] != nil {
+			if k.entryIsCurrent(e) {
+				e.state = esBuffered
+				failed = append(failed, pos)
+			} else {
+				// Superseded while in flight: nothing to recover.
+				k.releaseGCRef(e)
+				e.state = esDone
+			}
+			k.Stats.WriteErrors++
+		}
+	}
+	// Remove failed entries from the unit's pending list so finalizeGroup
+	// does not complete them against the bad block.
+	if len(failed) > 0 {
+		kept := poss[:0]
+		inFailed := func(pos uint64) bool {
+			for _, f := range failed {
+				if f == pos {
+					return true
+				}
+			}
+			return false
+		}
+		for _, pos := range poss {
+			if !inFailed(pos) {
+				kept = append(kept, pos)
+			}
+		}
+		g.pending[unit] = kept
+		k.retry = append(k.retry, failed...)
+	}
+	k.markSuspect(g)
+	k.consumerKick.Signal()
+}
+
+// vectorIndexOf returns the index of addr within its write unit's address
+// vector (plane-major layout produced by unitAddrs).
+func (k *Pblk) vectorIndexOf(a ppa.Addr) int {
+	return a.Plane*k.geo.SectorsPerPage + a.Sector
+}
+
+// markSuspect retires a group from service after a write failure: it is
+// detached from its lane and queued for priority GC, after which it is
+// marked bad (paper §4.2.3: "the remaining pages are padded and the block
+// is sent for GC").
+func (k *Pblk) markSuspect(g *group) {
+	if g.state == stSuspect || g.state == stBad {
+		return
+	}
+	for _, s := range k.slots {
+		if s.grp == g {
+			s.grp = nil
+			s.advance()
+		}
+	}
+	g.state = stSuspect
+	k.suspects = append(k.suspects, g.id)
+	k.finalizeGroup(g) // suspect groups waive pair covering
+	k.rb.advanceTail()
+	k.checkFlushes()
+	k.maybeKickGC()
+}

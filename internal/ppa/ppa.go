@@ -1,0 +1,272 @@
+// Package ppa implements the Physical Page Address I/O interface's
+// hierarchical address space (paper §3).
+//
+// A PPA is a 64-bit value whose bit fields identify, from most to least
+// significant: channel, parallel unit (PU), plane, block, page, and sector.
+// Each device defines its own field widths based on its geometry; because
+// widths are powers of two while geometry counts need not be, the address
+// space may contain holes (invalid addresses), which the device rejects.
+package ppa
+
+import (
+	"fmt"
+	"math/bits"
+)
+
+// Geometry describes the dimensions of a device's PPA address space
+// (paper §3.2, characteristic 1) plus the media quantization constants.
+type Geometry struct {
+	Channels       int // channels on the device
+	PUsPerChannel  int // parallel units (LUNs) per channel
+	PlanesPerPU    int // planes per PU
+	BlocksPerPlane int
+	PagesPerBlock  int
+	SectorsPerPage int
+	SectorSize     int // bytes; the minimum unit of ECC and host I/O
+	OOBPerPage     int // user-accessible out-of-band bytes per flash page
+}
+
+// Validate checks that every dimension is positive.
+func (g Geometry) Validate() error {
+	type dim struct {
+		name string
+		v    int
+	}
+	for _, d := range []dim{
+		{"Channels", g.Channels}, {"PUsPerChannel", g.PUsPerChannel},
+		{"PlanesPerPU", g.PlanesPerPU}, {"BlocksPerPlane", g.BlocksPerPlane},
+		{"PagesPerBlock", g.PagesPerBlock}, {"SectorsPerPage", g.SectorsPerPage},
+		{"SectorSize", g.SectorSize},
+	} {
+		if d.v <= 0 {
+			return fmt.Errorf("ppa: geometry %s must be positive, got %d", d.name, d.v)
+		}
+	}
+	if g.OOBPerPage < 0 {
+		return fmt.Errorf("ppa: geometry OOBPerPage must be non-negative, got %d", g.OOBPerPage)
+	}
+	return nil
+}
+
+// TotalPUs returns the number of parallel units on the device.
+func (g Geometry) TotalPUs() int { return g.Channels * g.PUsPerChannel }
+
+// PageSize returns the flash page size in bytes (excluding OOB).
+func (g Geometry) PageSize() int { return g.SectorsPerPage * g.SectorSize }
+
+// BlockBytes returns the data capacity of one block.
+func (g Geometry) BlockBytes() int64 {
+	return int64(g.PagesPerBlock) * int64(g.PageSize())
+}
+
+// PUBytes returns the data capacity of one PU across all its planes.
+func (g Geometry) PUBytes() int64 {
+	return int64(g.PlanesPerPU) * int64(g.BlocksPerPlane) * g.BlockBytes()
+}
+
+// TotalBytes returns the raw data capacity of the device.
+func (g Geometry) TotalBytes() int64 { return int64(g.TotalPUs()) * g.PUBytes() }
+
+// TotalSectors returns the number of addressable sectors on the device.
+func (g Geometry) TotalSectors() int64 { return g.TotalBytes() / int64(g.SectorSize) }
+
+// BlocksPerPU returns blocks per PU across all planes.
+func (g Geometry) BlocksPerPU() int { return g.PlanesPerPU * g.BlocksPerPlane }
+
+func (g Geometry) String() string {
+	return fmt.Sprintf("geometry{ch=%d pu/ch=%d planes=%d blk/plane=%d pg/blk=%d sec/pg=%d secsz=%d oob=%d cap=%.1fGB}",
+		g.Channels, g.PUsPerChannel, g.PlanesPerPU, g.BlocksPerPlane,
+		g.PagesPerBlock, g.SectorsPerPage, g.SectorSize, g.OOBPerPage,
+		float64(g.TotalBytes())/1e9)
+}
+
+// Addr identifies one sector on the device in decomposed form. The packed
+// 64-bit wire representation is produced by Format.Encode.
+type Addr struct {
+	Ch     int
+	PU     int
+	Plane  int
+	Block  int
+	Page   int
+	Sector int
+}
+
+func (a Addr) String() string {
+	return fmt.Sprintf("ppa{ch=%d pu=%d pl=%d blk=%d pg=%d sec=%d}",
+		a.Ch, a.PU, a.Plane, a.Block, a.Page, a.Sector)
+}
+
+// Format defines the bit layout of packed PPAs for a device, derived from
+// its geometry. Fields are packed LSB-first in the order sector, page,
+// block, plane, PU, channel (paper Figure 2).
+type Format struct {
+	SectorBits, PageBits, BlockBits, PlaneBits, PUBits, ChBits uint
+	geo                                                        Geometry
+}
+
+func bitsFor(n int) uint {
+	if n <= 1 {
+		return 0
+	}
+	return uint(bits.Len(uint(n - 1)))
+}
+
+// NewFormat derives the packed-address layout for g.
+func NewFormat(g Geometry) (Format, error) {
+	if err := g.Validate(); err != nil {
+		return Format{}, err
+	}
+	f := Format{
+		SectorBits: bitsFor(g.SectorsPerPage),
+		PageBits:   bitsFor(g.PagesPerBlock),
+		BlockBits:  bitsFor(g.BlocksPerPlane),
+		PlaneBits:  bitsFor(g.PlanesPerPU),
+		PUBits:     bitsFor(g.PUsPerChannel),
+		ChBits:     bitsFor(g.Channels),
+		geo:        g,
+	}
+	if total := f.SectorBits + f.PageBits + f.BlockBits + f.PlaneBits + f.PUBits + f.ChBits; total > 64 {
+		return Format{}, fmt.Errorf("ppa: format needs %d bits, exceeds 64", total)
+	}
+	return f, nil
+}
+
+// Geometry returns the geometry the format was derived from.
+func (f Format) Geometry() Geometry { return f.geo }
+
+// Encode packs a into the device's 64-bit PPA representation. Encode does
+// not validate field ranges; use Valid for that.
+func (f Format) Encode(a Addr) uint64 {
+	v := uint64(a.Sector)
+	shift := f.SectorBits
+	v |= uint64(a.Page) << shift
+	shift += f.PageBits
+	v |= uint64(a.Block) << shift
+	shift += f.BlockBits
+	v |= uint64(a.Plane) << shift
+	shift += f.PlaneBits
+	v |= uint64(a.PU) << shift
+	shift += f.PUBits
+	v |= uint64(a.Ch) << shift
+	return v
+}
+
+// Decode unpacks a 64-bit PPA into its components.
+func (f Format) Decode(v uint64) Addr {
+	mask := func(b uint) uint64 { return (uint64(1) << b) - 1 }
+	a := Addr{}
+	a.Sector = int(v & mask(f.SectorBits))
+	v >>= f.SectorBits
+	a.Page = int(v & mask(f.PageBits))
+	v >>= f.PageBits
+	a.Block = int(v & mask(f.BlockBits))
+	v >>= f.BlockBits
+	a.Plane = int(v & mask(f.PlaneBits))
+	v >>= f.PlaneBits
+	a.PU = int(v & mask(f.PUBits))
+	v >>= f.PUBits
+	a.Ch = int(v)
+	return a
+}
+
+// Valid reports whether a addresses a real location: addresses in the holes
+// of the power-of-two layout (paper §3.1) are invalid.
+func (f Format) Valid(a Addr) bool {
+	g := f.geo
+	return a.Ch >= 0 && a.Ch < g.Channels &&
+		a.PU >= 0 && a.PU < g.PUsPerChannel &&
+		a.Plane >= 0 && a.Plane < g.PlanesPerPU &&
+		a.Block >= 0 && a.Block < g.BlocksPerPlane &&
+		a.Page >= 0 && a.Page < g.PagesPerBlock &&
+		a.Sector >= 0 && a.Sector < g.SectorsPerPage
+}
+
+// GlobalPU returns the device-wide PU index of a (channel-major), matching
+// the paper's PU numbering where PU0..PU7 live on channel 0.
+func (f Format) GlobalPU(a Addr) int { return a.Ch*f.geo.PUsPerChannel + a.PU }
+
+// PUAddr returns the channel and in-channel PU for a device-wide PU index.
+func (f Format) PUAddr(globalPU int) (ch, pu int) {
+	return globalPU / f.geo.PUsPerChannel, globalPU % f.geo.PUsPerChannel
+}
+
+// SectorIndex flattens a into a dense 0-based sector index with no holes,
+// ordered ch, pu, plane, block, page, sector. Useful for dense host-side
+// tables over the physical space.
+func (f Format) SectorIndex(a Addr) int64 {
+	g := f.geo
+	idx := int64(a.Ch)
+	idx = idx*int64(g.PUsPerChannel) + int64(a.PU)
+	idx = idx*int64(g.PlanesPerPU) + int64(a.Plane)
+	idx = idx*int64(g.BlocksPerPlane) + int64(a.Block)
+	idx = idx*int64(g.PagesPerBlock) + int64(a.Page)
+	idx = idx*int64(g.SectorsPerPage) + int64(a.Sector)
+	return idx
+}
+
+// FromSectorIndex inverts SectorIndex.
+func (f Format) FromSectorIndex(idx int64) Addr {
+	g := f.geo
+	a := Addr{}
+	a.Sector = int(idx % int64(g.SectorsPerPage))
+	idx /= int64(g.SectorsPerPage)
+	a.Page = int(idx % int64(g.PagesPerBlock))
+	idx /= int64(g.PagesPerBlock)
+	a.Block = int(idx % int64(g.BlocksPerPlane))
+	idx /= int64(g.BlocksPerPlane)
+	a.Plane = int(idx % int64(g.PlanesPerPU))
+	idx /= int64(g.PlanesPerPU)
+	a.PU = int(idx % int64(g.PUsPerChannel))
+	idx /= int64(g.PUsPerChannel)
+	a.Ch = int(idx)
+	return a
+}
+
+// BlockID identifies a physical block (all pages within one plane's block).
+type BlockID struct {
+	Ch, PU, Plane, Block int
+}
+
+// BlockOf returns the block containing a.
+func (a Addr) BlockOf() BlockID {
+	return BlockID{Ch: a.Ch, PU: a.PU, Plane: a.Plane, Block: a.Block}
+}
+
+// Addr returns the address of sector (page, sector) within block b.
+func (b BlockID) Addr(page, sector int) Addr {
+	return Addr{Ch: b.Ch, PU: b.PU, Plane: b.Plane, Block: b.Block, Page: page, Sector: sector}
+}
+
+func (b BlockID) String() string {
+	return fmt.Sprintf("blk{ch=%d pu=%d pl=%d blk=%d}", b.Ch, b.PU, b.Plane, b.Block)
+}
+
+// BlockIndex flattens b into a dense device-wide block index ordered
+// ch, pu, plane, block.
+func (f Format) BlockIndex(b BlockID) int {
+	g := f.geo
+	idx := b.Ch
+	idx = idx*g.PUsPerChannel + b.PU
+	idx = idx*g.PlanesPerPU + b.Plane
+	idx = idx*g.BlocksPerPlane + b.Block
+	return idx
+}
+
+// FromBlockIndex inverts BlockIndex.
+func (f Format) FromBlockIndex(idx int) BlockID {
+	g := f.geo
+	b := BlockID{}
+	b.Block = idx % g.BlocksPerPlane
+	idx /= g.BlocksPerPlane
+	b.Plane = idx % g.PlanesPerPU
+	idx /= g.PlanesPerPU
+	b.PU = idx % g.PUsPerChannel
+	idx /= g.PUsPerChannel
+	b.Ch = idx
+	return b
+}
+
+// TotalBlocks returns the number of physical blocks on the device.
+func (g Geometry) TotalBlocks() int {
+	return g.Channels * g.PUsPerChannel * g.PlanesPerPU * g.BlocksPerPlane
+}

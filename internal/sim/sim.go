@@ -1,0 +1,303 @@
+// Package sim provides a deterministic discrete-event simulation engine.
+//
+// The engine replaces wall-clock time with a virtual clock so that device
+// models can expose microsecond-accurate latency behaviour while running as
+// fast as the host CPU allows. Simulated activities are modelled either as
+// scheduled callbacks or as processes: goroutines that run one at a time and
+// hand control back to the scheduler whenever they block on time (Sleep),
+// on a condition (Event), or on a contended Resource.
+//
+// Determinism: at most one process runs at any instant, events that fire at
+// the same virtual time execute in schedule order, and all randomness is
+// drawn from per-Env seeded sources. Two runs with the same seed produce
+// identical traces.
+package sim
+
+import (
+	"container/heap"
+	"fmt"
+	"math/rand"
+	"time"
+)
+
+// Env is a simulation environment: a virtual clock plus an event queue.
+// The zero value is not usable; call NewEnv.
+type Env struct {
+	now   time.Duration
+	queue eventQueue
+	seq   uint64
+
+	// yield is the handoff channel: a running process signals it when it
+	// blocks or terminates, returning control to the scheduler.
+	yield chan struct{}
+
+	rng      *rand.Rand
+	panicked any
+	inProc   *Proc // process currently holding control, nil if scheduler
+}
+
+// NewEnv returns an environment whose clock starts at zero and whose random
+// source is seeded with seed.
+func NewEnv(seed int64) *Env {
+	return &Env{
+		yield: make(chan struct{}),
+		rng:   rand.New(rand.NewSource(seed)),
+	}
+}
+
+// Now returns the current virtual time.
+func (e *Env) Now() time.Duration { return e.now }
+
+// Rand returns the environment's deterministic random source. It must only
+// be used from simulation context (callbacks or processes).
+func (e *Env) Rand() *rand.Rand { return e.rng }
+
+// Schedule runs fn at the current virtual time plus d. Scheduling with d < 0
+// panics. fn runs in scheduler context and must not block.
+func (e *Env) Schedule(d time.Duration, fn func()) {
+	if d < 0 {
+		panic("sim: negative delay")
+	}
+	e.push(e.now+d, item{fn: fn})
+}
+
+type item struct {
+	fn   func()
+	proc *Proc
+}
+
+type queued struct {
+	at  time.Duration
+	seq uint64
+	it  item
+}
+
+type eventQueue []queued
+
+func (q eventQueue) Len() int { return len(q) }
+func (q eventQueue) Less(i, j int) bool {
+	if q[i].at != q[j].at {
+		return q[i].at < q[j].at
+	}
+	return q[i].seq < q[j].seq
+}
+func (q eventQueue) Swap(i, j int) { q[i], q[j] = q[j], q[i] }
+func (q *eventQueue) Push(x any)   { *q = append(*q, x.(queued)) }
+func (q *eventQueue) Pop() any     { old := *q; n := len(old); v := old[n-1]; *q = old[:n-1]; return v }
+func (e *Env) push(at time.Duration, it item) {
+	e.seq++
+	heap.Push(&e.queue, queued{at: at, seq: e.seq, it: it})
+}
+
+// Run executes queued events until the queue drains. It panics if a process
+// panicked during the run, propagating the original panic value.
+func (e *Env) Run() {
+	e.RunUntil(1<<62 - 1)
+}
+
+// RunUntil executes queued events with timestamps <= t, then advances the
+// clock to t (if t is later than the last event executed).
+func (e *Env) RunUntil(t time.Duration) {
+	for len(e.queue) > 0 && e.queue[0].at <= t {
+		q := heap.Pop(&e.queue).(queued)
+		if q.at > e.now {
+			e.now = q.at
+		}
+		e.dispatch(q.it)
+	}
+	if t > e.now && t < 1<<62-1 {
+		e.now = t
+	}
+}
+
+// RunFor advances the simulation by d from the current time.
+func (e *Env) RunFor(d time.Duration) { e.RunUntil(e.now + d) }
+
+func (e *Env) dispatch(it item) {
+	if it.proc != nil {
+		p := it.proc
+		if p.done {
+			return
+		}
+		e.inProc = p
+		p.resume <- struct{}{}
+		<-e.yield
+		e.inProc = nil
+		if e.panicked != nil {
+			v := e.panicked
+			e.panicked = nil
+			panic(fmt.Sprintf("sim: process %q panicked: %v", p.name, v))
+		}
+		return
+	}
+	it.fn()
+}
+
+// Proc is a simulation process: a goroutine interleaved with the scheduler.
+// All Proc methods must be called from the process's own goroutine.
+type Proc struct {
+	env    *Env
+	name   string
+	resume chan struct{}
+	done   bool
+	doneEv *Event
+}
+
+// Go starts a new process executing fn. The process begins at the current
+// virtual time, after already-queued events for this instant.
+func (e *Env) Go(name string, fn func(p *Proc)) *Proc {
+	p := &Proc{env: e, name: name, resume: make(chan struct{})}
+	p.doneEv = e.NewEvent()
+	go func() {
+		<-p.resume
+		defer func() {
+			if r := recover(); r != nil {
+				e.panicked = r
+			}
+			p.done = true
+			p.doneEv.Signal()
+			e.yield <- struct{}{}
+		}()
+		fn(p)
+	}()
+	e.push(e.now, item{proc: p})
+	return p
+}
+
+// Name returns the process name given to Go.
+func (p *Proc) Name() string { return p.name }
+
+// Env returns the environment the process runs in.
+func (p *Proc) Env() *Env { return p.env }
+
+// Done returns an event that fires when the process terminates.
+func (p *Proc) Done() *Event { return p.doneEv }
+
+// pause returns control to the scheduler and blocks until the process is
+// resumed by a queued wakeup.
+func (p *Proc) pause() {
+	p.env.yield <- struct{}{}
+	<-p.resume
+}
+
+// Sleep suspends the process for d of virtual time.
+func (p *Proc) Sleep(d time.Duration) {
+	if d < 0 {
+		panic("sim: negative sleep")
+	}
+	p.env.push(p.env.now+d, item{proc: p})
+	p.pause()
+}
+
+// Yield lets any other events scheduled for the current instant run before
+// the process continues.
+func (p *Proc) Yield() { p.Sleep(0) }
+
+// Wait suspends the process until ev fires. If ev already fired, Wait
+// returns immediately.
+func (p *Proc) Wait(ev *Event) {
+	if ev.fired {
+		return
+	}
+	ev.waiters = append(ev.waiters, p)
+	p.pause()
+}
+
+// Event is a one-shot condition processes can wait on. Create with
+// Env.NewEvent. Waiting after the event fired returns immediately.
+type Event struct {
+	env     *Env
+	fired   bool
+	waiters []*Proc
+	cbs     []func()
+}
+
+// NewEvent returns an unfired event.
+func (e *Env) NewEvent() *Event { return &Event{env: e} }
+
+// Fired reports whether the event has been signalled.
+func (ev *Event) Fired() bool { return ev.fired }
+
+// Signal fires the event, waking all waiters at the current virtual time.
+// Signalling an already-fired event is a no-op.
+func (ev *Event) Signal() {
+	if ev.fired {
+		return
+	}
+	ev.fired = true
+	for _, p := range ev.waiters {
+		ev.env.push(ev.env.now, item{proc: p})
+	}
+	for _, cb := range ev.cbs {
+		ev.env.push(ev.env.now, item{fn: cb})
+	}
+	ev.waiters, ev.cbs = nil, nil
+}
+
+// OnFire registers fn to run when the event fires; if the event already
+// fired, fn is scheduled immediately.
+func (ev *Event) OnFire(fn func()) {
+	if ev.fired {
+		ev.env.push(ev.env.now, item{fn: fn})
+		return
+	}
+	ev.cbs = append(ev.cbs, fn)
+}
+
+// Resource is a counted FIFO resource (semaphore). Processes acquire units
+// and block, in arrival order, when none are free. The zero value is not
+// usable; call Env.NewResource.
+type Resource struct {
+	env      *Env
+	capacity int
+	inUse    int
+	queue    []*Proc
+}
+
+// NewResource returns a resource with the given capacity (> 0).
+func (e *Env) NewResource(capacity int) *Resource {
+	if capacity <= 0 {
+		panic("sim: resource capacity must be positive")
+	}
+	return &Resource{env: e, capacity: capacity}
+}
+
+// Acquire takes one unit, blocking the calling process FIFO if none is free.
+func (r *Resource) Acquire(p *Proc) {
+	if r.inUse < r.capacity {
+		r.inUse++
+		return
+	}
+	r.queue = append(r.queue, p)
+	p.pause()
+}
+
+// TryAcquire takes one unit if immediately available and reports success.
+func (r *Resource) TryAcquire() bool {
+	if r.inUse < r.capacity {
+		r.inUse++
+		return true
+	}
+	return false
+}
+
+// Release returns one unit. If processes are queued, ownership transfers to
+// the longest-waiting one, which resumes at the current virtual time.
+func (r *Resource) Release() {
+	if r.inUse <= 0 {
+		panic("sim: release of idle resource")
+	}
+	if len(r.queue) > 0 {
+		p := r.queue[0]
+		r.queue = r.queue[1:]
+		r.env.push(r.env.now, item{proc: p})
+		return
+	}
+	r.inUse--
+}
+
+// InUse returns the number of units currently held.
+func (r *Resource) InUse() int { return r.inUse }
+
+// QueueLen returns the number of processes waiting to acquire.
+func (r *Resource) QueueLen() int { return len(r.queue) }

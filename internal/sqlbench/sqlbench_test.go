@@ -1,0 +1,130 @@
+package sqlbench
+
+import (
+	"testing"
+	"time"
+
+	"repro/internal/nullblk"
+	"repro/internal/sim"
+)
+
+func newNull() (*sim.Env, *nullblk.Device) {
+	env := sim.NewEnv(1)
+	nb := nullblk.New(nullblk.Config{
+		SectorSize: 4096, CapacityB: 4 << 30,
+		ReadLatency: 80 * time.Microsecond, WriteLatency: 100 * time.Microsecond,
+	})
+	return env, nb
+}
+
+func TestOLTPRuns(t *testing.T) {
+	env, nb := newNull()
+	cfg := DefaultOLTP()
+	cfg.CommitGroup = 1 // flush on every commit for this check
+	var res *Result
+	env.Go("main", func(p *sim.Proc) {
+		res = RunOLTP(p, env, nb, cfg, 100*time.Millisecond)
+	})
+	env.Run()
+	if res.Txns == 0 || res.TPS == 0 {
+		t.Fatalf("no transactions: %+v", res)
+	}
+	if res.Flushes == 0 {
+		t.Fatal("OLTP must flush per commit")
+	}
+	if res.Flushes < res.Txns {
+		t.Fatalf("flushes %d < txns %d", res.Flushes, res.Txns)
+	}
+	if res.RedoBytes == 0 {
+		t.Fatal("no redo written")
+	}
+}
+
+func TestOLTPIsCPUBound(t *testing.T) {
+	// Doubling CPU per transaction should roughly halve TPS on a fast
+	// device (the paper: "both workloads are currently CPU bound").
+	run := func(cpu time.Duration) float64 {
+		env, nb := newNull()
+		cfg := DefaultOLTP()
+		cfg.CPUPerTxn = cpu
+		cfg.BufferPoolHit = 1.0 // no data reads: isolate CPU
+		var res *Result
+		env.Go("main", func(p *sim.Proc) {
+			res = RunOLTP(p, env, nb, cfg, 100*time.Millisecond)
+		})
+		env.Run()
+		return res.TPS
+	}
+	fast, slow := run(200*time.Microsecond), run(400*time.Microsecond)
+	ratio := fast / slow
+	if ratio < 1.5 || ratio > 2.5 {
+		t.Fatalf("tps ratio = %.2f, want ~2 (CPU bound)", ratio)
+	}
+}
+
+func TestOLAPFlushesRare(t *testing.T) {
+	env, nb := newNull()
+	var oltp, olap *Result
+	env.Go("main", func(p *sim.Proc) {
+		oltp = RunOLTP(p, env, nb, DefaultOLTP(), 50*time.Millisecond)
+		olap = RunOLAP(p, env, nb, DefaultOLAP(), 50*time.Millisecond)
+	})
+	env.Run()
+	if olap.Txns == 0 {
+		t.Fatal("no OLAP queries")
+	}
+	// Paper: 44,000 flushes OLTP vs 400 OLAP — about two orders.
+	if olap.Flushes*10 > oltp.Flushes {
+		t.Fatalf("OLAP flushes (%d) not rare vs OLTP (%d)", olap.Flushes, oltp.Flushes)
+	}
+}
+
+func TestOLAPScans(t *testing.T) {
+	env, nb := newNull()
+	var res *Result
+	env.Go("main", func(p *sim.Proc) {
+		res = RunOLAP(p, env, nb, DefaultOLAP(), 100*time.Millisecond)
+	})
+	env.Run()
+	if res.DataReadBytes == 0 {
+		t.Fatal("OLAP read no data")
+	}
+	if res.DataReadBytes < 8*res.RedoBytes {
+		t.Fatal("OLAP should be read-dominated")
+	}
+}
+
+func TestCleanerWritesBack(t *testing.T) {
+	env, nb := newNull()
+	var res *Result
+	env.Go("main", func(p *sim.Proc) {
+		res = RunOLTP(p, env, nb, DefaultOLTP(), 100*time.Millisecond)
+	})
+	env.Run()
+	if res.DataWriteBytes == 0 {
+		t.Fatal("page cleaner wrote nothing despite dirty pages")
+	}
+}
+
+func TestCommitGroupBatchesFlushes(t *testing.T) {
+	run := func(group int) *Result {
+		env, nb := newNull()
+		cfg := DefaultOLTP()
+		cfg.CommitGroup = group
+		var res *Result
+		env.Go("main", func(p *sim.Proc) {
+			res = RunOLTP(p, env, nb, cfg, 50*time.Millisecond)
+		})
+		env.Run()
+		return res
+	}
+	single, batched := run(1), run(8)
+	if batched.Txns == 0 {
+		t.Fatal("no txns")
+	}
+	perTxnSingle := float64(single.Flushes) / float64(single.Txns)
+	perTxnBatched := float64(batched.Flushes) / float64(batched.Txns)
+	if perTxnBatched >= perTxnSingle/2 {
+		t.Fatalf("group commit did not reduce flush rate: %.3f vs %.3f", perTxnBatched, perTxnSingle)
+	}
+}
