@@ -8,13 +8,17 @@ package repro_test
 
 import (
 	"bytes"
+	"fmt"
 	"io"
 	"regexp"
 	"strconv"
 	"testing"
 	"time"
 
+	"repro/internal/fio"
 	"repro/internal/harness"
+	"repro/internal/nullblk"
+	"repro/internal/sim"
 )
 
 func quickOpts() harness.Options {
@@ -79,4 +83,47 @@ func BenchmarkFig7(b *testing.B) {
 
 func BenchmarkFig8(b *testing.B) {
 	runExperiment(b, "fig8", io.Discard)
+}
+
+// BenchmarkQDSweep records the perf trajectory of the block-engine
+// redesign: the asynchronous queue engine (one worker process sustaining
+// QD via a blockdev.Queue) against the seed's proc-per-request scheme
+// (QD cloned workers each issuing blocking calls). Simulated IOPS should
+// match between engines; the wall-clock ns/op captures the host-side cost
+// of faking depth with processes.
+func BenchmarkQDSweep(b *testing.B) {
+	engines := map[string]func(*sim.Proc, *nullblk.Device, fio.Job) (*fio.Result, error){
+		"queue": func(p *sim.Proc, d *nullblk.Device, j fio.Job) (*fio.Result, error) {
+			return fio.Run(p, d, j)
+		},
+		"cloned": func(p *sim.Proc, d *nullblk.Device, j fio.Job) (*fio.Result, error) {
+			return fio.RunCloned(p, d, j)
+		},
+	}
+	for _, qd := range []int{1, 8, 32} {
+		for _, name := range []string{"queue", "cloned"} {
+			run := engines[name]
+			b.Run(fmt.Sprintf("%s-qd%d", name, qd), func(b *testing.B) {
+				var iops float64
+				for i := 0; i < b.N; i++ {
+					env := sim.NewEnv(1)
+					dev := nullblk.New(nullblk.DefaultConfig())
+					var res *fio.Result
+					var err error
+					env.Go("main", func(p *sim.Proc) {
+						res, err = run(p, dev, fio.Job{
+							Name: "sweep", Pattern: fio.RandRead, BS: 4096,
+							QD: qd, Runtime: 20 * time.Millisecond,
+						})
+					})
+					env.Run()
+					if err != nil {
+						b.Fatal(err)
+					}
+					iops = float64(res.Reads) / res.Elapsed.Seconds()
+				}
+				b.ReportMetric(iops, "sim-iops")
+			})
+		}
+	}
 }

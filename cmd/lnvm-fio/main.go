@@ -35,6 +35,11 @@ func main() {
 	)
 	flag.Parse()
 
+	if *bs <= 0 {
+		fmt.Fprintf(os.Stderr, "lnvm-fio: -bs must be positive, got %d\n", *bs)
+		os.Exit(2)
+	}
+
 	var pattern fio.Pattern
 	switch *rw {
 	case "read":
@@ -85,17 +90,28 @@ func main() {
 		needsData := pattern == fio.SeqRead || pattern == fio.RandRead || pattern == fio.RandRW
 		size := dev.Capacity()
 		if needsData && *prepFrac > 0 {
-			size = int64(float64(dev.Capacity()) * *prepFrac)
+			// Keep the prepared region request-aligned.
+			size = int64(float64(dev.Capacity())**prepFrac) / int64(*bs) * int64(*bs)
+			if size == 0 {
+				fmt.Fprintf(os.Stderr, "lnvm-fio: -prepare %g of %dB leaves no complete %dB request\n",
+					*prepFrac, dev.Capacity(), *bs)
+				os.Exit(2)
+			}
 			if err := fio.Prepare(p, dev, 0, size); err != nil {
 				fmt.Fprintln(os.Stderr, "lnvm-fio: prepare:", err)
 				os.Exit(1)
 			}
 		}
-		res = fio.Run(p, dev, fio.Job{
+		var err error
+		res, err = fio.Run(p, dev, fio.Job{
 			Name: "job1", Pattern: pattern, BS: *bs, QD: *qd, NumJobs: *numjobs,
 			Size: size, RWMixRead: *mixread, WriteRateMBps: *rate,
 			Runtime: *runtime, Seed: *seed,
 		})
+		if err != nil {
+			fmt.Fprintln(os.Stderr, "lnvm-fio:", err)
+			os.Exit(2)
+		}
 		stop(p)
 	})
 	env.Run()

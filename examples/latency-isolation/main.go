@@ -71,12 +71,17 @@ func main() {
 		}
 		done := env2.NewEvent()
 		env2.Go("bulk-writer", func(pw *sim.Proc) {
-			fio.Run(pw, k, fio.Job{Name: "bulk", Pattern: fio.SeqWrite, BS: 64 << 10,
-				Offset: size, Size: size, Runtime: 80 * time.Millisecond})
+			if _, err := fio.Run(pw, k, fio.Job{Name: "bulk", Pattern: fio.SeqWrite, BS: 64 << 10,
+				Offset: size, Size: size, Runtime: 80 * time.Millisecond}); err != nil {
+				log.Fatal(err)
+			}
 			done.Signal()
 		})
-		r := fio.Run(p, k, fio.Job{Name: "latency", Pattern: fio.RandRead, BS: 4 << 10,
+		r, err := fio.Run(p, k, fio.Job{Name: "latency", Pattern: fio.RandRead, BS: 4 << 10,
 			Size: size, Runtime: 80 * time.Millisecond, Seed: 3})
+		if err != nil {
+			log.Fatal(err)
+		}
 		p.Wait(done)
 		s := r.ReadLat.Summarize()
 		fmt.Printf("shared block device:  reader p99 = %v, max = %v (reads stuck behind writes)\n",

@@ -1,7 +1,15 @@
-// Package blockdev defines the traditional block I/O interface shared by
-// pblk (host FTL over an open-channel SSD), the baseline NVMe block SSD
-// model, and the null block device. Workload generators and the database
-// stand-ins target this interface so every experiment can swap devices.
+// Package blockdev defines the block I/O interfaces shared by pblk (host
+// FTL over an open-channel SSD), the baseline NVMe block SSD model, and
+// the null block device. Workload generators and the database stand-ins
+// target these interfaces so every experiment can swap devices.
+//
+// Two call styles coexist. Device is the traditional one-blocking-call-
+// per-request interface. Queue (see queue.go) is the asynchronous
+// queue-pair model mirroring Linux blk-mq / NVMe submission/completion
+// queues: batched submission, completion callbacks carrying per-request
+// latency, flush barriers, and per-queue in-flight accounting. OpenQueue
+// bridges Device → Queue; SyncAdapter bridges Queue → Device, so callers
+// that do not need queue depth keep the blocking style unchanged.
 package blockdev
 
 import (

@@ -1,0 +1,205 @@
+// Queue-pair conformance: every device exposing the asynchronous API —
+// natively (nullblk, pblk, nvmedev) or through the process-backed adapter
+// — must deliver the same contract: completions for every request,
+// latencies from submission stamps, validation-error propagation, flush
+// barriers, and a working SyncAdapter for blocking callers.
+package blockdev_test
+
+import (
+	"bytes"
+	"errors"
+	"testing"
+	"time"
+
+	"repro/internal/blockdev"
+	"repro/internal/lightnvm"
+	"repro/internal/lsmdb"
+	"repro/internal/nand"
+	"repro/internal/nullblk"
+	"repro/internal/nvmedev"
+	"repro/internal/ocssd"
+	"repro/internal/pblk"
+	"repro/internal/ppa"
+	"repro/internal/sim"
+)
+
+// forEachDevice runs fn against every queue-capable device model. fn runs
+// inside a simulation process with the device ready for I/O.
+func forEachDevice(t *testing.T, fn func(t *testing.T, env *sim.Env, p *sim.Proc, dev blockdev.Device)) {
+	t.Run("nullblk", func(t *testing.T) {
+		env := sim.NewEnv(1)
+		dev := nullblk.New(nullblk.DefaultConfig())
+		env.Go("main", func(p *sim.Proc) { fn(t, env, p, dev) })
+		env.Run()
+	})
+	t.Run("pblk", func(t *testing.T) {
+		env := sim.NewEnv(2)
+		m := nand.DefaultConfig()
+		m.PECycleLimit = 0
+		m.WearLatencyFactor = 0
+		raw, err := ocssd.New(env, ocssd.Config{
+			Geometry: ppa.Geometry{
+				Channels: 2, PUsPerChannel: 2, PlanesPerPU: 2,
+				BlocksPerPlane: 40, PagesPerBlock: 32,
+				SectorsPerPage: 4, SectorSize: 4096, OOBPerPage: 64,
+			},
+			Timing: ocssd.DefaultTiming(), Media: m, PageCache: true, Seed: 5,
+		})
+		if err != nil {
+			t.Fatal(err)
+		}
+		ln := lightnvm.Register("conf", raw)
+		env.Go("main", func(p *sim.Proc) {
+			k, err := pblk.New(p, ln, "pblk0", pblk.Config{ActivePUs: 4})
+			if err != nil {
+				panic(err)
+			}
+			defer k.Stop(p)
+			fn(t, env, p, k)
+		})
+		env.Run()
+	})
+	t.Run("nvmedev", func(t *testing.T) {
+		env := sim.NewEnv(3)
+		cfg := nvmedev.DefaultConfig(24)
+		cfg.Media.PECycleLimit = 0
+		cfg.Media.WearLatencyFactor = 0
+		env.Go("main", func(p *sim.Proc) {
+			d, err := nvmedev.New(p, env, cfg)
+			if err != nil {
+				panic(err)
+			}
+			defer d.Stop(p)
+			fn(t, env, p, d)
+		})
+		env.Run()
+	})
+}
+
+func TestQueueConformance(t *testing.T) {
+	forEachDevice(t, func(t *testing.T, env *sim.Env, p *sim.Proc, dev blockdev.Device) {
+		bs := int64(dev.SectorSize())
+		q := blockdev.OpenQueue(env, dev, 8)
+		if q.Depth() != 8 {
+			t.Errorf("Depth = %d, want 8", q.Depth())
+		}
+
+		// Completion accounting under QD>1: every request completes
+		// exactly once with a sane latency stamp.
+		completions := 0
+		var reqs []*blockdev.Request
+		for i := 0; i < 16; i++ {
+			reqs = append(reqs, &blockdev.Request{
+				Op: blockdev.ReqWrite, Off: int64(i) * bs, Length: bs,
+				OnComplete: func(r *blockdev.Request) {
+					completions++
+					if r.Err != nil {
+						t.Errorf("write %d: %v", r.Off, r.Err)
+					}
+					if r.Done < r.Submitted {
+						t.Errorf("write %d: Done %v < Submitted %v", r.Off, r.Done, r.Submitted)
+					}
+				},
+			})
+		}
+		q.Submit(reqs...)
+		q.Drain(p)
+		if completions != 16 {
+			t.Errorf("completions = %d, want 16", completions)
+		}
+		if q.InFlight() != 0 {
+			t.Errorf("InFlight after drain = %d", q.InFlight())
+		}
+
+		// Flush-barrier semantics: the flush completes after all earlier
+		// requests and before all later ones.
+		var seq []string
+		note := func(tag string) func(*blockdev.Request) {
+			return func(*blockdev.Request) { seq = append(seq, tag) }
+		}
+		q.Submit(
+			&blockdev.Request{Op: blockdev.ReqWrite, Off: 0, Length: bs, OnComplete: note("w0")},
+			&blockdev.Request{Op: blockdev.ReqWrite, Off: bs, Length: bs, OnComplete: note("w1")},
+			&blockdev.Request{Op: blockdev.ReqFlush, OnComplete: note("flush")},
+			&blockdev.Request{Op: blockdev.ReqRead, Off: 0, Length: bs, OnComplete: note("r0")},
+		)
+		q.Drain(p)
+		pos := map[string]int{}
+		for i, s := range seq {
+			pos[s] = i
+		}
+		if len(seq) != 4 {
+			t.Errorf("barrier sequence %v, want 4 completions", seq)
+		} else if pos["flush"] < pos["w0"] || pos["flush"] < pos["w1"] || pos["flush"] > pos["r0"] {
+			t.Errorf("barrier violated: completion order %v", seq)
+		}
+
+		// Error propagation into completions.
+		var badErr error
+		q.Submit(&blockdev.Request{
+			Op: blockdev.ReqRead, Off: dev.Capacity(), Length: bs,
+			OnComplete: func(r *blockdev.Request) { badErr = r.Err },
+		})
+		q.Drain(p)
+		if !errors.Is(badErr, blockdev.ErrOutOfRange) {
+			t.Errorf("out-of-range read err = %v, want ErrOutOfRange", badErr)
+		}
+	})
+}
+
+// TestSyncAdapterPreservesDeviceSemantics drives the blocking interface
+// over a queue pair and checks data integrity where the device stores
+// data (pblk, nvmedev) and latency charging everywhere.
+func TestSyncAdapterPreservesDeviceSemantics(t *testing.T) {
+	forEachDevice(t, func(t *testing.T, env *sim.Env, p *sim.Proc, dev blockdev.Device) {
+		bs := int64(dev.SectorSize())
+		sa := blockdev.NewSyncAdapter(env, blockdev.OpenQueue(env, dev, 1))
+		if sa.SectorSize() != dev.SectorSize() || sa.Capacity() != dev.Capacity() {
+			t.Error("adapter geometry mismatch")
+		}
+		data := bytes.Repeat([]byte{0xa5}, int(bs))
+		start := env.Now()
+		if err := sa.Write(p, bs, data, bs); err != nil {
+			panic(err)
+		}
+		if env.Now() == start {
+			t.Error("write charged no virtual time")
+		}
+		if err := sa.Flush(p); err != nil {
+			panic(err)
+		}
+		got := make([]byte, bs)
+		if err := sa.Read(p, bs, got, bs); err != nil {
+			panic(err)
+		}
+		if _, isNull := dev.(*nullblk.Device); !isNull && !bytes.Equal(got, data) {
+			t.Error("read-back mismatch through sync adapter")
+		}
+		if err := sa.Trim(p, bs, bs); err != nil {
+			panic(err)
+		}
+	})
+}
+
+// TestLsmdbOverSyncAdapter keeps a real blockdev.Device caller working
+// through the Queue → SyncAdapter migration path.
+func TestLsmdbOverSyncAdapter(t *testing.T) {
+	env := sim.NewEnv(9)
+	nb := nullblk.New(nullblk.DefaultConfig())
+	sa := blockdev.NewSyncAdapter(env, blockdev.OpenQueue(env, nb, 4))
+	env.Go("main", func(p *sim.Proc) {
+		cfg := lsmdb.DefaultConfig()
+		db, err := lsmdb.Open(p, env, sa, cfg)
+		if err != nil {
+			panic(err)
+		}
+		res := lsmdb.FillSeq(p, db, 20*time.Millisecond)
+		if res.Ops == 0 {
+			t.Error("no puts completed over the sync adapter")
+		}
+		if err := db.Close(p); err != nil {
+			panic(err)
+		}
+	})
+	env.Run()
+}

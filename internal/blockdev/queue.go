@@ -1,0 +1,290 @@
+// Asynchronous queue-pair block I/O, mirroring Linux blk-mq / NVMe queue
+// pairs (paper §2.2): callers submit Requests to a Queue and receive
+// completions through callbacks instead of blocking one process per
+// request. Devices with a native asynchronous datapath implement
+// QueueProvider; any other Device is adapted with a process-backed queue.
+// SyncAdapter closes the loop for callers that keep the traditional
+// blocking call style over a queue.
+
+package blockdev
+
+import (
+	"fmt"
+	"time"
+
+	"repro/internal/sim"
+)
+
+// ReqOp selects the operation of an asynchronous block request.
+type ReqOp int
+
+// Request operations.
+const (
+	ReqRead ReqOp = iota
+	ReqWrite
+	// ReqFlush is a barrier: it is dispatched only after every earlier
+	// request on its queue has completed, and later requests are held until
+	// the flush itself completes.
+	ReqFlush
+	ReqTrim
+)
+
+func (o ReqOp) String() string {
+	switch o {
+	case ReqRead:
+		return "read"
+	case ReqWrite:
+		return "write"
+	case ReqFlush:
+		return "flush"
+	case ReqTrim:
+		return "trim"
+	}
+	return fmt.Sprintf("reqop(%d)", int(o))
+}
+
+// Request is one asynchronous block I/O travelling through a Queue. Off
+// and Length are bytes and must be sector aligned; ReqFlush carries no
+// range. Buf follows the Device conventions: nil performs a synthetic
+// transfer of Length bytes. A request must not be mutated or resubmitted
+// while in flight; Buf must stay valid until completion.
+type Request struct {
+	Op     ReqOp
+	Off    int64
+	Buf    []byte
+	Length int64
+
+	// OnComplete, when non-nil, runs exactly once in simulation context
+	// when the request finishes; Err, Submitted and Done are set by then.
+	OnComplete func(*Request)
+
+	// Err is the request outcome, nil on success.
+	Err error
+	// Submitted and Done are the virtual times the queue accepted and
+	// completed the request; Done-Submitted includes any in-queue wait.
+	Submitted, Done time.Duration
+}
+
+// Latency returns the request's submission-to-completion time.
+func (r *Request) Latency() time.Duration { return r.Done - r.Submitted }
+
+// Queue is one submission/completion queue pair. At most Depth requests
+// are dispatched to the device concurrently; accepted requests beyond that
+// wait inside the queue in submission order. All methods must be called
+// from simulation context.
+type Queue interface {
+	// SectorSize and Capacity expose the geometry requests are validated
+	// against.
+	SectorSize() int
+	Capacity() int64
+	// Depth returns the dispatch concurrency bound.
+	Depth() int
+	// InFlight returns requests accepted but not yet completed.
+	InFlight() int
+	// Submit accepts a batch of requests without blocking. Invalid
+	// requests complete asynchronously with the validation error.
+	Submit(reqs ...*Request)
+	// Drain suspends p until every accepted request has completed.
+	Drain(p *sim.Proc)
+}
+
+// QueueProvider is implemented by devices with a native asynchronous
+// datapath. env is the simulation environment completions are scheduled
+// on; devices bound to their own environment may ignore it.
+type QueueProvider interface {
+	OpenQueue(env *sim.Env, depth int) Queue
+}
+
+// OpenQueue returns a queue pair for dev: the device's native queue when
+// it implements QueueProvider, otherwise a process-backed adapter over the
+// synchronous interface.
+func OpenQueue(env *sim.Env, dev Device, depth int) Queue {
+	if qp, ok := dev.(QueueProvider); ok {
+		return qp.OpenQueue(env, depth)
+	}
+	return NewProcQueue(env, dev, depth)
+}
+
+// IssueFunc starts one validated request on a device. done must be called
+// exactly once, from simulation context but never synchronously from
+// within the IssueFunc call itself, after the request's Err is set.
+type IssueFunc func(req *Request, done func())
+
+// NewQueue builds a queue pair over a native issue function. Device
+// implementations use it for their QueueProvider plumbing; it handles
+// validation, depth-bounded dispatch, flush barriers, in-flight accounting
+// and drain.
+func NewQueue(env *sim.Env, dev Device, depth int, issue IssueFunc) Queue {
+	if depth < 1 {
+		depth = 1
+	}
+	return &cbQueue{env: env, dev: dev, depth: depth, issue: issue}
+}
+
+// NewProcQueue adapts a synchronous Device into a Queue by running each
+// dispatched request on its own simulation process. It is the fallback
+// for devices without a native asynchronous datapath (and for wrappers
+// like WithLatency that hide one).
+func NewProcQueue(env *sim.Env, dev Device, depth int) Queue {
+	return NewQueue(env, dev, depth, func(req *Request, done func()) {
+		env.Go(fmt.Sprintf("blockdev.q.%s", req.Op), func(p *sim.Proc) {
+			switch req.Op {
+			case ReqRead:
+				req.Err = dev.Read(p, req.Off, req.Buf, req.Length)
+			case ReqWrite:
+				req.Err = dev.Write(p, req.Off, req.Buf, req.Length)
+			case ReqFlush:
+				req.Err = dev.Flush(p)
+			case ReqTrim:
+				req.Err = dev.Trim(p, req.Off, req.Length)
+			}
+			done()
+		})
+	})
+}
+
+// cbQueue is the shared queue-pair state machine.
+type cbQueue struct {
+	env   *sim.Env
+	dev   Device
+	depth int
+	issue IssueFunc
+
+	pending  []*Request // accepted, not yet dispatched (submission order)
+	active   int        // dispatched to the device, not yet completed
+	inflight int        // accepted, not yet completed
+	barrier  bool       // a flush is dispatched; hold everything behind it
+	drainEv  *sim.Event
+}
+
+func (q *cbQueue) SectorSize() int { return q.dev.SectorSize() }
+func (q *cbQueue) Capacity() int64 { return q.dev.Capacity() }
+func (q *cbQueue) Depth() int      { return q.depth }
+func (q *cbQueue) InFlight() int   { return q.inflight }
+
+func (q *cbQueue) validate(r *Request) error {
+	switch r.Op {
+	case ReqFlush:
+		return nil
+	case ReqTrim:
+		return CheckRange(q.dev, r.Off, nil, r.Length)
+	case ReqRead, ReqWrite:
+		return CheckRange(q.dev, r.Off, r.Buf, r.Length)
+	}
+	return fmt.Errorf("blockdev: unknown request op %d", int(r.Op))
+}
+
+func (q *cbQueue) Submit(reqs ...*Request) {
+	now := q.env.Now()
+	for _, r := range reqs {
+		r.Submitted = now
+		q.inflight++
+		if err := q.validate(r); err != nil {
+			r.Err = err
+			q.env.Schedule(0, func() { q.finish(r) })
+			continue
+		}
+		q.pending = append(q.pending, r)
+	}
+	q.dispatch()
+}
+
+// dispatch starts pending requests in submission order while slots are
+// free, stopping at a flush until the queue is empty ahead of it.
+func (q *cbQueue) dispatch() {
+	for !q.barrier && q.active < q.depth && len(q.pending) > 0 {
+		r := q.pending[0]
+		if r.Op == ReqFlush {
+			if q.active > 0 {
+				return
+			}
+			q.barrier = true
+		}
+		q.pending = q.pending[1:]
+		q.active++
+		q.issue(r, func() {
+			q.active--
+			if r.Op == ReqFlush {
+				q.barrier = false
+			}
+			q.finish(r)
+		})
+	}
+}
+
+// finish completes one request: stamp, account, notify, and restart
+// dispatch for whatever the freed slot (or cleared barrier) unblocks.
+func (q *cbQueue) finish(r *Request) {
+	r.Done = q.env.Now()
+	q.inflight--
+	if r.OnComplete != nil {
+		r.OnComplete(r)
+	}
+	if q.inflight == 0 && q.drainEv != nil {
+		q.drainEv.Signal()
+		q.drainEv = nil
+	}
+	q.dispatch()
+}
+
+func (q *cbQueue) Drain(p *sim.Proc) {
+	for q.inflight > 0 {
+		if q.drainEv == nil {
+			q.drainEv = q.env.NewEvent()
+		}
+		p.Wait(q.drainEv)
+	}
+}
+
+// SyncAdapter presents a Queue as a blocking Device, preserving the
+// traditional Read/Write/Flush/Trim call style for callers that do not
+// need queue depth (lsmdb, sqlbench). Each call submits one request and
+// suspends the calling process until it completes.
+type SyncAdapter struct {
+	env *sim.Env
+	q   Queue
+}
+
+// NewSyncAdapter wraps q. env must be the environment q completes on.
+func NewSyncAdapter(env *sim.Env, q Queue) *SyncAdapter {
+	return &SyncAdapter{env: env, q: q}
+}
+
+var _ Device = (*SyncAdapter)(nil)
+
+// Queue returns the underlying queue pair.
+func (s *SyncAdapter) Queue() Queue { return s.q }
+
+// SectorSize implements Device.
+func (s *SyncAdapter) SectorSize() int { return s.q.SectorSize() }
+
+// Capacity implements Device.
+func (s *SyncAdapter) Capacity() int64 { return s.q.Capacity() }
+
+func (s *SyncAdapter) do(p *sim.Proc, req *Request) error {
+	ev := s.env.NewEvent()
+	req.OnComplete = func(*Request) { ev.Signal() }
+	s.q.Submit(req)
+	p.Wait(ev)
+	return req.Err
+}
+
+// Read implements Device.
+func (s *SyncAdapter) Read(p *sim.Proc, off int64, buf []byte, length int64) error {
+	return s.do(p, &Request{Op: ReqRead, Off: off, Buf: buf, Length: length})
+}
+
+// Write implements Device.
+func (s *SyncAdapter) Write(p *sim.Proc, off int64, buf []byte, length int64) error {
+	return s.do(p, &Request{Op: ReqWrite, Off: off, Buf: buf, Length: length})
+}
+
+// Flush implements Device.
+func (s *SyncAdapter) Flush(p *sim.Proc) error {
+	return s.do(p, &Request{Op: ReqFlush})
+}
+
+// Trim implements Device.
+func (s *SyncAdapter) Trim(p *sim.Proc, off, length int64) error {
+	return s.do(p, &Request{Op: ReqTrim, Off: off, Length: length})
+}

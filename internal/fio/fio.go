@@ -4,6 +4,12 @@
 // baseline, null block), and a PPA engine issuing vector I/O directly to
 // an open-channel device — the paper's modified fio with the LightNVM I/O
 // engine.
+//
+// The block engine drives queue depth the way fio's libaio engine does:
+// one worker process per job opens a blockdev.Queue and keeps QD requests
+// in flight with batched submission, recording per-request latency from
+// completions. RunCloned retains the legacy scheme — QD cloned processes
+// each issuing blocking calls — as a baseline for the QD-sweep benchmark.
 package fio
 
 import (
@@ -49,8 +55,8 @@ type Job struct {
 	Name    string
 	Pattern Pattern
 	BS      int   // request size in bytes
-	QD      int   // queue depth: concurrent in-flight requests
-	NumJobs int   // independent workers (each with its own QD)
+	QD      int   // queue depth: concurrent in-flight requests per worker
+	NumJobs int   // independent workers (each with its own queue and QD)
 	Offset  int64 // region base
 	Size    int64 // region length; random offsets and wraps stay inside
 	// RWMixRead is the read percentage for RandRW (fio rwmixread).
@@ -77,6 +83,35 @@ func (j Job) norm() Job {
 		j.Seed = 1
 	}
 	return j
+}
+
+// validate rejects jobs the engines cannot run sensibly: unaligned or
+// non-positive request sizes, regions outside the device, regions smaller
+// than one request (the seed's rng.Int63n(0) panic), and sequential jobs
+// with more workers than request slots (zero stride: every worker would
+// hammer offset 0).
+func (j Job) validate(dev blockdev.Device, workers int) error {
+	ss := int64(dev.SectorSize())
+	if j.QD < 1 || j.NumJobs < 1 {
+		return fmt.Errorf("fio: QD %d and NumJobs %d must be positive", j.QD, j.NumJobs)
+	}
+	if j.BS <= 0 || int64(j.BS)%ss != 0 {
+		return fmt.Errorf("fio: BS %dB is not a positive multiple of the %dB sector", j.BS, ss)
+	}
+	if j.Offset < 0 || j.Offset%ss != 0 {
+		return fmt.Errorf("fio: offset %d is not sector aligned", j.Offset)
+	}
+	if j.Size <= 0 || j.Offset+j.Size > dev.Capacity() {
+		return fmt.Errorf("fio: region [%d, %d) outside device capacity %dB", j.Offset, j.Offset+j.Size, dev.Capacity())
+	}
+	maxOff := j.Size / int64(j.BS)
+	if maxOff < 1 {
+		return fmt.Errorf("fio: region of %dB holds no complete %dB request", j.Size, j.BS)
+	}
+	if (j.Pattern == SeqRead || j.Pattern == SeqWrite) && int64(workers) > maxOff {
+		return fmt.Errorf("fio: %d sequential workers over a region with only %d request slots", workers, maxOff)
+	}
+	return nil
 }
 
 // Result aggregates a run's latencies and volume.
@@ -109,49 +144,218 @@ func (r *Result) String() string {
 	return s
 }
 
+// jobState is the run-wide state shared by all workers of one job: the op
+// budget, the write-rate token schedule, and the result sink. The
+// simulation is single-threaded, so plain fields suffice.
+type jobState struct {
+	res         *Result
+	deadline    time.Duration
+	opBudget    int64
+	issued      int64
+	nextWriteAt time.Duration
+	writeGap    time.Duration
+	maxOff      int64
+}
+
 // Run executes the job against dev, blocking the calling process until all
-// workers finish. All timing is virtual.
-func Run(p *sim.Proc, dev blockdev.Device, job Job) *Result {
+// workers finish. All timing is virtual. Each of the job's NumJobs workers
+// opens its own queue pair (the device's native one when available) and
+// sustains QD in-flight requests from a single process.
+func Run(p *sim.Proc, dev blockdev.Device, job Job) (*Result, error) {
 	job = job.norm()
 	env := p.Env()
 	if job.Size == 0 {
 		job.Size = dev.Capacity() - job.Offset
 	}
-	res := &Result{Job: job}
+	if err := job.validate(dev, job.NumJobs); err != nil {
+		return nil, err
+	}
+	st := newJobState(env, job)
 	start := env.Now()
-	deadline := time.Duration(1<<62 - 1)
+	done := env.NewEvent()
+	running := job.NumJobs
+	for w := 0; w < job.NumJobs; w++ {
+		rng := rand.New(rand.NewSource(job.Seed + int64(w)*104729))
+		// Sequential workers partition the region so each stream stays
+		// sequential within its stripe.
+		seqCursor := int64(w) * (st.maxOff / int64(job.NumJobs))
+		env.Go(fmt.Sprintf("fio.%s.%d", job.Name, w), func(pr *sim.Proc) {
+			defer func() {
+				running--
+				if running == 0 {
+					done.Signal()
+				}
+			}()
+			runQueueWorker(pr, blockdev.OpenQueue(env, dev, job.QD), job, st, rng, seqCursor)
+		})
+	}
+	p.Wait(done)
+	st.res.Elapsed = env.Now() - start
+	return st.res, nil
+}
+
+func newJobState(env *sim.Env, job Job) *jobState {
+	st := &jobState{
+		res:      &Result{Job: job},
+		deadline: time.Duration(1<<62 - 1),
+		opBudget: 1<<62 - 1,
+		maxOff:   job.Size / int64(job.BS),
+	}
 	if job.Runtime > 0 {
-		deadline = start + job.Runtime
+		st.deadline = env.Now() + job.Runtime
 	}
-	var opBudget int64 = 1<<62 - 1
 	if job.MaxOps > 0 {
-		opBudget = job.MaxOps
+		st.opBudget = job.MaxOps
 	}
-	issued := int64(0)
-
-	// Rate limiting (fio rate): a virtual-time token schedule shared by
-	// all workers of the job.
-	var nextWriteAt time.Duration
-	writeGap := time.Duration(0)
 	if job.WriteRateMBps > 0 {
-		writeGap = time.Duration(float64(job.BS) / (job.WriteRateMBps * 1e6) * float64(time.Second))
+		st.writeGap = time.Duration(float64(job.BS) / (job.WriteRateMBps * 1e6) * float64(time.Second))
 	}
+	return st
+}
 
+// claimWriteToken reserves the next slot of the shared write-rate token
+// schedule and returns when it matures (now, if the schedule is idle).
+func (st *jobState) claimWriteToken(now time.Duration) time.Duration {
+	at := st.nextWriteAt
+	if at < now {
+		at = now
+	}
+	st.nextWriteAt = at + st.writeGap
+	return at
+}
+
+// nextOp draws the next operation of the access pattern.
+func (st *jobState) nextOp(job Job, rng *rand.Rand, seqCursor *int64) (isRead bool, off int64) {
+	switch job.Pattern {
+	case SeqRead, SeqWrite:
+		off = (*seqCursor % st.maxOff) * int64(job.BS)
+		*seqCursor++
+		isRead = job.Pattern == SeqRead
+	case RandRead, RandWrite:
+		off = rng.Int63n(st.maxOff) * int64(job.BS)
+		isRead = job.Pattern == RandRead
+	case RandRW:
+		off = rng.Int63n(st.maxOff) * int64(job.BS)
+		isRead = rng.Intn(100) < job.RWMixRead
+	}
+	return isRead, off + job.Offset
+}
+
+// record folds one completion into the shared result.
+func (st *jobState) record(req *blockdev.Request, bs int64) {
+	if req.Err != nil {
+		st.res.Errors++
+		return
+	}
+	switch req.Op {
+	case blockdev.ReqRead:
+		st.res.ReadLat.Add(req.Latency())
+		st.res.ReadBytes += bs
+		st.res.Reads++
+	case blockdev.ReqWrite:
+		st.res.WriteLat.Add(req.Latency())
+		st.res.WriteBytes += bs
+		st.res.Writes++
+	}
+}
+
+// runQueueWorker is one job worker: a single process sustaining up to QD
+// in-flight requests on q. Ready requests are gathered into a batch and
+// submitted together; the worker then sleeps until a completion frees a
+// slot (or, for rate-limited writes, until the next token matures).
+func runQueueWorker(pr *sim.Proc, q blockdev.Queue, job Job, st *jobState, rng *rand.Rand, seqCursor int64) {
+	env := pr.Env()
+	inflight := 0
+	var kick *sim.Event
+	onComplete := func(req *blockdev.Request) {
+		inflight--
+		st.record(req, int64(job.BS))
+		if kick != nil {
+			kick.Signal()
+		}
+	}
+	// prepared is an op that consumed budget (and, for rate-limited
+	// writes, claimed a token) but has not been submitted yet.
+	var prepared *blockdev.Request
+	var tokenAt time.Duration
+	writesSinceSync := 0
+	batch := make([]*blockdev.Request, 0, job.QD+1)
+
+	for {
+		// Gather everything issuable at this instant into one batch.
+		for inflight+len(batch) < job.QD {
+			if prepared == nil {
+				if st.issued >= st.opBudget || env.Now() >= st.deadline {
+					break
+				}
+				st.issued++
+				isRead, off := st.nextOp(job, rng, &seqCursor)
+				op := blockdev.ReqWrite
+				if isRead {
+					op = blockdev.ReqRead
+				}
+				prepared = &blockdev.Request{Op: op, Off: off, Length: int64(job.BS), OnComplete: onComplete}
+				tokenAt = 0
+				if !isRead && st.writeGap > 0 {
+					tokenAt = st.claimWriteToken(env.Now())
+				}
+			}
+			if tokenAt > env.Now() {
+				break // token still maturing
+			}
+			batch = append(batch, prepared)
+			if prepared.Op == blockdev.ReqWrite && job.SyncEvery > 0 {
+				writesSinceSync++
+				if writesSinceSync >= job.SyncEvery {
+					writesSinceSync = 0
+					batch = append(batch, &blockdev.Request{Op: blockdev.ReqFlush, OnComplete: onComplete})
+				}
+			}
+			prepared = nil
+		}
+		if len(batch) > 0 {
+			inflight += len(batch)
+			q.Submit(batch...)
+			batch = batch[:0]
+		}
+		if inflight == 0 && prepared == nil &&
+			(st.issued >= st.opBudget || env.Now() >= st.deadline) {
+			return
+		}
+		if inflight == 0 && prepared != nil && tokenAt > env.Now() {
+			// Nothing in flight: sleep until the claimed token matures.
+			pr.Sleep(tokenAt - env.Now())
+			continue
+		}
+		// Wait for a completion to free a slot or end the run.
+		kick = env.NewEvent()
+		pr.Wait(kick)
+		kick = nil
+	}
+}
+
+// RunCloned executes the job with the legacy engine the queue API
+// replaced: queue depth faked by spawning QD cloned workers per job, each
+// issuing one blocking call at a time. Kept as the comparison baseline for
+// the QD-sweep benchmark and as a second opinion in conformance tests.
+func RunCloned(p *sim.Proc, dev blockdev.Device, job Job) (*Result, error) {
+	job = job.norm()
+	env := p.Env()
+	if job.Size == 0 {
+		job.Size = dev.Capacity() - job.Offset
+	}
 	workers := job.NumJobs * job.QD
+	if err := job.validate(dev, workers); err != nil {
+		return nil, err
+	}
+	st := newJobState(env, job)
+	res := st.res
+	start := env.Now()
 	done := env.NewEvent()
 	running := workers
-	bsAligned := int64(job.BS) / int64(dev.SectorSize()) * int64(dev.SectorSize())
-	if bsAligned != int64(job.BS) {
-		panic("fio: BS must be a sector multiple")
-	}
-	maxOff := job.Size / int64(job.BS) // offsets in BS units
-
 	for w := 0; w < workers; w++ {
-		w := w
 		rng := rand.New(rand.NewSource(job.Seed + int64(w)*104729))
-		// Sequential workers partition the region so QD>1 stays sequential
-		// per stream.
-		seqCursor := int64(w) * (maxOff / int64(workers))
+		seqCursor := int64(w) * (st.maxOff / int64(workers))
 		env.Go(fmt.Sprintf("fio.%s.%d", job.Name, w), func(pr *sim.Proc) {
 			defer func() {
 				running--
@@ -160,23 +364,9 @@ func Run(p *sim.Proc, dev blockdev.Device, job Job) *Result {
 				}
 			}()
 			writesSinceSync := 0
-			for env.Now() < deadline && issued < opBudget {
-				issued++
-				isRead := false
-				var off int64
-				switch job.Pattern {
-				case SeqRead, SeqWrite:
-					off = (seqCursor % maxOff) * int64(job.BS)
-					seqCursor++
-					isRead = job.Pattern == SeqRead
-				case RandRead, RandWrite:
-					off = rng.Int63n(maxOff) * int64(job.BS)
-					isRead = job.Pattern == RandRead
-				case RandRW:
-					off = rng.Int63n(maxOff) * int64(job.BS)
-					isRead = rng.Intn(100) < job.RWMixRead
-				}
-				off += job.Offset
+			for env.Now() < st.deadline && st.issued < st.opBudget {
+				st.issued++
+				isRead, off := st.nextOp(job, rng, &seqCursor)
 				if isRead {
 					t0 := env.Now()
 					if err := dev.Read(pr, off, nil, int64(job.BS)); err != nil {
@@ -187,14 +377,9 @@ func Run(p *sim.Proc, dev blockdev.Device, job Job) *Result {
 					res.ReadBytes += int64(job.BS)
 					res.Reads++
 				} else {
-					if writeGap > 0 {
+					if st.writeGap > 0 {
 						// Claim the next token; sleep until it matures.
-						at := nextWriteAt
-						if at < env.Now() {
-							at = env.Now()
-						}
-						nextWriteAt = at + writeGap
-						if at > env.Now() {
+						if at := st.claimWriteToken(env.Now()); at > env.Now() {
 							pr.Sleep(at - env.Now())
 						}
 					}
@@ -219,7 +404,7 @@ func Run(p *sim.Proc, dev blockdev.Device, job Job) *Result {
 	}
 	p.Wait(done)
 	res.Elapsed = env.Now() - start
-	return res
+	return res, nil
 }
 
 // Prepare sequentially fills [off, off+size) of dev with synthetic data at

@@ -17,11 +17,23 @@ func newNull() (*sim.Env, *nullblk.Device) {
 	return sim.NewEnv(1), nullblk.New(nullblk.DefaultConfig())
 }
 
+// mustRun panics on job-validation errors: it runs inside simulation
+// processes, where panics propagate through env.Run to the test goroutine
+// (t.Fatal must not be called from other goroutines).
+func mustRun(t *testing.T, p *sim.Proc, dev *nullblk.Device, job Job) *Result {
+	t.Helper()
+	res, err := Run(p, dev, job)
+	if err != nil {
+		panic(err)
+	}
+	return res
+}
+
 func TestRunRespectsRuntime(t *testing.T) {
 	env, dev := newNull()
 	var res *Result
 	env.Go("main", func(p *sim.Proc) {
-		res = Run(p, dev, Job{Name: "t", Pattern: RandRead, BS: 4096, Runtime: 10 * time.Millisecond})
+		res = mustRun(t, p, dev, Job{Name: "t", Pattern: RandRead, BS: 4096, Runtime: 10 * time.Millisecond})
 	})
 	env.Run()
 	if res.Elapsed < 10*time.Millisecond || res.Elapsed > 11*time.Millisecond {
@@ -40,7 +52,7 @@ func TestMaxOpsStops(t *testing.T) {
 	env, dev := newNull()
 	var res *Result
 	env.Go("main", func(p *sim.Proc) {
-		res = Run(p, dev, Job{Name: "t", Pattern: SeqWrite, BS: 4096, MaxOps: 100})
+		res = mustRun(t, p, dev, Job{Name: "t", Pattern: SeqWrite, BS: 4096, MaxOps: 100})
 	})
 	env.Run()
 	if res.Writes != 100 {
@@ -52,7 +64,7 @@ func TestMixedRatio(t *testing.T) {
 	env, dev := newNull()
 	var res *Result
 	env.Go("main", func(p *sim.Proc) {
-		res = Run(p, dev, Job{Name: "t", Pattern: RandRW, RWMixRead: 80, BS: 4096, MaxOps: 10000})
+		res = mustRun(t, p, dev, Job{Name: "t", Pattern: RandRW, RWMixRead: 80, BS: 4096, MaxOps: 10000})
 	})
 	env.Run()
 	frac := float64(res.Reads) / float64(res.Reads+res.Writes)
@@ -66,7 +78,7 @@ func TestQueueDepthScalesThroughput(t *testing.T) {
 		env, dev := newNull()
 		var res *Result
 		env.Go("main", func(p *sim.Proc) {
-			res = Run(p, dev, Job{Name: "t", Pattern: RandRead, BS: 4096, QD: qd, Runtime: 5 * time.Millisecond})
+			res = mustRun(t, p, dev, Job{Name: "t", Pattern: RandRead, BS: 4096, QD: qd, Runtime: 5 * time.Millisecond})
 		})
 		env.Run()
 		return res.ReadMBps()
@@ -76,11 +88,33 @@ func TestQueueDepthScalesThroughput(t *testing.T) {
 	}
 }
 
+// TestSingleWorkerDrivesQD32 is the tentpole's acceptance check: one
+// worker process (NumJobs=1) sustains QD=32 through the queue pair, with
+// every completion's latency recorded.
+func TestSingleWorkerDrivesQD32(t *testing.T) {
+	run := func(qd int) *Result {
+		env, dev := newNull()
+		var res *Result
+		env.Go("main", func(p *sim.Proc) {
+			res = mustRun(t, p, dev, Job{Name: "t", Pattern: RandRead, BS: 4096, QD: qd, NumJobs: 1, Runtime: 5 * time.Millisecond})
+		})
+		env.Run()
+		return res
+	}
+	q1, q32 := run(1), run(32)
+	if q32.ReadMBps() < 25*q1.ReadMBps() {
+		t.Fatalf("QD32 = %.1f MB/s, want ≥25x QD1 (%.1f MB/s)", q32.ReadMBps(), q1.ReadMBps())
+	}
+	if int64(q32.ReadLat.Count()) != q32.Reads {
+		t.Fatalf("latency samples %d != reads %d", q32.ReadLat.Count(), q32.Reads)
+	}
+}
+
 func TestWriteRateLimit(t *testing.T) {
 	env, dev := newNull()
 	var res *Result
 	env.Go("main", func(p *sim.Proc) {
-		res = Run(p, dev, Job{Name: "t", Pattern: SeqWrite, BS: 65536, WriteRateMBps: 200, Runtime: 50 * time.Millisecond})
+		res = mustRun(t, p, dev, Job{Name: "t", Pattern: SeqWrite, BS: 65536, WriteRateMBps: 200, Runtime: 50 * time.Millisecond})
 	})
 	env.Run()
 	if mbps := res.WriteMBps(); mbps < 180 || mbps > 210 {
@@ -91,7 +125,7 @@ func TestWriteRateLimit(t *testing.T) {
 func TestSyncEvery(t *testing.T) {
 	env, dev := newNull()
 	env.Go("main", func(p *sim.Proc) {
-		Run(p, dev, Job{Name: "t", Pattern: SeqWrite, BS: 4096, MaxOps: 100, SyncEvery: 10})
+		mustRun(t, p, dev, Job{Name: "t", Pattern: SeqWrite, BS: 4096, MaxOps: 100, SyncEvery: 10})
 	})
 	env.Run()
 	if dev.Flushes != 10 {
@@ -103,7 +137,7 @@ func TestLatencyRecorded(t *testing.T) {
 	env, dev := newNull()
 	var res *Result
 	env.Go("main", func(p *sim.Proc) {
-		res = Run(p, dev, Job{Name: "t", Pattern: RandRead, BS: 4096, MaxOps: 50})
+		res = mustRun(t, p, dev, Job{Name: "t", Pattern: RandRead, BS: 4096, MaxOps: 50})
 	})
 	env.Run()
 	if res.ReadLat.Count() != 50 {
@@ -112,6 +146,79 @@ func TestLatencyRecorded(t *testing.T) {
 	m := res.ReadLat.Mean()
 	if m < 1900*time.Nanosecond || m > 2100*time.Nanosecond {
 		t.Fatalf("mean latency = %v, want ~1.97µs", m)
+	}
+}
+
+// ---- Job validation (the seed's small-region panics, now errors) ----
+
+func TestRunRejectsRegionSmallerThanOneRequest(t *testing.T) {
+	env, dev := newNull()
+	env.Go("main", func(p *sim.Proc) {
+		if _, err := Run(p, dev, Job{Name: "t", Pattern: RandRead, BS: 65536, Size: 4096, MaxOps: 1}); err == nil {
+			t.Error("want error for region smaller than BS, got nil")
+		}
+	})
+	env.Run()
+}
+
+func TestRunRejectsSeqWorkersExceedingSlots(t *testing.T) {
+	env, dev := newNull()
+	env.Go("main", func(p *sim.Proc) {
+		// 8 sequential streams over a 4-request region: zero stride.
+		if _, err := Run(p, dev, Job{Name: "t", Pattern: SeqRead, BS: 4096, NumJobs: 8, Size: 4 * 4096, MaxOps: 8}); err == nil {
+			t.Error("want error for more sequential workers than slots, got nil")
+		}
+		// The cloned engine counts NumJobs*QD workers.
+		if _, err := RunCloned(p, dev, Job{Name: "t", Pattern: SeqRead, BS: 4096, QD: 4, NumJobs: 2, Size: 4 * 4096, MaxOps: 8}); err == nil {
+			t.Error("want RunCloned error for more sequential workers than slots, got nil")
+		}
+	})
+	env.Run()
+}
+
+func TestRunRejectsNegativeDepthAndJobs(t *testing.T) {
+	env, dev := newNull()
+	env.Go("main", func(p *sim.Proc) {
+		if _, err := Run(p, dev, Job{Name: "t", Pattern: RandRead, BS: 4096, QD: -1, MaxOps: 1}); err == nil {
+			t.Error("want error for negative QD, got nil")
+		}
+		if _, err := RunCloned(p, dev, Job{Name: "t", Pattern: RandRead, BS: 4096, NumJobs: -2, MaxOps: 1}); err == nil {
+			t.Error("want error for negative NumJobs, got nil")
+		}
+	})
+	env.Run()
+}
+
+func TestRunRejectsMisalignedBS(t *testing.T) {
+	env, dev := newNull()
+	env.Go("main", func(p *sim.Proc) {
+		if _, err := Run(p, dev, Job{Name: "t", Pattern: RandRead, BS: 1000, MaxOps: 1}); err == nil {
+			t.Error("want error for BS not a sector multiple, got nil")
+		}
+	})
+	env.Run()
+}
+
+// TestClonedEngineAgrees checks the legacy engine still works and roughly
+// agrees with the queue engine on an uncontended device.
+func TestClonedEngineAgrees(t *testing.T) {
+	env, dev := newNull()
+	var qres, cres *Result
+	env.Go("main", func(p *sim.Proc) {
+		var err error
+		qres, err = Run(p, dev, Job{Name: "q", Pattern: RandRead, BS: 4096, QD: 8, Runtime: 5 * time.Millisecond})
+		if err != nil {
+			panic(err)
+		}
+		cres, err = RunCloned(p, dev, Job{Name: "c", Pattern: RandRead, BS: 4096, QD: 8, Runtime: 5 * time.Millisecond})
+		if err != nil {
+			panic(err)
+		}
+	})
+	env.Run()
+	ratio := qres.ReadMBps() / cres.ReadMBps()
+	if ratio < 0.9 || ratio > 1.1 {
+		t.Fatalf("queue engine %.1f MB/s vs cloned %.1f MB/s, want within 10%%", qres.ReadMBps(), cres.ReadMBps())
 	}
 }
 
@@ -247,15 +354,21 @@ func TestBlockEngineOverPblk(t *testing.T) {
 	env.Go("main", func(p *sim.Proc) {
 		k, err := pblk.New(p, ln, "pblk0", pblk.Config{ActivePUs: 4})
 		if err != nil {
-			t.Fatal(err)
+			panic(err)
 		}
 		defer k.Stop(p)
 		size := k.Capacity() / 2
-		wres = Run(p, k, Job{Name: "fill", Pattern: SeqWrite, BS: 65536, Size: size, MaxOps: size / 65536})
-		if err := k.Flush(p); err != nil {
-			t.Fatal(err)
+		wres, err = Run(p, k, Job{Name: "fill", Pattern: SeqWrite, BS: 65536, Size: size, MaxOps: size / 65536})
+		if err != nil {
+			panic(err)
 		}
-		rres = Run(p, k, Job{Name: "read", Pattern: RandRead, BS: 4096, QD: 4, Size: size, Runtime: 50 * time.Millisecond})
+		if err := k.Flush(p); err != nil {
+			panic(err)
+		}
+		rres, err = Run(p, k, Job{Name: "read", Pattern: RandRead, BS: 4096, QD: 4, Size: size, Runtime: 50 * time.Millisecond})
+		if err != nil {
+			panic(err)
+		}
 	})
 	env.Run()
 	if wres.Errors != 0 || rres.Errors != 0 {

@@ -241,7 +241,7 @@ func runAblateGCRL(o Options, w io.Writer) error {
 				panic(err)
 			}
 			overwrite := k.Capacity() / 2
-			res = fio.Run(p, k, fio.Job{Name: "ow", Pattern: fio.RandWrite, BS: 64 << 10, QD: 4,
+			res = mustRun(p, k, fio.Job{Name: "ow", Pattern: fio.RandWrite, BS: 64 << 10, QD: 4,
 				Size: k.Capacity(), MaxOps: overwrite / (64 << 10), Seed: o.Seed})
 			k.Flush(p)
 			recycled = k.Stats.GCBlocksRecycled
@@ -286,11 +286,11 @@ func runAblateInflight(o Options, w io.Writer) error {
 			}
 			done := env.NewEvent()
 			env.Go("w", func(pw *sim.Proc) {
-				wres = fio.Run(pw, k, fio.Job{Name: "w", Pattern: fio.SeqWrite, BS: 256 << 10,
+				wres = mustRun(pw, k, fio.Job{Name: "w", Pattern: fio.SeqWrite, BS: 256 << 10,
 					Offset: prep, Size: k.Capacity() - prep, Runtime: o.Duration})
 				done.Signal()
 			})
-			rres = fio.Run(p, k, fio.Job{Name: "r", Pattern: fio.RandRead, BS: 4096,
+			rres = mustRun(p, k, fio.Job{Name: "r", Pattern: fio.RandRead, BS: 4096,
 				Size: prep, Runtime: o.Duration, Seed: o.Seed})
 			p.Wait(done)
 		})

@@ -60,7 +60,7 @@ func runFig4(o Options, w io.Writer) error {
 			}
 			for _, qd := range depths {
 				for _, bs := range blockSizes {
-					r := fio.Run(p, k, fio.Job{
+					r := mustRun(p, k, fio.Job{
 						Name:    fmt.Sprintf("%s-%d-%d", name, qd, bs),
 						Pattern: pat, BS: bs, QD: qd,
 						Size: prep, Runtime: o.Duration, Seed: o.Seed,

@@ -64,12 +64,12 @@ func runFig5(o Options, w io.Writer) error {
 		// Reference values: 100% writes and 100% reads. Writes warm up for
 		// half a window first so the ring buffer is in steady state and
 		// the measured rate reflects media drain, not buffered acks.
-		fio.Run(p, k, fio.Job{Name: "warm", Pattern: fio.SeqWrite, BS: 256 << 10, QD: 1,
+		mustRun(p, k, fio.Job{Name: "warm", Pattern: fio.SeqWrite, BS: 256 << 10, QD: 1,
 			Offset: wOff, Size: wSpan, Runtime: o.Duration / 2})
-		refW := fio.Run(p, k, fio.Job{Name: "refW", Pattern: fio.SeqWrite, BS: 256 << 10, QD: 1,
+		refW := mustRun(p, k, fio.Job{Name: "refW", Pattern: fio.SeqWrite, BS: 256 << 10, QD: 1,
 			Offset: wOff, Size: wSpan, Runtime: o.Duration})
 		k.Flush(p)
-		refR := fio.Run(p, k, fio.Job{Name: "refR", Pattern: fio.RandRead, BS: 256 << 10, QD: 16,
+		refR := mustRun(p, k, fio.Job{Name: "refR", Pattern: fio.RandRead, BS: 256 << 10, QD: 16,
 			Size: prep, Runtime: o.Duration, Seed: o.Seed})
 		wRef, rRef = refW.WriteMBps(), refR.ReadMBps()
 
@@ -86,14 +86,14 @@ func runFig5(o Options, w io.Writer) error {
 				env.Go("writer", func(pw *sim.Proc) {
 					// Warm the write buffer to steady state before the
 					// measured window.
-					fio.Run(pw, k, fio.Job{Name: "warm", Pattern: fio.SeqWrite, BS: 256 << 10, QD: 1,
+					mustRun(pw, k, fio.Job{Name: "warm", Pattern: fio.SeqWrite, BS: 256 << 10, QD: 1,
 						Offset: wOff, Size: wSpan, Runtime: o.Duration / 2, WriteRateMBps: rateMBps})
-					wres = fio.Run(pw, k, fio.Job{Name: "W", Pattern: fio.SeqWrite, BS: 256 << 10, QD: 1,
+					wres = mustRun(pw, k, fio.Job{Name: "W", Pattern: fio.SeqWrite, BS: 256 << 10, QD: 1,
 						Offset: wOff, Size: wSpan, Runtime: o.Duration, WriteRateMBps: rateMBps})
 					wDoneEv.Signal()
 				})
 				p.Sleep(o.Duration / 2)
-				rres := fio.Run(p, k, fio.Job{Name: "R", Pattern: fio.RandRead, BS: readBS, QD: readQD,
+				rres := mustRun(p, k, fio.Job{Name: "R", Pattern: fio.RandRead, BS: readBS, QD: readQD,
 					Size: prep, Runtime: o.Duration, Seed: o.Seed})
 				p.Wait(wDoneEv)
 				return wres, rres

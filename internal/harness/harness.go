@@ -13,6 +13,8 @@ import (
 	"strings"
 	"time"
 
+	"repro/internal/blockdev"
+	"repro/internal/fio"
 	"repro/internal/lightnvm"
 	"repro/internal/nand"
 	"repro/internal/nvmedev"
@@ -23,6 +25,17 @@ import (
 
 // newRand returns a deterministic random source for harness-side draws.
 func newRand(seed int64) *rand.Rand { return rand.New(rand.NewSource(seed)) }
+
+// mustRun executes a fio job, panicking on job-configuration errors —
+// experiments run inside simulation processes where a bad job is a bug in
+// the experiment itself.
+func mustRun(p *sim.Proc, dev blockdev.Device, job fio.Job) *fio.Result {
+	r, err := fio.Run(p, dev, job)
+	if err != nil {
+		panic(err)
+	}
+	return r
+}
 
 // alignDown rounds n down to a multiple of unit (offsets and region sizes
 // derived from capacities must stay request-aligned).

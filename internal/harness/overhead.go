@@ -33,8 +33,8 @@ func runOverhead(o Options, w io.Writer) error {
 		env := sim.NewEnv(o.Seed)
 		var rr, wo *fio.Result
 		env.Go("main", func(p *sim.Proc) {
-			rr = fio.Run(p, dev, fio.Job{Name: "r", Pattern: fio.RandRead, BS: 4096, MaxOps: 20000})
-			wo = fio.Run(p, dev, fio.Job{Name: "w", Pattern: fio.RandWrite, BS: 4096, MaxOps: 20000})
+			rr = mustRun(p, dev, fio.Job{Name: "r", Pattern: fio.RandRead, BS: 4096, MaxOps: 20000})
+			wo = mustRun(p, dev, fio.Job{Name: "w", Pattern: fio.RandWrite, BS: 4096, MaxOps: 20000})
 		})
 		env.Run()
 		return rr.ReadLat.Mean(), wo.WriteLat.Mean()

@@ -32,14 +32,14 @@ func TestSteadyStateNoDeadlock(t *testing.T) {
 		}
 		const bs = 256 << 10
 		region := k.Capacity() / 8 / bs * bs
-		fio.Run(p, k, fio.Job{Name: "maxw", Pattern: fio.SeqWrite, BS: bs, QD: 2, Size: region, MaxOps: region / bs})
+		mustRun(p, k, fio.Job{Name: "maxw", Pattern: fio.SeqWrite, BS: bs, QD: 2, Size: region, MaxOps: region / bs})
 		k.Flush(p)
-		fio.Run(p, k, fio.Job{Name: "maxr", Pattern: fio.SeqRead, BS: bs, QD: 16, NumJobs: 8, Size: region, Runtime: o.Duration})
+		mustRun(p, k, fio.Job{Name: "maxr", Pattern: fio.SeqRead, BS: bs, QD: 16, NumJobs: 8, Size: region, Runtime: o.Duration})
 		if err := fio.Prepare(p, k, region, k.Capacity()-region); err != nil {
 			panic(err)
 		}
 		overwrite := k.Capacity() / bs * bs
-		fio.Run(p, k, fio.Job{Name: "steady", Pattern: fio.SeqWrite, BS: bs, QD: 2, Size: overwrite, MaxOps: overwrite / bs})
+		mustRun(p, k, fio.Job{Name: "steady", Pattern: fio.SeqWrite, BS: bs, QD: 2, Size: overwrite, MaxOps: overwrite / bs})
 		k.Flush(p)
 		done = true
 	})

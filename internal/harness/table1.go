@@ -68,14 +68,14 @@ func runTable1(o Options, w io.Writer) error {
 		const bs = 256 << 10
 		region := k.Capacity() / 8 / bs * bs
 		t0 := env.Now()
-		fio.Run(p, k, fio.Job{Name: "maxw", Pattern: fio.SeqWrite, BS: bs, QD: 2,
+		mustRun(p, k, fio.Job{Name: "maxw", Pattern: fio.SeqWrite, BS: bs, QD: 2,
 			Size: region, MaxOps: region / bs})
 		if err := k.Flush(p); err != nil {
 			panic(err)
 		}
 		factoryMBps = float64(region) / (env.Now() - t0).Seconds() / 1e6
 
-		maxR := fio.Run(p, k, fio.Job{Name: "maxr", Pattern: fio.SeqRead, BS: bs, QD: 16, NumJobs: 8,
+		maxR := mustRun(p, k, fio.Job{Name: "maxr", Pattern: fio.SeqRead, BS: bs, QD: 16, NumJobs: 8,
 			Size: region, Runtime: dur})
 		maxReadMBps = maxR.ReadMBps()
 
@@ -88,7 +88,7 @@ func runTable1(o Options, w io.Writer) error {
 		}
 		overwrite := k.Capacity() / bs * bs
 		t0 = env.Now()
-		fio.Run(p, k, fio.Job{Name: "steady", Pattern: fio.SeqWrite, BS: bs, QD: 2,
+		mustRun(p, k, fio.Job{Name: "steady", Pattern: fio.SeqWrite, BS: bs, QD: 2,
 			Size: overwrite, MaxOps: overwrite / bs})
 		if err := k.Flush(p); err != nil {
 			panic(err)

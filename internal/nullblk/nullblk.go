@@ -82,3 +82,34 @@ func (d *Device) Flush(p *sim.Proc) error {
 func (d *Device) Trim(p *sim.Proc, off, length int64) error {
 	return blockdev.CheckRange(d, off, nil, length)
 }
+
+// OpenQueue implements blockdev.QueueProvider: the native asynchronous
+// datapath. Completions are pure scheduled events on the virtual clock —
+// no simulation process per request — so a single submitter drives any
+// queue depth.
+func (d *Device) OpenQueue(env *sim.Env, depth int) blockdev.Queue {
+	return blockdev.NewQueue(env, d, depth, func(req *blockdev.Request, done func()) {
+		switch req.Op {
+		case blockdev.ReqRead:
+			env.Schedule(d.cfg.ReadLatency, func() {
+				for i := range req.Buf {
+					req.Buf[i] = 0
+				}
+				d.Reads++
+				done()
+			})
+		case blockdev.ReqWrite:
+			env.Schedule(d.cfg.WriteLatency, func() {
+				d.Writes++
+				done()
+			})
+		case blockdev.ReqFlush:
+			env.Schedule(0, func() {
+				d.Flushes++
+				done()
+			})
+		case blockdev.ReqTrim:
+			env.Schedule(0, done)
+		}
+	})
+}

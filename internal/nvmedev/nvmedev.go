@@ -67,8 +67,10 @@ func DefaultConfig(blocksPerPlane int) Config {
 	}
 }
 
-// Device is the baseline block SSD. It implements blockdev.Device.
+// Device is the baseline block SSD. It implements blockdev.Device and,
+// for the asynchronous datapath, blockdev.QueueProvider.
 type Device struct {
+	env *sim.Env
 	raw *ocssd.Device
 	ftl *pblk.Pblk
 	// firmware per-command latency, standing in for the embedded
@@ -108,7 +110,25 @@ func New(p *sim.Proc, env *sim.Env, cfg Config) (*Device, error) {
 	if err != nil {
 		return nil, err
 	}
-	return &Device{raw: raw, ftl: ftl, cmdLatency: 2 * time.Microsecond}, nil
+	return &Device{env: env, raw: raw, ftl: ftl, cmdLatency: 2 * time.Microsecond}, nil
+}
+
+// OpenQueue implements blockdev.QueueProvider: each request pays the
+// firmware command-handling latency, then reads, writes and trims ride the
+// embedded FTL's native asynchronous datapath. Flushes complete after
+// command handling alone — the DRAM write cache is power-loss protected —
+// while still acting as a queue barrier for ordering.
+func (d *Device) OpenQueue(env *sim.Env, depth int) blockdev.Queue {
+	return blockdev.NewQueue(d.env, d, depth, func(req *blockdev.Request, done func()) {
+		if req.Op == blockdev.ReqFlush {
+			d.env.Schedule(d.cmdLatency, func() {
+				d.Flushes++
+				done()
+			})
+			return
+		}
+		d.env.Schedule(d.cmdLatency, func() { d.ftl.IssueAsync(req, done) })
+	})
 }
 
 // Raw exposes the internal device for instrumentation in tests and benches.

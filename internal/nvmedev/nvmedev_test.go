@@ -82,13 +82,21 @@ func TestReadsSufferBehindDeviceWrites(t *testing.T) {
 		// Flush is a no-op on the baseline (power-protected DRAM); let the
 		// cache drain to media before the quiet measurement.
 		p.Sleep(50 * time.Millisecond)
-		quiet = fio.Run(p, d, fio.Job{Name: "q", Pattern: fio.RandRead, BS: 4096, Size: size, Runtime: 30 * time.Millisecond})
+		quiet, err = fio.Run(p, d, fio.Job{Name: "q", Pattern: fio.RandRead, BS: 4096, Size: size, Runtime: 30 * time.Millisecond})
+		if err != nil {
+			panic(err)
+		}
 		wDone := env.NewEvent()
 		env.Go("writer", func(pw *sim.Proc) {
-			fio.Run(pw, d, fio.Job{Name: "w", Pattern: fio.SeqWrite, BS: 65536, Offset: size, Size: d.Capacity() - size, Runtime: 30 * time.Millisecond})
+			if _, err := fio.Run(pw, d, fio.Job{Name: "w", Pattern: fio.SeqWrite, BS: 65536, Offset: size, Size: d.Capacity() - size, Runtime: 30 * time.Millisecond}); err != nil {
+				panic(err)
+			}
 			wDone.Signal()
 		})
-		noisy = fio.Run(p, d, fio.Job{Name: "n", Pattern: fio.RandRead, BS: 4096, Size: size, Runtime: 30 * time.Millisecond})
+		noisy, err = fio.Run(p, d, fio.Job{Name: "n", Pattern: fio.RandRead, BS: 4096, Size: size, Runtime: 30 * time.Millisecond})
+		if err != nil {
+			panic(err)
+		}
 		p.Wait(wDone)
 	})
 	env.Run()

@@ -225,6 +225,10 @@ type Pblk struct {
 	// retry holds ring positions of write-failed sectors awaiting
 	// remap+resubmit ahead of buffered data (§4.2.3).
 	retry []uint64
+	// admitQ holds queue-pair writes awaiting ring admission in FIFO
+	// order; admitActive marks the admission process running (queue.go).
+	admitQ      []pendingWrite
+	admitActive bool
 	// suspects queues write-failed groups for priority GC + retirement.
 	suspects []int
 

@@ -1,0 +1,95 @@
+package pblk
+
+import (
+	"repro/internal/blockdev"
+	"repro/internal/sim"
+)
+
+// pblk's native asynchronous datapath (the ROADMAP's queue-pair redesign):
+// reads fan out through the device's already-asynchronous vector submission
+// instead of blocking a process, writes complete on ring-buffer admission
+// (paper §4.2.1, producers), and flushes ride the existing flush-barrier
+// machinery. The generic queue state machine lives in blockdev.NewQueue;
+// this file supplies the per-operation issue paths.
+
+var _ blockdev.QueueProvider = (*Pblk)(nil)
+
+// OpenQueue implements blockdev.QueueProvider. The queue completes on
+// pblk's own simulation environment; env is accepted for interface
+// symmetry and may be nil.
+func (k *Pblk) OpenQueue(env *sim.Env, depth int) blockdev.Queue {
+	return blockdev.NewQueue(k.env, k, depth, k.IssueAsync)
+}
+
+// IssueAsync starts one pre-validated request on the native datapath. It
+// is exported for embedding devices (nvmedev wraps it behind its firmware
+// command handling). done runs in simulation context once the request
+// finishes; req.Err is set by then.
+func (k *Pblk) IssueAsync(req *blockdev.Request, done func()) {
+	switch req.Op {
+	case blockdev.ReqRead:
+		k.startRead(req.Off, req.Buf, req.Length, func(err error) {
+			req.Err = err
+			done()
+		})
+	case blockdev.ReqWrite:
+		k.admitQ = append(k.admitQ, pendingWrite{req: req, done: done})
+		if !k.admitActive {
+			k.admitActive = true
+			k.env.Go("pblk."+k.name+".admit", k.admitLoop)
+		}
+	case blockdev.ReqFlush:
+		k.startFlush(func(err error) {
+			req.Err = err
+			done()
+		})
+	case blockdev.ReqTrim:
+		k.env.Schedule(k.cfg.HostWriteOverhead, func() {
+			req.Err = k.trimNow(req.Off, req.Length)
+			done()
+		})
+	default:
+		k.env.Schedule(0, done)
+	}
+}
+
+// pendingWrite is one queue write awaiting ring admission.
+type pendingWrite struct {
+	req  *blockdev.Request
+	done func()
+}
+
+// admitLoop is the queues' shared write-admission process: it admits
+// queued writes into the ring buffer in FIFO order — blocking on buffer
+// space and the rate limiter like any producer — and completes each write
+// on admission, before media programming (paper §4.2.1: writes are
+// acknowledged once buffered). The process exits when the backlog drains
+// and is respawned on demand.
+func (k *Pblk) admitLoop(p *sim.Proc) {
+	for len(k.admitQ) > 0 {
+		pw := k.admitQ[0]
+		k.admitQ = k.admitQ[1:]
+		pw.req.Err = k.Write(p, pw.req.Off, pw.req.Buf, pw.req.Length)
+		pw.done()
+	}
+	k.admitActive = false
+}
+
+// startFlush registers a flush barrier over all data admitted so far; fin
+// runs in simulation context once the ring tail passes it (paper §4.2.1,
+// with padding to full flash pages).
+func (k *Pblk) startFlush(fin func(error)) {
+	if k.stopping {
+		k.env.Schedule(0, func() { fin(ErrStopped) })
+		return
+	}
+	k.Stats.Flushes++
+	if k.rb.inRing() == 0 && len(k.retry) == 0 {
+		k.env.Schedule(0, func() { fin(nil) })
+		return
+	}
+	req := flushReq{pos: k.rb.head - 1, ev: k.env.NewEvent()}
+	k.flushes = append(k.flushes, req)
+	k.consumerKick.Signal()
+	req.ev.OnFire(func() { fin(nil) })
+}

@@ -9,13 +9,8 @@ import (
 	"repro/internal/sim"
 )
 
-// Read implements blockdev.Device. Each sector is served from the write
-// buffer when its mapping is a cacheline (paper §4.2.1: "reads are directed
-// to the write buffer until all page pairs have been persisted"), from
-// media via vector reads otherwise, and as zeros when unmapped.
-//
-// Media read failures surface as ErrReadFailed: pblk has no read recovery
-// (§4.2.3, ECC and threshold tuning live in the device).
+// Read implements blockdev.Device: the blocking wrapper over the native
+// asynchronous read path (startRead).
 func (k *Pblk) Read(p *sim.Proc, off int64, buf []byte, length int64) error {
 	if k.stopping {
 		return ErrStopped
@@ -23,12 +18,43 @@ func (k *Pblk) Read(p *sim.Proc, off int64, buf []byte, length int64) error {
 	if err := blockdev.CheckRange(k, off, buf, length); err != nil {
 		return err
 	}
-	p.Sleep(k.cfg.HostReadOverhead)
+	ev := k.env.NewEvent()
+	var out error
+	k.startRead(off, buf, length, func(err error) {
+		out = err
+		ev.Signal()
+	})
+	p.Wait(ev)
+	return out
+}
+
+// startRead charges the host read overhead, then resolves and fans the
+// request out (asynchronous datapath). The range must already be
+// validated. fin runs in simulation context with the first error once
+// every sector is resolved.
+func (k *Pblk) startRead(off int64, buf []byte, length int64, fin func(error)) {
+	if k.stopping {
+		k.env.Schedule(0, func() { fin(ErrStopped) })
+		return
+	}
+	k.env.Schedule(k.cfg.HostReadOverhead, func() { k.resolveRead(off, buf, length, fin) })
+}
+
+// resolveRead serves each sector from the write buffer when its mapping is
+// a cacheline (paper §4.2.1: "reads are directed to the write buffer until
+// all page pairs have been persisted"), as zeros when unmapped, and from
+// media otherwise — gathered into vector reads submitted through the
+// device's asynchronous interface, which parallelizes across PUs and
+// channels. Media read failures surface as ErrReadFailed: pblk has no read
+// recovery (§4.2.3, ECC and threshold tuning live in the device).
+func (k *Pblk) resolveRead(off int64, buf []byte, length int64, fin func(error)) {
+	if k.stopping {
+		fin(ErrStopped)
+		return
+	}
 	ss := int64(k.geo.SectorSize)
 	n := int(length / ss)
 
-	// Gather media sectors into one or more vector reads; resolve cache and
-	// unmapped sectors immediately.
 	type mediaSector struct {
 		sector int // index within the request
 		addr   ppa.Addr
@@ -60,18 +86,14 @@ func (k *Pblk) Read(p *sim.Proc, off int64, buf []byte, length int64) error {
 		k.Stats.UserReads++
 	}
 	if len(media) == 0 {
-		return nil
+		fin(nil)
+		return
 	}
 
-	// Issue all vector commands, then wait for every completion; the device
-	// parallelizes across PUs and channels.
-	type pendingCmd struct {
-		comp *ocssd.Completion
-		sect []int
-	}
-	var cmds []pendingCmd
-	allDone := k.env.NewEvent()
+	// One vector command per MaxVectorLen chunk; the completion callbacks
+	// copy data out and the last one reports the first error seen.
 	outstanding := 0
+	var firstErr error
 	for lo := 0; lo < len(media); lo += ocssd.MaxVectorLen {
 		hi := lo + ocssd.MaxVectorLen
 		if hi > len(media) {
@@ -84,40 +106,30 @@ func (k *Pblk) Read(p *sim.Proc, off int64, buf []byte, length int64) error {
 			addrs[j] = m.addr
 			sect[j] = m.sector
 		}
-		pc := pendingCmd{sect: sect}
-		idx := len(cmds)
-		cmds = append(cmds, pc)
 		outstanding++
 		k.dev.Submit(&ocssd.Vector{Op: ocssd.OpRead, Addrs: addrs}, func(c *ocssd.Completion) {
-			cmds[idx].comp = c
+			for j, si := range sect {
+				if c.Errs[j] != nil {
+					if firstErr == nil {
+						firstErr = fmt.Errorf("%w: lba %d: %v", ErrReadFailed, off/ss+int64(si), c.Errs[j])
+					}
+					continue
+				}
+				if buf != nil {
+					dst := buf[int64(si)*ss : int64(si+1)*ss]
+					if d := c.Data[j]; d != nil {
+						copy(dst, d)
+					} else {
+						zero(dst)
+					}
+				}
+			}
 			outstanding--
 			if outstanding == 0 {
-				allDone.Signal()
+				fin(firstErr)
 			}
 		})
 	}
-	p.Wait(allDone)
-
-	var firstErr error
-	for _, pc := range cmds {
-		for j, si := range pc.sect {
-			if pc.comp.Errs[j] != nil {
-				if firstErr == nil {
-					firstErr = fmt.Errorf("%w: lba %d: %v", ErrReadFailed, off/ss+int64(si), pc.comp.Errs[j])
-				}
-				continue
-			}
-			if buf != nil {
-				dst := buf[int64(si)*ss : int64(si+1)*ss]
-				if d := pc.comp.Data[j]; d != nil {
-					copy(dst, d)
-				} else {
-					zero(dst)
-				}
-			}
-		}
-	}
-	return firstErr
 }
 
 func zero(b []byte) {

@@ -89,19 +89,16 @@ func (k *Pblk) reserveGC(p *sim.Proc) {
 
 // Flush implements blockdev.Device (paper §4.2.1): all data buffered at
 // call time is forced to media, padding the final flash page if needed.
+// It is the blocking wrapper over startFlush (see queue.go).
 func (k *Pblk) Flush(p *sim.Proc) error {
-	if k.stopping {
-		return ErrStopped
-	}
-	k.Stats.Flushes++
-	if k.rb.inRing() == 0 && len(k.retry) == 0 {
-		return nil
-	}
-	req := flushReq{pos: k.rb.head - 1, ev: k.env.NewEvent()}
-	k.flushes = append(k.flushes, req)
-	k.consumerKick.Signal()
-	p.Wait(req.ev)
-	return nil
+	ev := k.env.NewEvent()
+	var out error
+	k.startFlush(func(err error) {
+		out = err
+		ev.Signal()
+	})
+	p.Wait(ev)
+	return out
 }
 
 // Trim implements blockdev.Device: mappings are dropped host-side; the
@@ -114,6 +111,15 @@ func (k *Pblk) Trim(p *sim.Proc, off, length int64) error {
 		return err
 	}
 	p.Sleep(k.cfg.HostWriteOverhead)
+	return k.trimNow(off, length)
+}
+
+// trimNow drops the mappings of a validated range; shared by the blocking
+// and queue datapaths.
+func (k *Pblk) trimNow(off, length int64) error {
+	if k.stopping {
+		return ErrStopped
+	}
 	ss := int64(k.geo.SectorSize)
 	for lba := off / ss; lba < (off+length)/ss; lba++ {
 		v := k.l2p[lba]
