@@ -17,7 +17,11 @@ import (
 
 	"repro/internal/fio"
 	"repro/internal/harness"
+	"repro/internal/lightnvm"
+	"repro/internal/nand"
 	"repro/internal/nullblk"
+	"repro/internal/ocssd"
+	"repro/internal/pblk"
 	"repro/internal/sim"
 )
 
@@ -83,6 +87,64 @@ func BenchmarkFig7(b *testing.B) {
 
 func BenchmarkFig8(b *testing.B) {
 	runExperiment(b, "fig8", io.Discard)
+}
+
+// BenchmarkLaneScaling measures pblk write throughput against the number
+// of active write PUs at QD32: with the sharded per-lane writers every
+// active PU drains its own slice of the ring buffer, so the simulated
+// write bandwidth should scale near-linearly (16 lanes well above 2x the
+// single-lane figure). The full sweep with per-lane stall/depth telemetry
+// is `go run ./cmd/lnvm-bench lanes`.
+func BenchmarkLaneScaling(b *testing.B) {
+	for _, act := range []int{1, 4, 16, 128} {
+		b.Run(fmt.Sprintf("pus%d", act), func(b *testing.B) {
+			var mbps float64
+			for i := 0; i < b.N; i++ {
+				env := sim.NewEnv(1)
+				m := nand.DefaultConfig()
+				m.PECycleLimit = 0
+				m.WearLatencyFactor = 0
+				dev, err := ocssd.New(env, ocssd.Config{
+					Geometry:  ocssd.WestlakeGeometry(24),
+					Timing:    ocssd.DefaultTiming(),
+					Media:     m,
+					PageCache: true,
+					Seed:      1,
+				})
+				if err != nil {
+					b.Fatal(err)
+				}
+				ln := lightnvm.Register("bench", dev)
+				var res *fio.Result
+				env.Go("main", func(p *sim.Proc) {
+					k, err := pblk.New(p, ln, "pblk0", pblk.Config{ActivePUs: act})
+					if err != nil {
+						b.Error(err)
+						return
+					}
+					defer k.Stop(p)
+					span := k.Capacity() / 4 / (256 << 10) * (256 << 10)
+					res, err = fio.Run(p, k, fio.Job{
+						Name: "lanes", Pattern: fio.SeqWrite, BS: 64 << 10,
+						QD: 32, Size: span, Runtime: 20 * time.Millisecond,
+					})
+					if err != nil {
+						b.Error(err)
+					}
+				})
+				env.Run()
+				if res != nil {
+					mbps = res.WriteMBps()
+				}
+			}
+			b.ReportMetric(mbps, "sim-write-MBps")
+		})
+	}
+}
+
+// BenchmarkLanes wraps the harness lane-scaling experiment end to end.
+func BenchmarkLanes(b *testing.B) {
+	runExperiment(b, "lanes", io.Discard)
 }
 
 // BenchmarkQDSweep records the perf trajectory of the block-engine

@@ -7,16 +7,20 @@ package main
 import (
 	"flag"
 	"fmt"
+	"os"
+	"time"
 
 	"repro/internal/lightnvm"
 	"repro/internal/ocssd"
-	_ "repro/internal/pblk" // register the pblk target type
+	"repro/internal/pblk" // registers the pblk target type
 	"repro/internal/ppa"
 	"repro/internal/sim"
 )
 
 func main() {
 	blocks := flag.Int("blocks", 1067, "blocks per plane (1067 = the paper's 2TB Westlake)")
+	lanes := flag.Bool("lanes", false, "create a pblk target, run a short write burst, and dump per-lane writer stats")
+	active := flag.Int("active", 16, "active write PUs for -lanes (must divide total PUs)")
 	flag.Parse()
 
 	env := sim.NewEnv(1)
@@ -53,4 +57,55 @@ func main() {
 		id.Media.PECycleLimit, id.Media.PairStride, id.Media.StrictPairRead)
 	fmt.Printf("limits: max vector %d addrs, per-sector OOB %d B\n", id.MaxVectorLen, id.SectorOOB)
 	fmt.Printf("target types registered: %v\n", lightnvm.TargetTypes())
+
+	if *lanes {
+		if err := inspectLanes(env, ln, *active); err != nil {
+			fmt.Fprintln(os.Stderr, "error:", err)
+			os.Exit(1)
+		}
+	}
+}
+
+// inspectLanes instantiates a pblk target, pushes a short QD-free write
+// burst through it, and prints the per-lane writer shards — the operator
+// view of the sharded write datapath (queue depth high-water, semaphore
+// stalls, padding, PU rotation position).
+func inspectLanes(env *sim.Env, ln *lightnvm.Device, active int) error {
+	var out error
+	env.Go("lanes", func(p *sim.Proc) {
+		tgt, err := ln.CreateTarget(p, "pblk", "pblk0", pblk.Config{ActivePUs: active})
+		if err != nil {
+			out = err
+			return
+		}
+		k := tgt.(*pblk.Pblk)
+		const chunk = 256 * 1024
+		span := k.Capacity() / 8 / chunk * chunk
+		start := env.Now()
+		for off := int64(0); off < span; off += chunk {
+			if err := k.Write(p, off, nil, chunk); err != nil {
+				out = fmt.Errorf("write: %w", err)
+				return
+			}
+		}
+		if err := k.Flush(p); err != nil {
+			out = fmt.Errorf("flush: %w", err)
+			return
+		}
+		elapsed := env.Now() - start
+		fmt.Printf("\npblk lane stats after writing %d MB in %v (%.0f MB/s, %d active PUs):\n",
+			span>>20, elapsed.Round(time.Microsecond), float64(span)/1e6/elapsed.Seconds(), k.ActivePUs())
+		fmt.Printf("%-5s %-9s %-6s %-6s %-6s %-10s %-7s %-7s %-7s\n",
+			"lane", "pu span", "curPU", "queue", "peak", "units", "stalls", "waits", "padded")
+		for _, s := range k.LaneStats() {
+			fmt.Printf("%-5d %-9s %-6d %-6d %-6d %-10d %-7d %-7d %-7d\n",
+				s.Lane, fmt.Sprintf("[%d,%d)", s.PULo, s.PUHi),
+				s.CurPU, s.QueueDepth, s.PeakDepth, s.UnitsWritten, s.SemStalls, s.Waits, s.Padded)
+		}
+		if err := ln.RemoveTarget(p, "pblk0"); err != nil {
+			out = fmt.Errorf("remove: %w", err)
+		}
+	})
+	env.Run()
+	return out
 }

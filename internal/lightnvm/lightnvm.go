@@ -94,6 +94,12 @@ func TargetTypes() []string {
 // (the `nvm create` ioctl analogue). It must run in simulation context
 // because target initialization (e.g. pblk recovery scans) performs
 // device I/O.
+//
+// The instance name is reserved under the lock before construction runs:
+// target init yields (it performs device I/O), so two concurrent creates
+// of the same name would otherwise both pass the duplicate check and the
+// second would silently overwrite the first without stopping it. A nil
+// map entry marks the reservation; it is released if construction fails.
 func (d *Device) CreateTarget(p *sim.Proc, typeName, instanceName string, cfg any) (Target, error) {
 	regMu.Lock()
 	t, ok := registry[typeName]
@@ -106,9 +112,13 @@ func (d *Device) CreateTarget(p *sim.Proc, typeName, instanceName string, cfg an
 		d.mu.Unlock()
 		return nil, fmt.Errorf("lightnvm: target %q already exists on %s", instanceName, d.name)
 	}
+	d.targets[instanceName] = nil // reserve the name
 	d.mu.Unlock()
 	tgt, err := t(p, d, instanceName, cfg)
 	if err != nil {
+		d.mu.Lock()
+		delete(d.targets, instanceName)
+		d.mu.Unlock()
 		return nil, fmt.Errorf("lightnvm: create %s target %q: %w", typeName, instanceName, err)
 	}
 	d.mu.Lock()
@@ -121,6 +131,10 @@ func (d *Device) CreateTarget(p *sim.Proc, typeName, instanceName string, cfg an
 func (d *Device) RemoveTarget(p *sim.Proc, instanceName string) error {
 	d.mu.Lock()
 	tgt, ok := d.targets[instanceName]
+	if ok && tgt == nil {
+		d.mu.Unlock()
+		return fmt.Errorf("lightnvm: target %q on %s is still being created", instanceName, d.name)
+	}
 	delete(d.targets, instanceName)
 	d.mu.Unlock()
 	if !ok {
@@ -129,12 +143,16 @@ func (d *Device) RemoveTarget(p *sim.Proc, instanceName string) error {
 	return tgt.Stop(p)
 }
 
-// Targets lists target instance names on the device, sorted.
+// Targets lists target instance names on the device, sorted. Names only
+// reserved by an in-flight CreateTarget are excluded.
 func (d *Device) Targets() []string {
 	d.mu.Lock()
 	defer d.mu.Unlock()
 	names := make([]string, 0, len(d.targets))
-	for n := range d.targets {
+	for n, t := range d.targets {
+		if t == nil {
+			continue
+		}
 		names = append(names, n)
 	}
 	sort.Strings(names)

@@ -3,6 +3,7 @@ package lightnvm
 import (
 	"errors"
 	"testing"
+	"time"
 
 	"repro/internal/nand"
 	"repro/internal/ocssd"
@@ -40,6 +41,15 @@ func (f *fakeTarget) Stop(p *sim.Proc) error { f.stopped = true; return nil }
 
 func init() {
 	RegisterTargetType("fake", func(p *sim.Proc, dev *Device, name string, cfg any) (Target, error) {
+		if cfg == "fail" {
+			return nil, errors.New("nope")
+		}
+		return &fakeTarget{name: name}, nil
+	})
+	// slowfake yields during construction, like pblk running its recovery
+	// scan; it exposes the create/create race window.
+	RegisterTargetType("slowfake", func(p *sim.Proc, dev *Device, name string, cfg any) (Target, error) {
+		p.Sleep(time.Millisecond)
 		if cfg == "fail" {
 			return nil, errors.New("nope")
 		}
@@ -108,6 +118,80 @@ func TestTargetLifecycle(t *testing.T) {
 		}
 		if err := d.RemoveTarget(p, "inst0"); err == nil {
 			t.Fatal("double remove accepted")
+		}
+	})
+	env.Run()
+}
+
+func TestConcurrentCreateSameName(t *testing.T) {
+	// Two simultaneous creates of one instance name, both yielding during
+	// construction: exactly one may win; the loser must fail the duplicate
+	// check instead of silently replacing the winner in the registry.
+	env, d := newDevice(t)
+	var targets []Target
+	var errs []error
+	for i := 0; i < 2; i++ {
+		env.Go("creator", func(p *sim.Proc) {
+			tgt, err := d.CreateTarget(p, "slowfake", "inst0", nil)
+			if err != nil {
+				errs = append(errs, err)
+				return
+			}
+			targets = append(targets, tgt)
+		})
+	}
+	env.Run()
+	if len(targets) != 1 || len(errs) != 1 {
+		t.Fatalf("wins=%d errs=%d, want exactly one of each", len(targets), len(errs))
+	}
+	if got := d.Targets(); len(got) != 1 || got[0] != "inst0" {
+		t.Fatalf("targets = %v", got)
+	}
+	env.Go("check", func(p *sim.Proc) {
+		if err := d.RemoveTarget(p, "inst0"); err != nil {
+			t.Errorf("remove winner: %v", err)
+		}
+	})
+	env.Run()
+	if !targets[0].(*fakeTarget).stopped {
+		t.Fatal("winner not stopped on removal")
+	}
+}
+
+func TestCreateFailureReleasesReservation(t *testing.T) {
+	env, d := newDevice(t)
+	env.Go("main", func(p *sim.Proc) {
+		if _, err := d.CreateTarget(p, "slowfake", "inst0", "fail"); err == nil {
+			t.Error("factory error swallowed")
+		}
+		if got := d.Targets(); len(got) != 0 {
+			t.Errorf("failed create left registry entry: %v", got)
+		}
+		// The name must be reusable after the failed create.
+		if _, err := d.CreateTarget(p, "slowfake", "inst0", nil); err != nil {
+			t.Errorf("recreate after failure: %v", err)
+		}
+	})
+	env.Run()
+}
+
+func TestRemoveDuringCreateRejected(t *testing.T) {
+	env, d := newDevice(t)
+	created := env.NewEvent()
+	env.Go("creator", func(p *sim.Proc) {
+		if _, err := d.CreateTarget(p, "slowfake", "inst0", nil); err != nil {
+			t.Errorf("create: %v", err)
+		}
+		created.Signal()
+	})
+	env.Go("remover", func(p *sim.Proc) {
+		// Runs while the creator is still inside construction.
+		if err := d.RemoveTarget(p, "inst0"); err == nil {
+			t.Error("remove of a half-created target accepted")
+		}
+		p.Wait(created)
+		if err := d.RemoveTarget(p, "inst0"); err != nil {
+			t.Errorf("remove after creation: %v", err)
 		}
 	})
 	env.Run()

@@ -2,21 +2,68 @@ package pblk
 
 import (
 	"fmt"
+	"sort"
 	"strings"
 )
 
+// LaneStat is a snapshot of one write lane, exposed for inspection tools
+// (lnvm-inspect) and the harness lane-scaling experiment.
+type LaneStat struct {
+	Lane         int
+	PULo, PUHi   int // PU span [PULo, PUHi)
+	CurPU        int
+	OpenGroup    int // open group id, -1 when none
+	QueueDepth   int // dispatched sectors awaiting unit formation
+	Retries      int // write-failed sectors awaiting resubmission
+	PeakDepth    int // high-water mark of queued+retried sectors
+	Inflight     int // write units outstanding on the PU
+	UnitsWritten int64
+	SemStalls    int64 // writer blocked on the per-PU in-flight semaphore
+	Waits        int64 // writer parked with no work
+	Padded       int64 // padding sectors this lane wrote
+}
+
+// LaneStats returns a per-lane snapshot of the sharded write datapath.
+func (k *Pblk) LaneStats() []LaneStat {
+	out := make([]LaneStat, len(k.slots))
+	for i, s := range k.slots {
+		grp := -1
+		if s.grp != nil {
+			grp = s.grp.id
+		}
+		out[i] = LaneStat{
+			Lane: s.lane, PULo: s.puLo, PUHi: s.puHi, CurPU: s.curPU,
+			OpenGroup: grp, QueueDepth: s.qSectors, Retries: s.retrySectors(),
+			PeakDepth: s.peakDepth, Inflight: s.sem.InUse(),
+			UnitsWritten: s.unitsWritten, SemStalls: s.stalls,
+			Waits: s.waits, Padded: s.padded,
+		}
+	}
+	return out
+}
+
+// retryCount sums write-failed sectors awaiting resubmission across lanes.
+func (k *Pblk) retryCount() int {
+	n := 0
+	for _, s := range k.slots {
+		n += s.retrySectors()
+	}
+	return n
+}
+
 // DebugState returns a multi-line snapshot of the FTL's internal state:
-// ring buffer pointers, rate-limiter output, group-state census, and lane
-// positions. Intended for diagnostics and tests; the format is not stable.
+// ring buffer cursors, rate-limiter output, group-state census, and the
+// per-lane writer shards. Intended for diagnostics and tests; the format
+// is not stable.
 func (k *Pblk) DebugState() string {
 	var b strings.Builder
 	fmt.Fprintf(&b, "free=%d/%d spare=%d gcStart=%d gcStop=%d gcActive=%v rlIdle=%v quota=%d emergency=%d\n",
 		k.freeGroups, k.usableGroups, k.spareGroups(), k.gcStartGroups(), k.gcStopGroups(),
 		k.gcActive, k.rl.idle, k.rl.userQuota, k.emergencyReserve())
-	fmt.Fprintf(&b, "ring head=%d sub=%d tail=%d userIn=%d gcIn=%d free=%d cap=%d\n",
-		k.rb.head, k.rb.subPtr, k.rb.tail, k.rb.userIn, k.rb.gcIn, k.rb.free(), k.rb.capacity())
-	fmt.Fprintf(&b, "retry=%d flushes=%d suspects=%d stopping=%v gcStopping=%v\n",
-		len(k.retry), len(k.flushes), len(k.suspects), k.stopping, k.gcStopping)
+	fmt.Fprintf(&b, "ring head=%d disp=%d tail=%d userIn=%d gcIn=%d free=%d cap=%d\n",
+		k.rb.head, k.rb.disp, k.rb.tail, k.rb.userIn, k.rb.gcIn, k.rb.free(), k.rb.capacity())
+	fmt.Fprintf(&b, "retry=%d flushes=%d suspects=%d stopping=%v rebuilding=%v gcStopping=%v\n",
+		k.retryCount(), len(k.flushes), len(k.suspects), k.stopping, k.rebuilding, k.gcStopping)
 	states := map[groupState]int{}
 	minValid, maxValid, pending := 1<<30, -1, 0
 	for _, g := range k.groups {
@@ -38,13 +85,14 @@ func (k *Pblk) DebugState() string {
 	fmt.Fprintf(&b, "groups=%v closedValid=[%d,%d]/%d pendingUnits=%d\n",
 		states, minValid, maxValid, k.dataSectors, pending)
 	for _, s := range k.slots {
-		if s.grp != nil || s.sem.InUse() > 0 || s.sem.QueueLen() > 0 {
+		if s.grp != nil || s.qSectors > 0 || len(s.retry) > 0 || s.sem.InUse() > 0 || s.sem.QueueLen() > 0 {
 			grp := -1
 			if s.grp != nil {
 				grp = s.grp.id
 			}
-			fmt.Fprintf(&b, "  lane %d: pu=%d grp=%d semInUse=%d semQueue=%d\n",
-				s.lane, s.curPU, grp, s.sem.InUse(), s.sem.QueueLen())
+			fmt.Fprintf(&b, "  lane %d: pu=%d grp=%d q=%d retry=%d peak=%d units=%d stalls=%d semInUse=%d semQueue=%d quit=%v\n",
+				s.lane, s.curPU, grp, s.qSectors, s.retrySectors(), s.peakDepth,
+				s.unitsWritten, s.stalls, s.sem.InUse(), s.sem.QueueLen(), s.quit)
 		}
 	}
 	if e := k.rb.at(k.rb.tail); k.rb.tail < k.rb.head {
@@ -52,4 +100,97 @@ func (k *Pblk) DebugState() string {
 			e.pos, e.lba, e.state, e.isGC, e.addr)
 	}
 	return b.String()
+}
+
+// CheckInvariants validates the sharded datapath's structural invariants;
+// tests call it at quiescent points. It returns the first violation found.
+func (k *Pblk) CheckInvariants() error {
+	r := &k.rb
+	if !(r.tail <= r.disp && r.disp <= r.head) {
+		return fmt.Errorf("ring cursors out of order: tail=%d disp=%d head=%d", r.tail, r.disp, r.head)
+	}
+	if r.userIn < 0 || r.gcIn < 0 || r.userIn+r.gcIn > r.inRing() {
+		return fmt.Errorf("ring accounting: userIn=%d gcIn=%d inRing=%d", r.userIn, r.gcIn, r.inRing())
+	}
+	seen := make(map[uint64]int)
+	owner := make(map[int]int) // group id -> lane
+	type stamped struct {
+		pos, stamp uint64
+	}
+	var queued []stamped
+	for _, s := range k.slots {
+		var prevPos, prevStamp uint64
+		sectors := 0
+		for i, c := range s.q {
+			if len(c.poss) == 0 {
+				return fmt.Errorf("lane %d holds an empty chunk", s.lane)
+			}
+			if i > 0 && c.stamp <= prevStamp {
+				return fmt.Errorf("lane %d chunk stamps not increasing at stamp %d", s.lane, c.stamp)
+			}
+			prevStamp = c.stamp
+			queued = append(queued, stamped{pos: c.poss[0], stamp: c.stamp})
+			for _, pos := range c.poss {
+				if pos < r.tail || pos >= r.disp {
+					return fmt.Errorf("lane %d queue holds pos %d outside [tail=%d, disp=%d)", s.lane, pos, r.tail, r.disp)
+				}
+				if sectors > 0 && pos <= prevPos {
+					return fmt.Errorf("lane %d queue not strictly increasing at pos %d", s.lane, pos)
+				}
+				prevPos = pos
+				sectors++
+				if l, dup := seen[pos]; dup {
+					return fmt.Errorf("pos %d queued on both lane %d and lane %d", pos, l, s.lane)
+				}
+				seen[pos] = s.lane
+			}
+		}
+		if sectors != s.qSectors {
+			return fmt.Errorf("lane %d qSectors=%d but chunks hold %d", s.lane, s.qSectors, sectors)
+		}
+		for _, c := range s.retry {
+			for _, pos := range c.poss {
+				if pos < r.tail || pos >= r.head {
+					return fmt.Errorf("lane %d retry holds pos %d outside the ring", s.lane, pos)
+				}
+			}
+		}
+		if s.grp != nil {
+			if s.grp.state != stOpen {
+				return fmt.Errorf("lane %d holds group %d in state %v", s.lane, s.grp.id, s.grp.state)
+			}
+			if l, dup := owner[s.grp.id]; dup {
+				return fmt.Errorf("group %d attached to lanes %d and %d", s.grp.id, l, s.lane)
+			}
+			owner[s.grp.id] = s.lane
+		}
+	}
+	free := 0
+	for gpu := range k.freePerPU {
+		for _, it := range k.freePerPU[gpu] {
+			g := k.groups[it.id]
+			if g.state != stFree {
+				return fmt.Errorf("free heap of PU %d holds group %d in state %v", gpu, it.id, g.state)
+			}
+			if g.gpu != gpu {
+				return fmt.Errorf("free heap of PU %d holds foreign group %d (pu %d)", gpu, it.id, g.gpu)
+			}
+			free++
+		}
+	}
+	if free != k.freeGroups {
+		return fmt.Errorf("freeGroups=%d but heaps hold %d", k.freeGroups, free)
+	}
+	// Cross-lane stamp/admission coupling: recovery replays units in stamp
+	// order, so across ALL lanes a chunk of earlier ring positions must
+	// carry an earlier stamp — otherwise a buffered overwrite could be
+	// rolled back by scan recovery when its lane programs first.
+	sort.Slice(queued, func(i, j int) bool { return queued[i].pos < queued[j].pos })
+	for i := 1; i < len(queued); i++ {
+		if queued[i].stamp <= queued[i-1].stamp {
+			return fmt.Errorf("stamp/admission inversion: pos %d has stamp %d but pos %d has stamp %d",
+				queued[i-1].pos, queued[i-1].stamp, queued[i].pos, queued[i].stamp)
+		}
+	}
+	return nil
 }

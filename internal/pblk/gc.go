@@ -31,8 +31,16 @@ type rateLimiter struct {
 }
 
 func newRateLimiter(cfg Config, capacity, unitSectors int) rateLimiter {
+	// Config uses negative gains to disable a term explicitly (zero is
+	// "default", see Default).
+	gain := func(v float64) float64 {
+		if v < 0 {
+			return 0
+		}
+		return v
+	}
 	return rateLimiter{
-		kp: cfg.RLKp, ki: cfg.RLKi, kd: cfg.RLKd,
+		kp: gain(cfg.RLKp), ki: gain(cfg.RLKi), kd: gain(cfg.RLKd),
 		cap:         capacity,
 		unitSectors: unitSectors,
 		userQuota:   capacity,
@@ -283,14 +291,16 @@ func (k *Pblk) moveValid(p *sim.Proc, g *group) {
 			k.installCacheMapping(m.lba, pos)
 			k.Stats.GCMovedSectors++
 		}
-		k.consumerKick.Signal()
+		k.kickWriters()
 	}
 	if g.gcPending > 0 {
 		// Force the moves out with an internal flush so the victim drains
-		// even when user traffic is idle.
+		// even when user traffic is idle. The moves are sharded over the
+		// lane queues like any writes; a stalled lane delays only its own
+		// share of the drain.
 		g.gcDone = k.env.NewEvent()
 		k.flushes = append(k.flushes, flushReq{pos: k.rb.head - 1, ev: k.env.NewEvent()})
-		k.consumerKick.Signal()
+		k.kickWriters()
 		p.Wait(g.gcDone)
 	}
 }

@@ -1,6 +1,8 @@
 package pblk
 
 import (
+	"container/heap"
+
 	"repro/internal/ocssd"
 	"repro/internal/ppa"
 	"repro/internal/sim"
@@ -34,28 +36,52 @@ func (k *Pblk) dataUnits() int { return k.unitsPerGroup - 1 - k.metaUnits }
 // firstMetaUnit returns the unit index where close metadata begins.
 func (k *Pblk) firstMetaUnit() int { return k.unitsPerGroup - k.metaUnits }
 
+// freeItem is one entry of a per-PU free-group heap. The erase count is
+// frozen at push time — it only changes while the group is allocated — so
+// the heap order stays valid without sift-downs on foreign updates.
+type freeItem struct {
+	erases int
+	id     int
+}
+
+// freeHeap is a min-heap of free groups keyed on erase count (dynamic
+// wear leveling, paper §2.3 lesson 4) with the group id as a
+// deterministic tie-break. It replaces the O(n) min-erase scan that ran
+// on every group allocation and GC recycle.
+type freeHeap []freeItem
+
+func (h freeHeap) Len() int { return len(h) }
+func (h freeHeap) Less(i, j int) bool {
+	if h[i].erases != h[j].erases {
+		return h[i].erases < h[j].erases
+	}
+	return h[i].id < h[j].id
+}
+func (h freeHeap) Swap(i, j int) { h[i], h[j] = h[j], h[i] }
+func (h *freeHeap) Push(x any)   { *h = append(*h, x.(freeItem)) }
+func (h *freeHeap) Pop() any     { old := *h; n := len(old); v := old[n-1]; *h = old[:n-1]; return v }
+func (h *freeHeap) put(g *group) { heap.Push(h, freeItem{erases: g.erases, id: g.id}) }
+func (h *freeHeap) take() (int, bool) {
+	if h.Len() == 0 {
+		return 0, false
+	}
+	return heap.Pop(h).(freeItem).id, true
+}
+
 // takeFreeGroup removes and returns the free group with the fewest erase
-// cycles on gpu (dynamic wear leveling, paper §2.3 lesson 4), or nil.
+// cycles on gpu, or nil.
 func (k *Pblk) takeFreeGroup(gpu int) *group {
-	free := k.freePerPU[gpu]
-	if len(free) == 0 {
+	id, ok := k.freePerPU[gpu].take()
+	if !ok {
 		return nil
 	}
-	best := 0
-	for i := 1; i < len(free); i++ {
-		if k.groups[free[i]].erases < k.groups[free[best]].erases {
-			best = i
-		}
-	}
-	id := free[best]
-	k.freePerPU[gpu] = append(free[:best], free[best+1:]...)
 	k.freeGroups--
 	k.rl.update(k.freeGroups)
 	k.maybeKickGC()
 	return k.groups[id]
 }
 
-// returnFreeGroup places an erased group back on its PU's free list.
+// returnFreeGroup places an erased group back on its PU's free heap.
 func (k *Pblk) returnFreeGroup(g *group) {
 	g.state = stFree
 	g.nextUnit = 0
@@ -66,7 +92,7 @@ func (k *Pblk) returnFreeGroup(g *group) {
 	g.valid = 0
 	g.gcPending = 0
 	g.gcDone = nil
-	k.freePerPU[g.gpu] = append(k.freePerPU[g.gpu], g.id)
+	k.freePerPU[g.gpu].put(g)
 	k.freeGroups++
 	k.rl.update(k.freeGroups)
 	k.rb.signalSpace() // user admission may have been gated on free blocks
@@ -76,10 +102,10 @@ func (k *Pblk) returnFreeGroup(g *group) {
 // lane's PU range: when the current PU has no free group, the next PU in
 // the range takes over (paper §4.2.1's block-granularity PU rotation).
 // When the lane's whole range is dry it immediately borrows a group from
-// any PU rather than stalling the (single) write thread — GC drains its
-// moves through this same thread, so sleeping here while free groups exist
-// elsewhere would deadlock the datapath. It blocks only when the device
-// has no free group at all.
+// any PU rather than stalling — GC moves drain through the lane writers,
+// so sleeping here while free groups exist elsewhere could wedge the
+// victim drain. It blocks (only this lane) when the device has no free
+// group at all.
 func (k *Pblk) openGroupOn(p *sim.Proc, s *slot) *group {
 	for {
 		span := s.puHi - s.puLo
@@ -166,25 +192,8 @@ func (k *Pblk) drainOpenGroups(p *sim.Proc) {
 // padAndClose fills the remainder of a lane's open group with padding and
 // writes its close metadata, blocking until submitted.
 func (k *Pblk) padAndClose(p *sim.Proc, s *slot) {
-	g := s.grp
-	for g.nextUnit < k.firstMetaUnit() {
-		unit := g.nextUnit
-		g.nextUnit++
-		addrs := k.unitAddrs(g, unit)
-		oob := make([][]byte, len(addrs))
-		stamp := k.nextStamp()
-		g.stamps = append(g.stamps, stamp)
-		for i := range oob {
-			oob[i] = k.encodeOOB(padLBA, false, stamp)
-			g.lbas = append(g.lbas, padLBA)
-		}
-		k.Stats.PaddedSectors += int64(len(addrs))
-		u := unit
-		s.sem.Acquire(p)
-		k.dev.Submit(&ocssd.Vector{Op: ocssd.OpWrite, Addrs: addrs, OOB: oob}, func(c *ocssd.Completion) {
-			s.sem.Release()
-			k.onUnitProgrammed(g, u, c)
-		})
+	for s.grp.nextUnit < k.firstMetaUnit() {
+		k.padUnit(p, s)
 	}
 	k.closeGroup(p, s)
 }

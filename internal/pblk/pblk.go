@@ -4,7 +4,9 @@
 //
 // Responsibilities, mirroring the paper:
 //   - write buffering in a host-side ring buffer sized to flash page,
-//     lower/upper pair depth, and PU count (§4.2.1);
+//     lower/upper pair depth, and PU count (§4.2.1), drained by per-lane
+//     writer processes behind a sharding dispatcher so every active PU
+//     programs independently;
 //   - L2P mapping at 4 KB sector granularity, with striping across channels
 //     and PUs at page granularity and a run-time tunable number of active
 //     write PUs;
@@ -35,8 +37,8 @@ type Config struct {
 	// ActivePUs is the number of PUs concurrently receiving new writes
 	// (paper §4.2.1). 0 means all PUs.
 	ActivePUs int
-	// MaxInflightPerPU bounds write units queued on one PU by the write
-	// consumer (the kernel's per-LUN write semaphore).
+	// MaxInflightPerPU bounds write units queued on one PU by its lane
+	// writer (the kernel's per-LUN write semaphore).
 	MaxInflightPerPU int
 	// BufferPairDepth is the lower/upper page depth factor in the paper's
 	// buffer sizing formula: capacity = pagesize * PP * nPUs.
@@ -52,6 +54,8 @@ type Config struct {
 	// it once free groups recover above that fraction of the spare pool.
 	GCStartFrac, GCStopFrac float64
 	// Rate limiter PID gains (paper §4.2.4) on the free-block error signal.
+	// Zero means the paper-faithful default; a negative value disables that
+	// term explicitly.
 	RLKp, RLKi, RLKd float64
 	// DisableRateLimiter lets characterization runs (paper §5.1 "rate-
 	// limiter disabled") bypass user-write throttling.
@@ -87,6 +91,13 @@ func Default(cfg Config) Config {
 	if cfg.RLKi == 0 {
 		cfg.RLKi = 0.3
 	}
+	if cfg.RLKd == 0 {
+		// The derivative term damps quota oscillation when the free-group
+		// error moves fast (a GC burst recycling several groups at once).
+		// The error signal is normalized by the spare pool, so per-update
+		// deltas are small and a unit gain stays gentle.
+		cfg.RLKd = 1
+	}
 	return cfg
 }
 
@@ -102,6 +113,7 @@ type Stats struct {
 	GCMovedSectors   int64
 	GCBlocksRecycled int64
 	WriteErrors      int64 // failed sectors remapped+resubmitted
+	GCWriteErrors    int64 // write failures that hit in-flight GC rewrites
 	EraseErrors      int64
 	BadBlocks        int64
 	Recoveries       int64 // full scans performed at init
@@ -174,14 +186,62 @@ type group struct {
 }
 
 // slot is one write lane of the mapper: at any instant it owns a single
-// active PU (paper §4.2.1) within its share of the PU space.
+// active PU (paper §4.2.1) within its share of the PU space. Each lane
+// also owns a shard of the write datapath — a dispatch queue fed by the
+// global ring, a retry queue for write-failed sectors on its PUs, and a
+// dedicated writer process — so a stalled PU never blocks sibling lanes.
 type slot struct {
 	lane       int
 	puLo, puHi int // PU range [puLo, puHi) this lane rotates through
 	curPU      int
 	grp        *group        // open group, nil until first use
 	sem        *sim.Resource // bounds in-flight write units on the lane's PU
+
+	// q holds dispatched chunks awaiting unit formation (the lane's
+	// sub-ring). Each chunk carries the write-order stamp drawn when the
+	// dispatcher sliced it off the ring, so stamp order always equals
+	// admission order — recovery replays by stamp, and lanes program out
+	// of order with respect to each other.
+	q []chunk
+	// retry holds chunks of write-failed sectors, resubmitted ahead of q
+	// (§4.2.3) under stamps drawn at failure time.
+	retry    []chunk
+	qSectors int        // sectors across q (retry excluded)
+	kick     *sim.Event // wakes the lane writer
+	done     *sim.Event // fires when the lane writer exits
+	quit     bool       // drain everything, then exit (lane rebuild)
+
+	// Lane telemetry, surfaced by LaneStats and lnvm-inspect.
+	unitsWritten int64 // write units submitted by this lane
+	stalls       int64 // writer blocked on the PU in-flight semaphore
+	waits        int64 // writer parked waiting for work
+	padded       int64 // padding sectors written by this lane
+	peakDepth    int   // high-water mark of queued+retried sectors
 }
+
+// wake kicks the lane writer; signalling an already-fired kick is a no-op.
+func (s *slot) wake() { s.kick.Signal() }
+
+// acquire takes one in-flight unit on the lane's PU, counting a stall
+// when the writer must wait for a completion.
+func (s *slot) acquire(p *sim.Proc) {
+	if !s.sem.TryAcquire() {
+		s.stalls++
+		s.sem.Acquire(p)
+	}
+}
+
+// retrySectors counts write-failed sectors awaiting resubmission.
+func (s *slot) retrySectors() int {
+	n := 0
+	for _, c := range s.retry {
+		n += len(c.poss)
+	}
+	return n
+}
+
+// pendingSectors counts everything the lane still has to submit.
+func (s *slot) pendingSectors() int { return s.qSectors + s.retrySectors() }
 
 // flushReq tracks one Flush call: fires when the ring tail passes pos.
 type flushReq struct {
@@ -210,7 +270,7 @@ type Pblk struct {
 	l2p          []uint64
 	rb           ring
 	groups       []*group
-	freePerPU    [][]int
+	freePerPU    []freeHeap
 	freeGroups   int
 	usableGroups int // groups that can ever hold data (excludes sys/bad at init)
 	seqCounter   uint64
@@ -222,9 +282,6 @@ type Pblk struct {
 	// the next value, persisted in OOB and close metadata.
 	unitStamp uint64
 
-	// retry holds ring positions of write-failed sectors awaiting
-	// remap+resubmit ahead of buffered data (§4.2.3).
-	retry []uint64
 	// admitQ holds queue-pair writes awaiting ring admission in FIFO
 	// order; admitActive marks the admission process running (queue.go).
 	admitQ      []pendingWrite
@@ -232,14 +289,14 @@ type Pblk struct {
 	// suspects queues write-failed groups for priority GC + retirement.
 	suspects []int
 
-	flushes      []flushReq
-	consumerKick *sim.Event
-	gcKick       *sim.Event
-	stopping     bool // full stop: I/O rejected, loops exit
-	gcStopping   bool // GC loop asked to exit after its current victim
-	gcActive     bool // GC hysteresis state
-	consumerDone *sim.Event
-	gcDone       *sim.Event
+	flushes    []flushReq
+	gcKick     *sim.Event
+	stopping   bool // full stop: I/O rejected, loops exit
+	crashed    bool // simulated power loss: writers abandon work instantly
+	rebuilding bool // lane rebuild in flight: producers pause at admission
+	gcStopping bool // GC loop asked to exit after its current victim
+	gcActive   bool // GC hysteresis state
+	gcDone     *sim.Event
 
 	rl rateLimiter
 
@@ -323,9 +380,7 @@ func New(p *sim.Proc, dev *lightnvm.Device, name string, cfg Config) (*Pblk, err
 	k.l2p = make([]uint64, k.capacityLBAs)
 	k.rb.init(k.env, k.unitSectors*cfg.BufferPairDepth*geo.TotalPUs())
 	k.rl = newRateLimiter(cfg, k.rb.capacity(), k.unitSectors)
-	k.consumerKick = k.env.NewEvent()
 	k.gcKick = k.env.NewEvent()
-	k.consumerDone = k.env.NewEvent()
 	k.gcDone = k.env.NewEvent()
 	if err := k.recover(p); err != nil {
 		return nil, err
@@ -333,7 +388,7 @@ func New(p *sim.Proc, dev *lightnvm.Device, name string, cfg Config) (*Pblk, err
 	k.buildSlots()
 	k.rl.calibrate(k.spareGroups(), k.gcStartGroups())
 	k.rl.update(k.freeGroups)
-	k.env.Go("pblk."+name+".writer", k.consumer)
+	k.startWriters()
 	k.env.Go("pblk."+name+".gc", k.gcLoop)
 	return k, nil
 }
@@ -344,7 +399,7 @@ func (k *Pblk) initGroups() {
 	nPU := k.geo.TotalPUs()
 	perPU := k.geo.BlocksPerPlane
 	k.groups = make([]*group, nPU*perPU)
-	k.freePerPU = make([][]int, nPU)
+	k.freePerPU = make([]freeHeap, nPU)
 	for gpu := 0; gpu < nPU; gpu++ {
 		for b := 0; b < perPU; b++ {
 			id := gpu*perPU + b
@@ -359,7 +414,7 @@ func (k *Pblk) initGroups() {
 				k.Stats.BadBlocks++
 				continue
 			}
-			k.freePerPU[gpu] = append(k.freePerPU[gpu], id)
+			k.freePerPU[gpu].put(g)
 			k.freeGroups++
 			k.usableGroups++
 		}
@@ -412,9 +467,36 @@ func (k *Pblk) buildSlots() {
 			puHi:  (i + 1) * span,
 			curPU: i * span,
 			sem:   k.env.NewResource(k.cfg.MaxInflightPerPU),
+			kick:  k.env.NewEvent(),
+			done:  k.env.NewEvent(),
 		}
 	}
 	k.rrNext = 0
+}
+
+// startWriters spawns one writer process per lane.
+func (k *Pblk) startWriters() {
+	for _, s := range k.slots {
+		s := s
+		k.env.Go(fmt.Sprintf("pblk.%s.writer%d", k.name, s.lane), func(p *sim.Proc) {
+			k.laneWriter(p, s)
+		})
+	}
+}
+
+// stopWriters asks every lane writer to drain its queue — padding partial
+// units if needed — and waits until all of them have exited. Producers
+// must already be paused (stopping or rebuilding) so no new work lands on
+// a dead lane.
+func (k *Pblk) stopWriters(p *sim.Proc) {
+	for _, s := range k.slots {
+		s.quit = true
+	}
+	k.kickWriters()
+	k.rb.signalSpace()
+	for _, s := range k.slots {
+		p.Wait(s.done)
+	}
 }
 
 // TargetName implements lightnvm.Target.
@@ -438,30 +520,55 @@ func (k *Pblk) FreeGroups() int { return k.freeGroups }
 
 // SetActivePUs retunes write provisioning at run time (paper §4.2.1:
 // "the number of channels and PUs used for mapping incoming I/Os can be
-// tuned at run-time"). Open groups are padded and closed first so the new
-// lanes start on fresh blocks.
+// tuned at run-time"). Admission is paused, buffered data is flushed, the
+// lane writers are quiesced, and open groups are padded and closed so the
+// rebuilt lanes start on fresh blocks; queued traffic resumes against the
+// new writer set afterwards.
 func (k *Pblk) SetActivePUs(p *sim.Proc, n int) error {
 	if n < 1 || n > k.geo.TotalPUs() || k.geo.TotalPUs()%n != 0 {
 		return fmt.Errorf("pblk: invalid active PU count %d", n)
 	}
+	if k.stopping {
+		return ErrStopped
+	}
+	if k.rebuilding {
+		return fmt.Errorf("pblk: concurrent SetActivePUs")
+	}
+	k.rebuilding = true
+	defer func() {
+		k.rebuilding = false
+		k.rb.signalSpace() // resume paused producers
+		k.kickWriters()
+	}()
 	if err := k.Flush(p); err != nil {
 		return err
 	}
+	k.stopWriters(p)
 	k.drainOpenGroups(p)
+	// A write failure completing after the old writers exited parks its
+	// retries on a quiesced lane; carry any such leftovers into the new
+	// lane set or the ring tail wedges below them.
+	var leftovers []chunk
+	for _, s := range k.slots {
+		leftovers = append(leftovers, s.retry...)
+		leftovers = append(leftovers, s.q...)
+	}
 	k.cfg.ActivePUs = n
 	k.buildSlots()
+	k.startWriters()
+	k.slots[0].retry = append(k.slots[0].retry, leftovers...)
 	return nil
 }
 
 // Stop implements lightnvm.Target: quiesce GC, flush all buffered data,
-// stop the write thread. The device is left fully consistent for scan
+// stop the lane writers. The device is left fully consistent for scan
 // recovery but no snapshot is written; use Shutdown for a graceful
 // power-down.
 func (k *Pblk) Stop(p *sim.Proc) error {
 	if k.stopping {
 		return nil
 	}
-	// Stop GC first, while the consumer is still draining its moves.
+	// Stop GC first, while the lane writers still drain its moves.
 	k.gcStopping = true
 	k.gcKick.Signal()
 	p.Wait(k.gcDone)
@@ -469,9 +576,7 @@ func (k *Pblk) Stop(p *sim.Proc) error {
 		return err
 	}
 	k.stopping = true
-	k.consumerKick.Signal()
-	k.rb.signalSpace()
-	p.Wait(k.consumerDone)
+	k.stopWriters(p)
 	return nil
 }
 
@@ -509,7 +614,11 @@ func (k *Pblk) quiesce(p *sim.Proc) {
 // to exercise recovery.
 func (k *Pblk) Crash() {
 	k.stopping = true
-	k.consumerKick.Signal()
+	k.crashed = true
+	for _, s := range k.slots {
+		s.wake()
+	}
 	k.gcKick.Signal()
+	k.rb.signalSpace()
 	k.dev.Crash()
 }

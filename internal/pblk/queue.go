@@ -84,12 +84,14 @@ func (k *Pblk) startFlush(fin func(error)) {
 		return
 	}
 	k.Stats.Flushes++
-	if k.rb.inRing() == 0 && len(k.retry) == 0 {
+	// Retried (write-failed) sectors are still ring entries below the
+	// tail-stop, so an empty ring implies nothing awaits resubmission.
+	if k.rb.inRing() == 0 {
 		k.env.Schedule(0, func() { fin(nil) })
 		return
 	}
 	req := flushReq{pos: k.rb.head - 1, ev: k.env.NewEvent()}
 	k.flushes = append(k.flushes, req)
-	k.consumerKick.Signal()
+	k.kickWriters()
 	req.ev.OnFire(func() { fin(nil) })
 }

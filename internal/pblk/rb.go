@@ -51,13 +51,16 @@ type rbEntry struct {
 }
 
 // ring is the circular write buffer (paper §4.2.1): multiple producers
-// (user writes, GC), single consumer (the write thread). Positions are
+// (user writes, GC) feed it globally — admission ordering and rate
+// limiting stay centralized — while consumption is sharded: the dispatch
+// cursor hands unit-sized chunks to the per-lane writer queues, and each
+// lane advances its own sub-queue independently. Positions are
 // monotonically increasing; index = pos % capacity.
 type ring struct {
 	env     *sim.Env
 	e       []rbEntry
 	head    uint64 // next position to produce
-	subPtr  uint64 // next position to consume (map + submit)
+	disp    uint64 // next position to dispatch onto a lane queue
 	tail    uint64 // next position to free; all below are done
 	userIn  int    // user entries currently in the ring
 	gcIn    int    // GC entries currently in the ring
@@ -77,8 +80,8 @@ func (r *ring) inRing() int { return int(r.head - r.tail) }
 // free returns available entries.
 func (r *ring) free() int { return len(r.e) - r.inRing() }
 
-// buffered returns produced entries not yet submitted.
-func (r *ring) buffered() int { return int(r.head - r.subPtr) }
+// buffered returns produced entries not yet dispatched onto a lane.
+func (r *ring) buffered() int { return int(r.head - r.disp) }
 
 func (r *ring) at(pos uint64) *rbEntry { return &r.e[pos%uint64(len(r.e))] }
 
@@ -114,10 +117,13 @@ func (r *ring) signalSpace() {
 }
 
 // advanceTail frees contiguous done entries and returns how many were
-// released.
+// released. Lanes complete units out of order with respect to each other,
+// so the tail simply stops at the first entry any lane still has buffered
+// or in flight; a stalled lane holds the tail but never blocks siblings
+// from programming.
 func (r *ring) advanceTail() int {
 	n := 0
-	for r.tail < r.subPtr {
+	for r.tail < r.head {
 		e := r.at(r.tail)
 		if e.state != esDone {
 			break

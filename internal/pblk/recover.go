@@ -29,7 +29,7 @@ func (k *Pblk) recover(p *sim.Proc) error {
 	return nil
 }
 
-// rebuildFreeLists reconstructs the per-PU free lists from group states.
+// rebuildFreeLists reconstructs the per-PU free heaps from group states.
 func (k *Pblk) rebuildFreeLists() {
 	for i := range k.freePerPU {
 		k.freePerPU[i] = k.freePerPU[i][:0]
@@ -37,7 +37,7 @@ func (k *Pblk) rebuildFreeLists() {
 	k.freeGroups = 0
 	for _, g := range k.groups {
 		if g.state == stFree {
-			k.freePerPU[g.gpu] = append(k.freePerPU[g.gpu], g.id)
+			k.freePerPU[g.gpu].put(g)
 			k.freeGroups++
 		}
 	}

@@ -34,7 +34,7 @@ func (k *Pblk) Write(p *sim.Proc, off int64, buf []byte, length int64) error {
 		k.installCacheMapping(lba, pos)
 		k.Stats.UserWrites++
 	}
-	k.consumerKick.Signal()
+	k.kickWriters()
 	return nil
 }
 
@@ -50,25 +50,30 @@ func (k *Pblk) installCacheMapping(lba int64, pos uint64) {
 
 // reserveUser blocks until the ring has space and the rate limiter admits
 // another user entry (paper §4.2.4: "entries are reserved as a function of
-// the feedback loop").
+// the feedback loop"). Admission also pauses while the write lanes are
+// being rebuilt (SetActivePUs), so no entry is dispatched onto a quiescing
+// lane.
 func (k *Pblk) reserveUser(p *sim.Proc) {
 	for !k.stopping {
-		quota := k.rb.capacity()
-		if !k.cfg.DisableRateLimiter {
-			quota = k.rl.userQuota
-		}
-		// Hard floor independent of the PID output: when free groups fall
-		// to the lane reserve, user I/O stops entirely until GC recovers
-		// ("user I/Os will be completely disabled until enough free blocks
-		// are available").
-		if k.freeGroups <= k.emergencyReserve() {
-			quota = 0
+		if !k.rebuilding {
+			quota := k.rb.capacity()
+			if !k.cfg.DisableRateLimiter {
+				quota = k.rl.userQuota
+			}
+			// Hard floor independent of the PID output: when free groups fall
+			// to the lane reserve, user I/O stops entirely until GC recovers
+			// ("user I/Os will be completely disabled until enough free blocks
+			// are available").
+			if k.freeGroups <= k.emergencyReserve() {
+				quota = 0
+				k.maybeKickGC()
+			}
+			if k.rb.free() >= 1 && k.rb.userIn < quota {
+				return
+			}
 			k.maybeKickGC()
 		}
-		if k.rb.free() >= 1 && k.rb.userIn < quota {
-			return
-		}
-		k.maybeKickGC()
+		k.kickWriters()
 		k.rb.waitSpace(p)
 	}
 }
@@ -77,12 +82,19 @@ func (k *Pblk) reserveUser(p *sim.Proc) {
 func (k *Pblk) emergencyReserve() int { return len(k.slots) + 2 }
 
 // reserveGC blocks until the ring has space for a GC entry; GC competes
-// for raw space but is never throttled by the limiter.
+// for raw space but is never throttled by the limiter. Unlike user
+// admission it does NOT pause during a lane rebuild: the rebuild's own
+// flush may need a lane to open a fresh group, which can require GC to
+// recycle one, which requires admitting its moves here — gating GC on
+// the rebuild would close that loop into a deadlock. Moves admitted
+// mid-rebuild land on the quiescing lanes (which drain them) or are
+// migrated to the new lane set with the other leftovers.
 func (k *Pblk) reserveGC(p *sim.Proc) {
 	for !k.stopping {
 		if k.rb.free() >= 1 {
 			return
 		}
+		k.kickWriters()
 		k.rb.waitSpace(p)
 	}
 }
@@ -132,69 +144,192 @@ func (k *Pblk) trimNow(off, length int64) error {
 	return nil
 }
 
-// flushNeedsPad reports whether a pending flush requires the consumer to
-// pad out entries now: only when data at or below the earliest barrier is
-// still buffered (or failed writes await resubmission). Writes that arrive
-// after the barrier accumulate normally — they are not covered by the
-// flush and padding them would multiply write amplification.
-func (k *Pblk) flushNeedsPad() bool {
+// ---- dispatcher ----
+
+// chunk is one slice of the ring handed to a lane: up to a write unit of
+// consecutive positions plus the global write-order stamp its unit will
+// carry. Stamps are drawn here, at dispatch, NOT when the lane later
+// forms the unit: dispatch consumes the ring in admission order, so two
+// buffered overwrites of the same sector always reach media under stamps
+// that replay in admission order during scan recovery — even when the
+// later chunk's lane programs first (a stalled sibling lane must not let
+// an older version win the stamp race).
+type chunk struct {
+	stamp uint64
+	poss  []uint64
+}
+
+// dispatch shards buffered ring entries across the lane queues in
+// write-unit-sized chunks, round-robin over the active lanes (paper
+// §4.2.1: incoming I/Os are striped across active PUs at page
+// granularity), waking each lane it feeds. A trailing partial chunk is
+// held back — padding it would multiply write amplification — until a
+// flush barrier, stop, or lane rebuild needs it on media. dispatch runs
+// in simulation context and never blocks, so completions may call it.
+func (k *Pblk) dispatch() {
+	if len(k.slots) == 0 {
+		return
+	}
+	for {
+		avail := int(k.rb.head - k.rb.disp)
+		if avail == 0 {
+			return
+		}
+		n := k.unitSectors
+		if avail < n {
+			if !k.forceDispatch() {
+				return
+			}
+			n = avail
+		}
+		s := k.slots[k.rrNext]
+		k.rrNext = (k.rrNext + 1) % len(k.slots)
+		poss := make([]uint64, n)
+		for j := range poss {
+			poss[j] = k.rb.disp
+			k.rb.disp++
+		}
+		s.q = append(s.q, chunk{stamp: k.nextStamp(), poss: poss})
+		s.qSectors += n
+		if d := s.pendingSectors(); d > s.peakDepth {
+			s.peakDepth = d
+		}
+		s.wake()
+	}
+}
+
+// forceDispatch reports whether a partial (sub-unit) chunk must be handed
+// to a lane now: the earliest flush barrier still covers undispatched
+// entries, or the datapath is draining for stop/rebuild.
+func (k *Pblk) forceDispatch() bool {
+	if k.stopping || k.rebuilding {
+		return true
+	}
+	return len(k.flushes) > 0 && k.flushes[0].pos >= k.rb.disp
+}
+
+// kickWriters moves any dispatchable entries onto lane queues (dispatch
+// wakes the lanes it feeds) and, when a flush barrier or drain is in
+// progress, additionally wakes every lane with flush or drain work. The
+// full-lane scan runs only in those states — the common produce/complete
+// path costs one dispatch call.
+func (k *Pblk) kickWriters() {
+	k.dispatch()
+	if len(k.flushes) == 0 && !k.stopping && !k.rebuilding {
+		return
+	}
+	for _, s := range k.slots {
+		if k.laneHasWork(s) {
+			s.wake()
+		}
+	}
+}
+
+// laneHasWork mirrors the laneWriter scheduling conditions; waking a lane
+// without work would only burn a scheduler round trip.
+func (k *Pblk) laneHasWork(s *slot) bool {
+	if k.stopping || s.quit {
+		return true
+	}
+	if s.pendingSectors() >= k.unitSectors || k.laneFlushPending(s) {
+		return true
+	}
+	if len(s.retry) > 0 && k.rb.free() <= k.rb.capacity()/4 {
+		return true
+	}
+	return k.strictPair && len(k.flushes) > 0 && s.grp != nil && k.groupNeedsPairCover(s.grp)
+}
+
+// laneFlushPending reports whether lane s must submit (and pad) now to let
+// the earliest flush barrier complete: it holds write-failed sectors
+// awaiting resubmission, or its queue front sits at or below the barrier.
+// Lanes whose queued data all arrived after the barrier are not covered —
+// the flush does not pad them (paper §4.2.1 pads only what the flush
+// forces out).
+func (k *Pblk) laneFlushPending(s *slot) bool {
 	if len(k.flushes) == 0 {
 		return false
 	}
-	if len(k.retry) > 0 {
+	if len(s.retry) > 0 {
 		return true
 	}
-	return k.rb.buffered() > 0 && k.flushes[0].pos >= k.rb.subPtr
+	return len(s.q) > 0 && s.q[0].poss[0] <= k.flushes[0].pos
 }
 
-// consumer is pblk's single write thread (paper §4.2.1): it drains the
-// ring buffer into write units, maps them round-robin across the active
-// lanes, and submits vector writes.
-func (k *Pblk) consumer(p *sim.Proc) {
-	defer k.consumerDone.Signal()
+// ---- per-lane writer ----
+
+// laneWriter is one of pblk's per-lane writer processes (the sharded
+// replacement for the paper's single write thread, §4.2.1): it forms
+// write units from its own dispatch queue — retried sectors first — maps
+// them onto its PU rotation, and submits vector writes. Blocking on this
+// lane's PU semaphore or on a free-group wait never stalls sibling lanes.
+func (k *Pblk) laneWriter(p *sim.Proc, s *slot) {
+	defer s.done.Signal()
 	for {
-		pending := len(k.retry) + k.rb.buffered()
+		if k.crashed {
+			return
+		}
+		pending := s.pendingSectors()
 		switch {
 		case pending >= k.unitSectors,
-			k.flushNeedsPad(),
-			len(k.retry) > 0 && k.rb.free() <= k.rb.capacity()/4:
-			k.writeUnit(p)
-		case k.strictPair && len(k.flushes) > 0:
-			k.padForFlush(p)
-			k.waitKick(p)
+			k.laneFlushPending(s),
+			pending > 0 && s.quit,
+			len(s.retry) > 0 && k.rb.free() <= k.rb.capacity()/4:
+			k.writeUnitOn(p, s)
+		case k.strictPair && len(k.flushes) > 0 && s.grp != nil && k.groupNeedsPairCover(s.grp):
+			k.coverPairs(p, s)
+			k.laneWait(p, s)
 		default:
-			if k.stopping {
+			if k.stopping || s.quit {
 				return
 			}
-			k.waitKick(p)
+			k.laneWait(p, s)
 		}
-		if k.stopping && len(k.retry)+k.rb.buffered() == 0 {
+		if (k.stopping || s.quit) && s.pendingSectors() == 0 {
 			return
 		}
 	}
 }
 
-func (k *Pblk) waitKick(p *sim.Proc) {
-	if k.consumerKick.Fired() {
-		k.consumerKick = k.env.NewEvent()
+// laneWait parks the writer until its lane is kicked.
+func (k *Pblk) laneWait(p *sim.Proc, s *slot) {
+	if s.kick.Fired() {
+		s.kick = k.env.NewEvent()
 	}
-	p.Wait(k.consumerKick)
+	s.waits++
+	p.Wait(s.kick)
 }
 
-// writeUnit forms one write unit from retried and buffered entries (plus
-// padding under flush pressure), maps it onto the next lane, and submits
-// the vector write.
-func (k *Pblk) writeUnit(p *sim.Proc) {
-	s := k.slots[k.rrNext]
-	k.rrNext = (k.rrNext + 1) % len(k.slots)
-	s.sem.Acquire(p)
-	if k.stopping && len(k.retry)+k.rb.buffered() == 0 {
+// writeUnitOn forms one write unit on lane s from the next retry or
+// queued chunk (plus padding under flush or drain pressure), maps it onto
+// the lane's open group under the chunk's dispatch-time stamp, and
+// submits the vector write. One chunk per unit: mixing chunks would give
+// the older chunk's entries the newer chunk's stamp and break recovery's
+// admission-order replay.
+func (k *Pblk) writeUnitOn(p *sim.Proc, s *slot) {
+	s.acquire(p)
+	if k.crashed || (k.stopping && s.pendingSectors() == 0) {
+		s.sem.Release()
+		return
+	}
+	var c chunk
+	switch {
+	case len(s.retry) > 0:
+		c = s.retry[0]
+		s.retry = s.retry[1:]
+	case len(s.q) > 0:
+		c = s.q[0]
+		s.q = s.q[1:]
+		s.qSectors -= len(c.poss)
+	default:
 		s.sem.Release()
 		return
 	}
 	if s.grp == nil {
 		s.grp = k.openGroupOn(p, s)
 		if s.grp == nil { // stopping
+			// Put the chunk back so a later drain can still write it.
+			s.retry = append([]chunk{c}, s.retry...)
 			s.sem.Release()
 			return
 		}
@@ -206,29 +341,22 @@ func (k *Pblk) writeUnit(p *sim.Proc) {
 	data := make([][]byte, len(addrs))
 	oob := make([][]byte, len(addrs))
 	poss := make([]uint64, 0, len(addrs))
-	stamp := k.nextStamp()
-	g.stamps = append(g.stamps, stamp)
+	g.stamps = append(g.stamps, c.stamp)
 	for i := range addrs {
-		var e *rbEntry
-		switch {
-		case len(k.retry) > 0:
-			e = k.rb.at(k.retry[0])
-			k.retry = k.retry[1:]
-		case k.rb.subPtr < k.rb.head:
-			e = k.rb.at(k.rb.subPtr)
-			k.rb.subPtr++
-		default:
+		if i >= len(c.poss) {
 			// Padding (paper: "pblk adds padding before the write
 			// command is sent to the device").
-			oob[i] = k.encodeOOB(padLBA, false, stamp)
+			oob[i] = k.encodeOOB(padLBA, false, c.stamp)
 			g.lbas = append(g.lbas, padLBA)
 			k.Stats.PaddedSectors++
+			s.padded++
 			continue
 		}
+		e := k.rb.at(c.poss[i])
 		e.state = esSubmitted
 		e.addr = addrs[i]
 		data[i] = e.data
-		oob[i] = k.encodeOOB(e.lba, true, stamp)
+		oob[i] = k.encodeOOB(e.lba, true, c.stamp)
 		g.lbas = append(g.lbas, e.lba)
 		poss = append(poss, e.pos)
 	}
@@ -236,6 +364,7 @@ func (k *Pblk) writeUnit(p *sim.Proc) {
 		g.pending = make(map[int][]uint64)
 	}
 	g.pending[unit] = poss
+	s.unitsWritten++
 	u := unit
 	k.dev.Submit(&ocssd.Vector{Op: ocssd.OpWrite, Addrs: addrs, Data: data, OOB: oob}, func(c *ocssd.Completion) {
 		s.sem.Release()
@@ -246,43 +375,50 @@ func (k *Pblk) writeUnit(p *sim.Proc) {
 	}
 }
 
-// padForFlush covers lower/upper page pairs under strict pairing so that
-// flushed data becomes readable from media: each lane whose open group has
-// submitted units with uncovered pairs is padded forward.
-func (k *Pblk) padForFlush(p *sim.Proc) {
-	for _, s := range k.slots {
-		g := s.grp
-		if g == nil {
-			continue
+// coverPairs pads lane s's open group forward under strict pairing so
+// that its flushed data becomes readable from media: every submitted unit
+// with an uncovered lower/upper pair is covered (the per-lane analogue of
+// the old global padForFlush).
+func (k *Pblk) coverPairs(p *sim.Proc, s *slot) {
+	g := s.grp
+	if g == nil {
+		return
+	}
+	for k.groupNeedsPairCover(g) {
+		if g.nextUnit >= k.firstMetaUnit() {
+			k.closeGroup(p, s)
+			return
 		}
-		for k.groupNeedsPairCover(g) {
-			if g.nextUnit >= k.firstMetaUnit() {
-				k.closeGroup(p, s)
-				break
-			}
-			unit := g.nextUnit
-			g.nextUnit++
-			addrs := k.unitAddrs(g, unit)
-			oob := make([][]byte, len(addrs))
-			stamp := k.nextStamp()
-			g.stamps = append(g.stamps, stamp)
-			for i := range oob {
-				oob[i] = k.encodeOOB(padLBA, false, stamp)
-				g.lbas = append(g.lbas, padLBA)
-			}
-			k.Stats.PaddedSectors += int64(len(addrs))
-			u := unit
-			s.sem.Acquire(p)
-			k.dev.Submit(&ocssd.Vector{Op: ocssd.OpWrite, Addrs: addrs, OOB: oob}, func(c *ocssd.Completion) {
-				s.sem.Release()
-				k.onUnitProgrammed(g, u, c)
-			})
-			if g.nextUnit == k.firstMetaUnit() {
-				k.closeGroup(p, s)
-				break
-			}
+		k.padUnit(p, s)
+		if g.nextUnit == k.firstMetaUnit() {
+			k.closeGroup(p, s)
+			return
 		}
 	}
+}
+
+// padUnit writes one all-padding unit onto lane s's open group, charging
+// the lane's telemetry; shared by pair covering and group drain.
+func (k *Pblk) padUnit(p *sim.Proc, s *slot) {
+	g := s.grp
+	unit := g.nextUnit
+	g.nextUnit++
+	addrs := k.unitAddrs(g, unit)
+	oob := make([][]byte, len(addrs))
+	stamp := k.nextStamp()
+	g.stamps = append(g.stamps, stamp)
+	for i := range oob {
+		oob[i] = k.encodeOOB(padLBA, false, stamp)
+		g.lbas = append(g.lbas, padLBA)
+	}
+	k.Stats.PaddedSectors += int64(len(addrs))
+	s.padded += int64(len(addrs))
+	s.acquire(p)
+	u := unit
+	k.dev.Submit(&ocssd.Vector{Op: ocssd.OpWrite, Addrs: addrs, OOB: oob}, func(c *ocssd.Completion) {
+		s.sem.Release()
+		k.onUnitProgrammed(g, u, c)
+	})
 }
 
 // groupNeedsPairCover reports whether any submitted unit's pair page is
@@ -373,15 +509,15 @@ func (k *Pblk) checkFlushes() {
 		k.flushes = k.flushes[1:]
 	}
 	if len(k.flushes) > 0 {
-		// Wake the consumer: padding (or pair covering) may be required
-		// to let the tail progress.
-		k.consumerKick.Signal()
+		// Wake the covered lanes: padding (or pair covering) may be
+		// required to let the tail progress past the barrier.
+		k.kickWriters()
 	}
 }
 
 // handleWriteError implements §4.2.3: failed sectors are remapped and
-// re-submitted ahead of buffered data; the block is marked suspect, drained
-// by priority GC, and retired.
+// re-submitted ahead of buffered data on the lane covering the failed PU;
+// the block is marked suspect, drained by priority GC, and retired.
 func (k *Pblk) handleWriteError(g *group, unit int, c *ocssd.Completion) {
 	poss := g.pending[unit]
 	// Map failed vector indices back to ring entries via each entry's
@@ -400,6 +536,9 @@ func (k *Pblk) handleWriteError(g *group, unit int, c *ocssd.Completion) {
 				e.state = esDone
 			}
 			k.Stats.WriteErrors++
+			if e.isGC {
+				k.Stats.GCWriteErrors++
+			}
 		}
 	}
 	// Remove failed entries from the unit's pending list so finalizeGroup
@@ -420,10 +559,27 @@ func (k *Pblk) handleWriteError(g *group, unit int, c *ocssd.Completion) {
 			}
 		}
 		g.pending[unit] = kept
-		k.retry = append(k.retry, failed...)
+		// The resubmission chunk draws a fresh stamp now: the failed
+		// entries are still the current version of their sectors (checked
+		// above), so the rewrite must replay after every unit dispatched
+		// so far and before any later overwrite's chunk.
+		s := k.laneOf(g.gpu)
+		s.retry = append(s.retry, chunk{stamp: k.nextStamp(), poss: failed})
+		if d := s.pendingSectors(); d > s.peakDepth {
+			s.peakDepth = d
+		}
+		s.wake()
 	}
 	k.markSuspect(g)
-	k.consumerKick.Signal()
+	k.kickWriters()
+}
+
+// laneOf returns the lane whose PU span covers gpu. Lanes partition the
+// PU space evenly, so the owner is a single division; after a rebuild the
+// spans change but every PU always has exactly one owner.
+func (k *Pblk) laneOf(gpu int) *slot {
+	span := k.geo.TotalPUs() / len(k.slots)
+	return k.slots[gpu/span]
 }
 
 // vectorIndexOf returns the index of addr within its write unit's address
