@@ -147,6 +147,22 @@ func BenchmarkLanes(b *testing.B) {
 	runExperiment(b, "lanes", io.Discard)
 }
 
+// BenchmarkGCSweep runs the steady-state overwrite experiment: write
+// amplification with and without the dedicated GC write stream, and
+// sustained throughput across GC pipeline depths. The reported metrics
+// are the dual-stream default's WA (expected below the single-stream
+// baseline's) and its sustained MB/s. Full tables:
+// `go run ./cmd/lnvm-bench wa`.
+func BenchmarkGCSweep(b *testing.B) {
+	var buf bytes.Buffer
+	runExperiment(b, "wa", &buf)
+	out := buf.String()
+	b.ReportMetric(firstNumberAfter(out, "single-stream (baseline)"), "single-stream-MBps")
+	b.ReportMetric(firstNumberAfter(out, "dual-stream depth=2 (default)"), "dual-stream-MBps")
+	b.ReportMetric(firstNumberAfter(out, "depth=1 (sequential reclaim)"), "gc-depth1-MBps")
+	b.ReportMetric(firstNumberAfter(out, "depth=4"), "gc-depth4-MBps")
+}
+
 // BenchmarkQDSweep records the perf trajectory of the block-engine
 // redesign: the asynchronous queue engine (one worker process sustaining
 // QD via a blockdev.Queue) against the seed's proc-per-request scheme

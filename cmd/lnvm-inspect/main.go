@@ -95,13 +95,18 @@ func inspectLanes(env *sim.Env, ln *lightnvm.Device, active int) error {
 		elapsed := env.Now() - start
 		fmt.Printf("\npblk lane stats after writing %d MB in %v (%.0f MB/s, %d active PUs):\n",
 			span>>20, elapsed.Round(time.Microsecond), float64(span)/1e6/elapsed.Seconds(), k.ActivePUs())
-		fmt.Printf("%-5s %-9s %-6s %-6s %-6s %-10s %-7s %-7s %-7s\n",
-			"lane", "pu span", "curPU", "queue", "peak", "units", "stalls", "waits", "padded")
+		fmt.Printf("%-5s %-9s %-6s %-6s %-6s %-6s %-10s %-7s %-7s %-7s\n",
+			"lane", "pu span", "curPU", "queue", "gcq", "peak", "units", "stalls", "waits", "padded")
 		for _, s := range k.LaneStats() {
-			fmt.Printf("%-5d %-9s %-6d %-6d %-6d %-10d %-7d %-7d %-7d\n",
+			fmt.Printf("%-5d %-9s %-6d %-6d %-6d %-6d %-10d %-7d %-7d %-7d\n",
 				s.Lane, fmt.Sprintf("[%d,%d)", s.PULo, s.PUHi),
-				s.CurPU, s.QueueDepth, s.PeakDepth, s.UnitsWritten, s.SemStalls, s.Waits, s.Padded)
+				s.CurPU, s.QueueDepth, s.GCQueueDepth, s.PeakDepth, s.UnitsWritten, s.SemStalls, s.Waits, s.Padded)
 		}
+		floor, gcStart, gcStop := k.GCWatermarks()
+		fmt.Printf("\ngc: moved=%d sectors, recycled=%d groups, lost=%d sectors (unreadable during moves),\n",
+			k.Stats.GCMovedSectors, k.Stats.GCBlocksRecycled, k.Stats.GCLostSectors)
+		fmt.Printf("    peak victims in flight=%d, free groups=%d (floor %d, start %d, stop %d)\n",
+			k.Stats.GCPeakInFlight, k.FreeGroups(), floor, gcStart, gcStop)
 		if err := ln.RemoveTarget(p, "pblk0"); err != nil {
 			out = fmt.Errorf("remove: %w", err)
 		}

@@ -8,7 +8,7 @@ import (
 )
 
 func TestRegistryComplete(t *testing.T) {
-	want := []string{"table1", "overhead", "fig4", "fig5", "fig6", "fig7", "fig8",
+	want := []string{"table1", "overhead", "fig4", "fig5", "fig6", "fig7", "fig8", "lanes", "wa",
 		"ablate-pagecache", "ablate-vector", "ablate-buffering", "ablate-gc-rl", "ablate-inflight"}
 	for _, id := range want {
 		if _, ok := ByID(id); !ok {
@@ -23,6 +23,23 @@ func TestRegistryComplete(t *testing.T) {
 	for i := 1; i < len(ids); i++ {
 		if ids[i-1].ID >= ids[i].ID {
 			t.Fatal("All() not sorted")
+		}
+	}
+}
+
+func TestWAQuick(t *testing.T) {
+	e, ok := ByID("wa")
+	if !ok {
+		t.Fatal("wa experiment not registered")
+	}
+	var buf bytes.Buffer
+	if err := e.Run(Options{Quick: true}, &buf); err != nil {
+		t.Fatal(err)
+	}
+	out := buf.String()
+	for _, want := range []string{"single-stream (baseline)", "dual-stream", "WA", "depth=1"} {
+		if !strings.Contains(out, want) {
+			t.Fatalf("wa output missing %q:\n%s", want, out)
 		}
 	}
 }

@@ -16,6 +16,7 @@ import (
 	"errors"
 	"fmt"
 	"math/rand"
+	"strings"
 	"time"
 
 	"repro/internal/nand"
@@ -445,6 +446,23 @@ func (d *Device) Submit(cmd *Vector, done func(*Completion)) {
 			d.runSub(p, pu, cmd, indices, comp, finish)
 		})
 	}
+}
+
+// DebugPUs returns a one-line-per-busy-PU view of command occupancy, for
+// diagnosing stalls: units in flight (busy holders) and queued commands.
+func (d *Device) DebugPUs() string {
+	var b strings.Builder
+	for i, pu := range d.pus {
+		if pu.busy.InUse() > 0 || pu.busy.QueueLen() > 0 {
+			fmt.Fprintf(&b, "pu %d (ch %d): busy=%d queued=%d\n", i, pu.ch, pu.busy.InUse(), pu.busy.QueueLen())
+		}
+	}
+	for i, ch := range d.chs {
+		if ch.xfer.InUse() > 0 || ch.xfer.QueueLen() > 0 {
+			fmt.Fprintf(&b, "ch %d: xfer=%d queued=%d\n", i, ch.xfer.InUse(), ch.xfer.QueueLen())
+		}
+	}
+	return b.String()
 }
 
 // Do submits cmd and blocks the calling process until completion.

@@ -2,7 +2,6 @@ package pblk
 
 import (
 	"fmt"
-	"sort"
 	"strings"
 )
 
@@ -12,8 +11,10 @@ type LaneStat struct {
 	Lane         int
 	PULo, PUHi   int // PU span [PULo, PUHi)
 	CurPU        int
-	OpenGroup    int // open group id, -1 when none
-	QueueDepth   int // dispatched sectors awaiting unit formation
+	OpenGroup    int // open user-stream group id, -1 when none
+	GCOpenGroup  int // open GC-stream group id, -1 when none
+	QueueDepth   int // dispatched user sectors awaiting unit formation
+	GCQueueDepth int // dispatched GC-stream sectors awaiting unit formation
 	Retries      int // write-failed sectors awaiting resubmission
 	PeakDepth    int // high-water mark of queued+retried sectors
 	Inflight     int // write units outstanding on the PU
@@ -27,13 +28,18 @@ type LaneStat struct {
 func (k *Pblk) LaneStats() []LaneStat {
 	out := make([]LaneStat, len(k.slots))
 	for i, s := range k.slots {
-		grp := -1
-		if s.grp != nil {
-			grp = s.grp.id
+		grp, gcGrp := -1, -1
+		if s.grp[streamUser] != nil {
+			grp = s.grp[streamUser].id
+		}
+		if s.grp[streamGC] != nil {
+			gcGrp = s.grp[streamGC].id
 		}
 		out[i] = LaneStat{
 			Lane: s.lane, PULo: s.puLo, PUHi: s.puHi, CurPU: s.curPU,
-			OpenGroup: grp, QueueDepth: s.qSectors, Retries: s.retrySectors(),
+			OpenGroup: grp, GCOpenGroup: gcGrp,
+			QueueDepth: s.qSectors[streamUser], GCQueueDepth: s.qSectors[streamGC],
+			Retries:   s.retrySectors(),
 			PeakDepth: s.peakDepth, Inflight: s.sem.InUse(),
 			UnitsWritten: s.unitsWritten, SemStalls: s.stalls,
 			Waits: s.waits, Padded: s.padded,
@@ -52,18 +58,21 @@ func (k *Pblk) retryCount() int {
 }
 
 // DebugState returns a multi-line snapshot of the FTL's internal state:
-// ring buffer cursors, rate-limiter output, group-state census, and the
-// per-lane writer shards. Intended for diagnostics and tests; the format
-// is not stable.
+// ring buffer cursors, rate-limiter output, GC pipeline occupancy, group-
+// state census, and the per-lane writer shards with their stream queues.
+// Intended for diagnostics and tests; the format is not stable.
 func (k *Pblk) DebugState() string {
 	var b strings.Builder
-	fmt.Fprintf(&b, "free=%d/%d spare=%d gcStart=%d gcStop=%d gcActive=%v rlIdle=%v quota=%d emergency=%d\n",
+	fmt.Fprintf(&b, "free=%d/%d spare=%d gcStart=%d gcStop=%d gcActive=%v gcInFlight=%d/%d rlIdle=%v quota=%d emergency=%d\n",
 		k.freeGroups, k.usableGroups, k.spareGroups(), k.gcStartGroups(), k.gcStopGroups(),
-		k.gcActive, k.rl.idle, k.rl.userQuota, k.emergencyReserve())
-	fmt.Fprintf(&b, "ring head=%d disp=%d tail=%d userIn=%d gcIn=%d free=%d cap=%d\n",
-		k.rb.head, k.rb.disp, k.rb.tail, k.rb.userIn, k.rb.gcIn, k.rb.free(), k.rb.capacity())
+		k.gcActive, k.gcInFlight, k.cfg.GCPipelineDepth, k.rl.idle, k.rl.userQuota, k.emergencyReserve())
+	fmt.Fprintf(&b, "ring head=%d disp=%d tail=%d userIn=%d gcIn=%d free=%d cap=%d pendUser=%d pendGC=%d\n",
+		k.rb.head, k.rb.disp, k.rb.tail, k.rb.userIn, k.rb.gcIn, k.rb.free(), k.rb.capacity(),
+		len(k.pend[streamUser]), len(k.pend[streamGC]))
 	fmt.Fprintf(&b, "retry=%d flushes=%d suspects=%d stopping=%v rebuilding=%v gcStopping=%v\n",
 		k.retryCount(), len(k.flushes), len(k.suspects), k.stopping, k.rebuilding, k.gcStopping)
+	fmt.Fprintf(&b, "gc moved=%d recycled=%d gcLost=%d gcPeakInFlight=%d\n",
+		k.Stats.GCMovedSectors, k.Stats.GCBlocksRecycled, k.Stats.GCLostSectors, k.Stats.GCPeakInFlight)
 	states := map[groupState]int{}
 	minValid, maxValid, pending := 1<<30, -1, 0
 	for _, g := range k.groups {
@@ -85,19 +94,24 @@ func (k *Pblk) DebugState() string {
 	fmt.Fprintf(&b, "groups=%v closedValid=[%d,%d]/%d pendingUnits=%d\n",
 		states, minValid, maxValid, k.dataSectors, pending)
 	for _, s := range k.slots {
-		if s.grp != nil || s.qSectors > 0 || len(s.retry) > 0 || s.sem.InUse() > 0 || s.sem.QueueLen() > 0 {
-			grp := -1
-			if s.grp != nil {
-				grp = s.grp.id
+		if s.grp[streamUser] != nil || s.grp[streamGC] != nil || s.queuedSectors() > 0 ||
+			len(s.retry) > 0 || s.sem.InUse() > 0 || s.sem.QueueLen() > 0 {
+			grp, gcGrp := -1, -1
+			if s.grp[streamUser] != nil {
+				grp = s.grp[streamUser].id
 			}
-			fmt.Fprintf(&b, "  lane %d: pu=%d grp=%d q=%d retry=%d peak=%d units=%d stalls=%d semInUse=%d semQueue=%d quit=%v\n",
-				s.lane, s.curPU, grp, s.qSectors, s.retrySectors(), s.peakDepth,
-				s.unitsWritten, s.stalls, s.sem.InUse(), s.sem.QueueLen(), s.quit)
+			if s.grp[streamGC] != nil {
+				gcGrp = s.grp[streamGC].id
+			}
+			fmt.Fprintf(&b, "  lane %d: pu=%d grp=%d gcGrp=%d q=%d gcq=%d retry=%d peak=%d units=%d stalls=%d semInUse=%d semQueue=%d quit=%v\n",
+				s.lane, s.curPU, grp, gcGrp, s.qSectors[streamUser], s.qSectors[streamGC],
+				s.retrySectors(), s.peakDepth, s.unitsWritten, s.stalls,
+				s.sem.InUse(), s.sem.QueueLen(), s.quit)
 		}
 	}
 	if e := k.rb.at(k.rb.tail); k.rb.tail < k.rb.head {
-		fmt.Fprintf(&b, "tail entry: pos=%d lba=%d state=%d isGC=%v addr=%v\n",
-			e.pos, e.lba, e.state, e.isGC, e.addr)
+		fmt.Fprintf(&b, "tail entry: pos=%d lba=%d state=%d isGC=%v stamp=%d addr=%v\n",
+			e.pos, e.lba, e.state, e.isGC, e.stamp, e.addr)
 	}
 	return b.String()
 }
@@ -112,41 +126,75 @@ func (k *Pblk) CheckInvariants() error {
 	if r.userIn < 0 || r.gcIn < 0 || r.userIn+r.gcIn > r.inRing() {
 		return fmt.Errorf("ring accounting: userIn=%d gcIn=%d inRing=%d", r.userIn, r.gcIn, r.inRing())
 	}
-	seen := make(map[uint64]int)
-	owner := make(map[int]int) // group id -> lane
-	type stamped struct {
-		pos, stamp uint64
+	// Stamp/admission coupling: stamps are drawn at produce, so across the
+	// live ring a later position must always carry a later stamp — this is
+	// what lets recovery replay sectors in stamp order no matter which
+	// stream or lane programs them first.
+	for pos := r.tail + 1; pos < r.head; pos++ {
+		if r.at(pos).stamp <= r.at(pos-1).stamp {
+			return fmt.Errorf("stamp/admission inversion: pos %d has stamp %d but pos %d has stamp %d",
+				pos-1, r.at(pos-1).stamp, pos, r.at(pos).stamp)
+		}
 	}
-	var queued []stamped
-	for _, s := range k.slots {
-		var prevPos, prevStamp uint64
-		sectors := 0
-		for i, c := range s.q {
-			if len(c.poss) == 0 {
-				return fmt.Errorf("lane %d holds an empty chunk", s.lane)
+	seen := make(map[uint64]string)
+	claim := func(pos uint64, owner string) error {
+		if prev, dup := seen[pos]; dup {
+			return fmt.Errorf("pos %d held by both %s and %s", pos, prev, owner)
+		}
+		seen[pos] = owner
+		return nil
+	}
+	// Pending (scanned, not yet chunked) positions: in [tail, disp),
+	// strictly increasing, stream-correct.
+	for st := 0; st < numStreams; st++ {
+		for i, pos := range k.pend[st] {
+			if pos < r.tail || pos >= r.disp {
+				return fmt.Errorf("pend[%s] holds pos %d outside [tail=%d, disp=%d)", streamName(st), pos, r.tail, r.disp)
 			}
-			if i > 0 && c.stamp <= prevStamp {
-				return fmt.Errorf("lane %d chunk stamps not increasing at stamp %d", s.lane, c.stamp)
+			if i > 0 && pos <= k.pend[st][i-1] {
+				return fmt.Errorf("pend[%s] not strictly increasing at pos %d", streamName(st), pos)
 			}
-			prevStamp = c.stamp
-			queued = append(queued, stamped{pos: c.poss[0], stamp: c.stamp})
-			for _, pos := range c.poss {
-				if pos < r.tail || pos >= r.disp {
-					return fmt.Errorf("lane %d queue holds pos %d outside [tail=%d, disp=%d)", s.lane, pos, r.tail, r.disp)
-				}
-				if sectors > 0 && pos <= prevPos {
-					return fmt.Errorf("lane %d queue not strictly increasing at pos %d", s.lane, pos)
-				}
-				prevPos = pos
-				sectors++
-				if l, dup := seen[pos]; dup {
-					return fmt.Errorf("pos %d queued on both lane %d and lane %d", pos, l, s.lane)
-				}
-				seen[pos] = s.lane
+			if k.streamOf(r.at(pos)) != st {
+				return fmt.Errorf("pend[%s] holds pos %d of the wrong stream", streamName(st), pos)
+			}
+			if err := claim(pos, "pend"); err != nil {
+				return err
 			}
 		}
-		if sectors != s.qSectors {
-			return fmt.Errorf("lane %d qSectors=%d but chunks hold %d", s.lane, s.qSectors, sectors)
+	}
+	type owner struct{ lane, stream int }
+	groupOwner := make(map[int]owner)
+	for _, s := range k.slots {
+		for st := range s.q {
+			sectors := 0
+			var prevPos uint64
+			for _, c := range s.q[st] {
+				if len(c.poss) == 0 {
+					return fmt.Errorf("lane %d holds an empty %s chunk", s.lane, streamName(st))
+				}
+				if c.stream != st {
+					return fmt.Errorf("lane %d %s queue holds a chunk tagged stream %d", s.lane, streamName(st), c.stream)
+				}
+				for _, pos := range c.poss {
+					if pos < r.tail || pos >= r.disp {
+						return fmt.Errorf("lane %d %s queue holds pos %d outside [tail=%d, disp=%d)", s.lane, streamName(st), pos, r.tail, r.disp)
+					}
+					if sectors > 0 && pos <= prevPos {
+						return fmt.Errorf("lane %d %s queue not strictly increasing at pos %d", s.lane, streamName(st), pos)
+					}
+					if k.streamOf(r.at(pos)) != st {
+						return fmt.Errorf("lane %d %s queue holds pos %d of the wrong stream", s.lane, streamName(st), pos)
+					}
+					prevPos = pos
+					sectors++
+					if err := claim(pos, fmt.Sprintf("lane %d", s.lane)); err != nil {
+						return err
+					}
+				}
+			}
+			if sectors != s.qSectors[st] {
+				return fmt.Errorf("lane %d qSectors[%s]=%d but chunks hold %d", s.lane, streamName(st), s.qSectors[st], sectors)
+			}
 		}
 		for _, c := range s.retry {
 			for _, pos := range c.poss {
@@ -155,14 +203,22 @@ func (k *Pblk) CheckInvariants() error {
 				}
 			}
 		}
-		if s.grp != nil {
-			if s.grp.state != stOpen {
-				return fmt.Errorf("lane %d holds group %d in state %v", s.lane, s.grp.id, s.grp.state)
+		for st := range s.grp {
+			g := s.grp[st]
+			if g == nil {
+				continue
 			}
-			if l, dup := owner[s.grp.id]; dup {
-				return fmt.Errorf("group %d attached to lanes %d and %d", s.grp.id, l, s.lane)
+			if g.state != stOpen {
+				return fmt.Errorf("lane %d holds group %d in state %v", s.lane, g.id, g.state)
 			}
-			owner[s.grp.id] = s.lane
+			if int(g.stream) != st {
+				return fmt.Errorf("lane %d stream %s holds group %d tagged stream %d", s.lane, streamName(st), g.id, g.stream)
+			}
+			if prev, dup := groupOwner[g.id]; dup {
+				return fmt.Errorf("group %d attached to lane %d/%s and lane %d/%s",
+					g.id, prev.lane, streamName(prev.stream), s.lane, streamName(st))
+			}
+			groupOwner[g.id] = owner{lane: s.lane, stream: st}
 		}
 	}
 	free := 0
@@ -181,16 +237,17 @@ func (k *Pblk) CheckInvariants() error {
 	if free != k.freeGroups {
 		return fmt.Errorf("freeGroups=%d but heaps hold %d", k.freeGroups, free)
 	}
-	// Cross-lane stamp/admission coupling: recovery replays units in stamp
-	// order, so across ALL lanes a chunk of earlier ring positions must
-	// carry an earlier stamp — otherwise a buffered overwrite could be
-	// rolled back by scan recovery when its lane programs first.
-	sort.Slice(queued, func(i, j int) bool { return queued[i].pos < queued[j].pos })
-	for i := 1; i < len(queued); i++ {
-		if queued[i].stamp <= queued[i-1].stamp {
-			return fmt.Errorf("stamp/admission inversion: pos %d has stamp %d but pos %d has stamp %d",
-				queued[i-1].pos, queued[i-1].stamp, queued[i].pos, queued[i].stamp)
+	if k.gcInFlight < 0 || k.gcInFlight > k.cfg.GCPipelineDepth {
+		return fmt.Errorf("gcInFlight=%d outside [0,%d]", k.gcInFlight, k.cfg.GCPipelineDepth)
+	}
+	covered := 0
+	for _, s := range k.slots {
+		if s.grp[streamGC] != nil {
+			covered++
 		}
+	}
+	if covered != k.gcOpenLanes {
+		return fmt.Errorf("gcOpenLanes=%d but %d lanes hold GC groups", k.gcOpenLanes, covered)
 	}
 	return nil
 }

@@ -1,6 +1,8 @@
 package pblk
 
 import (
+	"fmt"
+
 	"repro/internal/ocssd"
 	"repro/internal/ppa"
 	"repro/internal/sim"
@@ -115,51 +117,77 @@ func (k *Pblk) spareGroups() int {
 }
 
 // gcStartGroups / gcStopGroups translate the configured spare fractions
-// into free-group thresholds.
-func (k *Pblk) gcStartGroups() int { return int(float64(k.spareGroups()) * k.cfg.GCStartFrac) }
-func (k *Pblk) gcStopGroups() int  { return int(float64(k.spareGroups()) * k.cfg.GCStopFrac) }
+// into free-group thresholds. Both are clamped above the emergency
+// reserve: user admission stops entirely at the reserve floor, so GC must
+// engage before free space falls to it — otherwise writes would stall
+// with the collector idle.
+func (k *Pblk) gcStartGroups() int {
+	v := int(float64(k.spareGroups()) * k.cfg.GCStartFrac)
+	if min := k.emergencyReserve() + 2; v < min {
+		v = min
+	}
+	return v
+}
+
+func (k *Pblk) gcStopGroups() int {
+	v := int(float64(k.spareGroups()) * k.cfg.GCStopFrac)
+	if min := k.gcStartGroups() + 2; v < min {
+		v = min
+	}
+	return v
+}
+
+// GCWatermarks exposes the collector's free-group thresholds: the
+// emergency floor where user admission stops, and the start/stop
+// hysteresis band. Operator API for inspection tools and harnesses.
+func (k *Pblk) GCWatermarks() (floor, start, stop int) {
+	return k.emergencyReserve(), k.gcStartGroups(), k.gcStopGroups()
+}
 
 // gcNeeded reports whether free space is below the GC trigger, with
-// hysteresis between the start and stop thresholds.
+// hysteresis between the start and stop thresholds. Victims already owned
+// by a worker count as prospective free groups — except retire victims,
+// which end as bad blocks — so the scheduler does not over-collect while
+// a burst of recycles is in flight.
 func (k *Pblk) gcNeeded() bool {
+	prospective := k.freeGroups + k.gcInFlight - k.gcRetiring
 	if k.gcActive {
-		if k.freeGroups >= k.gcStopGroups() {
+		if prospective >= k.gcStopGroups() {
 			k.gcActive = false
 		}
-	} else if k.freeGroups < k.gcStartGroups() {
+	} else if prospective < k.gcStartGroups() {
 		k.gcActive = true
 	}
 	return k.gcActive
 }
 
-// maybeKickGC wakes the GC loop when there is work.
+// maybeKickGC wakes the GC scheduler when there is work.
 func (k *Pblk) maybeKickGC() {
 	if len(k.suspects) > 0 || k.freeGroups < k.gcStartGroups() {
 		k.gcKick.Signal()
 	}
 }
 
-// gcLoop is pblk's garbage collector (paper §4.2.4): suspect (write-failed)
-// groups are drained with priority and retired; otherwise the closed group
-// with the fewest valid sectors is recycled whenever free space runs low.
+// gcLoop is pblk's garbage-collection scheduler (paper §4.2.4, pipelined):
+// it keeps up to Config.GCPipelineDepth victim groups in flight, each
+// moved by its own worker process, so victim selection, reverse-map reads,
+// valid-sector reads, and lane drains of different victims overlap instead
+// of serializing. Suspect (write-failed) groups are drained with priority
+// and retired; otherwise victims are chosen by cost-benefit score whenever
+// free space runs low. On stop the scheduler waits for every in-flight
+// worker before signalling gcDone.
 func (k *Pblk) gcLoop(p *sim.Proc) {
 	defer k.gcDone.Signal()
 	for !k.stopping && !k.gcStopping {
-		if len(k.suspects) > 0 {
-			id := k.suspects[0]
-			k.suspects = k.suspects[1:]
-			k.recycle(p, k.groups[id], true)
-			continue
+		k.launchVictims()
+		if k.gcKick.Fired() {
+			k.gcKick = k.env.NewEvent()
 		}
-		if k.gcNeeded() {
-			if v := k.pickVictim(); v != nil {
-				k.setGCIdle(false)
-				k.recycle(p, v, false)
-				continue
-			}
-			// Nothing holds garbage: throttling users cannot create free
-			// space, so stand down until overwrites or trims arrive.
-			k.setGCIdle(true)
+		p.Wait(k.gcKick)
+	}
+	for k.gcInFlight > 0 {
+		if k.crashed {
+			return
 		}
 		if k.gcKick.Fired() {
 			k.gcKick = k.env.NewEvent()
@@ -168,13 +196,172 @@ func (k *Pblk) gcLoop(p *sim.Proc) {
 	}
 }
 
-// pickVictim selects the closed group with the lowest valid sector count
-// (paper: "selects the block with the lowest number of valid sectors for
-// recycling"). Fully valid groups yield no space and are skipped. PUs whose
-// free list ran dry take priority: a write lane may be stalled waiting for
-// a block there, and recycling elsewhere would not unblock it.
-func (k *Pblk) pickVictim() *group {
+// gcBacklogged reports whether reclaim should run several victims at
+// once: user admission frozen (free space at the emergency floor or the
+// limiter fully saturated — reclaim latency is then the stall users are
+// waiting on, and overlapping the next victim's reads with the current
+// drain shortens it), or the user side fully idle (post-burst catch-up
+// on free media bandwidth). In ordinary paced scarcity serial collection
+// is deliberate: garbage keeps accruing between picks, so each serial
+// pick is strictly cheaper than a concurrent one would have been.
+func (k *Pblk) gcBacklogged() bool {
+	if k.freeGroups <= k.emergencyReserve() {
+		return true
+	}
+	if !k.cfg.DisableRateLimiter && k.rl.userQuota == 0 {
+		return true
+	}
+	return k.rb.userIn == 0 && len(k.admitQ) == 0
+}
+
+// launchVictims fills the GC pipeline: suspects first, then cost-benefit
+// victims while free space is below the hysteresis band. Each victim is
+// claimed (stGC) before its worker spawns so it cannot be picked twice.
+// The first in-flight victim uses the full desperation ceiling (with its
+// liveness escapes); additional concurrent victims launch only under
+// acute pressure, where overlapping victim reads with sibling drains
+// shortens a stall users are actually experiencing.
+func (k *Pblk) launchVictims() {
+	for k.gcInFlight < k.cfg.GCPipelineDepth {
+		first := k.gcInFlight == 0
+		if !first && !k.gcBacklogged() {
+			return
+		}
+		var g *group
+		retire := false
+		switch {
+		case len(k.suspects) > 0:
+			g = k.groups[k.suspects[0]]
+			k.suspects = k.suspects[1:]
+			retire = true
+		case k.gcNeeded():
+			v, anyGarbage := k.pickVictim(k.gcMaxValidFrac(first))
+			if v == nil {
+				if !anyGarbage {
+					// Nothing holds garbage: throttling users cannot
+					// create free space, so stand down until overwrites
+					// or trims arrive.
+					k.setGCIdle(true)
+				}
+				// Otherwise: victims exist but all are too full for the
+				// current desperation level — wait for the overwrite
+				// frontier to create cheaper ones (or for free space to
+				// sink further, which raises the ceiling).
+				return
+			}
+			g = v
+			k.setGCIdle(false)
+		default:
+			return
+		}
+		g.state = stGC
+		k.gcInFlight++
+		if retire {
+			k.gcRetiring++
+		}
+		if int64(k.gcInFlight) > k.Stats.GCPeakInFlight {
+			k.Stats.GCPeakInFlight = int64(k.gcInFlight)
+		}
+		gg, rt := g, retire
+		k.env.Go(fmt.Sprintf("pblk.%s.gcmove%d", k.name, gg.id), func(wp *sim.Proc) {
+			k.recycle(wp, gg, rt)
+			k.gcInFlight--
+			if rt {
+				k.gcRetiring--
+			}
+			k.gcKick.Signal()
+			k.notifyState()
+		})
+	}
+}
+
+// gcScore is the cost-benefit victim policy (replacing pure greedy
+// min-valid): the classic (1-u)/(1+u) benefit/cost ratio — free space
+// gained over the cost of reading and rewriting the live fraction u —
+// weighted by the group's age (older groups are colder, so their live
+// data is less likely to be invalidated right after the move) and by a
+// wear term that prefers recycling groups with fewer erase cycles than
+// the fleet average (dynamic wear leveling: a cold block re-enters the
+// free pool and absorbs new writes). Both modifiers are bounded — the
+// combined weight stays within [0.5, 2.5] — so the valid ratio always
+// dominates: an unbounded age term would happily move nearly-full old
+// blocks and multiply write amplification.
+func (k *Pblk) gcScore(g *group) float64 {
+	u := float64(g.valid) / float64(k.dataSectors)
+	// age saturates at 1 once the group is older than about one full
+	// allocation sweep of the device.
+	age := float64(k.seqCounter - g.seq)
+	ageBoost := age / (age + float64(k.usableGroups) + 1)
+	wearBoost := 0.0
+	if k.usableGroups > 0 {
+		avg := float64(k.eraseTotal) / float64(k.usableGroups)
+		wearBoost = (avg - float64(g.erases)) / (2 * (avg + 1))
+		if wearBoost > 0.5 {
+			wearBoost = 0.5
+		}
+		if wearBoost < -0.5 {
+			wearBoost = -0.5
+		}
+	}
+	return (1 - u) / (1 + u) * (1 + ageBoost + wearBoost)
+}
+
+// gcMaxValidFrac is the victim admission ceiling: the fraction of still-
+// valid sectors GC is willing to move, scaled by how desperate for free
+// space it is. Collecting a nearly-full group frees almost nothing and
+// multiplies write amplification, so while free space is merely below the
+// start threshold GC takes only half-dead groups and waits for the
+// workload's overwrites to kill more sectors; as free space sinks toward
+// the emergency reserve the ceiling rises to 1 and GC takes whatever
+// holds any garbage at all. Without this guard a uniform overwrite
+// workload collapses into a churn spiral: GC runs ahead of the overwrite
+// frontier, re-moving its own survivors at ever higher valid ratios.
+//
+// first marks the pick that would make GC non-idle (no other victim in
+// flight): only it gets the liveness escapes — at the emergency floor,
+// or with user admission frozen (no new overwrites can arrive to create
+// cheaper victims), it takes whatever holds garbage.
+func (k *Pblk) gcMaxValidFrac(first bool) float64 {
+	start := k.gcStartGroups()
+	floor := k.emergencyReserve()
+	if start <= floor {
+		return 1
+	}
+	if first {
+		if k.freeGroups <= floor {
+			return 1
+		}
+		if !k.cfg.DisableRateLimiter && k.rl.userQuota == 0 {
+			return 1
+		}
+	}
+	d := float64(start-k.freeGroups) / float64(start-floor)
+	if d < 0 {
+		d = 0
+	}
+	if d > 1 {
+		d = 1
+	}
+	if !first {
+		// Extra concurrent victims halve the desperation scale (ceiling
+		// capped at 0.75): overlapping drains must not reach deeper into
+		// expensive victims than serial collection soon would.
+		d /= 2
+	}
+	return 0.5 + 0.5*d
+}
+
+// pickVictim selects the closed group with the best cost-benefit score
+// among those at or below the maxValid ceiling. Fully valid groups yield
+// no space and are skipped; anyGarbage reports whether any group held
+// garbage at all (ceiling aside), distinguishing "all victims too
+// expensive for now" from "truly nothing to reclaim". PUs whose free
+// list ran dry take priority: recycling there refills the heap a lane's
+// rotation prefers.
+func (k *Pblk) pickVictim(maxValidFrac float64) (victim *group, anyGarbage bool) {
+	maxValid := int(maxValidFrac * float64(k.dataSectors))
 	var best, bestNeedy *group
+	var bestScore, bestNeedyScore float64
 	for _, g := range k.groups {
 		if g.state != stClosed {
 			continue
@@ -182,30 +369,39 @@ func (k *Pblk) pickVictim() *group {
 		if g.valid >= k.dataSectors {
 			continue
 		}
-		if best == nil || g.valid < best.valid {
-			best = g
+		anyGarbage = true
+		if g.valid > maxValid {
+			continue
 		}
-		if len(k.freePerPU[g.gpu]) == 0 && (bestNeedy == nil || g.valid < bestNeedy.valid) {
-			bestNeedy = g
+		score := k.gcScore(g)
+		if best == nil || score > bestScore {
+			best, bestScore = g, score
+		}
+		if len(k.freePerPU[g.gpu]) == 0 && (bestNeedy == nil || score > bestNeedyScore) {
+			bestNeedy, bestNeedyScore = g, score
 		}
 	}
-	// Only divert to a starved PU when its best victim is nearly as cheap
-	// as the global one; lanes can otherwise borrow blocks from another PU
-	// (openGroupOn's fallback), and moving nearly-full blocks just to feed
-	// one PU multiplies write amplification.
-	if best != nil && bestNeedy != nil &&
-		bestNeedy.valid <= best.valid+k.dataSectors/8 {
-		return bestNeedy
+	// Only divert to a starved PU when its best victim scores nearly as
+	// well as the global one; lanes can otherwise borrow blocks from
+	// another PU (openGroupOn's fallback), and moving much fuller blocks
+	// just to feed one PU multiplies write amplification.
+	if best != nil && bestNeedy != nil && bestNeedy != best &&
+		bestNeedyScore >= bestScore*0.8 {
+		return bestNeedy, anyGarbage
 	}
-	return best
+	return best, anyGarbage
 }
 
 // recycle moves a group's valid sectors back through the write buffer, then
-// erases and frees it — or retires it when it is suspect.
+// erases and frees it — or retires it when it is suspect. It runs in a GC
+// worker process; several recycles proceed concurrently.
 func (k *Pblk) recycle(p *sim.Proc, g *group, retire bool) {
 	g.state = stGC
 	if g.valid > 0 {
 		k.moveValid(p, g)
+	}
+	if k.crashed {
+		return
 	}
 	if retire {
 		// Write failures condemn the block (§4.2.3).
@@ -217,6 +413,7 @@ func (k *Pblk) recycle(p *sim.Proc, g *group, retire bool) {
 		}
 		g.state = stBad
 		k.Stats.BadBlocks++
+		k.notifyState()
 		return
 	}
 	ch, pu := k.fmtr.PUAddr(g.gpu)
@@ -230,18 +427,30 @@ func (k *Pblk) recycle(p *sim.Proc, g *group, retire bool) {
 		k.Stats.EraseErrors++
 		k.Stats.BadBlocks++
 		g.state = stBad
+		k.notifyState()
 		return
 	}
 	g.erases++
+	k.eraseTotal++
 	k.Stats.GCBlocksRecycled++
 	k.returnFreeGroup(g)
 }
+
+// gcReadWindow bounds the vector reads a single victim keeps in flight:
+// enough to hide media read latency behind ring admission without
+// buffering a whole group's data in host memory.
+const gcReadWindow = 4
 
 // moveValid rewrites every still-valid sector of g through the write buffer
 // and waits until all moves are persisted. The reverse map comes from the
 // close metadata stored on the group's last pages — pblk keeps no reverse
 // L2P in host memory (paper §4.2.4) — with an OOB scan as the fallback for
 // groups that died before their close metadata was written.
+//
+// The media reads are pipelined: up to gcReadWindow vector reads are kept
+// in flight via asynchronous submission while earlier chunks are admitted
+// into the ring, so a victim's read latency overlaps its own admission —
+// and, with several victims in flight, the drains of sibling victims.
 func (k *Pblk) moveValid(p *sim.Proc, g *group) {
 	lbas := k.readGroupLBAs(p, g)
 	// Gather sectors whose mapping still points into this group.
@@ -259,21 +468,60 @@ func (k *Pblk) moveValid(p *sim.Proc, g *group) {
 			moves = append(moves, move{lba: lba, addr: a})
 		}
 	}
+	type readChunk struct {
+		moves []move
+		done  *sim.Event
+		c     *ocssd.Completion
+	}
+	var chunks []*readChunk
 	for lo := 0; lo < len(moves); lo += ocssd.MaxVectorLen {
 		hi := lo + ocssd.MaxVectorLen
 		if hi > len(moves) {
 			hi = len(moves)
 		}
-		chunk := moves[lo:hi]
-		addrs := make([]ppa.Addr, len(chunk))
-		for j, m := range chunk {
+		chunks = append(chunks, &readChunk{moves: moves[lo:hi], done: k.env.NewEvent()})
+	}
+	submit := func(rc *readChunk) {
+		addrs := make([]ppa.Addr, len(rc.moves))
+		for j, m := range rc.moves {
 			addrs[j] = m.addr
 		}
-		c := k.dev.Do(p, &ocssd.Vector{Op: ocssd.OpRead, Addrs: addrs})
-		for j, m := range chunk {
-			if c.Errs[j] != nil {
-				// The sector is unreadable; its data is lost from the
+		k.dev.Submit(&ocssd.Vector{Op: ocssd.OpRead, Addrs: addrs}, func(c *ocssd.Completion) {
+			rc.c = c
+			rc.done.Signal()
+		})
+	}
+	for i := 0; i < len(chunks) && i < gcReadWindow; i++ {
+		submit(chunks[i])
+	}
+	// Ring admission is serialized across victims (a FIFO token): reads of
+	// younger victims overlap the drain of the oldest, but their moves
+	// enter the ring only after the oldest victim's moves are all in.
+	// Interleaved admission would spread every victim's drain across the
+	// whole pipeline window, multiplying the time to the FIRST erase — the
+	// event a stalled writer is actually waiting on.
+	k.gcAdmit.Acquire(p)
+	released := false
+	release := func() {
+		if !released {
+			released = true
+			k.gcAdmit.Release()
+		}
+	}
+	defer release()
+	for i, rc := range chunks {
+		p.Wait(rc.done)
+		if next := i + gcReadWindow; next < len(chunks) {
+			submit(chunks[next])
+		}
+		for j, m := range rc.moves {
+			if rc.c.Errs[j] != nil {
+				// The sector is unreadable; unless the user overwrote it
+				// while the read was in flight, its data is lost from the
 				// device's perspective and upper layers must recover.
+				if k.l2p[m.lba] == k.mediaEntry(m.addr) {
+					k.Stats.GCLostSectors++
+				}
 				continue
 			}
 			k.reserveGC(p)
@@ -286,13 +534,14 @@ func (k *Pblk) moveValid(p *sim.Proc, g *group) {
 			if k.l2p[m.lba] != k.mediaEntry(m.addr) {
 				continue
 			}
-			pos := k.rb.produce(m.lba, c.Data[j], true, g.id)
+			pos := k.produce(m.lba, rc.c.Data[j], true, g.id)
 			g.gcPending++
 			k.installCacheMapping(m.lba, pos)
 			k.Stats.GCMovedSectors++
 		}
 		k.kickWriters()
 	}
+	release()
 	if g.gcPending > 0 {
 		// Force the moves out with an internal flush so the victim drains
 		// even when user traffic is idle. The moves are sharded over the

@@ -135,10 +135,10 @@ func TestSetActivePUsUnderQueueTraffic(t *testing.T) {
 // TestRecoveryOrderAcrossLanes is a white-box regression for the
 // stamp/admission coupling: two buffered generations of the same sectors
 // are dispatched to different lanes and the LATER generation's lane
-// programs FIRST (a stalled sibling lane). Because chunk stamps are drawn
-// at dispatch — in ring admission order — scan recovery must still replay
-// the newer generation last. With stamps drawn at unit formation instead,
-// the older generation would carry the higher stamp and recovery would
+// programs FIRST (a stalled sibling lane). Because sector stamps are
+// drawn at ring admission, scan recovery must still replay the newer
+// generation last. With stamps drawn at unit formation instead, the
+// older generation would carry the higher stamp and recovery would
 // resurrect it.
 func TestRecoveryOrderAcrossLanes(t *testing.T) {
 	e := newEnv(t, testDeviceConfig())
@@ -151,7 +151,7 @@ func TestRecoveryOrderAcrossLanes(t *testing.T) {
 		// lands on lane 0, gen2's on lane 1.
 		for gen := byte(1); gen <= 2; gen++ {
 			for i := 0; i < us; i++ {
-				pos := k.rb.produce(int64(i), fill(ss, gen), false, -1)
+				pos := k.produce(int64(i), fill(ss, gen), false, -1)
 				k.installCacheMapping(int64(i), pos)
 			}
 			k.dispatch()

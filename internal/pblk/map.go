@@ -84,6 +84,7 @@ func (k *Pblk) takeFreeGroup(gpu int) *group {
 // returnFreeGroup places an erased group back on its PU's free heap.
 func (k *Pblk) returnFreeGroup(g *group) {
 	g.state = stFree
+	g.stream = streamUser
 	g.nextUnit = 0
 	g.lbas = nil
 	g.stamps = nil
@@ -96,30 +97,33 @@ func (k *Pblk) returnFreeGroup(g *group) {
 	k.freeGroups++
 	k.rl.update(k.freeGroups)
 	k.rb.signalSpace() // user admission may have been gated on free blocks
+	k.notifyState()
 }
 
-// openGroupOn allocates and opens a group for slot s, rotating through the
-// lane's PU range: when the current PU has no free group, the next PU in
-// the range takes over (paper §4.2.1's block-granularity PU rotation).
-// When the lane's whole range is dry it immediately borrows a group from
-// any PU rather than stalling — GC moves drain through the lane writers,
-// so sleeping here while free groups exist elsewhere could wedge the
-// victim drain. It blocks (only this lane) when the device has no free
-// group at all.
-func (k *Pblk) openGroupOn(p *sim.Proc, s *slot) *group {
+// openGroupOn allocates and opens a group for stream st of slot s,
+// rotating through the lane's PU range: when the current PU has no free
+// group, the next PU in the range takes over (paper §4.2.1's
+// block-granularity PU rotation). Both streams rotate over the same PUs —
+// stream separation is per block, not per PU — so a lane may hold a user
+// group and a GC group on the same PU. When the lane's whole range is dry
+// it immediately borrows a group from any PU rather than stalling — GC
+// moves drain through the lane writers, so sleeping here while free
+// groups exist elsewhere could wedge the victim drain. It blocks (only
+// this lane) when the device has no free group at all.
+func (k *Pblk) openGroupOn(p *sim.Proc, s *slot, st int) *group {
 	for {
 		span := s.puHi - s.puLo
 		for i := 0; i < span; i++ {
 			gpu := s.puLo + (s.curPU-s.puLo+i)%span
 			if g := k.takeFreeGroup(gpu); g != nil {
 				s.curPU = gpu
-				k.openGroup(g)
+				k.openGroup(g, st)
 				return g
 			}
 		}
 		for gpu := range k.freePerPU {
 			if g := k.takeFreeGroup(gpu); g != nil {
-				k.openGroup(g)
+				k.openGroup(g, st)
 				return g
 			}
 		}
@@ -132,19 +136,21 @@ func (k *Pblk) openGroupOn(p *sim.Proc, s *slot) *group {
 	}
 }
 
-// openGroup transitions a free group to open and submits its open mark
-// (paper §4.2.2: first page stores a sequence number and a reference to
-// the previously opened block). The mark is submitted asynchronously; the
-// per-PU FIFO guarantees it lands before the group's data.
-func (k *Pblk) openGroup(g *group) {
+// openGroup transitions a free group to open for a write stream and
+// submits its open mark (paper §4.2.2: first page stores a sequence
+// number and a reference to the previously opened block). The mark is
+// submitted asynchronously; the per-PU FIFO guarantees it lands before
+// the group's data.
+func (k *Pblk) openGroup(g *group, st int) {
 	k.seqCounter++
 	g.state = stOpen
+	g.stream = uint8(st)
 	g.seq = k.seqCounter
 	g.prev = int64(k.lastOpened)
 	k.lastOpened = g.id
 	g.nextUnit = 1
 	g.lbas = make([]int64, 0, k.dataSectors)
-	g.stamps = make([]uint64, 0, k.dataUnits())
+	g.stamps = make([]uint64, 0, k.dataSectors)
 	g.unitDone = make([]bool, k.unitsPerGroup)
 	g.unitFinal = make([]bool, k.unitsPerGroup)
 	mark := k.encodeOpenMark(g)
@@ -178,31 +184,35 @@ func (s *slot) advance() {
 	}
 }
 
-// drainOpenGroups pads and closes every lane's open group; used by
-// SetActivePUs and Shutdown so all data groups carry close metadata.
+// drainOpenGroups pads and closes every lane's open groups on both
+// streams; used by SetActivePUs and Shutdown so all data groups carry
+// close metadata.
 func (k *Pblk) drainOpenGroups(p *sim.Proc) {
 	for _, s := range k.slots {
-		if s.grp == nil {
-			continue
+		for st := range s.grp {
+			if s.grp[st] == nil {
+				continue
+			}
+			k.padAndClose(p, s, st)
 		}
-		k.padAndClose(p, s)
 	}
 }
 
 // padAndClose fills the remainder of a lane's open group with padding and
 // writes its close metadata, blocking until submitted.
-func (k *Pblk) padAndClose(p *sim.Proc, s *slot) {
-	for s.grp.nextUnit < k.firstMetaUnit() {
-		k.padUnit(p, s)
+func (k *Pblk) padAndClose(p *sim.Proc, s *slot, st int) {
+	for s.grp[st].nextUnit < k.firstMetaUnit() {
+		k.padUnit(p, s, s.grp[st])
 	}
-	k.closeGroup(p, s)
+	k.closeGroup(p, s, st)
 }
 
 // closeGroup writes the group's close metadata and detaches it from the
-// lane. The group becomes GC-eligible once the metadata is programmed.
-func (k *Pblk) closeGroup(p *sim.Proc, s *slot) {
-	g := s.grp
-	s.grp = nil
+// lane's stream. The group becomes GC-eligible once the metadata is
+// programmed.
+func (k *Pblk) closeGroup(p *sim.Proc, s *slot, st int) {
+	g := s.grp[st]
+	k.setLaneGroup(s, st, nil)
 	s.advance()
 	k.submitCloseMeta(p, g)
 }

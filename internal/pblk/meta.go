@@ -14,12 +14,13 @@ import (
 
 // On-media metadata formats (paper §4.2.2). All metadata carries a CRC
 // ("all metadata is persisted together with its CRC and relevant counters
-// to guarantee consistency").
+// to guarantee consistency"). Close metadata is version 2: stamps are
+// per data sector (admission order), not per write unit, and the header
+// carries the write stream the group was opened for.
 const (
 	openMagic  uint64 = 0x314e504f4b4c4250 // "PBLKOPN1"
-	closeMagic uint64 = 0x31534c434b4c4250 // "PBLKCLS1"
+	closeMagic uint64 = 0x32534c434b4c4250 // "PBLKCLS2"
 	snapMagic  uint64 = 0x3150414e534b4250 // "PBKSNAP1"
-	oobMagic   uint16 = 0x4f42             // "BO"
 
 	oobBytes      = 16
 	openMarkBytes = 44
@@ -46,10 +47,11 @@ var le = binary.LittleEndian
 // encodeOOB packs one sector's out-of-band metadata: the logical address,
 // a valid bit (paper: "we store the logical addresses that correspond to
 // physical addresses on the page together with a bit that signals that the
-// page is valid"), and the write unit's global stamp. The stamp totally
-// orders units across concurrently open block groups, which scan recovery
-// needs to replay overwrites correctly (groups fill concurrently on
-// different lanes, so group sequence numbers alone cannot order sectors).
+// page is valid"), and the sector's global admission stamp. The stamp
+// totally orders sectors across concurrently open block groups — several
+// per PU, one per write stream — which scan recovery needs to replay
+// overwrites correctly (groups fill concurrently on different lanes and
+// streams, so group sequence numbers alone cannot order sectors).
 //
 // Layout in 16 bytes: lba 48 bits, stamp 48 bits, flags+magic, crc16.
 func (k *Pblk) encodeOOB(lba int64, valid bool, stamp uint64) []byte {
@@ -131,12 +133,11 @@ func parseOpenMark(b []byte) (gid int, seq uint64, prev int64, ok bool) {
 	return int(le.Uint64(b[8:16])), le.Uint64(b[16:24]), decLBA(le.Uint64(b[24:32])), true
 }
 
-// closeMetaSize returns the serialized size of a group's close metadata:
-// header (40 B) + one encoded LBA per data sector + one stamp per data
-// unit + trailing CRC.
+// closeMetaSizeFor returns the serialized size of a group's close
+// metadata: header (40 B) + one encoded LBA and one admission stamp per
+// data sector + trailing CRC.
 func (k *Pblk) closeMetaSizeFor(dataSectors int) int {
-	dataUnits := dataSectors / k.unitSectors
-	return 40 + 8*dataSectors + 8*dataUnits + 4
+	return 40 + 16*dataSectors + 4
 }
 
 // closeMetaUnits solves for the number of trailing units reserved for close
@@ -159,9 +160,9 @@ func (k *Pblk) closeMetaUnits() int {
 }
 
 // encodeCloseMeta serializes the block-level FTL log: the portion of the
-// L2P map corresponding to data in the block, the per-unit write stamps
-// (for globally ordered replay), and the same sequence number as the open
-// mark.
+// L2P map corresponding to data in the block, the per-sector admission
+// stamps (for globally ordered replay), the write stream, and the same
+// sequence number as the open mark.
 func (k *Pblk) encodeCloseMeta(g *group, lbas []int64, stamps []uint64) []byte {
 	size := k.closeMetaSizeFor(k.dataSectors)
 	b := make([]byte, size)
@@ -169,6 +170,7 @@ func (k *Pblk) encodeCloseMeta(g *group, lbas []int64, stamps []uint64) []byte {
 	le.PutUint64(b[8:16], uint64(g.id))
 	le.PutUint64(b[16:24], g.seq)
 	le.PutUint32(b[24:28], uint32(k.dataSectors))
+	b[28] = g.stream
 	le.PutUint32(b[36:40], crc32.ChecksumIEEE(b[0:36]))
 	off := 40
 	for i := 0; i < k.dataSectors; i++ {
@@ -179,10 +181,10 @@ func (k *Pblk) encodeCloseMeta(g *group, lbas []int64, stamps []uint64) []byte {
 		le.PutUint64(b[off:off+8], v)
 		off += 8
 	}
-	for u := 0; u < k.dataUnits(); u++ {
+	for i := 0; i < k.dataSectors; i++ {
 		var s uint64
-		if u < len(stamps) {
-			s = stamps[u]
+		if i < len(stamps) {
+			s = stamps[i]
 		}
 		le.PutUint64(b[off:off+8], s)
 		off += 8
@@ -191,23 +193,23 @@ func (k *Pblk) encodeCloseMeta(g *group, lbas []int64, stamps []uint64) []byte {
 	return b
 }
 
-func (k *Pblk) parseCloseMeta(b []byte) (seq uint64, lbas []int64, stamps []uint64, ok bool) {
+func (k *Pblk) parseCloseMeta(b []byte) (seq uint64, stream uint8, lbas []int64, stamps []uint64, ok bool) {
 	if len(b) < 44 {
-		return 0, nil, nil, false
+		return 0, 0, nil, nil, false
 	}
 	if le.Uint64(b[0:8]) != closeMagic {
-		return 0, nil, nil, false
+		return 0, 0, nil, nil, false
 	}
 	if le.Uint32(b[36:40]) != crc32.ChecksumIEEE(b[0:36]) {
-		return 0, nil, nil, false
+		return 0, 0, nil, nil, false
 	}
 	count := int(le.Uint32(b[24:28]))
 	if count != k.dataSectors || len(b) < k.closeMetaSizeFor(count) {
-		return 0, nil, nil, false
+		return 0, 0, nil, nil, false
 	}
 	size := k.closeMetaSizeFor(count)
 	if le.Uint32(b[size-4:size]) != crc32.ChecksumIEEE(b[40:size-4]) {
-		return 0, nil, nil, false
+		return 0, 0, nil, nil, false
 	}
 	lbas = make([]int64, count)
 	off := 40
@@ -215,12 +217,12 @@ func (k *Pblk) parseCloseMeta(b []byte) (seq uint64, lbas []int64, stamps []uint
 		lbas[i] = decLBA(le.Uint64(b[off : off+8]))
 		off += 8
 	}
-	stamps = make([]uint64, k.dataUnits())
-	for u := range stamps {
-		stamps[u] = le.Uint64(b[off : off+8])
+	stamps = make([]uint64, count)
+	for i := range stamps {
+		stamps[i] = le.Uint64(b[off : off+8])
 		off += 8
 	}
-	return le.Uint64(b[16:24]), lbas, stamps, true
+	return le.Uint64(b[16:24]), b[28], lbas, stamps, true
 }
 
 // submitCloseMeta writes the close metadata into the group's trailing
@@ -265,6 +267,7 @@ func (k *Pblk) submitCloseMeta(p *sim.Proc, g *group) {
 				k.rb.advanceTail()
 				k.checkFlushes()
 				k.maybeKickGC()
+				k.notifyState()
 			}
 		})
 	}
@@ -272,7 +275,7 @@ func (k *Pblk) submitCloseMeta(p *sim.Proc, g *group) {
 }
 
 // readCloseMeta fetches and parses a group's close metadata from media.
-func (k *Pblk) readCloseMeta(p *sim.Proc, g *group) (seq uint64, lbas []int64, stamps []uint64, ok bool) {
+func (k *Pblk) readCloseMeta(p *sim.Proc, g *group) (seq uint64, stream uint8, lbas []int64, stamps []uint64, ok bool) {
 	ss := k.geo.SectorSize
 	buf := make([]byte, k.metaUnits*k.unitSectors*ss)
 	for m := 0; m < k.metaUnits; m++ {
@@ -280,7 +283,7 @@ func (k *Pblk) readCloseMeta(p *sim.Proc, g *group) (seq uint64, lbas []int64, s
 		c := k.dev.Do(p, &ocssd.Vector{Op: ocssd.OpRead, Addrs: addrs})
 		for s := range addrs {
 			if c.Errs[s] != nil {
-				return 0, nil, nil, false
+				return 0, 0, nil, nil, false
 			}
 			if d := c.Data[s]; d != nil {
 				copy(buf[(m*k.unitSectors+s)*ss:], d)
@@ -294,7 +297,7 @@ func (k *Pblk) readCloseMeta(p *sim.Proc, g *group) (seq uint64, lbas []int64, s
 // mapping order: from close metadata when available, falling back to an
 // OOB scan for groups that died before their metadata was written.
 func (k *Pblk) readGroupLBAs(p *sim.Proc, g *group) []int64 {
-	if _, lbas, _, ok := k.readCloseMeta(p, g); ok {
+	if _, _, lbas, _, ok := k.readCloseMeta(p, g); ok {
 		return lbas
 	}
 	_, lbas, _ := k.scanGroupOOB(p, g)
@@ -302,9 +305,10 @@ func (k *Pblk) readGroupLBAs(p *sim.Proc, g *group) []int64 {
 }
 
 // scanGroupOOB walks a group's data units in program order, harvesting the
-// per-sector logical addresses and per-unit write stamps from the OOB
-// area. It returns the watermark (first unwritten unit), the LBA list for
-// all scanned data sectors, and one stamp per scanned data unit.
+// per-sector logical addresses and admission stamps from the OOB area. It
+// returns the watermark (first unwritten unit), the LBA list for all
+// scanned data sectors, and one stamp per scanned data sector (parallel
+// to lbas).
 func (k *Pblk) scanGroupOOB(p *sim.Proc, g *group) (watermark int, lbas []int64, stamps []uint64) {
 	unit := 1
 	for ; unit < k.unitsPerGroup; unit++ {
@@ -316,20 +320,20 @@ func (k *Pblk) scanGroupOOB(p *sim.Proc, g *group) (watermark int, lbas []int64,
 		if unit >= k.firstMetaUnit() {
 			continue // metadata region reached; not data
 		}
-		var unitStamp uint64
 		for s := range addrs {
 			lba := padLBA
+			var stamp uint64
 			if c.Errs[s] == nil {
 				if l, st, valid, ok := parseOOB(c.OOB[s]); ok {
-					unitStamp = st
+					stamp = st
 					if valid {
 						lba = l
 					}
 				}
 			}
 			lbas = append(lbas, lba)
+			stamps = append(stamps, stamp)
 		}
-		stamps = append(stamps, unitStamp)
 	}
 	return unit, lbas, stamps
 }
@@ -339,7 +343,7 @@ func isUnwritten(err error) bool { return errors.Is(err, nand.ErrUnwritten) }
 // ---- L2P snapshot (graceful shutdown) ----
 
 // snapshotBytes serializes the full FTL state: header, L2P table, and the
-// group table (state, seq, erases).
+// group table (state, seq, erases, stream).
 func (k *Pblk) snapshotBytes() []byte {
 	n := int(k.capacityLBAs)
 	size := 48 + 8*n + 16*len(k.groups) + 4
@@ -359,6 +363,7 @@ func (k *Pblk) snapshotBytes() []byte {
 		le.PutUint64(b[off:off+8], g.seq)
 		le.PutUint32(b[off+8:off+12], uint32(g.erases))
 		b[off+12] = byte(g.state)
+		b[off+13] = g.stream
 		off += 16
 	}
 	le.PutUint32(b[size-4:size], crc32.ChecksumIEEE(b[48:size-4]))
@@ -392,6 +397,7 @@ func (k *Pblk) applySnapshot(b []byte) error {
 		g.seq = le.Uint64(b[off : off+8])
 		g.erases = int(le.Uint32(b[off+8 : off+12]))
 		st := groupState(b[off+12])
+		g.stream = b[off+13]
 		off += 16
 		if g.state == stSys || g.state == stBad {
 			continue

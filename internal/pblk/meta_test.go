@@ -92,15 +92,18 @@ func TestCloseMetaRoundTrip(t *testing.T) {
 			lbas[i] = rng.Int63n(1 << 30)
 		}
 	}
-	stamps := make([]uint64, k.dataUnits())
+	stamps := make([]uint64, k.dataSectors)
 	for i := range stamps {
 		stamps[i] = uint64(5000 + i)
 	}
-	g := &group{id: 12, seq: 55}
+	g := &group{id: 12, seq: 55, stream: streamGC}
 	b := k.encodeCloseMeta(g, lbas, stamps)
-	seq, got, gotStamps, ok := k.parseCloseMeta(b)
+	seq, stream, got, gotStamps, ok := k.parseCloseMeta(b)
 	if !ok || seq != 55 {
 		t.Fatalf("parse failed: seq=%d ok=%v", seq, ok)
+	}
+	if stream != streamGC {
+		t.Fatalf("stream = %d, want %d (gc)", stream, streamGC)
 	}
 	for i := range lbas {
 		if got[i] != lbas[i] {
@@ -114,13 +117,13 @@ func TestCloseMetaRoundTrip(t *testing.T) {
 	}
 	// Short list gets padded.
 	b2 := k.encodeCloseMeta(g, lbas[:10], stamps[:2])
-	_, got2, _, ok := k.parseCloseMeta(b2)
+	_, _, got2, _, ok := k.parseCloseMeta(b2)
 	if !ok || got2[10] != padLBA {
 		t.Fatal("short list not padded")
 	}
 	// Corruption in the body must be caught.
 	b[len(b)-10] ^= 0x01
-	if _, _, _, ok := k.parseCloseMeta(b); ok {
+	if _, _, _, _, ok := k.parseCloseMeta(b); ok {
 		t.Fatal("corrupt close meta accepted")
 	}
 }

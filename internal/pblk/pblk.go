@@ -7,6 +7,8 @@
 //     lower/upper pair depth, and PU count (§4.2.1), drained by per-lane
 //     writer processes behind a sharding dispatcher so every active PU
 //     programs independently;
+//   - two write streams per lane — user data and GC rewrites — so hot and
+//     cold data never share a block group;
 //   - L2P mapping at 4 KB sector granularity, with striping across channels
 //     and PUs at page granularity and a run-time tunable number of active
 //     write PUs;
@@ -15,7 +17,9 @@
 //     per-page OOB) and two-phase crash recovery (§4.2.2);
 //   - write/erase error handling: remap+resubmit of failed sectors, block
 //     retirement (§4.2.3);
-//   - garbage collection with a PID-controlled rate limiter (§4.2.4).
+//   - pipelined garbage collection — a scheduler keeps several victims in
+//     flight, each moved by its own worker process — behind a
+//     PID-controlled rate limiter (§4.2.4).
 //
 // pblk registers itself as the "pblk" LightNVM target type on import.
 package pblk
@@ -53,6 +57,20 @@ type Config struct {
 	// this fraction of the spare (over-provisioned) pool; GCStopFrac stops
 	// it once free groups recover above that fraction of the spare pool.
 	GCStartFrac, GCStopFrac float64
+	// GCPipelineDepth is the number of victim groups the GC scheduler may
+	// keep in flight concurrently: victim selection, reverse-map reads,
+	// valid-sector reads, and lane drains of different victims overlap.
+	// Concurrency beyond one victim engages only under admission freezes
+	// or idle catch-up (see gcBacklogged); in ordinary paced scarcity the
+	// scheduler collects serially on purpose, because each serial pick is
+	// strictly cheaper. 1 falls back to a fully sequential reclaim loop.
+	// 0 means the default.
+	GCPipelineDepth int
+	// SingleStream disables the dedicated GC write stream: GC rewrites are
+	// dispatched onto the user stream and share block groups with user
+	// data, as the pre-stream datapath did. Baselines only — mixing hot
+	// and cold data inflates write amplification.
+	SingleStream bool
 	// Rate limiter PID gains (paper §4.2.4) on the free-block error signal.
 	// Zero means the paper-faithful default; a negative value disables that
 	// term explicitly.
@@ -85,6 +103,12 @@ func Default(cfg Config) Config {
 	if cfg.GCStopFrac == 0 {
 		cfg.GCStopFrac = 0.75
 	}
+	if cfg.GCPipelineDepth == 0 {
+		cfg.GCPipelineDepth = 2
+	}
+	if cfg.GCPipelineDepth < 1 {
+		cfg.GCPipelineDepth = 1
+	}
 	if cfg.RLKp == 0 {
 		cfg.RLKp = 4
 	}
@@ -112,6 +136,8 @@ type Stats struct {
 	PaddedSectors    int64 // padding written for flushes and partial units
 	GCMovedSectors   int64
 	GCBlocksRecycled int64
+	GCLostSectors    int64 // still-mapped sectors unreadable during a GC move
+	GCPeakInFlight   int64 // high-water mark of concurrent GC victims
 	WriteErrors      int64 // failed sectors remapped+resubmitted
 	GCWriteErrors    int64 // write failures that hit in-flight GC rewrites
 	EraseErrors      int64
@@ -162,13 +188,15 @@ type group struct {
 	state  groupState
 	seq    uint64 // allocation sequence number, for recovery ordering
 	erases int    // host-tracked PE cycles, for dynamic wear leveling
+	stream uint8  // write stream the group was opened for (user or GC)
 
 	nextUnit int // next write unit (page index) to map
 	// lbas accumulates the logical address of every mapped data sector, in
 	// order, for the close metadata (the paper's block-level FTL log).
 	lbas []int64
-	// stamps holds the global write stamp of each mapped data unit, used
-	// by scan recovery to order units across concurrently open groups.
+	// stamps holds the admission stamp of every mapped data sector, in the
+	// same order as lbas; scan recovery replays sectors across concurrently
+	// open groups (several per PU, one per stream) in stamp order.
 	stamps []uint64
 	// unitDone marks programmed units; unitFinal marks units whose entries
 	// have been finalized into the L2P.
@@ -187,29 +215,29 @@ type group struct {
 
 // slot is one write lane of the mapper: at any instant it owns a single
 // active PU (paper §4.2.1) within its share of the PU space. Each lane
-// also owns a shard of the write datapath — a dispatch queue fed by the
-// global ring, a retry queue for write-failed sectors on its PUs, and a
-// dedicated writer process — so a stalled PU never blocks sibling lanes.
+// also owns a shard of the write datapath — per-stream dispatch queues fed
+// by the global ring, one open block group per stream, a retry queue for
+// write-failed sectors on its PUs, and a dedicated writer process — so a
+// stalled PU never blocks sibling lanes, and user data and GC rewrites
+// never share a block.
 type slot struct {
 	lane       int
 	puLo, puHi int // PU range [puLo, puHi) this lane rotates through
 	curPU      int
-	grp        *group        // open group, nil until first use
-	sem        *sim.Resource // bounds in-flight write units on the lane's PU
+	grp        [numStreams]*group // open group per stream, nil until first use
+	sem        *sim.Resource      // bounds in-flight write units on the lane's PU
 
-	// q holds dispatched chunks awaiting unit formation (the lane's
-	// sub-ring). Each chunk carries the write-order stamp drawn when the
-	// dispatcher sliced it off the ring, so stamp order always equals
-	// admission order — recovery replays by stamp, and lanes program out
-	// of order with respect to each other.
-	q []chunk
+	// q holds dispatched chunks awaiting unit formation, one sub-queue per
+	// stream. Chunks are stream-homogeneous: every entry of a chunk maps
+	// into the stream's open group.
+	q [numStreams][]chunk
 	// retry holds chunks of write-failed sectors, resubmitted ahead of q
-	// (§4.2.3) under stamps drawn at failure time.
+	// (§4.2.3) into the stream they came from.
 	retry    []chunk
-	qSectors int        // sectors across q (retry excluded)
-	kick     *sim.Event // wakes the lane writer
-	done     *sim.Event // fires when the lane writer exits
-	quit     bool       // drain everything, then exit (lane rebuild)
+	qSectors [numStreams]int // sectors across q (retry excluded)
+	kick     *sim.Event      // wakes the lane writer
+	done     *sim.Event      // fires when the lane writer exits
+	quit     bool            // drain everything, then exit (lane rebuild)
 
 	// Lane telemetry, surfaced by LaneStats and lnvm-inspect.
 	unitsWritten int64 // write units submitted by this lane
@@ -240,8 +268,11 @@ func (s *slot) retrySectors() int {
 	return n
 }
 
+// queuedSectors counts dispatched sectors across both stream queues.
+func (s *slot) queuedSectors() int { return s.qSectors[streamUser] + s.qSectors[streamGC] }
+
 // pendingSectors counts everything the lane still has to submit.
-func (s *slot) pendingSectors() int { return s.qSectors + s.retrySectors() }
+func (s *slot) pendingSectors() int { return s.queuedSectors() + s.retrySectors() }
 
 // flushReq tracks one Flush call: fires when the ring tail passes pos.
 type flushReq struct {
@@ -272,14 +303,23 @@ type Pblk struct {
 	groups       []*group
 	freePerPU    []freeHeap
 	freeGroups   int
-	usableGroups int // groups that can ever hold data (excludes sys/bad at init)
+	usableGroups int   // groups that can ever hold data (excludes sys/bad at init)
+	eraseTotal   int64 // sum of host-tracked erase counts, for the GC wear term
 	seqCounter   uint64
 
-	slots      []*slot
-	rrNext     int
+	slots []*slot
+	// gcOpenLanes counts lanes currently holding an open GC-stream group;
+	// emergencyReserve holds back one free group per uncovered lane.
+	gcOpenLanes int
+	// pend holds ring positions scanned by the dispatcher but not yet cut
+	// into a lane chunk, one FIFO per stream.
+	pend [numStreams][]uint64
+	// rrNext is the round-robin lane cursor, one per stream so both
+	// streams stripe evenly across the active PUs.
+	rrNext     [numStreams]int
 	lastOpened int // most recently opened group id, -1 initially
-	// unitStamp is the global write-order counter; every mapped unit gets
-	// the next value, persisted in OOB and close metadata.
+	// unitStamp is the global write-order counter; every admitted sector
+	// gets the next value, persisted in OOB and close metadata.
 	unitStamp uint64
 
 	// admitQ holds queue-pair writes awaiting ring admission in FIFO
@@ -294,9 +334,21 @@ type Pblk struct {
 	stopping   bool // full stop: I/O rejected, loops exit
 	crashed    bool // simulated power loss: writers abandon work instantly
 	rebuilding bool // lane rebuild in flight: producers pause at admission
-	gcStopping bool // GC loop asked to exit after its current victim
+	gcStopping bool // GC scheduler asked to exit after in-flight victims drain
 	gcActive   bool // GC hysteresis state
-	gcDone     *sim.Event
+	gcInFlight int  // victims currently owned by a GC worker
+	// gcRetiring counts in-flight victims on the retire (suspect) path:
+	// they end as bad blocks, not free groups, so hysteresis must not
+	// treat them as prospective free space.
+	gcRetiring int
+	// gcAdmit serializes ring admission across concurrent GC workers so
+	// victims drain oldest-first (reads still overlap; see moveValid).
+	gcAdmit *sim.Resource
+	gcDone  *sim.Event
+	// stateEv is the event-driven replacement for the old polling waits:
+	// it fires on any group state transition or ring drain progress, and
+	// quiesce/waitGroupClosed re-check their condition on each firing.
+	stateEv *sim.Event
 
 	rl rateLimiter
 
@@ -370,23 +422,32 @@ func New(p *sim.Proc, dev *lightnvm.Device, name string, cfg Config) (*Pblk, err
 	k.lastOpened = -1
 	k.initGroups()
 	k.initCapacity()
-	// The spare pool must cover open groups on every lane plus the GC
-	// emergency reserve, or allocation can deadlock at capacity.
+	// The spare pool must cover the emergency reserve (which scales with
+	// the ring backlog), open groups on every lane (one per stream), and
+	// hysteresis slack — or user admission can freeze permanently at
+	// capacity below a floor the device cannot climb back over.
+	ringCap := k.unitSectors * cfg.BufferPairDepth * geo.TotalPUs()
+	reserveGroups := (ringCap+k.dataSectors-1)/k.dataSectors + 4
 	spare := int64(k.usableGroups)*int64(k.dataSectors) - k.capacityLBAs
-	if need := int64(2*cfg.ActivePUs+8) * int64(k.dataSectors); spare < need {
+	if need := int64(reserveGroups+2*cfg.ActivePUs+2) * int64(k.dataSectors); spare < need {
 		return nil, fmt.Errorf("pblk: over-provisioning too small: %d spare sectors, need %d for %d active PUs (raise OverProvision or BlocksPerPlane)",
 			spare, need, cfg.ActivePUs)
 	}
 	k.l2p = make([]uint64, k.capacityLBAs)
-	k.rb.init(k.env, k.unitSectors*cfg.BufferPairDepth*geo.TotalPUs())
+	k.rb.init(k.env, ringCap)
 	k.rl = newRateLimiter(cfg, k.rb.capacity(), k.unitSectors)
 	k.gcKick = k.env.NewEvent()
+	k.gcAdmit = k.env.NewResource(1)
 	k.gcDone = k.env.NewEvent()
 	if err := k.recover(p); err != nil {
 		return nil, err
 	}
 	k.buildSlots()
-	k.rl.calibrate(k.spareGroups(), k.gcStartGroups())
+	// The limiter's setpoint sits halfway between the GC trigger and the
+	// emergency floor: GC deliberately lets free space sink below the
+	// trigger while it waits for cheap victims (gcMaxValidFrac), and the
+	// PID should begin throttling users only as that slack runs out.
+	k.rl.calibrate(k.spareGroups(), (k.gcStartGroups()+k.emergencyReserve())/2)
 	k.rl.update(k.freeGroups)
 	k.startWriters()
 	k.env.Go("pblk."+name+".gc", k.gcLoop)
@@ -471,7 +532,10 @@ func (k *Pblk) buildSlots() {
 			done:  k.env.NewEvent(),
 		}
 	}
-	k.rrNext = 0
+	for st := range k.rrNext {
+		k.rrNext[st] = 0
+	}
+	k.gcOpenLanes = 0
 }
 
 // startWriters spawns one writer process per lane.
@@ -551,7 +615,9 @@ func (k *Pblk) SetActivePUs(p *sim.Proc, n int) error {
 	var leftovers []chunk
 	for _, s := range k.slots {
 		leftovers = append(leftovers, s.retry...)
-		leftovers = append(leftovers, s.q...)
+		for st := range s.q {
+			leftovers = append(leftovers, s.q[st]...)
+		}
 	}
 	k.cfg.ActivePUs = n
 	k.buildSlots()
@@ -568,7 +634,8 @@ func (k *Pblk) Stop(p *sim.Proc) error {
 	if k.stopping {
 		return nil
 	}
-	// Stop GC first, while the lane writers still drain its moves.
+	// Stop GC first, while the lane writers still drain its moves; the
+	// scheduler waits for every in-flight victim worker before signalling.
 	k.gcStopping = true
 	k.gcKick.Signal()
 	p.Wait(k.gcDone)
@@ -592,7 +659,26 @@ func (k *Pblk) Shutdown(p *sim.Proc) error {
 	return k.writeSnapshot(p)
 }
 
-// quiesce waits until no group is mid-transition and the ring is empty.
+// waitStateChange parks the process until notifyState fires; callers loop,
+// re-checking their condition after each wake.
+func (k *Pblk) waitStateChange(p *sim.Proc) {
+	if k.stateEv == nil || k.stateEv.Fired() {
+		k.stateEv = k.env.NewEvent()
+	}
+	p.Wait(k.stateEv)
+}
+
+// notifyState wakes every process blocked in waitStateChange. It is called
+// on group state transitions and ring drain progress; signalling with no
+// waiters is a no-op.
+func (k *Pblk) notifyState() {
+	if k.stateEv != nil {
+		k.stateEv.Signal()
+	}
+}
+
+// quiesce waits until no group is mid-transition and the ring is empty,
+// driven by state-change events rather than a polling sleep loop.
 func (k *Pblk) quiesce(p *sim.Proc) {
 	for {
 		busy := k.rb.inRing() > 0
@@ -605,7 +691,7 @@ func (k *Pblk) quiesce(p *sim.Proc) {
 		if !busy {
 			return
 		}
-		p.Sleep(200 * time.Microsecond)
+		k.waitStateChange(p)
 	}
 }
 
@@ -620,5 +706,6 @@ func (k *Pblk) Crash() {
 	}
 	k.gcKick.Signal()
 	k.rb.signalSpace()
+	k.notifyState()
 	k.dev.Crash()
 }

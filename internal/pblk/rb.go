@@ -36,6 +36,23 @@ const (
 // padLBA marks padding entries (the paper's "unmapped data").
 const padLBA int64 = -1
 
+// Write streams (paper §4.2.3 separates user data from GC rewrites so hot
+// and cold data never share a block): every ring entry belongs to exactly
+// one stream, the dispatcher cuts stream-homogeneous chunks, and each lane
+// keeps one open block group per stream.
+const (
+	streamUser = 0
+	streamGC   = 1
+	numStreams = 2
+)
+
+func streamName(st int) string {
+	if st == streamGC {
+		return "gc"
+	}
+	return "user"
+}
+
 // rbEntry is one sector in the write buffer: the paper's data buffer entry
 // plus its context-buffer metadata, fused.
 type rbEntry struct {
@@ -45,6 +62,12 @@ type rbEntry struct {
 	state entryState
 	addr  ppa.Addr
 	isGC  bool
+	// stamp is the global write-order stamp drawn at ring admission. It is
+	// persisted per sector in the OOB area and the close metadata, and scan
+	// recovery replays sectors in stamp order — so an overwrite admitted
+	// later always replays later, no matter which stream or lane programs
+	// it first.
+	stamp uint64
 	// origin is the group a GC rewrite was copied from, -1 for user I/O
 	// and padding; used to detect when a victim is fully moved.
 	origin int
@@ -52,15 +75,16 @@ type rbEntry struct {
 
 // ring is the circular write buffer (paper §4.2.1): multiple producers
 // (user writes, GC) feed it globally — admission ordering and rate
-// limiting stay centralized — while consumption is sharded: the dispatch
-// cursor hands unit-sized chunks to the per-lane writer queues, and each
-// lane advances its own sub-queue independently. Positions are
-// monotonically increasing; index = pos % capacity.
+// limiting stay centralized — while consumption is sharded twice over:
+// the dispatch cursor sorts entries into per-stream pending lists, cut
+// into unit-sized chunks for the per-lane writer queues, and each lane
+// advances its own sub-queues independently. Positions are monotonically
+// increasing; index = pos % capacity.
 type ring struct {
 	env     *sim.Env
 	e       []rbEntry
 	head    uint64 // next position to produce
-	disp    uint64 // next position to dispatch onto a lane queue
+	disp    uint64 // next position to scan into a stream pending list
 	tail    uint64 // next position to free; all below are done
 	userIn  int    // user entries currently in the ring
 	gcIn    int    // GC entries currently in the ring
@@ -80,16 +104,13 @@ func (r *ring) inRing() int { return int(r.head - r.tail) }
 // free returns available entries.
 func (r *ring) free() int { return len(r.e) - r.inRing() }
 
-// buffered returns produced entries not yet dispatched onto a lane.
-func (r *ring) buffered() int { return int(r.head - r.disp) }
-
 func (r *ring) at(pos uint64) *rbEntry { return &r.e[pos%uint64(len(r.e))] }
 
 // produce appends one entry and returns its position. The caller must have
-// checked free space.
-func (r *ring) produce(lba int64, data []byte, isGC bool, origin int) uint64 {
+// checked free space and drawn the admission stamp.
+func (r *ring) produce(lba int64, data []byte, isGC bool, origin int, stamp uint64) uint64 {
 	pos := r.head
-	*r.at(pos) = rbEntry{pos: pos, lba: lba, data: data, state: esBuffered, isGC: isGC, origin: origin}
+	*r.at(pos) = rbEntry{pos: pos, lba: lba, data: data, state: esBuffered, isGC: isGC, origin: origin, stamp: stamp}
 	r.head++
 	if lba != padLBA {
 		if isGC {
@@ -99,6 +120,13 @@ func (r *ring) produce(lba int64, data []byte, isGC bool, origin int) uint64 {
 		}
 	}
 	return pos
+}
+
+// produce admits one sector into the ring under the next global write
+// stamp. Stamps are drawn here — at admission, in ring-position order —
+// so stamp order always equals admission order across streams and lanes.
+func (k *Pblk) produce(lba int64, data []byte, isGC bool, origin int) uint64 {
+	return k.rb.produce(lba, data, isGC, origin, k.nextStamp())
 }
 
 // waitSpace blocks the producing process until at least one free slot
@@ -149,6 +177,17 @@ func (r *ring) advanceTail() int {
 func (k *Pblk) nextStamp() uint64 {
 	k.unitStamp++
 	return k.unitStamp
+}
+
+// streamOf returns the write stream an entry belongs to. With stream
+// separation disabled (Config.SingleStream), GC rewrites ride the user
+// stream and cohabit blocks with user data, as the pre-stream datapath
+// did — kept for write-amplification baselines.
+func (k *Pblk) streamOf(e *rbEntry) int {
+	if e.isGC && !k.cfg.SingleStream {
+		return streamGC
+	}
+	return streamUser
 }
 
 // entryIsCurrent reports whether the L2P still points at this buffer entry,

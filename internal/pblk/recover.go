@@ -3,7 +3,6 @@ package pblk
 import (
 	"errors"
 	"sort"
-	"time"
 
 	"repro/internal/nand"
 	"repro/internal/ocssd"
@@ -29,13 +28,18 @@ func (k *Pblk) recover(p *sim.Proc) error {
 	return nil
 }
 
-// rebuildFreeLists reconstructs the per-PU free heaps from group states.
+// rebuildFreeLists reconstructs the per-PU free heaps from group states
+// and re-derives the fleet erase total for the GC wear term.
 func (k *Pblk) rebuildFreeLists() {
 	for i := range k.freePerPU {
 		k.freePerPU[i] = k.freePerPU[i][:0]
 	}
 	k.freeGroups = 0
+	k.eraseTotal = 0
 	for _, g := range k.groups {
+		if g.state != stSys && g.state != stBad {
+			k.eraseTotal += int64(g.erases)
+		}
 		if g.state == stFree {
 			k.freePerPU[g.gpu].put(g)
 			k.freeGroups++
@@ -55,23 +59,25 @@ func (k *Pblk) recountValid() {
 	}
 }
 
-// recUnit is one recovered write unit: its global stamp and the logical
-// addresses of its sectors, in plane-major order.
-type recUnit struct {
+// recSector is one recovered data sector: its admission stamp, owning
+// group, and group-relative index (the order lbas were appended during
+// mapping, which sectorAddr translates to a physical address).
+type recSector struct {
 	stamp uint64
 	g     *group
-	unit  int
-	lbas  []int64
+	idx   int
+	lba   int64
 }
 
 // scanRecover performs the two-phase recovery: classify every group as
 // free, fully written, or partially written by reading its first and last
 // pages; gather fully written groups' FTL logs, then partially written
 // groups' per-page OOB (padding them to completion so page pairs become
-// readable, paper §4.2.2). Units are finally replayed into the L2P in
-// global write-stamp order — groups fill concurrently on different lanes,
-// so neither group order nor classification phase alone orders overwrites
-// of the same sector correctly.
+// readable, paper §4.2.2). Sectors are finally replayed into the L2P in
+// global admission-stamp order — groups fill concurrently on different
+// lanes AND several groups are open per PU (one per write stream, plus GC
+// victims draining), so neither group order nor classification phase
+// alone orders overwrites of the same sector correctly.
 func (k *Pblk) scanRecover(p *sim.Proc) error {
 	k.Stats.Recoveries++
 	type found struct {
@@ -115,30 +121,30 @@ func (k *Pblk) scanRecover(p *sim.Proc) error {
 		if seq > maxSeq {
 			maxSeq = seq
 		}
-		if metaSeq, lbas, stamps, ok := k.readCloseMeta(p, g); ok && metaSeq == seq {
+		if metaSeq, stream, lbas, stamps, ok := k.readCloseMeta(p, g); ok && metaSeq == seq {
+			g.stream = stream
 			fulls = append(fulls, found{g: g, seq: seq, lbas: lbas, stamps: stamps, full: true})
 		} else {
 			partials = append(partials, found{g: g, seq: seq})
 		}
 	}
 
-	var units []recUnit
+	var sectors []recSector
 	collect := func(g *group, lbas []int64, stamps []uint64) {
-		for u := 0; u < len(stamps); u++ {
-			lo := u * k.unitSectors
-			hi := lo + k.unitSectors
-			if hi > len(lbas) {
-				hi = len(lbas)
+		for i, lba := range lbas {
+			if lba == padLBA || lba < 0 || lba >= k.capacityLBAs {
+				continue
 			}
-			if lo >= hi {
-				break
+			var st uint64
+			if i < len(stamps) {
+				st = stamps[i]
 			}
-			units = append(units, recUnit{stamp: stamps[u], g: g, unit: 1 + u, lbas: lbas[lo:hi]})
+			sectors = append(sectors, recSector{stamp: st, g: g, idx: i, lba: lba})
 		}
 	}
 
 	// Phase one: fully written blocks — the FTL log on each block's last
-	// pages supplies the mapping portion and per-unit stamps.
+	// pages supplies the mapping portion and per-sector stamps.
 	for _, f := range fulls {
 		collect(f.g, f.lbas, f.stamps)
 		f.g.state = stClosed
@@ -164,18 +170,15 @@ func (k *Pblk) scanRecover(p *sim.Proc) error {
 		f.g.nextUnit = k.unitsPerGroup
 	}
 
-	// Replay: globally ordered by write stamp, later units overwrite.
-	sort.Slice(units, func(i, j int) bool { return units[i].stamp < units[j].stamp })
-	for _, u := range units {
-		if u.stamp > k.unitStamp {
-			k.unitStamp = u.stamp
+	// Replay: globally ordered by admission stamp, later sectors overwrite.
+	// Stamps are unique (drawn from one counter), so the order is total
+	// and the replayed L2P is deterministic for a given media state.
+	sort.Slice(sectors, func(i, j int) bool { return sectors[i].stamp < sectors[j].stamp })
+	for _, s := range sectors {
+		if s.stamp > k.unitStamp {
+			k.unitStamp = s.stamp
 		}
-		for i, lba := range u.lbas {
-			if lba == padLBA || lba < 0 || lba >= k.capacityLBAs {
-				continue
-			}
-			k.l2p[lba] = k.mediaEntry(k.unitSectorAddr(u.g, u.unit, i))
-		}
+		k.l2p[s.lba] = k.mediaEntry(k.sectorAddr(s.g, s.idx))
 	}
 
 	k.seqCounter = maxSeq
@@ -184,14 +187,6 @@ func (k *Pblk) scanRecover(p *sim.Proc) error {
 		return err
 	}
 	return nil
-}
-
-// unitSectorAddr returns the address of sector i (plane-major) of a unit.
-func (k *Pblk) unitSectorAddr(g *group, unit, i int) ppa.Addr {
-	plane := i / k.geo.SectorsPerPage
-	sector := i % k.geo.SectorsPerPage
-	ch, pu := k.fmtr.PUAddr(g.gpu)
-	return ppa.Addr{Ch: ch, PU: pu, Plane: plane, Block: g.blk, Page: unit, Sector: sector}
 }
 
 // classifyGroup reads a group's open mark. state is stFree for erased
@@ -232,15 +227,17 @@ func (k *Pblk) padGroupTail(p *sim.Proc, g *group, watermark int, lbas []int64, 
 	if !writeMeta {
 		end = k.unitsPerGroup
 	}
-	fullStamps := make([]uint64, 0, k.dataUnits())
+	fullStamps := make([]uint64, 0, k.dataSectors)
 	fullStamps = append(fullStamps, stamps...)
 	for unit := watermark; unit < end; unit++ {
 		addrs := k.unitAddrs(g, unit)
 		oob := make([][]byte, len(addrs))
 		stamp := k.nextStamp()
-		fullStamps = append(fullStamps, stamp)
 		for i := range oob {
 			oob[i] = k.encodeOOB(padLBA, false, stamp)
+			if unit < k.firstMetaUnit() {
+				fullStamps = append(fullStamps, stamp)
+			}
 		}
 		k.Stats.PaddedSectors += int64(len(addrs))
 		if c := k.dev.Do(p, &ocssd.Vector{Op: ocssd.OpWrite, Addrs: addrs, OOB: oob}); c.Failed() {
@@ -273,10 +270,12 @@ func (k *Pblk) markSuspectRecovered(g *group) {
 	k.suspects = append(k.suspects, g.id)
 }
 
-// waitGroupClosed polls until submitCloseMeta's completions have run.
+// waitGroupClosed blocks until submitCloseMeta's completions have flipped
+// the group to closed (or suspect), waiting on state-change events rather
+// than polling with a sleep loop.
 func (k *Pblk) waitGroupClosed(p *sim.Proc, g *group) {
 	for g.state == stOpen {
-		p.Sleep(50 * time.Microsecond)
+		k.waitStateChange(p)
 	}
 }
 
@@ -292,5 +291,6 @@ func (k *Pblk) eraseGroupRaw(p *sim.Proc, g *group) error {
 		return c.FirstErr()
 	}
 	g.erases++
+	k.eraseTotal++
 	return nil
 }

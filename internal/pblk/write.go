@@ -30,7 +30,7 @@ func (k *Pblk) Write(p *sim.Proc, off int64, buf []byte, length int64) error {
 		if buf != nil {
 			data = append([]byte(nil), buf[i*ss:(i+1)*ss]...)
 		}
-		pos := k.rb.produce(lba, data, false, -1)
+		pos := k.produce(lba, data, false, -1)
 		k.installCacheMapping(lba, pos)
 		k.Stats.UserWrites++
 	}
@@ -78,8 +78,30 @@ func (k *Pblk) reserveUser(p *sim.Proc) {
 	}
 }
 
-// emergencyReserve is the free-group floor kept for GC and lane turnover.
-func (k *Pblk) emergencyReserve() int { return len(k.slots) + 2 }
+// emergencyReserve is the free-group floor kept for GC and lane turnover:
+// enough groups to place the already-admitted ring backlog (sectors
+// acknowledged before the floor was hit still need groups to land in)
+// plus slack for GC coverage and erase turnaround. It is deliberately a
+// small constant, not per-lane: when free space is scarce the dispatcher
+// routes GC chunks only onto lanes that already hold an open GC-stream
+// group (see gcLaneFor), so uncovered lanes need no reservation.
+func (k *Pblk) emergencyReserve() int {
+	backlogGroups := (k.rb.capacity() + k.dataSectors - 1) / k.dataSectors
+	return backlogGroups + 4
+}
+
+// setLaneGroup attaches (or detaches) an open group to a lane's stream,
+// maintaining the GC-coverage count behind emergencyReserve.
+func (k *Pblk) setLaneGroup(s *slot, st int, g *group) {
+	if st == streamGC {
+		if s.grp[st] == nil && g != nil {
+			k.gcOpenLanes++
+		} else if s.grp[st] != nil && g == nil {
+			k.gcOpenLanes--
+		}
+	}
+	s.grp[st] = g
+}
 
 // reserveGC blocks until the ring has space for a GC entry; GC competes
 // for raw space but is never throttled by the limiter. Unlike user
@@ -146,76 +168,118 @@ func (k *Pblk) trimNow(off, length int64) error {
 
 // ---- dispatcher ----
 
-// chunk is one slice of the ring handed to a lane: up to a write unit of
-// consecutive positions plus the global write-order stamp its unit will
-// carry. Stamps are drawn here, at dispatch, NOT when the lane later
-// forms the unit: dispatch consumes the ring in admission order, so two
-// buffered overwrites of the same sector always reach media under stamps
-// that replay in admission order during scan recovery — even when the
-// later chunk's lane programs first (a stalled sibling lane must not let
-// an older version win the stamp race).
+// chunk is one stream-homogeneous slice of the ring handed to a lane: up
+// to a write unit of positions, all belonging to the same write stream.
+// Entries carry their own admission stamps (drawn at produce), so chunks
+// of different streams may be cut and programmed out of ring order —
+// recovery replays sectors by stamp, and a buffered overwrite always
+// replays after the version it superseded.
 type chunk struct {
-	stamp uint64
-	poss  []uint64
+	stream int
+	poss   []uint64
 }
 
-// dispatch shards buffered ring entries across the lane queues in
+// dispatch scans newly produced ring entries into per-stream pending
+// lists, then shards each stream across the lane queues in
 // write-unit-sized chunks, round-robin over the active lanes (paper
 // §4.2.1: incoming I/Os are striped across active PUs at page
 // granularity), waking each lane it feeds. A trailing partial chunk is
 // held back — padding it would multiply write amplification — until a
-// flush barrier, stop, or lane rebuild needs it on media. dispatch runs
-// in simulation context and never blocks, so completions may call it.
+// flush barrier, stop, lane rebuild, or ring-full wedge needs it on
+// media. dispatch runs in simulation context and never blocks, so
+// completions may call it.
 func (k *Pblk) dispatch() {
 	if len(k.slots) == 0 {
 		return
 	}
-	for {
-		avail := int(k.rb.head - k.rb.disp)
-		if avail == 0 {
-			return
-		}
-		n := k.unitSectors
-		if avail < n {
-			if !k.forceDispatch() {
-				return
+	for k.rb.disp < k.rb.head {
+		e := k.rb.at(k.rb.disp)
+		st := k.streamOf(e)
+		k.pend[st] = append(k.pend[st], k.rb.disp)
+		k.rb.disp++
+	}
+	for st := 0; st < numStreams; st++ {
+		for len(k.pend[st]) > 0 {
+			n := k.unitSectors
+			if len(k.pend[st]) < n {
+				if !k.forceDispatch(st) {
+					break
+				}
+				n = len(k.pend[st])
 			}
-			n = avail
+			poss := append([]uint64(nil), k.pend[st][:n]...)
+			if len(k.pend[st]) == n {
+				k.pend[st] = nil
+			} else {
+				k.pend[st] = k.pend[st][n:]
+			}
+			var s *slot
+			if st == streamGC {
+				s = k.gcLaneFor()
+			} else {
+				s = k.slots[k.rrNext[st]%len(k.slots)]
+				k.rrNext[st] = (k.rrNext[st] + 1) % len(k.slots)
+			}
+			s.q[st] = append(s.q[st], chunk{stream: st, poss: poss})
+			s.qSectors[st] += n
+			if d := s.pendingSectors(); d > s.peakDepth {
+				s.peakDepth = d
+			}
+			s.wake()
 		}
-		s := k.slots[k.rrNext]
-		k.rrNext = (k.rrNext + 1) % len(k.slots)
-		poss := make([]uint64, n)
-		for j := range poss {
-			poss[j] = k.rb.disp
-			k.rb.disp++
-		}
-		s.q = append(s.q, chunk{stamp: k.nextStamp(), poss: poss})
-		s.qSectors += n
-		if d := s.pendingSectors(); d > s.peakDepth {
-			s.peakDepth = d
-		}
-		s.wake()
 	}
 }
 
-// forceDispatch reports whether a partial (sub-unit) chunk must be handed
-// to a lane now: the earliest flush barrier still covers undispatched
-// entries, or the datapath is draining for stop/rebuild.
-func (k *Pblk) forceDispatch() bool {
+// gcLaneFor picks the lane for the next GC-stream chunk. While free
+// groups are plentiful, plain round-robin — every lane opens a GC group
+// and victim drains use the full lane parallelism. Under scarcity, GC
+// chunks are routed only onto lanes that already hold an open GC-stream
+// group: opening one per lane is exactly what a nearly-full device cannot
+// afford, and a chunk parked on a group-less lane at zero free groups
+// would wedge its victim's drain (and with it the erases that create free
+// space). Coverage therefore grows only while the pool can pay for it and
+// GC funnels through the covered lanes otherwise.
+func (k *Pblk) gcLaneFor() *slot {
+	n := len(k.slots)
+	uncovered := n - k.gcOpenLanes
+	scarce := k.freeGroups <= k.emergencyReserve()+uncovered
+	start := k.rrNext[streamGC]
+	k.rrNext[streamGC] = (start + 1) % n
+	if !scarce || k.gcOpenLanes == 0 {
+		return k.slots[start%n]
+	}
+	for i := 0; i < n; i++ {
+		if s := k.slots[(start+i)%n]; s.grp[streamGC] != nil {
+			k.rrNext[streamGC] = (start + i + 1) % n
+			return s
+		}
+	}
+	return k.slots[start%n]
+}
+
+// forceDispatch reports whether a partial (sub-unit) chunk of stream st
+// must be handed to a lane now: the earliest flush barrier still covers
+// the stream's oldest pending entry, the datapath is draining for
+// stop/rebuild, or the ring is completely full with this stream's pending
+// front as the tail blocker (the only way to free space is to write it).
+func (k *Pblk) forceDispatch(st int) bool {
 	if k.stopping || k.rebuilding {
 		return true
 	}
-	return len(k.flushes) > 0 && k.flushes[0].pos >= k.rb.disp
+	if len(k.flushes) > 0 && k.flushes[0].pos >= k.pend[st][0] {
+		return true
+	}
+	return k.rb.free() == 0 && k.pend[st][0] == k.rb.tail
 }
 
 // kickWriters moves any dispatchable entries onto lane queues (dispatch
-// wakes the lanes it feeds) and, when a flush barrier or drain is in
-// progress, additionally wakes every lane with flush or drain work. The
-// full-lane scan runs only in those states — the common produce/complete
-// path costs one dispatch call.
+// wakes the lanes it feeds) and, when a flush barrier, drain, or ring-full
+// wedge is in progress, additionally wakes every lane with flush or drain
+// work. The full-lane scan runs only in those states — the common
+// produce/complete path costs one dispatch call.
 func (k *Pblk) kickWriters() {
 	k.dispatch()
-	if len(k.flushes) == 0 && !k.stopping && !k.rebuilding {
+	if len(k.flushes) == 0 && !k.stopping && !k.rebuilding && k.rb.free() > 0 {
 		return
 	}
 	for _, s := range k.slots {
@@ -231,21 +295,21 @@ func (k *Pblk) laneHasWork(s *slot) bool {
 	if k.stopping || s.quit {
 		return true
 	}
-	if s.pendingSectors() >= k.unitSectors || k.laneFlushPending(s) {
+	if s.pendingSectors() >= k.unitSectors || k.laneFlushPending(s) || k.laneTailBlocked(s) {
 		return true
 	}
 	if len(s.retry) > 0 && k.rb.free() <= k.rb.capacity()/4 {
 		return true
 	}
-	return k.strictPair && len(k.flushes) > 0 && s.grp != nil && k.groupNeedsPairCover(s.grp)
+	return k.strictPair && len(k.flushes) > 0 && k.lanePairCoverNeeded(s)
 }
 
 // laneFlushPending reports whether lane s must submit (and pad) now to let
 // the earliest flush barrier complete: it holds write-failed sectors
-// awaiting resubmission, or its queue front sits at or below the barrier.
-// Lanes whose queued data all arrived after the barrier are not covered —
-// the flush does not pad them (paper §4.2.1 pads only what the flush
-// forces out).
+// awaiting resubmission, or either stream queue's front sits at or below
+// the barrier. Lanes whose queued data all arrived after the barrier are
+// not covered — the flush does not pad them (paper §4.2.1 pads only what
+// the flush forces out).
 func (k *Pblk) laneFlushPending(s *slot) bool {
 	if len(k.flushes) == 0 {
 		return false
@@ -253,16 +317,49 @@ func (k *Pblk) laneFlushPending(s *slot) bool {
 	if len(s.retry) > 0 {
 		return true
 	}
-	return len(s.q) > 0 && s.q[0].poss[0] <= k.flushes[0].pos
+	for st := range s.q {
+		if len(s.q[st]) > 0 && s.q[st][0].poss[0] <= k.flushes[0].pos {
+			return true
+		}
+	}
+	return false
+}
+
+// laneTailBlocked reports whether the ring is completely full and this
+// lane holds the tail entry in a queued — possibly partial — chunk. No
+// producer can make progress until the lane writes it out (padding if it
+// is sub-unit), so the lane must not hold it back waiting for more data.
+func (k *Pblk) laneTailBlocked(s *slot) bool {
+	if k.rb.free() > 0 {
+		return false
+	}
+	for st := range s.q {
+		if len(s.q[st]) > 0 && s.q[st][0].poss[0] == k.rb.tail {
+			return true
+		}
+	}
+	return false
+}
+
+// lanePairCoverNeeded reports whether any of the lane's open groups has a
+// submitted unit with an uncovered lower/upper pair.
+func (k *Pblk) lanePairCoverNeeded(s *slot) bool {
+	for _, g := range s.grp {
+		if g != nil && k.groupNeedsPairCover(g) {
+			return true
+		}
+	}
+	return false
 }
 
 // ---- per-lane writer ----
 
 // laneWriter is one of pblk's per-lane writer processes (the sharded
 // replacement for the paper's single write thread, §4.2.1): it forms
-// write units from its own dispatch queue — retried sectors first — maps
-// them onto its PU rotation, and submits vector writes. Blocking on this
-// lane's PU semaphore or on a free-group wait never stalls sibling lanes.
+// write units from its own dispatch queues — retried sectors first, then
+// the stream whose queue front is oldest in the ring — maps them onto its
+// PU rotation, and submits vector writes. Blocking on this lane's PU
+// semaphore or on a free-group wait never stalls sibling lanes.
 func (k *Pblk) laneWriter(p *sim.Proc, s *slot) {
 	defer s.done.Signal()
 	for {
@@ -273,10 +370,11 @@ func (k *Pblk) laneWriter(p *sim.Proc, s *slot) {
 		switch {
 		case pending >= k.unitSectors,
 			k.laneFlushPending(s),
+			k.laneTailBlocked(s),
 			pending > 0 && s.quit,
 			len(s.retry) > 0 && k.rb.free() <= k.rb.capacity()/4:
 			k.writeUnitOn(p, s)
-		case k.strictPair && len(k.flushes) > 0 && s.grp != nil && k.groupNeedsPairCover(s.grp):
+		case k.strictPair && len(k.flushes) > 0 && k.lanePairCoverNeeded(s):
 			k.coverPairs(p, s)
 			k.laneWait(p, s)
 		default:
@@ -300,54 +398,88 @@ func (k *Pblk) laneWait(p *sim.Proc, s *slot) {
 	p.Wait(s.kick)
 }
 
+// nextChunk removes the lane's most urgent chunk: retries first (§4.2.3),
+// then whichever stream's queue front sits lowest in the ring — draining
+// oldest-first keeps the global tail moving, since the tail stops at the
+// oldest unprogrammed entry regardless of stream.
+func (s *slot) nextChunk() (chunk, bool) {
+	if len(s.retry) > 0 {
+		c := s.retry[0]
+		s.retry = s.retry[1:]
+		return c, true
+	}
+	st := -1
+	for i := range s.q {
+		if len(s.q[i]) > 0 && (st < 0 || s.q[i][0].poss[0] < s.q[st][0].poss[0]) {
+			st = i
+		}
+	}
+	if st < 0 {
+		return chunk{}, false
+	}
+	c := s.q[st][0]
+	s.q[st] = s.q[st][1:]
+	s.qSectors[st] -= len(c.poss)
+	return c, true
+}
+
 // writeUnitOn forms one write unit on lane s from the next retry or
 // queued chunk (plus padding under flush or drain pressure), maps it onto
-// the lane's open group under the chunk's dispatch-time stamp, and
-// submits the vector write. One chunk per unit: mixing chunks would give
-// the older chunk's entries the newer chunk's stamp and break recovery's
-// admission-order replay.
+// the open group of the chunk's stream, and submits the vector write. One
+// chunk per unit: chunks are stream-homogeneous, so a unit never mixes
+// user data with GC rewrites.
 func (k *Pblk) writeUnitOn(p *sim.Proc, s *slot) {
 	s.acquire(p)
 	if k.crashed || (k.stopping && s.pendingSectors() == 0) {
 		s.sem.Release()
 		return
 	}
-	var c chunk
-	switch {
-	case len(s.retry) > 0:
-		c = s.retry[0]
-		s.retry = s.retry[1:]
-	case len(s.q) > 0:
-		c = s.q[0]
-		s.q = s.q[1:]
-		s.qSectors -= len(c.poss)
-	default:
+	c, ok := s.nextChunk()
+	if !ok {
 		s.sem.Release()
 		return
 	}
-	if s.grp == nil {
-		s.grp = k.openGroupOn(p, s)
-		if s.grp == nil { // stopping
-			// Put the chunk back so a later drain can still write it.
-			s.retry = append([]chunk{c}, s.retry...)
+	st := c.stream
+	if s.grp[st] == nil {
+		// At absolute free-space exhaustion, stream separation yields to
+		// forward progress: borrow the lane's other open group, or shed
+		// the chunk to a lane that still has a group open, instead of
+		// blocking on an allocation only a drained victim could satisfy.
+		if other := 1 - st; k.freeGroups <= 2 && s.grp[other] != nil {
+			st = other
+		} else if t := k.shedTargetAtExhaustion(s, st); t != nil {
+			t.retry = append(t.retry, c)
+			if d := t.pendingSectors(); d > t.peakDepth {
+				t.peakDepth = d
+			}
+			t.wake()
 			s.sem.Release()
 			return
+		} else {
+			k.setLaneGroup(s, st, k.openGroupOn(p, s, st))
+			if s.grp[st] == nil { // stopping
+				// Put the chunk back so a later drain can still write it.
+				s.retry = append([]chunk{c}, s.retry...)
+				s.sem.Release()
+				return
+			}
 		}
 	}
-	g := s.grp
+	g := s.grp[st]
 	unit := g.nextUnit
 	g.nextUnit++
 	addrs := k.unitAddrs(g, unit)
 	data := make([][]byte, len(addrs))
 	oob := make([][]byte, len(addrs))
 	poss := make([]uint64, 0, len(addrs))
-	g.stamps = append(g.stamps, c.stamp)
 	for i := range addrs {
 		if i >= len(c.poss) {
 			// Padding (paper: "pblk adds padding before the write
 			// command is sent to the device").
-			oob[i] = k.encodeOOB(padLBA, false, c.stamp)
+			stamp := k.nextStamp()
+			oob[i] = k.encodeOOB(padLBA, false, stamp)
 			g.lbas = append(g.lbas, padLBA)
+			g.stamps = append(g.stamps, stamp)
 			k.Stats.PaddedSectors++
 			s.padded++
 			continue
@@ -356,8 +488,9 @@ func (k *Pblk) writeUnitOn(p *sim.Proc, s *slot) {
 		e.state = esSubmitted
 		e.addr = addrs[i]
 		data[i] = e.data
-		oob[i] = k.encodeOOB(e.lba, true, c.stamp)
+		oob[i] = k.encodeOOB(e.lba, true, e.stamp)
 		g.lbas = append(g.lbas, e.lba)
+		g.stamps = append(g.stamps, e.stamp)
 		poss = append(poss, e.pos)
 	}
 	if g.pending == nil {
@@ -371,45 +504,66 @@ func (k *Pblk) writeUnitOn(p *sim.Proc, s *slot) {
 		k.onUnitProgrammed(g, u, c)
 	})
 	if g.nextUnit == k.firstMetaUnit() {
-		k.closeGroup(p, s)
+		k.closeGroup(p, s, st)
 	}
 }
 
-// coverPairs pads lane s's open group forward under strict pairing so
-// that its flushed data becomes readable from media: every submitted unit
-// with an uncovered lower/upper pair is covered (the per-lane analogue of
-// the old global padForFlush).
+// shedTargetAtExhaustion returns another lane that can absorb a chunk of
+// stream st when the free-group pool is empty: preferably one with the
+// stream's own group open, otherwise any lane with any open group (it
+// will borrow). nil when free groups remain (the caller should allocate
+// normally) or when no lane in the system holds an open group.
+func (k *Pblk) shedTargetAtExhaustion(s *slot, st int) *slot {
+	if k.freeGroups > 0 {
+		return nil
+	}
+	var any *slot
+	for _, t := range k.slots {
+		if t == s {
+			continue
+		}
+		if t.grp[st] != nil {
+			return t
+		}
+		if any == nil && (t.grp[streamUser] != nil || t.grp[streamGC] != nil) {
+			any = t
+		}
+	}
+	return any
+}
+
+// coverPairs pads lane s's open groups forward under strict pairing so
+// that their flushed data becomes readable from media: every submitted
+// unit with an uncovered lower/upper pair is covered, on both streams.
 func (k *Pblk) coverPairs(p *sim.Proc, s *slot) {
-	g := s.grp
-	if g == nil {
-		return
-	}
-	for k.groupNeedsPairCover(g) {
-		if g.nextUnit >= k.firstMetaUnit() {
-			k.closeGroup(p, s)
-			return
-		}
-		k.padUnit(p, s)
-		if g.nextUnit == k.firstMetaUnit() {
-			k.closeGroup(p, s)
-			return
+	for st := range s.grp {
+		for s.grp[st] != nil && k.groupNeedsPairCover(s.grp[st]) {
+			g := s.grp[st]
+			if g.nextUnit >= k.firstMetaUnit() {
+				k.closeGroup(p, s, st)
+				break
+			}
+			k.padUnit(p, s, g)
+			if g.nextUnit == k.firstMetaUnit() {
+				k.closeGroup(p, s, st)
+				break
+			}
 		}
 	}
 }
 
-// padUnit writes one all-padding unit onto lane s's open group, charging
+// padUnit writes one all-padding unit onto group g of lane s, charging
 // the lane's telemetry; shared by pair covering and group drain.
-func (k *Pblk) padUnit(p *sim.Proc, s *slot) {
-	g := s.grp
+func (k *Pblk) padUnit(p *sim.Proc, s *slot, g *group) {
 	unit := g.nextUnit
 	g.nextUnit++
 	addrs := k.unitAddrs(g, unit)
 	oob := make([][]byte, len(addrs))
 	stamp := k.nextStamp()
-	g.stamps = append(g.stamps, stamp)
 	for i := range oob {
 		oob[i] = k.encodeOOB(padLBA, false, stamp)
 		g.lbas = append(g.lbas, padLBA)
+		g.stamps = append(g.stamps, stamp)
 	}
 	k.Stats.PaddedSectors += int64(len(addrs))
 	s.padded += int64(len(addrs))
@@ -444,6 +598,7 @@ func (k *Pblk) onUnitProgrammed(g *group, unit int, c *ocssd.Completion) {
 	k.finalizeGroup(g)
 	k.rb.advanceTail()
 	k.checkFlushes()
+	k.notifyState()
 }
 
 // finalizeGroup finalizes every programmed unit whose lower/upper pair
@@ -559,12 +714,13 @@ func (k *Pblk) handleWriteError(g *group, unit int, c *ocssd.Completion) {
 			}
 		}
 		g.pending[unit] = kept
-		// The resubmission chunk draws a fresh stamp now: the failed
-		// entries are still the current version of their sectors (checked
-		// above), so the rewrite must replay after every unit dispatched
-		// so far and before any later overwrite's chunk.
+		// The resubmission chunk keeps the failed entries' admission
+		// stamps: they are still the current version of their sectors
+		// (checked above), and any later overwrite was admitted later, so
+		// it carries a higher stamp and still replays after the rewrite.
+		// The chunk stays in the stream of the unit that failed.
 		s := k.laneOf(g.gpu)
-		s.retry = append(s.retry, chunk{stamp: k.nextStamp(), poss: failed})
+		s.retry = append(s.retry, chunk{stream: int(g.stream), poss: failed})
 		if d := s.pendingSectors(); d > s.peakDepth {
 			s.peakDepth = d
 		}
@@ -597,9 +753,11 @@ func (k *Pblk) markSuspect(g *group) {
 		return
 	}
 	for _, s := range k.slots {
-		if s.grp == g {
-			s.grp = nil
-			s.advance()
+		for st := range s.grp {
+			if s.grp[st] == g {
+				k.setLaneGroup(s, st, nil)
+				s.advance()
+			}
 		}
 	}
 	g.state = stSuspect
@@ -608,4 +766,5 @@ func (k *Pblk) markSuspect(g *group) {
 	k.rb.advanceTail()
 	k.checkFlushes()
 	k.maybeKickGC()
+	k.notifyState()
 }
