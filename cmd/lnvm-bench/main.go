@@ -15,6 +15,7 @@ import (
 	"flag"
 	"fmt"
 	"os"
+	"runtime/pprof"
 	"time"
 
 	"repro/internal/harness"
@@ -22,13 +23,28 @@ import (
 
 func main() {
 	var (
-		list     = flag.Bool("list", false, "list experiments and exit")
-		quick    = flag.Bool("quick", false, "shrink sweeps for a fast smoke run")
-		blocks   = flag.Int("blocks", 0, "blocks per plane (device scale; 0 = default)")
-		duration = flag.Duration("duration", 0, "virtual measurement window per data point (0 = default)")
-		seed     = flag.Int64("seed", 0, "simulation seed (0 = default)")
+		list       = flag.Bool("list", false, "list experiments and exit")
+		quick      = flag.Bool("quick", false, "shrink sweeps for a fast smoke run")
+		blocks     = flag.Int("blocks", 0, "blocks per plane (device scale; 0 = default)")
+		duration   = flag.Duration("duration", 0, "virtual measurement window per data point (0 = default)")
+		seed       = flag.Int64("seed", 0, "simulation seed (0 = default)")
+		cpuprofile = flag.String("cpuprofile", "", "write a CPU profile of the run to this file")
 	)
 	flag.Parse()
+
+	if *cpuprofile != "" {
+		f, err := os.Create(*cpuprofile)
+		if err != nil {
+			fmt.Fprintf(os.Stderr, "lnvm-bench: -cpuprofile: %v\n", err)
+			os.Exit(1)
+		}
+		defer f.Close()
+		if err := pprof.StartCPUProfile(f); err != nil {
+			fmt.Fprintf(os.Stderr, "lnvm-bench: -cpuprofile: %v\n", err)
+			os.Exit(1)
+		}
+		defer pprof.StopCPUProfile()
+	}
 
 	if *list {
 		for _, e := range harness.All() {

@@ -105,10 +105,12 @@ func OpenQueue(env *sim.Env, dev Device, depth int) Queue {
 	return NewProcQueue(env, dev, depth)
 }
 
-// IssueFunc starts one validated request on a device. done must be called
-// exactly once, from simulation context but never synchronously from
-// within the IssueFunc call itself, after the request's Err is set.
-type IssueFunc func(req *Request, done func())
+// IssueFunc starts one validated request on a device. done is a stable
+// per-queue function (so implementations can schedule it without building
+// a closure per request); it must be called exactly once with the same
+// request, from simulation context but never synchronously from within
+// the IssueFunc call itself, after the request's Err is set.
+type IssueFunc func(req *Request, done func(*Request))
 
 // NewQueue builds a queue pair over a native issue function. Device
 // implementations use it for their QueueProvider plumbing; it handles
@@ -118,7 +120,9 @@ func NewQueue(env *sim.Env, dev Device, depth int, issue IssueFunc) Queue {
 	if depth < 1 {
 		depth = 1
 	}
-	return &cbQueue{env: env, dev: dev, depth: depth, issue: issue}
+	q := &cbQueue{env: env, dev: dev, depth: depth, issue: issue}
+	q.completeFn = q.complete
+	return q
 }
 
 // NewProcQueue adapts a synchronous Device into a Queue by running each
@@ -126,8 +130,8 @@ func NewQueue(env *sim.Env, dev Device, depth int, issue IssueFunc) Queue {
 // for devices without a native asynchronous datapath (and for wrappers
 // like WithLatency that hide one).
 func NewProcQueue(env *sim.Env, dev Device, depth int) Queue {
-	return NewQueue(env, dev, depth, func(req *Request, done func()) {
-		env.Go(fmt.Sprintf("blockdev.q.%s", req.Op), func(p *sim.Proc) {
+	return NewQueue(env, dev, depth, func(req *Request, done func(*Request)) {
+		env.Go("blockdev.q", func(p *sim.Proc) {
 			switch req.Op {
 			case ReqRead:
 				req.Err = dev.Read(p, req.Off, req.Buf, req.Length)
@@ -138,7 +142,7 @@ func NewProcQueue(env *sim.Env, dev Device, depth int) Queue {
 			case ReqTrim:
 				req.Err = dev.Trim(p, req.Off, req.Length)
 			}
-			done()
+			done(req)
 		})
 	})
 }
@@ -150,11 +154,13 @@ type cbQueue struct {
 	depth int
 	issue IssueFunc
 
-	pending  []*Request // accepted, not yet dispatched (submission order)
-	active   int        // dispatched to the device, not yet completed
-	inflight int        // accepted, not yet completed
-	barrier  bool       // a flush is dispatched; hold everything behind it
-	drainEv  *sim.Event
+	pending    []*Request // accepted, not yet dispatched (submission order)
+	active     int        // dispatched to the device, not yet completed
+	inflight   int        // accepted, not yet completed
+	barrier    bool       // a flush is dispatched; hold everything behind it
+	drainEv    *sim.Event
+	completeFn func(*Request) // == complete, bound once for closure-free issue
+	finishArg  func(any)      // == finish via any, for closure-free Schedule
 }
 
 func (q *cbQueue) SectorSize() int { return q.dev.SectorSize() }
@@ -181,7 +187,10 @@ func (q *cbQueue) Submit(reqs ...*Request) {
 		q.inflight++
 		if err := q.validate(r); err != nil {
 			r.Err = err
-			q.env.Schedule(0, func() { q.finish(r) })
+			if q.finishArg == nil {
+				q.finishArg = func(a any) { q.finish(a.(*Request)) }
+			}
+			q.env.ScheduleArg(0, q.finishArg, r)
 			continue
 		}
 		q.pending = append(q.pending, r)
@@ -202,14 +211,18 @@ func (q *cbQueue) dispatch() {
 		}
 		q.pending = q.pending[1:]
 		q.active++
-		q.issue(r, func() {
-			q.active--
-			if r.Op == ReqFlush {
-				q.barrier = false
-			}
-			q.finish(r)
-		})
+		q.issue(r, q.completeFn)
 	}
+}
+
+// complete is the stable completion entry point handed to the issue
+// function: free the dispatch slot (and barrier), then finish.
+func (q *cbQueue) complete(r *Request) {
+	q.active--
+	if r.Op == ReqFlush {
+		q.barrier = false
+	}
+	q.finish(r)
 }
 
 // finish completes one request: stamp, account, notify, and restart

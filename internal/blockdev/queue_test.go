@@ -48,14 +48,14 @@ func TestQueueDepthBoundsDispatch(t *testing.T) {
 	env := sim.NewEnv(1)
 	dev := &fakeDev{}
 	active, maxActive := 0, 0
-	q := NewQueue(env, dev, 2, func(req *Request, done func()) {
+	q := NewQueue(env, dev, 2, func(req *Request, done func(*Request)) {
 		active++
 		if active > maxActive {
 			maxActive = active
 		}
 		env.Schedule(10*time.Microsecond, func() {
 			active--
-			done()
+			done(req)
 		})
 	})
 	completed := 0
@@ -87,8 +87,8 @@ func TestCompletionsOutOfOrderUnderQD(t *testing.T) {
 	// each completes exactly once with Submitted <= Done.
 	env := sim.NewEnv(1)
 	dev := &fakeDev{}
-	q := NewQueue(env, dev, 8, func(req *Request, done func()) {
-		env.Schedule(time.Duration(8-req.Off/512)*10*time.Microsecond, done)
+	q := NewQueue(env, dev, 8, func(req *Request, done func(*Request)) {
+		env.Schedule(time.Duration(8-req.Off/512)*10*time.Microsecond, func() { done(req) })
 	})
 	var order []int64
 	counts := map[int64]int{}
@@ -125,12 +125,12 @@ func TestFlushBarrierOrdering(t *testing.T) {
 	// later one, regardless of latencies.
 	env := sim.NewEnv(1)
 	dev := &fakeDev{}
-	q := NewQueue(env, dev, 8, func(req *Request, done func()) {
+	q := NewQueue(env, dev, 8, func(req *Request, done func(*Request)) {
 		lat := time.Microsecond
 		if req.Op == ReqWrite {
 			lat = 50 * time.Microsecond // slow writes ahead of the barrier
 		}
-		env.Schedule(lat, done)
+		env.Schedule(lat, func() { done(req) })
 	})
 	var seq []string
 	note := func(tag string) func(*Request) {
@@ -167,9 +167,9 @@ func TestValidationErrorsCompleteAsync(t *testing.T) {
 	env := sim.NewEnv(1)
 	dev := &fakeDev{}
 	issued := 0
-	q := NewQueue(env, dev, 2, func(req *Request, done func()) {
+	q := NewQueue(env, dev, 2, func(req *Request, done func(*Request)) {
 		issued++
-		env.Schedule(0, done)
+		env.Schedule(0, func() { done(req) })
 	})
 	var oor, align error
 	env.Go("main", func(p *sim.Proc) {

@@ -267,12 +267,26 @@ func runQueueWorker(pr *sim.Proc, q blockdev.Queue, job Job, st *jobState, rng *
 	env := pr.Env()
 	inflight := 0
 	var kick *sim.Event
-	onComplete := func(req *blockdev.Request) {
+	// Completed requests return to a per-worker free list: a worker in
+	// steady state reuses the same QD request objects for the whole run.
+	var free []*blockdev.Request
+	var onComplete func(req *blockdev.Request)
+	onComplete = func(req *blockdev.Request) {
 		inflight--
 		st.record(req, int64(job.BS))
+		free = append(free, req)
 		if kick != nil {
 			kick.Signal()
 		}
+	}
+	newReq := func(op blockdev.ReqOp, off int64, length int64) *blockdev.Request {
+		if n := len(free); n > 0 {
+			r := free[n-1]
+			free = free[:n-1]
+			r.Op, r.Off, r.Length, r.Err = op, off, length, nil
+			return r
+		}
+		return &blockdev.Request{Op: op, Off: off, Length: length, OnComplete: onComplete}
 	}
 	// prepared is an op that consumed budget (and, for rate-limited
 	// writes, claimed a token) but has not been submitted yet.
@@ -294,7 +308,7 @@ func runQueueWorker(pr *sim.Proc, q blockdev.Queue, job Job, st *jobState, rng *
 				if isRead {
 					op = blockdev.ReqRead
 				}
-				prepared = &blockdev.Request{Op: op, Off: off, Length: int64(job.BS), OnComplete: onComplete}
+				prepared = newReq(op, off, int64(job.BS))
 				tokenAt = 0
 				if !isRead && st.writeGap > 0 {
 					tokenAt = st.claimWriteToken(env.Now())
@@ -308,7 +322,7 @@ func runQueueWorker(pr *sim.Proc, q blockdev.Queue, job Job, st *jobState, rng *
 				writesSinceSync++
 				if writesSinceSync >= job.SyncEvery {
 					writesSinceSync = 0
-					batch = append(batch, &blockdev.Request{Op: blockdev.ReqFlush, OnComplete: onComplete})
+					batch = append(batch, newReq(blockdev.ReqFlush, 0, 0))
 				}
 			}
 			prepared = nil

@@ -223,7 +223,10 @@ func (d *Die) Program(plane, blockIdx, page int, data, oob []byte) error {
 // Read returns the payload and OOB of a programmed page. Unwritten pages
 // return ErrUnwritten. Under StrictPairRead, a lower page in a still-open
 // block whose upper pair is unprogrammed returns ErrPairIncomplete.
-// The returned slices are copies. Pages programmed with an unspecified
+// The returned slices are the stored pages themselves and must be treated
+// as read-only; they stay valid (with their content at read time) even
+// across a later erase or reprogram of the page, because programming
+// always installs a fresh buffer. Pages programmed with an unspecified
 // (nil) payload return nil data; readers treat that as zeros.
 func (d *Die) Read(plane, blockIdx, page int) (data, oob []byte, err error) {
 	b, err := d.blk(plane, blockIdx)
@@ -249,13 +252,7 @@ func (d *Die) Read(plane, blockIdx, page int) (data, oob []byte, err error) {
 		d.Stats.ReadFails++
 		return nil, nil, ErrReadFail
 	}
-	if pd, ok := b.data[page]; ok {
-		data = append([]byte(nil), pd...)
-	}
-	if po, ok := b.oob[page]; ok {
-		oob = append([]byte(nil), po...)
-	}
-	return data, oob, nil
+	return b.data[page], b.oob[page], nil
 }
 
 // Erase wipes a block and charges one PE cycle. Erasing a worn-out block

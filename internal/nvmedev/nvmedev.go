@@ -119,15 +119,20 @@ func New(p *sim.Proc, env *sim.Env, cfg Config) (*Device, error) {
 // command handling alone — the DRAM write cache is power-loss protected —
 // while still acting as a queue barrier for ordering.
 func (d *Device) OpenQueue(env *sim.Env, depth int) blockdev.Queue {
-	return blockdev.NewQueue(d.env, d, depth, func(req *blockdev.Request, done func()) {
-		if req.Op == blockdev.ReqFlush {
-			d.env.Schedule(d.cmdLatency, func() {
+	var flushDone, ftlIssue func(any)
+	return blockdev.NewQueue(d.env, d, depth, func(req *blockdev.Request, done func(*blockdev.Request)) {
+		if flushDone == nil {
+			flushDone = func(a any) {
 				d.Flushes++
-				done()
-			})
+				done(a.(*blockdev.Request))
+			}
+			ftlIssue = func(a any) { d.ftl.IssueAsync(a.(*blockdev.Request), done) }
+		}
+		if req.Op == blockdev.ReqFlush {
+			d.env.ScheduleArg(d.cmdLatency, flushDone, req)
 			return
 		}
-		d.env.Schedule(d.cmdLatency, func() { d.ftl.IssueAsync(req, done) })
+		d.env.ScheduleArg(d.cmdLatency, ftlIssue, req)
 	})
 }
 

@@ -9,7 +9,12 @@
 // status per address (§3.3).
 //
 // All timing is charged in virtual time against an internal/sim environment,
-// so latency distributions are deterministic and hardware independent.
+// so latency distributions are deterministic and hardware independent. The
+// datapath is goroutine-free: each PU sub-command runs as a pooled
+// continuation state machine driven directly by the scheduler (sub-command
+// steps are Schedule callbacks, PU and channel waits ride
+// sim.Resource.AcquireFn), so steady-state I/O costs no process spawns and
+// no channel handoffs.
 package ocssd
 
 import (
@@ -130,7 +135,8 @@ func DefaultConfig(blocksPerPlane int) Config {
 	}
 }
 
-// Vector is one PPA data command.
+// Vector is one PPA data command. The Vector and its slices must stay
+// valid and unmodified until the submission's done callback runs.
 type Vector struct {
 	Op    Op
 	Addrs []ppa.Addr
@@ -159,6 +165,10 @@ type Completion struct {
 	OOB  [][]byte
 	// Submitted and Done are the virtual submission/completion times.
 	Submitted, Done time.Duration
+
+	// noRecycle marks completions the device still appends to after the
+	// done callback (Buffered writes); Recycle ignores them.
+	noRecycle bool
 }
 
 // Failed reports whether any address failed.
@@ -184,11 +194,18 @@ type Stats struct {
 	Suspensions                 int64 // program/erase suspensions granted
 }
 
+// cacheEnt is one plane's last-read-page buffer slot.
+type cacheEnt struct {
+	key pageKey
+	ok  bool
+}
+
 type punit struct {
 	die  *nand.Die
 	busy *sim.Resource // one command at a time (paper §3.1, invariant 1)
-	// cache is the last flash page read, keyed per plane.
-	cache map[int]pageKey
+	// cache is the last flash page read, one slot per plane; nil when the
+	// controller page buffer is disabled.
+	cache []cacheEnt
 	ch    int
 }
 
@@ -211,6 +228,15 @@ type Device struct {
 	// pendingCMB counts buffered writes not yet programmed to media.
 	pendingCMB int
 	cmbDrained *sim.Event
+
+	// Hot-path pools: Submit splits each vector into per-PU sub-command
+	// tasks; tasks, submissions and completions cycle through free lists
+	// so steady-state I/O allocates nothing.
+	taskFree []*puTask
+	subFree  []*submission
+	compFree []*Completion
+	taskOf   []*puTask // per-PU scratch used during one Submit call
+	puOrder  []int     // scratch: PUs touched by the current Submit
 
 	Stats Stats
 }
@@ -246,9 +272,10 @@ func New(env *sim.Env, cfg Config) (*Device, error) {
 			ch:   i / cfg.Geometry.PUsPerChannel,
 		}
 		if cfg.PageCache {
-			d.pus[i].cache = make(map[int]pageKey)
+			d.pus[i].cache = make([]cacheEnt, cfg.Geometry.PlanesPerPU)
 		}
 	}
+	d.taskOf = make([]*puTask, cfg.Geometry.TotalPUs())
 	return d, nil
 }
 
@@ -325,7 +352,7 @@ func (d *Device) validate(cmd *Vector) error {
 
 // flashOp is one media operation: a page read/program or block erase,
 // possibly spanning multiple planes (multi-plane mode), carrying the vector
-// indices it serves.
+// indices it serves. The planes/idx slices are pooled with their task.
 type flashOp struct {
 	block, page int
 	planes      []int
@@ -333,71 +360,110 @@ type flashOp struct {
 	idx [][]int
 }
 
-// groupPU groups one PU's vector indices into flash ops. Writes must cover
-// whole pages; reads may touch any subset of a page's sectors. Sectors of
-// the same (block,page) across planes merge into one multi-plane op.
-func (d *Device) groupPU(cmd *Vector, indices []int) ([]flashOp, error) {
-	g := d.cfg.Geometry
-	type pk struct{ plane, block, page int }
-	perPage := make(map[pk][]int)
-	var order []pk
-	for _, i := range indices {
-		a := cmd.Addrs[i]
-		k := pk{a.Plane, a.Block, a.Page}
-		if _, ok := perPage[k]; !ok {
-			order = append(order, k)
-		}
-		perPage[k] = append(perPage[k], i)
-	}
-	if cmd.Op == OpWrite {
-		for k, idxs := range perPage {
-			if len(idxs) != g.SectorsPerPage {
-				return nil, fmt.Errorf("%w: block %d page %d has %d of %d sectors",
-					ErrPartialPage, k.block, k.page, len(idxs), g.SectorsPerPage)
-			}
-		}
-	}
-	// Merge planes that target the same (block, page), preserving first-
-	// seen order.
-	type bp struct{ block, page int }
-	merged := make(map[bp]*flashOp)
-	var ops []*flashOp
-	for _, k := range order {
-		key := bp{k.block, k.page}
-		op, ok := merged[key]
-		if !ok {
-			op = &flashOp{block: k.block, page: k.page}
-			merged[key] = op
-			ops = append(ops, op)
-		}
-		op.planes = append(op.planes, k.plane)
-		op.idx = append(op.idx, perPage[k])
-	}
-	out := make([]flashOp, len(ops))
-	for i, op := range ops {
-		out[i] = *op
-	}
-	return out, nil
-}
-
 // xferTime returns the channel occupancy for moving n bytes.
 func (d *Device) xferTime(n int) time.Duration {
 	return time.Duration(float64(n) / (d.cfg.Timing.ChannelMBps * 1e6) * float64(time.Second))
 }
 
+// submission tracks one vector command's outstanding per-PU sub-commands
+// and fires the caller's done callback when the last one finishes.
+type submission struct {
+	d         *Device
+	remaining int
+	comp      *Completion
+	done      func(*Completion)
+}
+
+// finish retires one sub-command; the last one stamps the completion and
+// runs the caller's callback (in simulation context, with the PU still
+// held, exactly as the process-based datapath did).
+func (s *submission) finish() {
+	s.remaining--
+	if s.remaining != 0 {
+		return
+	}
+	d, comp, done := s.d, s.comp, s.done
+	comp.Done = d.env.Now()
+	s.comp, s.done = nil, nil
+	d.subFree = append(d.subFree, s)
+	done(comp)
+}
+
+func (d *Device) getSub() *submission {
+	if n := len(d.subFree); n > 0 {
+		s := d.subFree[n-1]
+		d.subFree = d.subFree[:n-1]
+		return s
+	}
+	return &submission{d: d}
+}
+
+// getComp returns a zeroed pooled completion sized for n addresses.
+func (d *Device) getComp(n int, read bool) *Completion {
+	var c *Completion
+	if m := len(d.compFree); m > 0 {
+		c = d.compFree[m-1]
+		d.compFree = d.compFree[:m-1]
+	} else {
+		c = &Completion{}
+	}
+	c.Status = 0
+	c.noRecycle = false
+	c.Submitted, c.Done = 0, 0
+	if cap(c.Errs) >= n {
+		c.Errs = c.Errs[:cap(c.Errs)]
+		for i := range c.Errs {
+			c.Errs[i] = nil
+		}
+		c.Errs = c.Errs[:n]
+	} else {
+		c.Errs = make([]error, n)
+	}
+	if read {
+		c.Data = resizeBufs(c.Data, n)
+		c.OOB = resizeBufs(c.OOB, n)
+	} else {
+		c.Data, c.OOB = nil, nil
+	}
+	return c
+}
+
+// resizeBufs returns s resized to n with every slot nil. The whole
+// capacity is cleared, not just [:n] — a pooled completion must not pin
+// old NAND page buffers in the tail of its backing array.
+func resizeBufs(s [][]byte, n int) [][]byte {
+	if cap(s) >= n {
+		s = s[:cap(s)]
+		for i := range s {
+			s[i] = nil
+		}
+		return s[:n]
+	}
+	return make([][]byte, n)
+}
+
+// Recycle returns a completion to the device pool. Callers that fully
+// consume a completion inside their done callback may recycle it so the
+// next command reuses its storage; the completion (including its Data and
+// OOB slices) must not be referenced afterwards. Recycling is optional —
+// completions that escape to long-lived callers are simply collected by
+// the GC — and completions of Buffered writes are ignored, because the
+// device keeps appending per-address status to them after the early ack.
+func (d *Device) Recycle(c *Completion) {
+	if c == nil || c.noRecycle {
+		return
+	}
+	d.compFree = append(d.compFree, c)
+}
+
 // Submit issues a vector command asynchronously; done runs in simulation
 // context when all addresses complete (or, for Buffered writes, when data
 // reaches the controller). Submit itself must be called from simulation
-// context (a process or scheduled callback).
+// context (a process or scheduled callback). The steady-state path spawns
+// no goroutines: every PU sub-command is a pooled continuation.
 func (d *Device) Submit(cmd *Vector, done func(*Completion)) {
-	comp := &Completion{
-		Errs:      make([]error, len(cmd.Addrs)),
-		Submitted: d.env.Now(),
-	}
-	if cmd.Op == OpRead {
-		comp.Data = make([][]byte, len(cmd.Addrs))
-		comp.OOB = make([][]byte, len(cmd.Addrs))
-	}
+	comp := d.getComp(len(cmd.Addrs), cmd.Op == OpRead)
+	comp.Submitted = d.env.Now()
 	if err := d.validate(cmd); err != nil {
 		for i := range comp.Errs {
 			comp.Errs[i] = err
@@ -416,36 +482,39 @@ func (d *Device) Submit(cmd *Vector, done func(*Completion)) {
 		d.Stats.SectorsWritten += int64(len(cmd.Addrs))
 		if cmd.Buffered {
 			d.Stats.BufferedWrites++
+			comp.noRecycle = true
 		}
 	case OpErase:
 		d.Stats.Erases++
 	}
 
 	// Split by PU, preserving vector order within each PU.
-	perPU := make(map[int][]int)
-	var puOrder []int
+	sub := d.getSub()
+	sub.comp = comp
+	sub.done = done
 	for i, a := range cmd.Addrs {
 		gpu := d.fmtr.GlobalPU(a)
-		if _, ok := perPU[gpu]; !ok {
-			puOrder = append(puOrder, gpu)
+		t := d.taskOf[gpu]
+		if t == nil {
+			t = d.getTask()
+			t.sub = sub
+			t.cmp = comp
+			t.pu = d.pus[gpu]
+			t.ch = d.chs[t.pu.ch]
+			t.cmd = cmd
+			t.state = tsBegin
+			d.taskOf[gpu] = t
+			d.puOrder = append(d.puOrder, gpu)
 		}
-		perPU[gpu] = append(perPU[gpu], i)
+		t.indices = append(t.indices, i)
 	}
-	remaining := len(puOrder)
-	finish := func() {
-		remaining--
-		if remaining == 0 {
-			comp.Done = d.env.Now()
-			done(comp)
-		}
+	sub.remaining = len(d.puOrder)
+	for _, gpu := range d.puOrder {
+		t := d.taskOf[gpu]
+		d.taskOf[gpu] = nil
+		d.env.Schedule(0, t.stepFn)
 	}
-	for _, gpu := range puOrder {
-		indices := perPU[gpu]
-		pu := d.pus[gpu]
-		d.env.Go(fmt.Sprintf("ocssd.pu%d.%s", gpu, cmd.Op), func(p *sim.Proc) {
-			d.runSub(p, pu, cmd, indices, comp, finish)
-		})
-	}
+	d.puOrder = d.puOrder[:0]
 }
 
 // DebugPUs returns a one-line-per-busy-PU view of command occupancy, for
@@ -482,172 +551,471 @@ func setErr(comp *Completion, idx int, err error) {
 	comp.Status |= 1 << uint(idx)
 }
 
-// runSub executes one PU's share of a vector command.
-func (d *Device) runSub(p *sim.Proc, pu *punit, cmd *Vector, indices []int, comp *Completion, finish func()) {
-	pu.busy.Acquire(p)
-	defer pu.busy.Release()
-	p.Sleep(d.cfg.Timing.CmdOverhead)
+// puTask states. The machine transcribes the old process-based runSub
+// step for step: every Sleep became a Schedule, every Resource.Acquire a
+// TryAcquire/AcquireFn pair, so the event-queue footprint (and with it
+// the deterministic trace) is unchanged.
+const (
+	tsBegin          = iota // wait for the PU, then charge command overhead
+	tsOverhead              // PU held: charge command overhead
+	tsGrouped               // overhead charged: group into flash ops, branch per opcode
+	tsRead                  // start the next read op, or finish
+	tsReadCollect           // flash array latency charged: gather data, start transfer
+	tsReadXfer              // channel held: charge transfer time
+	tsReadXferDone          // transfer done: release channel, next op
+	tsWrite                 // start the next write op, or finish
+	tsWriteXfer             // channel held: charge transfer time
+	tsWriteXferDone         // release channel, start program occupancy
+	tsWriteProgram          // occupancy charged: commit to media, next op
+	tsBufXfer               // buffered write: channel held, charge whole transfer
+	tsBufXferDone           // release channel, ack the host, start programming
+	tsBufProgram            // start occupancy for the next buffered op, or wind down
+	tsBufProgramDone        // occupancy charged: commit to media, next op
+	tsErase                 // start the next erase op, or finish
+	tsEraseDone             // occupancy charged: commit erase, next op
+	tsOccWake               // occupancy slice elapsed: maybe suspend, continue
+	tsOccReacquired         // PU reacquired after a suspension
+	tsOccNext               // schedule the next occupancy slice, or finish
+)
 
-	ops, err := d.groupPU(cmd, indices)
-	if err != nil {
-		for _, i := range indices {
-			setErr(comp, i, err)
+// puTask is one PU's share of a vector command, executed as a continuation
+// state machine. Tasks, their index scratch and their flash-op grouping
+// are pooled on the device; a steady-state sub-command allocates nothing.
+type puTask struct {
+	d   *Device
+	sub *submission
+	// cmp is the command's completion, held directly: a Buffered write
+	// acks (and lets finish recycle the submission) while the task still
+	// programs in the background, so the task must not reach the
+	// completion through the submission.
+	cmp     *Completion
+	pu      *punit
+	ch      *channel
+	cmd     *Vector
+	indices []int     // vector indices served by this PU, in vector order
+	ops     []flashOp // grouped media operations
+	idxFree [][]int   // free list for flashOp.idx inner slices
+
+	state int
+	opi   int  // current op index
+	bytes int  // channel transfer size for the current phase
+	hit   bool // current read op was served from the page buffer
+
+	// Occupancy (program/erase) sub-machine: remaining media time, the
+	// slice just slept, and the state to enter when fully charged.
+	occRemaining time.Duration
+	occStep      time.Duration
+	afterOcc     int
+
+	// Program staging buffers, reused across ops (the NAND die copies
+	// them on Program).
+	pageBuf []byte
+	oobBuf  []byte
+
+	stepFn func() // == step, bound once so scheduling it never allocates
+}
+
+func (d *Device) getTask() *puTask {
+	if n := len(d.taskFree); n > 0 {
+		t := d.taskFree[n-1]
+		d.taskFree = d.taskFree[:n-1]
+		return t
+	}
+	t := &puTask{d: d}
+	t.stepFn = t.step
+	return t
+}
+
+// putTask recycles a finished task, harvesting its grouping scratch.
+func (d *Device) putTask(t *puTask) {
+	for oi := range t.ops {
+		op := &t.ops[oi]
+		for _, ix := range op.idx {
+			if cap(ix) > 0 {
+				t.idxFree = append(t.idxFree, ix[:0])
+			}
 		}
-		finish()
+		op.idx = op.idx[:0]
+		op.planes = op.planes[:0]
+	}
+	t.ops = t.ops[:0]
+	t.indices = t.indices[:0]
+	t.sub = nil
+	t.cmp = nil
+	t.pu = nil
+	t.ch = nil
+	t.cmd = nil
+	d.taskFree = append(d.taskFree, t)
+}
+
+func (t *puTask) getIdx() []int {
+	if n := len(t.idxFree); n > 0 {
+		s := t.idxFree[n-1]
+		t.idxFree = t.idxFree[:n-1]
+		return s
+	}
+	return make([]int, 0, 8)
+}
+
+func (t *puTask) comp() *Completion { return t.cmp }
+
+// groupPUInto groups the task's vector indices into flash ops, reusing the
+// task's pooled storage. Writes must cover whole pages; reads may touch any
+// subset of a page's sectors. Sectors of the same (block, page) across
+// planes merge into one multi-plane op. Ops appear in first-seen order,
+// planes within an op in first-seen order, indices in vector order — the
+// same grouping the map-based splitter produced, without the maps.
+func (t *puTask) group() error {
+	g := t.d.cfg.Geometry
+	cmd := t.cmd
+	ops := t.ops[:0]
+	for _, i := range t.indices {
+		a := cmd.Addrs[i]
+		oi := -1
+		for j := range ops {
+			if ops[j].block == a.Block && ops[j].page == a.Page {
+				oi = j
+				break
+			}
+		}
+		if oi < 0 {
+			if len(ops) < cap(ops) {
+				ops = ops[:len(ops)+1] // reuse the cleaned entry in place
+			} else {
+				ops = append(ops, flashOp{})
+			}
+			oi = len(ops) - 1
+			ops[oi].block, ops[oi].page = a.Block, a.Page
+			ops[oi].planes = ops[oi].planes[:0]
+			ops[oi].idx = ops[oi].idx[:0]
+		}
+		op := &ops[oi]
+		pi := -1
+		for j, pl := range op.planes {
+			if pl == a.Plane {
+				pi = j
+				break
+			}
+		}
+		if pi < 0 {
+			op.planes = append(op.planes, a.Plane)
+			op.idx = append(op.idx, t.getIdx())
+			pi = len(op.idx) - 1
+		}
+		op.idx[pi] = append(op.idx[pi], i)
+	}
+	t.ops = ops
+	if cmd.Op == OpWrite {
+		for oi := range ops {
+			for pi := range ops[oi].idx {
+				if n := len(ops[oi].idx[pi]); n != g.SectorsPerPage {
+					return fmt.Errorf("%w: block %d page %d has %d of %d sectors",
+						ErrPartialPage, ops[oi].block, ops[oi].page, n, g.SectorsPerPage)
+				}
+			}
+		}
+	}
+	return nil
+}
+
+// maxWear returns the op's wear-latency multiplier across its planes.
+func (t *puTask) maxWear(op *flashOp) float64 {
+	wear := 1.0
+	for _, plane := range op.planes {
+		if w := t.pu.die.WearFactor(plane, op.block); w > wear {
+			wear = w
+		}
+	}
+	return wear
+}
+
+// acquire takes res for the machine: on success the task advances to next
+// synchronously; when contended it parks in the resource's FIFO and step
+// resumes in state next when ownership transfers. Reports whether the
+// caller should keep stepping.
+func (t *puTask) acquire(res *sim.Resource, next int) bool {
+	t.state = next
+	if res.TryAcquire() {
+		return true
+	}
+	res.AcquireFn(t.stepFn)
+	return false
+}
+
+// sleep charges d of virtual time and re-enters step in state next.
+func (t *puTask) sleep(d time.Duration, next int) {
+	t.state = next
+	t.d.env.Schedule(d, t.stepFn)
+}
+
+// finishRelease retires the sub-command: completion accounting (and the
+// caller's done callback, when this is the last PU) runs while the PU is
+// still held, then the PU frees and the task recycles.
+func (t *puTask) finishRelease() {
+	t.sub.finish()
+	t.pu.busy.Release()
+	t.d.putTask(t)
+}
+
+// startOccupy charges a long flash operation against the PU. With
+// suspension enabled, the operation runs in slices and yields the PU to
+// queued commands (typically reads) between slices, resuming with a
+// penalty. Continues in state after once fully charged.
+func (t *puTask) startOccupy(total time.Duration, after int) {
+	slice := t.d.cfg.Timing.SuspendSlice
+	if slice <= 0 || total <= slice {
+		t.sleep(total, after)
 		return
 	}
-	ch := d.chs[pu.ch]
-	switch cmd.Op {
-	case OpRead:
-		for _, op := range ops {
-			d.readOp(p, pu, ch, cmd, op, comp)
-		}
-		finish()
-	case OpWrite:
-		if cmd.Buffered {
-			// Ack once data is staged in the controller buffer (one
-			// channel transfer), then program in the background while
-			// still holding the PU.
-			bytes := 0
-			for range indices {
-				bytes += d.cfg.Geometry.SectorSize
+	t.afterOcc = after
+	t.occRemaining = total
+	t.occStep = slice
+	t.sleep(slice, tsOccWake)
+}
+
+// step runs the task's state machine until it blocks (on time or a
+// resource) or terminates. It always executes in simulation context.
+func (t *puTask) step() {
+	d := t.d
+	for {
+		switch t.state {
+		case tsBegin:
+			if !t.acquire(t.pu.busy, tsOverhead) {
+				return
 			}
-			ch.xfer.Acquire(p)
-			p.Sleep(d.xferTime(bytes))
-			ch.xfer.Release()
-			d.pendingCMB++
-			finish()
-			for _, op := range ops {
-				d.programOp(p, pu, cmd, op, comp, false)
-			}
-			d.pendingCMB--
-			if d.pendingCMB == 0 && d.cmbDrained != nil {
-				d.cmbDrained.Signal()
-				d.cmbDrained = nil
-			}
+			continue
+
+		case tsOverhead:
+			t.sleep(d.cfg.Timing.CmdOverhead, tsGrouped)
 			return
-		}
-		for _, op := range ops {
+
+		case tsGrouped:
+			if err := t.group(); err != nil {
+				for _, i := range t.indices {
+					setErr(t.comp(), i, err)
+				}
+				t.finishRelease()
+				return
+			}
+			t.opi = 0
+			switch t.cmd.Op {
+			case OpRead:
+				t.state = tsRead
+			case OpWrite:
+				if t.cmd.Buffered {
+					// Ack once data is staged in the controller buffer
+					// (one channel transfer), then program in the
+					// background while still holding the PU.
+					t.bytes = len(t.indices) * d.cfg.Geometry.SectorSize
+					if !t.acquire(t.ch.xfer, tsBufXfer) {
+						return
+					}
+				} else {
+					t.state = tsWrite
+				}
+			case OpErase:
+				t.state = tsErase
+			}
+			continue
+
+		case tsRead:
+			if t.opi >= len(t.ops) {
+				t.finishRelease()
+				return
+			}
+			op := &t.ops[t.opi]
+			// One flash array read covers all planes of a multi-plane op;
+			// the controller page buffer can satisfy it without touching
+			// the array.
+			hit := t.pu.cache != nil
+			if hit {
+				for _, plane := range op.planes {
+					ent := &t.pu.cache[plane]
+					if !ent.ok || ent.key != (pageKey{plane, op.block, op.page}) {
+						hit = false
+						break
+					}
+				}
+			}
+			t.hit = hit
+			if hit {
+				d.Stats.CacheHits++
+				t.state = tsReadCollect
+				continue
+			}
+			t.sleep(time.Duration(float64(d.cfg.Timing.PageRead)*t.maxWear(op)), tsReadCollect)
+			return
+
+		case tsReadCollect:
+			if !t.hit {
+				d.Stats.FlashReads++
+			}
+			op := &t.ops[t.opi]
+			comp := t.comp()
+			bytes := 0
+			for pi, plane := range op.planes {
+				data, oob, err := t.pu.die.Read(plane, op.block, op.page)
+				for _, i := range op.idx[pi] {
+					if err != nil {
+						setErr(comp, i, err)
+						continue
+					}
+					sec := t.cmd.Addrs[i].Sector
+					ss := d.cfg.Geometry.SectorSize
+					if data != nil {
+						comp.Data[i] = data[sec*ss : (sec+1)*ss]
+					}
+					comp.OOB[i] = sliceOOB(oob, sec, d.SectorOOBSize())
+					bytes += ss
+				}
+				if err == nil && t.pu.cache != nil {
+					t.pu.cache[plane] = cacheEnt{key: pageKey{plane, op.block, op.page}, ok: true}
+				}
+			}
+			if bytes > 0 {
+				t.bytes = bytes
+				if !t.acquire(t.ch.xfer, tsReadXfer) {
+					return
+				}
+				continue
+			}
+			t.opi++
+			t.state = tsRead
+			continue
+
+		case tsReadXfer:
+			t.sleep(d.xferTime(t.bytes), tsReadXferDone)
+			return
+
+		case tsReadXferDone:
+			t.ch.xfer.Release()
+			t.opi++
+			t.state = tsRead
+			continue
+
+		case tsWrite:
+			if t.opi >= len(t.ops) {
+				t.finishRelease()
+				return
+			}
 			// Transfer to the device, then program.
+			op := &t.ops[t.opi]
 			bytes := 0
 			for _, idxs := range op.idx {
 				bytes += len(idxs) * d.cfg.Geometry.SectorSize
 			}
-			ch.xfer.Acquire(p)
-			p.Sleep(d.xferTime(bytes))
-			ch.xfer.Release()
-			d.programOp(p, pu, cmd, op, comp, false)
-		}
-		finish()
-	case OpErase:
-		for _, op := range ops {
-			d.eraseOp(p, pu, cmd, op, comp)
-		}
-		finish()
-	}
-}
+			t.bytes = bytes
+			if !t.acquire(t.ch.xfer, tsWriteXfer) {
+				return
+			}
+			continue
 
-func (d *Device) readOp(p *sim.Proc, pu *punit, ch *channel, cmd *Vector, op flashOp, comp *Completion) {
-	// One flash array read covers all planes of a multi-plane op; the
-	// controller page buffer can satisfy it without touching the array.
-	hit := pu.cache != nil
-	if hit {
-		for _, plane := range op.planes {
-			got, ok := pu.cache[plane]
-			if !ok || got != (pageKey{plane, op.block, op.page}) {
-				hit = false
-				break
+		case tsWriteXfer:
+			t.sleep(d.xferTime(t.bytes), tsWriteXferDone)
+			return
+
+		case tsWriteXferDone:
+			t.ch.xfer.Release()
+			op := &t.ops[t.opi]
+			t.startOccupy(time.Duration(float64(d.cfg.Timing.PageProgram)*t.maxWear(op)), tsWriteProgram)
+			return
+
+		case tsWriteProgram:
+			d.Stats.FlashPrograms++
+			t.commitProgram(&t.ops[t.opi])
+			t.opi++
+			t.state = tsWrite
+			continue
+
+		case tsBufXfer:
+			t.sleep(d.xferTime(t.bytes), tsBufXferDone)
+			return
+
+		case tsBufXferDone:
+			t.ch.xfer.Release()
+			d.pendingCMB++
+			t.sub.finish()
+			t.state = tsBufProgram
+			continue
+
+		case tsBufProgram:
+			if t.opi >= len(t.ops) {
+				d.pendingCMB--
+				if d.pendingCMB == 0 && d.cmbDrained != nil {
+					d.cmbDrained.Signal()
+					d.cmbDrained = nil
+				}
+				t.pu.busy.Release()
+				d.putTask(t)
+				return
 			}
-		}
-	}
-	if hit {
-		d.Stats.CacheHits++
-	} else {
-		wear := 1.0
-		for _, plane := range op.planes {
-			if w := pu.die.WearFactor(plane, op.block); w > wear {
-				wear = w
+			op := &t.ops[t.opi]
+			t.startOccupy(time.Duration(float64(d.cfg.Timing.PageProgram)*t.maxWear(op)), tsBufProgramDone)
+			return
+
+		case tsBufProgramDone:
+			d.Stats.FlashPrograms++
+			t.commitProgram(&t.ops[t.opi])
+			t.opi++
+			t.state = tsBufProgram
+			continue
+
+		case tsErase:
+			if t.opi >= len(t.ops) {
+				t.finishRelease()
+				return
 			}
-		}
-		p.Sleep(time.Duration(float64(d.cfg.Timing.PageRead) * wear))
-		d.Stats.FlashReads++
-	}
-	bytes := 0
-	for pi, plane := range op.planes {
-		data, oob, err := pu.die.Read(plane, op.block, op.page)
-		for _, i := range op.idx[pi] {
-			if err != nil {
-				setErr(comp, i, err)
+			op := &t.ops[t.opi]
+			t.startOccupy(time.Duration(float64(d.cfg.Timing.BlockErase)*t.maxWear(op)), tsEraseDone)
+			return
+
+		case tsEraseDone:
+			t.commitErase(&t.ops[t.opi])
+			t.opi++
+			t.state = tsErase
+			continue
+
+		case tsOccWake:
+			t.occRemaining -= t.occStep
+			if t.occRemaining > 0 && t.pu.busy.QueueLen() > 0 {
+				// Suspend: let queued commands run, then resume.
+				t.pu.busy.Release()
+				if !t.acquire(t.pu.busy, tsOccReacquired) {
+					return
+				}
 				continue
 			}
-			sec := cmd.Addrs[i].Sector
-			ss := d.cfg.Geometry.SectorSize
-			if data != nil {
-				comp.Data[i] = data[sec*ss : (sec+1)*ss]
-			}
-			comp.OOB[i] = sliceOOB(oob, sec, d.SectorOOBSize())
-			bytes += ss
-		}
-		if err == nil && pu.cache != nil {
-			pu.cache[plane] = pageKey{plane, op.block, op.page}
-		}
-	}
-	if bytes > 0 {
-		ch.xfer.Acquire(p)
-		p.Sleep(d.xferTime(bytes))
-		ch.xfer.Release()
-	}
-}
+			t.state = tsOccNext
+			continue
 
-func sliceOOB(pageOOB []byte, sector, per int) []byte {
-	lo := sector * per
-	hi := lo + per
-	if lo >= len(pageOOB) {
-		return nil
-	}
-	if hi > len(pageOOB) {
-		hi = len(pageOOB)
-	}
-	return pageOOB[lo:hi]
-}
-
-// occupyPU charges a long flash operation against the PU. With suspension
-// enabled, the operation runs in slices and yields the PU to queued
-// commands (typically reads) between slices, resuming with a penalty.
-func (d *Device) occupyPU(p *sim.Proc, pu *punit, total time.Duration) {
-	slice := d.cfg.Timing.SuspendSlice
-	if slice <= 0 || total <= slice {
-		p.Sleep(total)
-		return
-	}
-	remaining := total
-	for remaining > 0 {
-		step := slice
-		if remaining < step {
-			step = remaining
-		}
-		p.Sleep(step)
-		remaining -= step
-		if remaining > 0 && pu.busy.QueueLen() > 0 {
-			// Suspend: let queued commands run, then resume.
-			pu.busy.Release()
-			pu.busy.Acquire(p)
-			remaining += d.cfg.Timing.SuspendPenalty
+		case tsOccReacquired:
+			t.occRemaining += d.cfg.Timing.SuspendPenalty
 			d.Stats.Suspensions++
+			t.state = tsOccNext
+			continue
+
+		case tsOccNext:
+			if t.occRemaining > 0 {
+				step := d.cfg.Timing.SuspendSlice
+				if t.occRemaining < step {
+					step = t.occRemaining
+				}
+				t.occStep = step
+				t.sleep(step, tsOccWake)
+				return
+			}
+			t.state = t.afterOcc
+			continue
 		}
 	}
 }
 
-func (d *Device) programOp(p *sim.Proc, pu *punit, cmd *Vector, op flashOp, comp *Completion, silent bool) {
-	wear := 1.0
-	for _, plane := range op.planes {
-		if w := pu.die.WearFactor(plane, op.block); w > wear {
-			wear = w
-		}
-	}
-	d.occupyPU(p, pu, time.Duration(float64(d.cfg.Timing.PageProgram)*wear))
-	d.Stats.FlashPrograms++
+// commitProgram applies one program op to the NAND media and records
+// per-address status; timing was already charged by the occupancy machine.
+func (t *puTask) commitProgram(op *flashOp) {
+	d, cmd, pu := t.d, t.cmd, t.pu
 	g := d.cfg.Geometry
+	comp := t.comp()
 	for pi, plane := range op.planes {
 		var pageData []byte
 		havePayload := false
@@ -658,7 +1026,11 @@ func (d *Device) programOp(p *sim.Proc, pu *punit, cmd *Vector, op flashOp, comp
 			}
 		}
 		if havePayload {
-			pageData = make([]byte, g.PageSize())
+			if cap(t.pageBuf) < g.PageSize() {
+				t.pageBuf = make([]byte, g.PageSize())
+			}
+			pageData = t.pageBuf[:g.PageSize()]
+			clear(pageData)
 			for _, i := range op.idx[pi] {
 				if cmd.Data != nil && cmd.Data[i] != nil {
 					copy(pageData[cmd.Addrs[i].Sector*g.SectorSize:], cmd.Data[i])
@@ -671,7 +1043,11 @@ func (d *Device) programOp(p *sim.Proc, pu *punit, cmd *Vector, op flashOp, comp
 			for _, i := range op.idx[pi] {
 				if len(cmd.OOB[i]) > 0 {
 					if pageOOB == nil {
-						pageOOB = make([]byte, g.OOBPerPage)
+						if cap(t.oobBuf) < g.OOBPerPage {
+							t.oobBuf = make([]byte, g.OOBPerPage)
+						}
+						pageOOB = t.oobBuf[:g.OOBPerPage]
+						clear(pageOOB)
 					}
 					copy(pageOOB[cmd.Addrs[i].Sector*per:], cmd.OOB[i])
 				}
@@ -685,19 +1061,15 @@ func (d *Device) programOp(p *sim.Proc, pu *punit, cmd *Vector, op flashOp, comp
 		}
 		if pu.cache != nil {
 			// Programming invalidates the read buffer for this plane.
-			delete(pu.cache, plane)
+			pu.cache[plane].ok = false
 		}
 	}
 }
 
-func (d *Device) eraseOp(p *sim.Proc, pu *punit, cmd *Vector, op flashOp, comp *Completion) {
-	wear := 1.0
-	for _, plane := range op.planes {
-		if w := pu.die.WearFactor(plane, op.block); w > wear {
-			wear = w
-		}
-	}
-	d.occupyPU(p, pu, time.Duration(float64(d.cfg.Timing.BlockErase)*wear))
+// commitErase applies one erase op to the NAND media.
+func (t *puTask) commitErase(op *flashOp) {
+	pu := t.pu
+	comp := t.comp()
 	for pi, plane := range op.planes {
 		err := pu.die.Erase(plane, op.block)
 		for _, i := range op.idx[pi] {
@@ -706,9 +1078,21 @@ func (d *Device) eraseOp(p *sim.Proc, pu *punit, cmd *Vector, op flashOp, comp *
 			}
 		}
 		if pu.cache != nil {
-			delete(pu.cache, plane)
+			pu.cache[plane].ok = false
 		}
 	}
+}
+
+func sliceOOB(pageOOB []byte, sector, per int) []byte {
+	lo := sector * per
+	hi := lo + per
+	if lo >= len(pageOOB) {
+		return nil
+	}
+	if hi > len(pageOOB) {
+		hi = len(pageOOB)
+	}
+	return pageOOB[lo:hi]
 }
 
 // FlushCMB blocks until all buffered (CMB) writes have been programmed to
@@ -728,8 +1112,8 @@ func (d *Device) FlushCMB(p *sim.Proc) {
 // must run recovery before reuse.
 func (d *Device) Crash() {
 	for _, pu := range d.pus {
-		if pu.cache != nil {
-			pu.cache = make(map[int]pageKey)
+		for i := range pu.cache {
+			pu.cache[i].ok = false
 		}
 	}
 	d.pendingCMB = 0

@@ -463,3 +463,72 @@ func TestSuspendCountsStat(t *testing.T) {
 		t.Fatal("no suspensions recorded")
 	}
 }
+
+// TestSubmitSpawnsNoGoroutines guards the continuation datapath: vector
+// reads, writes (vectored and buffered) and erases must execute without
+// starting a single simulation process — every PU sub-command is a pooled
+// state machine driven by the scheduler.
+func TestSubmitSpawnsNoGoroutines(t *testing.T) {
+	env, dev := newTestDevice(t, testConfig())
+	run(env, func(p *sim.Proc) {
+		base := env.Spawns()
+		for pu := 0; pu < 2; pu++ {
+			for page := 0; page < 8; page++ {
+				if c := writeUnit(p, dev, pu, pu, 1, page, byte(page+1)); c.Failed() {
+					t.Fatalf("write pu %d page %d failed: %v", pu, page, c.FirstErr())
+				}
+			}
+		}
+		var addrs []ppa.Addr
+		for i := 0; i < 16; i++ {
+			addrs = append(addrs, ppa.Addr{Ch: i % 2, PU: i % 2, Plane: i % 4, Block: 1, Page: i / 2, Sector: i % 4})
+		}
+		if c := dev.Do(p, &Vector{Op: OpRead, Addrs: addrs}); c.Failed() {
+			t.Fatalf("read failed: %v", c.FirstErr())
+		}
+		if c := dev.Do(p, &Vector{Op: OpErase, Addrs: []ppa.Addr{{Block: 1}}}); c.Failed() {
+			t.Fatalf("erase failed: %v", c.FirstErr())
+		}
+		bw := &Vector{Op: OpWrite, Buffered: true}
+		g := dev.Geometry()
+		for pl := 0; pl < g.PlanesPerPU; pl++ {
+			for s := 0; s < g.SectorsPerPage; s++ {
+				bw.Addrs = append(bw.Addrs, ppa.Addr{Block: 2, Plane: pl, Sector: s})
+			}
+		}
+		if c := dev.Do(p, bw); c.Failed() {
+			t.Fatalf("buffered write failed: %v", c.FirstErr())
+		}
+		dev.FlushCMB(p)
+		if got := env.Spawns(); got != base {
+			t.Fatalf("device datapath spawned %d goroutine(s); must spawn none", got-base)
+		}
+	})
+}
+
+// TestBufferedWriteErrorAfterAck reproduces the pooled-submission hazard:
+// a Buffered write acks (recycling the submission) while the task still
+// programs in the background, so a post-ack program failure must land on
+// the caller's completion — not crash or corrupt a pooled object.
+func TestBufferedWriteErrorAfterAck(t *testing.T) {
+	cfg := testConfig()
+	cfg.Media.WriteFailProb = 1.0
+	env, dev := newTestDevice(t, cfg)
+	run(env, func(p *sim.Proc) {
+		g := dev.Geometry()
+		bw := &Vector{Op: OpWrite, Buffered: true}
+		for pl := 0; pl < g.PlanesPerPU; pl++ {
+			for s := 0; s < g.SectorsPerPage; s++ {
+				bw.Addrs = append(bw.Addrs, ppa.Addr{Block: 1, Plane: pl, Sector: s})
+			}
+		}
+		c := dev.Do(p, bw)
+		if c.Failed() {
+			t.Fatal("buffered write failed at ack; programming has not happened yet")
+		}
+		dev.FlushCMB(p)
+		if !c.Failed() {
+			t.Fatal("program failure after the ack did not reach the completion")
+		}
+	})
+}

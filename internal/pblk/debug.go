@@ -77,7 +77,7 @@ func (k *Pblk) DebugState() string {
 	minValid, maxValid, pending := 1<<30, -1, 0
 	for _, g := range k.groups {
 		states[g.state]++
-		pending += len(g.pending)
+		pending += len(g.pendUnits)
 		if g.state == stClosed {
 			if g.valid < minValid {
 				minValid = g.valid

@@ -19,14 +19,20 @@ func (k *Pblk) groupOf(a ppa.Addr) *group {
 // paper's multi-plane programming chunk (e.g. 16 KB pages with quad-plane
 // programming give 64 KB units).
 func (k *Pblk) unitAddrs(g *group, unit int) []ppa.Addr {
+	return k.unitAddrsInto(make([]ppa.Addr, 0, k.unitSectors), g, unit)
+}
+
+// unitAddrsInto fills dst (reusing its capacity) with one unit's sector
+// addresses; the allocation-free form for the pooled write path.
+func (k *Pblk) unitAddrsInto(dst []ppa.Addr, g *group, unit int) []ppa.Addr {
+	dst = dst[:0]
 	ch, pu := k.fmtr.PUAddr(g.gpu)
-	addrs := make([]ppa.Addr, 0, k.unitSectors)
 	for pl := 0; pl < k.geo.PlanesPerPU; pl++ {
 		for s := 0; s < k.geo.SectorsPerPage; s++ {
-			addrs = append(addrs, ppa.Addr{Ch: ch, PU: pu, Plane: pl, Block: g.blk, Page: unit, Sector: s})
+			dst = append(dst, ppa.Addr{Ch: ch, PU: pu, Plane: pl, Block: g.blk, Page: unit, Sector: s})
 		}
 	}
-	return addrs
+	return dst
 }
 
 // dataUnits returns the number of write units available for data in a group
@@ -93,6 +99,8 @@ func (k *Pblk) returnFreeGroup(g *group) {
 	g.valid = 0
 	g.gcPending = 0
 	g.gcDone = nil
+	g.pending = nil
+	g.pendUnits = nil
 	k.freePerPU[g.gpu].put(g)
 	k.freeGroups++
 	k.rl.update(k.freeGroups)

@@ -56,6 +56,13 @@ var le = binary.LittleEndian
 // Layout in 16 bytes: lba 48 bits, stamp 48 bits, flags+magic, crc16.
 func (k *Pblk) encodeOOB(lba int64, valid bool, stamp uint64) []byte {
 	b := make([]byte, oobBytes)
+	k.encodeOOBInto(b, lba, valid, stamp)
+	return b
+}
+
+// encodeOOBInto writes one sector's OOB record into b (len >= oobBytes);
+// the allocation-free form for the pooled write-unit path.
+func (k *Pblk) encodeOOBInto(b []byte, lba int64, valid bool, stamp uint64) {
 	put48(b[0:6], encLBA(lba))
 	put48(b[6:12], stamp)
 	var flags byte = oobFlagMagic
@@ -66,8 +73,8 @@ func (k *Pblk) encodeOOB(lba int64, valid bool, stamp uint64) []byte {
 		flags |= 2
 	}
 	b[12] = flags
+	b[13] = 0
 	le.PutUint16(b[14:16], uint16(crc32.ChecksumIEEE(b[0:14])))
-	return b
 }
 
 const oobFlagMagic = 0xA0 // high nibble marks pblk-owned OOB

@@ -78,6 +78,11 @@ type Config struct {
 	// DisableRateLimiter lets characterization runs (paper §5.1 "rate-
 	// limiter disabled") bypass user-write throttling.
 	DisableRateLimiter bool
+	// SequentialRecoverScan forces mount-time scan recovery to classify
+	// groups one at a time across the whole device, instead of the default
+	// per-PU parallel scan chains. Kept for regression comparison; the two
+	// scans produce identical L2P tables.
+	SequentialRecoverScan bool
 }
 
 // Default fills unset Config fields with the paper-faithful defaults.
@@ -144,6 +149,9 @@ type Stats struct {
 	BadBlocks        int64
 	Recoveries       int64 // full scans performed at init
 	SnapshotLoads    int64
+	// RecoverScanTime is the virtual time spent in mount-time scan
+	// recovery (classify, close-meta reads, OOB scans, replay).
+	RecoverScanTime time.Duration
 }
 
 // Block-group lifecycle states.
@@ -201,10 +209,12 @@ type group struct {
 	// unitDone marks programmed units; unitFinal marks units whose entries
 	// have been finalized into the L2P.
 	unitDone, unitFinal []bool
-	// pending maps a submitted unit to the ring positions it carries,
-	// consumed when the unit finalizes.
-	pending map[int][]uint64
-	prev    int64 // previously opened group, stored in the open mark
+	// pending[unit] holds the ring positions a submitted unit carries,
+	// consumed when the unit finalizes; pendUnits lists the units with a
+	// live entry (the allocation-free replacement for the former map).
+	pending   [][]uint64
+	pendUnits []int
+	prev      int64 // previously opened group, stored in the open mark
 
 	valid int // sectors whose current L2P mapping points into this group
 	// gcPending counts in-flight GC rewrites out of this group; gcDone
@@ -323,11 +333,29 @@ type Pblk struct {
 	unitStamp uint64
 
 	// admitQ holds queue-pair writes awaiting ring admission in FIFO
-	// order; admitActive marks the admission process running (queue.go).
-	admitQ      []pendingWrite
-	admitActive bool
+	// order; admitActive marks the admission pump armed (queue.go). The
+	// pump is a continuation, not a process: admitCur/admitSector are its
+	// cursor and the bound step functions are created once.
+	admitQ       []pendingWrite
+	admitActive  bool
+	admitCur     pendingWrite
+	admitSector  int64
+	admitStepFn  func()
+	admitStartFn func()
 	// suspects queues write-failed groups for priority GC + retirement.
 	suspects []int
+
+	// Read fan-out pools (read.go): per-PU grouping scratch and the
+	// request/chunk objects of the asynchronous read path.
+	readPULists   [][]mediaSector
+	readPUOrder   []int
+	readReqFree   []*readReq
+	readChunkFree []*readChunk
+
+	// Write-path pools: vector-write scratch (write.go) and the ring
+	// entries' sector payload buffers, recycled when the tail frees them.
+	unitScratchFree []*unitScratch
+	dataBufFree     [][]byte
 
 	flushes    []flushReq
 	gcKick     *sim.Event
@@ -434,7 +462,9 @@ func New(p *sim.Proc, dev *lightnvm.Device, name string, cfg Config) (*Pblk, err
 			spare, need, cfg.ActivePUs)
 	}
 	k.l2p = make([]uint64, k.capacityLBAs)
+	k.readPULists = make([][]mediaSector, geo.TotalPUs())
 	k.rb.init(k.env, ringCap)
+	k.rb.freeEntry = k.releaseEntryData
 	k.rl = newRateLimiter(cfg, k.rb.capacity(), k.unitSectors)
 	k.gcKick = k.env.NewEvent()
 	k.gcAdmit = k.env.NewResource(1)

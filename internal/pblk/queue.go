@@ -11,6 +11,12 @@ import (
 // (paper §4.2.1, producers), and flushes ride the existing flush-barrier
 // machinery. The generic queue state machine lives in blockdev.NewQueue;
 // this file supplies the per-operation issue paths.
+//
+// Write admission is a continuation pump, not a process: the pump admits
+// sectors of the queued writes in FIFO order, and when the ring is full or
+// the rate limiter withholds entries it parks as a callback on the ring's
+// space event instead of blocking a goroutine. Steady-state queue I/O
+// therefore spawns nothing.
 
 var _ blockdev.QueueProvider = (*Pblk)(nil)
 
@@ -25,54 +31,134 @@ func (k *Pblk) OpenQueue(env *sim.Env, depth int) blockdev.Queue {
 // is exported for embedding devices (nvmedev wraps it behind its firmware
 // command handling). done runs in simulation context once the request
 // finishes; req.Err is set by then.
-func (k *Pblk) IssueAsync(req *blockdev.Request, done func()) {
+func (k *Pblk) IssueAsync(req *blockdev.Request, done func(*blockdev.Request)) {
 	switch req.Op {
 	case blockdev.ReqRead:
 		k.startRead(req.Off, req.Buf, req.Length, func(err error) {
 			req.Err = err
-			done()
+			done(req)
 		})
 	case blockdev.ReqWrite:
 		k.admitQ = append(k.admitQ, pendingWrite{req: req, done: done})
 		if !k.admitActive {
 			k.admitActive = true
-			k.env.Go("pblk."+k.name+".admit", k.admitLoop)
+			if k.admitStepFn == nil {
+				k.admitStepFn = k.admitStep
+				k.admitStartFn = k.admitStart
+			}
+			k.env.Schedule(0, k.admitStartFn)
 		}
 	case blockdev.ReqFlush:
 		k.startFlush(func(err error) {
 			req.Err = err
-			done()
+			done(req)
 		})
 	case blockdev.ReqTrim:
 		k.env.Schedule(k.cfg.HostWriteOverhead, func() {
 			req.Err = k.trimNow(req.Off, req.Length)
-			done()
+			done(req)
 		})
 	default:
-		k.env.Schedule(0, done)
+		k.env.Schedule(0, func() { done(req) })
 	}
 }
 
 // pendingWrite is one queue write awaiting ring admission.
 type pendingWrite struct {
 	req  *blockdev.Request
-	done func()
+	done func(*blockdev.Request)
 }
 
-// admitLoop is the queues' shared write-admission process: it admits
-// queued writes into the ring buffer in FIFO order — blocking on buffer
-// space and the rate limiter like any producer — and completes each write
-// on admission, before media programming (paper §4.2.1: writes are
-// acknowledged once buffered). The process exits when the backlog drains
-// and is respawned on demand.
-func (k *Pblk) admitLoop(p *sim.Proc) {
-	for len(k.admitQ) > 0 {
+// admitStart pops queued writes in FIFO order and begins admission of the
+// first admissible one: validation and the host write overhead mirror the
+// blocking Write path exactly. It runs in simulation context.
+func (k *Pblk) admitStart() {
+	for {
+		if len(k.admitQ) == 0 {
+			k.admitActive = false
+			return
+		}
 		pw := k.admitQ[0]
 		k.admitQ = k.admitQ[1:]
-		pw.req.Err = k.Write(p, pw.req.Off, pw.req.Buf, pw.req.Length)
-		pw.done()
+		k.admitCur = pw
+		if k.stopping {
+			pw.req.Err = ErrStopped
+			pw.done(pw.req)
+			continue
+		}
+		if err := blockdev.CheckRange(k, pw.req.Off, pw.req.Buf, pw.req.Length); err != nil {
+			pw.req.Err = err
+			pw.done(pw.req)
+			continue
+		}
+		k.admitSector = 0
+		k.env.Schedule(k.cfg.HostWriteOverhead, k.admitStepFn)
+		return
 	}
-	k.admitActive = false
+}
+
+// admitStep admits sectors of the current write into the ring until the
+// request completes or admission blocks; when blocked it re-arms itself on
+// the ring's space event (the continuation analogue of reserveUser's wait
+// loop) and yields to the scheduler.
+func (k *Pblk) admitStep() {
+	pw := k.admitCur
+	ss := int64(k.geo.SectorSize)
+	n := pw.req.Length / ss
+	for k.admitSector < n {
+		if k.stopping {
+			pw.req.Err = ErrStopped
+			pw.done(pw.req)
+			k.admitStart()
+			return
+		}
+		if !k.admitReady() {
+			k.rb.waitSpaceFn(k.admitStepFn)
+			return
+		}
+		i := k.admitSector
+		lba := pw.req.Off/ss + i
+		var data []byte
+		if pw.req.Buf != nil {
+			data = k.copySector(pw.req.Buf[i*ss : (i+1)*ss])
+		}
+		pos := k.produce(lba, data, false, -1)
+		k.installCacheMapping(lba, pos)
+		k.Stats.UserWrites++
+		k.admitSector++
+	}
+	k.kickWriters()
+	pw.req.Err = nil
+	pw.done(pw.req)
+	k.admitStart()
+}
+
+// admitReady is one iteration of the user-admission condition, shared by
+// the blocking producer (reserveUser) and the queue-pair admission pump:
+// true when the ring has space and the rate limiter admits another user
+// entry. On failure it has already kicked GC and the lane writers, so
+// the caller only has to park on the ring's space event.
+func (k *Pblk) admitReady() bool {
+	if !k.rebuilding {
+		quota := k.rb.capacity()
+		if !k.cfg.DisableRateLimiter {
+			quota = k.rl.userQuota
+		}
+		// Hard floor independent of the PID output: when free groups fall
+		// to the lane reserve, user I/O stops entirely until GC recovers
+		// ("user I/Os will be completely disabled until enough free blocks
+		// are available").
+		if k.freeGroups <= k.emergencyReserve() {
+			quota = 0
+			k.maybeKickGC()
+		}
+		if k.rb.free() >= 1 && k.rb.userIn < quota {
+			return true
+		}
+		k.maybeKickGC()
+	}
+	k.kickWriters()
+	return false
 }
 
 // startFlush registers a flush barrier over all data admitted so far; fin

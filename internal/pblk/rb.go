@@ -89,6 +89,9 @@ type ring struct {
 	userIn  int    // user entries currently in the ring
 	gcIn    int    // GC entries currently in the ring
 	spaceEv *sim.Event
+	// freeEntry, when set, runs as the tail frees an entry, before its
+	// data reference drops — the hook that recycles payload buffers.
+	freeEntry func(*rbEntry)
 }
 
 func (r *ring) init(env *sim.Env, capacity int) {
@@ -138,6 +141,16 @@ func (r *ring) waitSpace(p *sim.Proc) {
 	p.Wait(r.spaceEv)
 }
 
+// waitSpaceFn is the continuation form of waitSpace: fn runs once space is
+// signalled, in the same FIFO order as blocked processes. Callers re-check
+// their admission condition when fn runs.
+func (r *ring) waitSpaceFn(fn func()) {
+	if r.spaceEv == nil || r.spaceEv.Fired() {
+		r.spaceEv = r.env.NewEvent()
+	}
+	r.spaceEv.OnFire(fn)
+}
+
 func (r *ring) signalSpace() {
 	if r.spaceEv != nil {
 		r.spaceEv.Signal()
@@ -162,6 +175,9 @@ func (r *ring) advanceTail() int {
 			} else {
 				r.userIn--
 			}
+		}
+		if r.freeEntry != nil {
+			r.freeEntry(e)
 		}
 		e.data = nil
 		r.tail++

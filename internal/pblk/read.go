@@ -40,13 +40,63 @@ func (k *Pblk) startRead(off int64, buf []byte, length int64, fin func(error)) {
 	k.env.Schedule(k.cfg.HostReadOverhead, func() { k.resolveRead(off, buf, length, fin) })
 }
 
+// mediaSector is one request sector to be fetched from flash.
+type mediaSector struct {
+	sector int // index within the request
+	addr   ppa.Addr
+}
+
+// readReq is the shared context of one read request's media fan-out; the
+// last chunk completion reports the first error seen. Pooled.
+type readReq struct {
+	k           *Pblk
+	off         int64
+	buf         []byte
+	fin         func(error)
+	outstanding int
+	firstErr    error
+}
+
+// readChunk is one vector read of a request: its addresses (all on one
+// PU), the request sector index each address serves, and a completion
+// callback bound once. Pooled with its slices.
+type readChunk struct {
+	req  *readReq
+	vec  ocssd.Vector
+	sect []int
+	cbFn func(*ocssd.Completion)
+}
+
+func (k *Pblk) getReadReq() *readReq {
+	if n := len(k.readReqFree); n > 0 {
+		r := k.readReqFree[n-1]
+		k.readReqFree = k.readReqFree[:n-1]
+		return r
+	}
+	return &readReq{k: k}
+}
+
+func (k *Pblk) getReadChunk() *readChunk {
+	if n := len(k.readChunkFree); n > 0 {
+		c := k.readChunkFree[n-1]
+		k.readChunkFree = k.readChunkFree[:n-1]
+		return c
+	}
+	c := &readChunk{}
+	c.cbFn = c.onComplete
+	return c
+}
+
 // resolveRead serves each sector from the write buffer when its mapping is
 // a cacheline (paper §4.2.1: "reads are directed to the write buffer until
 // all page pairs have been persisted"), as zeros when unmapped, and from
 // media otherwise — gathered into vector reads submitted through the
 // device's asynchronous interface, which parallelizes across PUs and
-// channels. Media read failures surface as ErrReadFailed: pblk has no read
-// recovery (§4.2.3, ECC and threshold tuning live in the device).
+// channels. Media sectors are grouped per PU before chunking, so a
+// MaxVectorLen chunk never straddles PUs it doesn't need to and a long
+// read pays one command overhead per PU per 64 sectors instead of one per
+// PU per chunk. Media read failures surface as ErrReadFailed: pblk has no
+// read recovery (§4.2.3, ECC and threshold tuning live in the device).
 func (k *Pblk) resolveRead(off int64, buf []byte, length int64, fin func(error)) {
 	if k.stopping {
 		fin(ErrStopped)
@@ -55,11 +105,7 @@ func (k *Pblk) resolveRead(off int64, buf []byte, length int64, fin func(error))
 	ss := int64(k.geo.SectorSize)
 	n := int(length / ss)
 
-	type mediaSector struct {
-		sector int // index within the request
-		addr   ppa.Addr
-	}
-	var media []mediaSector
+	media := 0
 	for i := 0; i < n; i++ {
 		lba := off/ss + int64(i)
 		v := k.l2p[lba]
@@ -72,68 +118,89 @@ func (k *Pblk) resolveRead(off int64, buf []byte, length int64, fin func(error))
 				if e.data != nil {
 					copy(dst, e.data)
 				} else {
-					zero(dst)
+					clear(dst)
 				}
 			}
 		case isMedia(v):
 			k.Stats.MediaReads++
-			media = append(media, mediaSector{sector: i, addr: k.mediaAddr(v)})
+			a := k.mediaAddr(v)
+			gpu := k.fmtr.GlobalPU(a)
+			if len(k.readPULists[gpu]) == 0 {
+				k.readPUOrder = append(k.readPUOrder, gpu)
+			}
+			k.readPULists[gpu] = append(k.readPULists[gpu], mediaSector{sector: i, addr: a})
+			media++
 		default:
 			if buf != nil {
-				zero(buf[int64(i)*ss : int64(i+1)*ss])
+				clear(buf[int64(i)*ss : int64(i+1)*ss])
 			}
 		}
 		k.Stats.UserReads++
 	}
-	if len(media) == 0 {
+	if media == 0 {
 		fin(nil)
 		return
 	}
 
-	// One vector command per MaxVectorLen chunk; the completion callbacks
-	// copy data out and the last one reports the first error seen.
-	outstanding := 0
-	var firstErr error
-	for lo := 0; lo < len(media); lo += ocssd.MaxVectorLen {
-		hi := lo + ocssd.MaxVectorLen
-		if hi > len(media) {
-			hi = len(media)
-		}
-		chunk := media[lo:hi]
-		addrs := make([]ppa.Addr, len(chunk))
-		sect := make([]int, len(chunk))
-		for j, m := range chunk {
-			addrs[j] = m.addr
-			sect[j] = m.sector
-		}
-		outstanding++
-		k.dev.Submit(&ocssd.Vector{Op: ocssd.OpRead, Addrs: addrs}, func(c *ocssd.Completion) {
-			for j, si := range sect {
-				if c.Errs[j] != nil {
-					if firstErr == nil {
-						firstErr = fmt.Errorf("%w: lba %d: %v", ErrReadFailed, off/ss+int64(si), c.Errs[j])
-					}
-					continue
-				}
-				if buf != nil {
-					dst := buf[int64(si)*ss : int64(si+1)*ss]
-					if d := c.Data[j]; d != nil {
-						copy(dst, d)
-					} else {
-						zero(dst)
-					}
-				}
+	req := k.getReadReq()
+	req.off, req.buf, req.fin = off, buf, fin
+	req.outstanding, req.firstErr = 0, nil
+	for _, gpu := range k.readPUOrder {
+		list := k.readPULists[gpu]
+		for lo := 0; lo < len(list); lo += ocssd.MaxVectorLen {
+			hi := lo + ocssd.MaxVectorLen
+			if hi > len(list) {
+				hi = len(list)
 			}
-			outstanding--
-			if outstanding == 0 {
-				fin(firstErr)
+			c := k.getReadChunk()
+			c.req = req
+			for _, m := range list[lo:hi] {
+				c.vec.Addrs = append(c.vec.Addrs, m.addr)
+				c.sect = append(c.sect, m.sector)
 			}
-		})
+			c.vec.Op = ocssd.OpRead
+			req.outstanding++
+			k.dev.Submit(&c.vec, c.cbFn)
+		}
+		k.readPULists[gpu] = k.readPULists[gpu][:0]
 	}
+	k.readPUOrder = k.readPUOrder[:0]
 }
 
-func zero(b []byte) {
-	for i := range b {
-		b[i] = 0
+// onComplete copies one chunk's data out and, on the request's last
+// outstanding chunk, reports the first error. The completion and the
+// chunk return to their pools — nothing of the fan-out survives the
+// request.
+func (c *readChunk) onComplete(comp *ocssd.Completion) {
+	req := c.req
+	k := req.k
+	ss := int64(k.geo.SectorSize)
+	for j, si := range c.sect {
+		if comp.Errs[j] != nil {
+			if req.firstErr == nil {
+				req.firstErr = fmt.Errorf("%w: lba %d: %v", ErrReadFailed, req.off/ss+int64(si), comp.Errs[j])
+			}
+			continue
+		}
+		if req.buf != nil {
+			dst := req.buf[int64(si)*ss : int64(si+1)*ss]
+			if d := comp.Data[j]; d != nil {
+				copy(dst, d)
+			} else {
+				clear(dst)
+			}
+		}
+	}
+	k.dev.Recycle(comp)
+	c.req = nil
+	c.vec.Addrs = c.vec.Addrs[:0]
+	c.sect = c.sect[:0]
+	k.readChunkFree = append(k.readChunkFree, c)
+	req.outstanding--
+	if req.outstanding == 0 {
+		fin, err := req.fin, req.firstErr
+		req.buf, req.fin, req.firstErr = nil, nil, nil
+		k.readReqFree = append(k.readReqFree, req)
+		fin(err)
 	}
 }

@@ -69,6 +69,15 @@ type recSector struct {
 	lba   int64
 }
 
+// found is one data-holding group discovered by the classify phase.
+type found struct {
+	g      *group
+	seq    uint64
+	lbas   []int64
+	stamps []uint64
+	full   bool
+}
+
 // scanRecover performs the two-phase recovery: classify every group as
 // free, fully written, or partially written by reading its first and last
 // pages; gather fully written groups' FTL logs, then partially written
@@ -78,55 +87,25 @@ type recSector struct {
 // lanes AND several groups are open per PU (one per write stream, plus GC
 // victims draining), so neither group order nor classification phase
 // alone orders overwrites of the same sector correctly.
+//
+// The classify + close-meta phase keeps one vector read in flight per PU
+// (an asynchronous per-PU chain) instead of one serialized group at a
+// time across the whole device; Config.SequentialRecoverScan restores the
+// serial order, and a regression test checks both produce the same L2P.
+// Either way the virtual time spent is recorded in Stats.RecoverScanTime.
 func (k *Pblk) scanRecover(p *sim.Proc) error {
 	k.Stats.Recoveries++
-	type found struct {
-		g      *group
-		seq    uint64
-		lbas   []int64
-		stamps []uint64
-		full   bool
-	}
+	scanStart := k.env.Now()
 	var fulls, partials []found
 	var maxSeq uint64
-
-	for _, g := range k.groups {
-		switch g.state {
-		case stSys, stBad:
-			continue
-		}
-		gid, seq, _, state, err := k.classifyGroup(p, g)
-		if err != nil {
-			return err
-		}
-		switch state {
-		case stFree:
-			g.state = stFree
-			continue
-		case stBad:
-			g.state = stBad
-			k.Stats.BadBlocks++
-			continue
-		}
-		if gid != g.id {
-			// Foreign or torn metadata: reclaim the group.
-			if err := k.eraseGroupRaw(p, g); err == nil {
-				g.state = stFree
-			} else {
-				g.state = stBad
-			}
-			continue
-		}
-		g.seq = seq
-		if seq > maxSeq {
-			maxSeq = seq
-		}
-		if metaSeq, stream, lbas, stamps, ok := k.readCloseMeta(p, g); ok && metaSeq == seq {
-			g.stream = stream
-			fulls = append(fulls, found{g: g, seq: seq, lbas: lbas, stamps: stamps, full: true})
-		} else {
-			partials = append(partials, found{g: g, seq: seq})
-		}
+	var err error
+	if k.cfg.SequentialRecoverScan {
+		fulls, partials, maxSeq, err = k.classifySequential(p)
+	} else {
+		fulls, partials, maxSeq = k.classifyParallel(p)
+	}
+	if err != nil {
+		return err
 	}
 
 	var sectors []recSector
@@ -186,36 +165,281 @@ func (k *Pblk) scanRecover(p *sim.Proc) error {
 	if err := k.eraseGroupRaw(p, k.sysGroup()); err != nil && !errors.Is(err, nand.ErrBadBlock) {
 		return err
 	}
+	k.Stats.RecoverScanTime += k.env.Now() - scanStart
 	return nil
+}
+
+// classifySequential is the serial classify + close-meta phase: one group
+// at a time across the whole device, in group-id order.
+func (k *Pblk) classifySequential(p *sim.Proc) (fulls, partials []found, maxSeq uint64, err error) {
+	for _, g := range k.groups {
+		switch g.state {
+		case stSys, stBad:
+			continue
+		}
+		gid, seq, _, state := k.classifyGroup(p, g)
+		switch state {
+		case stFree:
+			g.state = stFree
+			continue
+		case stBad:
+			g.state = stBad
+			k.Stats.BadBlocks++
+			continue
+		}
+		if gid != g.id {
+			// Foreign or torn metadata: reclaim the group.
+			if err := k.eraseGroupRaw(p, g); err == nil {
+				g.state = stFree
+			} else {
+				g.state = stBad
+			}
+			continue
+		}
+		g.seq = seq
+		if seq > maxSeq {
+			maxSeq = seq
+		}
+		if metaSeq, stream, lbas, stamps, ok := k.readCloseMeta(p, g); ok && metaSeq == seq {
+			g.stream = stream
+			fulls = append(fulls, found{g: g, seq: seq, lbas: lbas, stamps: stamps, full: true})
+		} else {
+			partials = append(partials, found{g: g, seq: seq})
+		}
+	}
+	return fulls, partials, maxSeq, nil
+}
+
+// scanResult kinds recorded by the parallel classify chains.
+const (
+	srNone = iota
+	srFull
+	srPartial
+)
+
+// scanPU is one PU's classify chain: it walks the PU's groups in block
+// order with exactly one vector read in flight (classify read, close-meta
+// units, or a reclaim erase), recording per-group results. All chains run
+// concurrently in virtual time — mount-time recovery scans the device at
+// full PU parallelism — and everything executes as Submit callbacks, so
+// the scan costs no goroutines.
+type scanPU struct {
+	st     *scanState
+	groups []*group
+	gi     int
+	cur    *group
+	curSeq uint64
+	mUnit  int
+	mBuf   []byte
+}
+
+// scanState is the shared bookkeeping of one parallel classify phase.
+type scanState struct {
+	k         *Pblk
+	remaining int
+	done      *sim.Event
+	maxSeq    uint64
+	results   []struct {
+		kind   uint8
+		stream uint8
+		lbas   []int64
+		stamps []uint64
+	}
+}
+
+// classifyParallel runs the classify + close-meta phase with one chain per
+// PU, then assembles the results in group-id order so downstream phases
+// see exactly what the sequential scan produces.
+func (k *Pblk) classifyParallel(p *sim.Proc) (fulls, partials []found, maxSeq uint64) {
+	st := &scanState{k: k, done: k.env.NewEvent()}
+	st.results = make([]struct {
+		kind   uint8
+		stream uint8
+		lbas   []int64
+		stamps []uint64
+	}, len(k.groups))
+	perPU := make([][]*group, k.geo.TotalPUs())
+	for _, g := range k.groups {
+		switch g.state {
+		case stSys, stBad:
+			continue
+		}
+		perPU[g.gpu] = append(perPU[g.gpu], g)
+	}
+	var chains []*scanPU
+	for _, groups := range perPU {
+		if len(groups) == 0 {
+			continue
+		}
+		chains = append(chains, &scanPU{st: st, groups: groups})
+	}
+	st.remaining = len(chains)
+	if st.remaining == 0 {
+		return nil, nil, 0
+	}
+	for _, s := range chains {
+		s.next()
+	}
+	p.Wait(st.done)
+
+	for _, g := range k.groups {
+		r := &st.results[g.id]
+		switch r.kind {
+		case srFull:
+			g.stream = r.stream
+			fulls = append(fulls, found{g: g, seq: g.seq, lbas: r.lbas, stamps: r.stamps, full: true})
+		case srPartial:
+			partials = append(partials, found{g: g, seq: g.seq})
+		}
+	}
+	return fulls, partials, st.maxSeq
+}
+
+// next advances the chain to its next group's classify read, or retires
+// the chain.
+func (s *scanPU) next() {
+	k := s.st.k
+	if s.gi >= len(s.groups) {
+		s.st.remaining--
+		if s.st.remaining == 0 {
+			s.st.done.Signal()
+		}
+		return
+	}
+	s.cur = s.groups[s.gi]
+	s.gi++
+	addrs := k.unitAddrs(s.cur, 0)[:1]
+	k.dev.Submit(&ocssd.Vector{Op: ocssd.OpRead, Addrs: addrs}, s.onClassify)
+}
+
+func (s *scanPU) onClassify(c *ocssd.Completion) {
+	k := s.st.k
+	g := s.cur
+	gid, seq, _, state := classifyCompletion(c)
+	k.dev.Recycle(c)
+	switch state {
+	case stFree:
+		g.state = stFree
+		s.next()
+		return
+	case stBad:
+		g.state = stBad
+		k.Stats.BadBlocks++
+		s.next()
+		return
+	}
+	if gid != g.id {
+		// Foreign or torn metadata: reclaim the group.
+		ch, pu := k.fmtr.PUAddr(g.gpu)
+		addrs := make([]ppa.Addr, k.geo.PlanesPerPU)
+		for pl := range addrs {
+			addrs[pl] = ppa.Addr{Ch: ch, PU: pu, Plane: pl, Block: g.blk}
+		}
+		k.dev.Submit(&ocssd.Vector{Op: ocssd.OpErase, Addrs: addrs}, s.onReclaim)
+		return
+	}
+	g.seq = seq
+	s.curSeq = seq
+	if seq > s.st.maxSeq {
+		s.st.maxSeq = seq
+	}
+	s.mUnit = 0
+	need := k.metaUnits * k.unitSectors * k.geo.SectorSize
+	if cap(s.mBuf) < need {
+		s.mBuf = make([]byte, need)
+	}
+	s.mBuf = s.mBuf[:need]
+	clear(s.mBuf)
+	s.submitMeta()
+}
+
+func (s *scanPU) onReclaim(c *ocssd.Completion) {
+	k := s.st.k
+	g := s.cur
+	if c.Failed() {
+		g.state = stBad
+	} else {
+		g.erases++
+		k.eraseTotal++
+		g.state = stFree
+	}
+	k.dev.Recycle(c)
+	s.next()
+}
+
+// submitMeta issues the next close-metadata unit read of the current group.
+func (s *scanPU) submitMeta() {
+	k := s.st.k
+	addrs := k.unitAddrs(s.cur, k.firstMetaUnit()+s.mUnit)
+	k.dev.Submit(&ocssd.Vector{Op: ocssd.OpRead, Addrs: addrs}, s.onMeta)
+}
+
+func (s *scanPU) onMeta(c *ocssd.Completion) {
+	k := s.st.k
+	g := s.cur
+	ss := k.geo.SectorSize
+	for i := 0; i < k.unitSectors; i++ {
+		if c.Errs[i] != nil {
+			// Unreadable metadata: the group recovers as partial.
+			k.dev.Recycle(c)
+			s.st.results[g.id].kind = srPartial
+			s.next()
+			return
+		}
+		if d := c.Data[i]; d != nil {
+			copy(s.mBuf[(s.mUnit*k.unitSectors+i)*ss:], d)
+		}
+	}
+	k.dev.Recycle(c)
+	s.mUnit++
+	if s.mUnit < k.metaUnits {
+		s.submitMeta()
+		return
+	}
+	r := &s.st.results[g.id]
+	if seq, stream, lbas, stamps, ok := k.parseCloseMeta(s.mBuf); ok && seq == s.curSeq {
+		r.kind = srFull
+		r.stream = stream
+		r.lbas = lbas
+		r.stamps = stamps
+	} else {
+		r.kind = srPartial
+	}
+	s.next()
 }
 
 // classifyGroup reads a group's open mark. state is stFree for erased
 // groups, stBad for inaccessible ones, stOpen when a mark exists. A written
 // page with an unparseable mark returns gid == -1.
-func (k *Pblk) classifyGroup(p *sim.Proc, g *group) (gid int, seq uint64, prev int64, state groupState, err error) {
+func (k *Pblk) classifyGroup(p *sim.Proc, g *group) (gid int, seq uint64, prev int64, state groupState) {
 	addrs := k.unitAddrs(g, 0)[:1]
 	c := k.dev.Do(p, &ocssd.Vector{Op: ocssd.OpRead, Addrs: addrs})
+	return classifyCompletion(c)
+}
+
+// classifyCompletion interprets an open-mark read.
+func classifyCompletion(c *ocssd.Completion) (gid int, seq uint64, prev int64, state groupState) {
 	e := c.Errs[0]
 	switch {
 	case isUnwritten(e):
-		return 0, 0, 0, stFree, nil
+		return 0, 0, 0, stFree
 	case errors.Is(e, nand.ErrBadBlock):
-		return 0, 0, 0, stBad, nil
+		return 0, 0, 0, stBad
 	case errors.Is(e, nand.ErrPairIncomplete):
 		// Mark exists but pair-unreadable; extremely early crash. Treat as
 		// unparseable so the group is reclaimed.
-		return -1, 0, 0, stOpen, nil
+		return -1, 0, 0, stOpen
 	case e != nil:
-		return -1, 0, 0, stOpen, nil
+		return -1, 0, 0, stOpen
 	}
 	if c.Data[0] == nil {
-		return -1, 0, 0, stOpen, nil
+		return -1, 0, 0, stOpen
 	}
 	id, sq, pv, ok := parseOpenMark(c.Data[0])
 	if !ok {
-		return -1, 0, 0, stOpen, nil
+		return -1, 0, 0, stOpen
 	}
-	return id, sq, pv, stOpen, nil
+	return id, sq, pv, stOpen
 }
 
 // padGroupTail pads a partially written group from its watermark to the

@@ -28,7 +28,7 @@ func (k *Pblk) Write(p *sim.Proc, off int64, buf []byte, length int64) error {
 		lba := off/ss + i
 		var data []byte
 		if buf != nil {
-			data = append([]byte(nil), buf[i*ss:(i+1)*ss]...)
+			data = k.copySector(buf[i*ss : (i+1)*ss])
 		}
 		pos := k.produce(lba, data, false, -1)
 		k.installCacheMapping(lba, pos)
@@ -36,6 +36,29 @@ func (k *Pblk) Write(p *sim.Proc, off int64, buf []byte, length int64) error {
 	}
 	k.kickWriters()
 	return nil
+}
+
+// copySector stages one sector payload in a pooled buffer; the buffer
+// returns to the pool when the ring frees its entry.
+func (k *Pblk) copySector(src []byte) []byte {
+	var b []byte
+	if n := len(k.dataBufFree); n > 0 {
+		b = k.dataBufFree[n-1]
+		k.dataBufFree = k.dataBufFree[:n-1]
+	} else {
+		b = make([]byte, k.geo.SectorSize)
+	}
+	copy(b, src)
+	return b
+}
+
+// releaseEntryData recycles a freed ring entry's payload buffer. GC moves
+// carry device-owned page slices, never pooled buffers, so only user
+// payloads return to the pool.
+func (k *Pblk) releaseEntryData(e *rbEntry) {
+	if !e.isGC && e.data != nil {
+		k.dataBufFree = append(k.dataBufFree, e.data)
+	}
 }
 
 // installCacheMapping points the L2P at a fresh buffer entry, invalidating
@@ -52,28 +75,13 @@ func (k *Pblk) installCacheMapping(lba int64, pos uint64) {
 // another user entry (paper §4.2.4: "entries are reserved as a function of
 // the feedback loop"). Admission also pauses while the write lanes are
 // being rebuilt (SetActivePUs), so no entry is dispatched onto a quiescing
-// lane.
+// lane. The policy itself lives in admitReady, shared with the queue-pair
+// admission pump.
 func (k *Pblk) reserveUser(p *sim.Proc) {
 	for !k.stopping {
-		if !k.rebuilding {
-			quota := k.rb.capacity()
-			if !k.cfg.DisableRateLimiter {
-				quota = k.rl.userQuota
-			}
-			// Hard floor independent of the PID output: when free groups fall
-			// to the lane reserve, user I/O stops entirely until GC recovers
-			// ("user I/Os will be completely disabled until enough free blocks
-			// are available").
-			if k.freeGroups <= k.emergencyReserve() {
-				quota = 0
-				k.maybeKickGC()
-			}
-			if k.rb.free() >= 1 && k.rb.userIn < quota {
-				return
-			}
-			k.maybeKickGC()
+		if k.admitReady() {
+			return
 		}
-		k.kickWriters()
 		k.rb.waitSpace(p)
 	}
 }
@@ -423,6 +431,72 @@ func (s *slot) nextChunk() (chunk, bool) {
 	return c, true
 }
 
+// unitScratch is the pooled context of one vector write: the Vector, its
+// address/data/OOB slices, a per-sector OOB arena, and the bound
+// completion callback — so a steady-state unit submission allocates only
+// its pending-positions list.
+type unitScratch struct {
+	k        *Pblk
+	g        *group
+	unit     int
+	s        *slot
+	vec      ocssd.Vector
+	addrs    []ppa.Addr
+	data     [][]byte
+	oob      [][]byte
+	oobArena []byte
+	cbFn     func(*ocssd.Completion)
+}
+
+// prep sizes the scratch for one unit of n sectors on group g.
+func (u *unitScratch) prep(k *Pblk, s *slot, g *group, unit int) {
+	u.g, u.s, u.unit = g, s, unit
+	u.addrs = k.unitAddrsInto(u.addrs, g, unit)
+	n := len(u.addrs)
+	if cap(u.data) < n {
+		u.data = make([][]byte, n)
+		u.oob = make([][]byte, n)
+		u.oobArena = make([]byte, n*oobBytes)
+	}
+	u.data = u.data[:n]
+	u.oob = u.oob[:n]
+	for i := range u.data {
+		u.data[i] = nil
+		u.oob[i] = u.oobArena[i*oobBytes : (i+1)*oobBytes]
+	}
+}
+
+// submit issues the staged unit; the bound callback releases the lane
+// semaphore, runs completion handling, and recycles scratch + completion.
+func (u *unitScratch) submit() {
+	u.vec.Op = ocssd.OpWrite
+	u.vec.Addrs = u.addrs
+	u.vec.Data = u.data
+	u.vec.OOB = u.oob
+	u.k.dev.Submit(&u.vec, u.cbFn)
+}
+
+func (u *unitScratch) onProgrammed(c *ocssd.Completion) {
+	k := u.k
+	u.s.sem.Release()
+	k.onUnitProgrammed(u.g, u.unit, c)
+	k.dev.Recycle(c)
+	u.g, u.s = nil, nil
+	u.vec.Addrs, u.vec.Data, u.vec.OOB = nil, nil, nil
+	k.unitScratchFree = append(k.unitScratchFree, u)
+}
+
+func (k *Pblk) getUnitScratch() *unitScratch {
+	if n := len(k.unitScratchFree); n > 0 {
+		u := k.unitScratchFree[n-1]
+		k.unitScratchFree = k.unitScratchFree[:n-1]
+		return u
+	}
+	u := &unitScratch{k: k}
+	u.cbFn = u.onProgrammed
+	return u
+}
+
 // writeUnitOn forms one write unit on lane s from the next retry or
 // queued chunk (plus padding under flush or drain pressure), maps it onto
 // the open group of the chunk's stream, and submits the vector write. One
@@ -468,16 +542,15 @@ func (k *Pblk) writeUnitOn(p *sim.Proc, s *slot) {
 	g := s.grp[st]
 	unit := g.nextUnit
 	g.nextUnit++
-	addrs := k.unitAddrs(g, unit)
-	data := make([][]byte, len(addrs))
-	oob := make([][]byte, len(addrs))
-	poss := make([]uint64, 0, len(addrs))
-	for i := range addrs {
+	u := k.getUnitScratch()
+	u.prep(k, s, g, unit)
+	poss := make([]uint64, 0, len(u.addrs))
+	for i := range u.addrs {
 		if i >= len(c.poss) {
 			// Padding (paper: "pblk adds padding before the write
 			// command is sent to the device").
 			stamp := k.nextStamp()
-			oob[i] = k.encodeOOB(padLBA, false, stamp)
+			k.encodeOOBInto(u.oob[i], padLBA, false, stamp)
 			g.lbas = append(g.lbas, padLBA)
 			g.stamps = append(g.stamps, stamp)
 			k.Stats.PaddedSectors++
@@ -486,26 +559,28 @@ func (k *Pblk) writeUnitOn(p *sim.Proc, s *slot) {
 		}
 		e := k.rb.at(c.poss[i])
 		e.state = esSubmitted
-		e.addr = addrs[i]
-		data[i] = e.data
-		oob[i] = k.encodeOOB(e.lba, true, e.stamp)
+		e.addr = u.addrs[i]
+		u.data[i] = e.data
+		k.encodeOOBInto(u.oob[i], e.lba, true, e.stamp)
 		g.lbas = append(g.lbas, e.lba)
 		g.stamps = append(g.stamps, e.stamp)
 		poss = append(poss, e.pos)
 	}
-	if g.pending == nil {
-		g.pending = make(map[int][]uint64)
-	}
-	g.pending[unit] = poss
+	k.setPending(g, unit, poss)
 	s.unitsWritten++
-	u := unit
-	k.dev.Submit(&ocssd.Vector{Op: ocssd.OpWrite, Addrs: addrs, Data: data, OOB: oob}, func(c *ocssd.Completion) {
-		s.sem.Release()
-		k.onUnitProgrammed(g, u, c)
-	})
+	u.submit()
 	if g.nextUnit == k.firstMetaUnit() {
 		k.closeGroup(p, s, st)
 	}
+}
+
+// setPending records a submitted unit's ring positions on its group.
+func (k *Pblk) setPending(g *group, unit int, poss []uint64) {
+	if g.pending == nil {
+		g.pending = make([][]uint64, k.unitsPerGroup)
+	}
+	g.pending[unit] = poss
+	g.pendUnits = append(g.pendUnits, unit)
 }
 
 // shedTargetAtExhaustion returns another lane that can absorb a chunk of
@@ -557,28 +632,25 @@ func (k *Pblk) coverPairs(p *sim.Proc, s *slot) {
 func (k *Pblk) padUnit(p *sim.Proc, s *slot, g *group) {
 	unit := g.nextUnit
 	g.nextUnit++
-	addrs := k.unitAddrs(g, unit)
-	oob := make([][]byte, len(addrs))
+	u := k.getUnitScratch()
+	u.prep(k, s, g, unit)
 	stamp := k.nextStamp()
-	for i := range oob {
-		oob[i] = k.encodeOOB(padLBA, false, stamp)
+	for i := range u.oob {
+		k.encodeOOBInto(u.oob[i], padLBA, false, stamp)
 		g.lbas = append(g.lbas, padLBA)
 		g.stamps = append(g.stamps, stamp)
 	}
-	k.Stats.PaddedSectors += int64(len(addrs))
-	s.padded += int64(len(addrs))
+	n := int64(len(u.addrs))
+	k.Stats.PaddedSectors += n
+	s.padded += n
 	s.acquire(p)
-	u := unit
-	k.dev.Submit(&ocssd.Vector{Op: ocssd.OpWrite, Addrs: addrs, OOB: oob}, func(c *ocssd.Completion) {
-		s.sem.Release()
-		k.onUnitProgrammed(g, u, c)
-	})
+	u.submit()
 }
 
 // groupNeedsPairCover reports whether any submitted unit's pair page is
 // still unwritten.
 func (k *Pblk) groupNeedsPairCover(g *group) bool {
-	for u := range g.pending {
+	for _, u := range g.pendUnits {
 		if pair := k.pairOf(u); pair >= 0 && pair >= g.nextUnit {
 			return true
 		}
@@ -605,18 +677,28 @@ func (k *Pblk) onUnitProgrammed(g *group, unit int, c *ocssd.Completion) {
 // constraint is satisfied (paper §4.2.1: "the L2P table is not modified as
 // pages are mapped ... until all page pairs have been persisted").
 func (k *Pblk) finalizeGroup(g *group) {
-	for u, poss := range g.pending {
-		if !g.unitDone[u] || g.unitFinal[u] {
+	for i := 0; i < len(g.pendUnits); {
+		u := g.pendUnits[i]
+		if g.unitFinal[u] {
+			// Already finalized elsewhere; drop the stale entry.
+			g.pending[u] = nil
+			last := len(g.pendUnits) - 1
+			g.pendUnits[i] = g.pendUnits[last]
+			g.pendUnits = g.pendUnits[:last]
 			continue
 		}
-		if !k.unitPairCovered(g, u) {
+		if !g.unitDone[u] || !k.unitPairCovered(g, u) {
+			i++
 			continue
 		}
 		g.unitFinal[u] = true
-		for _, pos := range poss {
+		for _, pos := range g.pending[u] {
 			k.finalizeEntry(k.rb.at(pos))
 		}
-		delete(g.pending, u)
+		g.pending[u] = nil
+		last := len(g.pendUnits) - 1
+		g.pendUnits[i] = g.pendUnits[last]
+		g.pendUnits = g.pendUnits[:last]
 	}
 }
 
@@ -674,7 +756,10 @@ func (k *Pblk) checkFlushes() {
 // re-submitted ahead of buffered data on the lane covering the failed PU;
 // the block is marked suspect, drained by priority GC, and retired.
 func (k *Pblk) handleWriteError(g *group, unit int, c *ocssd.Completion) {
-	poss := g.pending[unit]
+	var poss []uint64
+	if g.pending != nil {
+		poss = g.pending[unit]
+	}
 	// Map failed vector indices back to ring entries via each entry's
 	// position in the unit's plane-major address layout.
 	failed := make([]uint64, 0, 4)

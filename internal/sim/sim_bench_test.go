@@ -1,0 +1,81 @@
+package sim
+
+import (
+	"testing"
+	"time"
+)
+
+// BenchmarkSimEngine exercises the engine primitives the device fast path
+// is built from. These are the numbers the event-queue and continuation
+// work is tuned against; CI records them in BENCH_sim.json.
+
+// BenchmarkSimEngine/schedule: raw event-queue throughput — push and pop
+// with a live heap of pending events, the hot loop of every simulation.
+func BenchmarkSimEngine(b *testing.B) {
+	b.Run("schedule", func(b *testing.B) {
+		env := NewEnv(1)
+		var fn func()
+		n := 0
+		fn = func() {
+			if n < b.N {
+				n++
+				env.Schedule(time.Microsecond, fn)
+			}
+		}
+		// Keep a backlog so heap operations see realistic depth.
+		for i := 0; i < 64; i++ {
+			d := time.Duration(i) * time.Microsecond
+			env.Schedule(d, func() {})
+		}
+		env.Schedule(0, fn)
+		b.ReportAllocs()
+		b.ResetTimer()
+		env.Run()
+	})
+
+	b.Run("resource-chain", func(b *testing.B) {
+		env := NewEnv(1)
+		r := env.NewResource(1)
+		n := 0
+		var hold func()
+		hold = func() {
+			env.Schedule(time.Microsecond, func() {
+				r.Release()
+			})
+			if n < b.N {
+				n++
+				r.AcquireFn(hold)
+			}
+		}
+		r.AcquireFn(hold)
+		b.ReportAllocs()
+		b.ResetTimer()
+		env.Run()
+	})
+
+	b.Run("event-onfire", func(b *testing.B) {
+		env := NewEnv(1)
+		b.ReportAllocs()
+		b.ResetTimer()
+		for i := 0; i < b.N; i++ {
+			ev := env.NewEvent()
+			ev.OnFire(func() {})
+			env.Schedule(time.Microsecond, ev.Signal)
+			env.RunFor(time.Microsecond)
+		}
+	})
+
+	// proc-roundtrip measures what the continuation rewrite removed: a
+	// goroutine handoff per blocking operation.
+	b.Run("proc-roundtrip", func(b *testing.B) {
+		env := NewEnv(1)
+		env.Go("bench", func(p *Proc) {
+			for i := 0; i < b.N; i++ {
+				p.Sleep(time.Microsecond)
+			}
+		})
+		b.ReportAllocs()
+		b.ResetTimer()
+		env.Run()
+	})
+}

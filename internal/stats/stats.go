@@ -7,15 +7,17 @@ package stats
 import (
 	"fmt"
 	"math"
-	"sort"
 	"time"
 )
 
 // Hist is a latency histogram with logarithmic buckets: each power of two of
 // nanoseconds is split into subBuckets linear sub-buckets, giving a relative
 // quantization error bounded by 1/subBuckets. The zero value is ready to use.
+// Counts live in a dense slice grown to the highest bucket seen (at most
+// ~3800 entries for any representable duration), so the record path is an
+// array increment instead of the map assignment it used to be.
 type Hist struct {
-	counts map[int]uint64
+	counts []uint64
 	n      uint64
 	sum    float64
 	min    time.Duration
@@ -56,12 +58,21 @@ func leadingZeros(v uint64) int {
 	return n
 }
 
+// grow ensures bucket b is addressable.
+func (h *Hist) grow(b int) {
+	if b < len(h.counts) {
+		return
+	}
+	n := make([]uint64, b+b/2+1)
+	copy(n, h.counts)
+	h.counts = n
+}
+
 // Add records one latency observation.
 func (h *Hist) Add(d time.Duration) {
-	if h.counts == nil {
-		h.counts = make(map[int]uint64)
-	}
-	h.counts[bucketOf(d)]++
+	b := bucketOf(d)
+	h.grow(b)
+	h.counts[b]++
 	h.n++
 	h.sum += float64(d)
 	if h.n == 1 || d < h.min {
@@ -77,9 +88,7 @@ func (h *Hist) Merge(other *Hist) {
 	if other == nil || other.n == 0 {
 		return
 	}
-	if h.counts == nil {
-		h.counts = make(map[int]uint64)
-	}
+	h.grow(len(other.counts) - 1)
 	for b, c := range other.counts {
 		h.counts[b] += c
 	}
@@ -126,14 +135,12 @@ func (h *Hist) Percentile(q float64) time.Duration {
 	if target == 0 {
 		target = 1
 	}
-	bs := make([]int, 0, len(h.counts))
-	for b := range h.counts {
-		bs = append(bs, b)
-	}
-	sort.Ints(bs)
 	var cum uint64
-	for _, b := range bs {
-		cum += h.counts[b]
+	for b, c := range h.counts {
+		if c == 0 {
+			continue
+		}
+		cum += c
 		if cum >= target {
 			lo := bucketLow(b)
 			if lo < h.min {
