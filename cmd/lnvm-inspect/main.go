@@ -21,6 +21,7 @@ func main() {
 	blocks := flag.Int("blocks", 1067, "blocks per plane (1067 = the paper's 2TB Westlake)")
 	lanes := flag.Bool("lanes", false, "create a pblk target, run a short write burst, and dump per-lane writer stats")
 	active := flag.Int("active", 16, "active write PUs for -lanes (must divide total PUs)")
+	targets := flag.Bool("targets", false, "create two PU-partitioned pblk targets, run a burst on each, and dump the partition map with per-target stats")
 	flag.Parse()
 
 	env := sim.NewEnv(1)
@@ -64,49 +65,144 @@ func main() {
 			os.Exit(1)
 		}
 	}
+	if *targets {
+		if err := inspectTargets(env, ln); err != nil {
+			fmt.Fprintln(os.Stderr, "error:", err)
+			os.Exit(1)
+		}
+	}
 }
 
-// inspectLanes instantiates a pblk target, pushes a short QD-free write
-// burst through it, and prints the per-lane writer shards — the operator
-// view of the sharded write datapath (queue depth high-water, semaphore
-// stalls, padding, PU rotation position).
+// burst pushes a short write burst through a pblk target so its lane and
+// GC counters show real activity.
+func burst(p *sim.Proc, env *sim.Env, k *pblk.Pblk) (int64, time.Duration, error) {
+	const chunk = 256 * 1024
+	span := k.Capacity() / 8 / chunk * chunk
+	start := env.Now()
+	for off := int64(0); off < span; off += chunk {
+		if err := k.Write(p, off, nil, chunk); err != nil {
+			return 0, 0, fmt.Errorf("write: %w", err)
+		}
+	}
+	if err := k.Flush(p); err != nil {
+		return 0, 0, fmt.Errorf("flush: %w", err)
+	}
+	return span, env.Now() - start, nil
+}
+
+// printTargetPanel dumps one pblk target's operator view: its PU range,
+// per-lane writer shards, and GC watermarks.
+func printTargetPanel(k *pblk.Pblk, span int64, elapsed time.Duration) {
+	fmt.Printf("\ntarget %s: PU range %v (%d PUs, %d active), capacity %.1f GB\n",
+		k.TargetName(), k.Partition(), k.Partition().Width(), k.ActivePUs(),
+		float64(k.Capacity())/1e9)
+	if elapsed > 0 {
+		fmt.Printf("  burst: %d MB in %v (%.0f MB/s)\n",
+			span>>20, elapsed.Round(time.Microsecond), float64(span)/1e6/elapsed.Seconds())
+	}
+	fmt.Printf("  %-5s %-9s %-6s %-6s %-6s %-6s %-10s %-7s %-7s %-7s\n",
+		"lane", "pu span", "curPU", "queue", "gcq", "peak", "units", "stalls", "waits", "padded")
+	for _, s := range k.LaneStats() {
+		fmt.Printf("  %-5d %-9s %-6d %-6d %-6d %-6d %-10d %-7d %-7d %-7d\n",
+			s.Lane, fmt.Sprintf("[%d,%d)", s.PULo, s.PUHi),
+			s.CurPU, s.QueueDepth, s.GCQueueDepth, s.PeakDepth, s.UnitsWritten, s.SemStalls, s.Waits, s.Padded)
+	}
+	floor, gcStart, gcStop := k.GCWatermarks()
+	fmt.Printf("  gc: moved=%d sectors, recycled=%d groups, lost=%d, peak in flight=%d,\n",
+		k.Stats.GCMovedSectors, k.Stats.GCBlocksRecycled, k.Stats.GCLostSectors, k.Stats.GCPeakInFlight)
+	fmt.Printf("      free groups=%d (floor %d, start %d, stop %d)\n",
+		k.FreeGroups(), floor, gcStart, gcStop)
+}
+
+// printPartitionMap renders the device-level partition table: every
+// recorded PU range, who holds it, and the unclaimed remainder.
+func printPartitionMap(ln *lightnvm.Device) {
+	total := ln.Geometry().TotalPUs()
+	fmt.Printf("\npartition map (%d PUs):\n", total)
+	parts := ln.Partitions()
+	next := 0
+	for _, pt := range parts {
+		if pt.Range.Begin > next {
+			fmt.Printf("  [%4d,%4d)  <free>\n", next, pt.Range.Begin)
+		}
+		state := "active"
+		switch {
+		case pt.Creating:
+			state = "creating"
+		case !pt.Active:
+			state = "recorded, unmounted"
+		}
+		fmt.Printf("  %11s  %-12s %s\n", pt.Range, pt.Name, state)
+		if pt.Range.End > next {
+			next = pt.Range.End
+		}
+	}
+	if next < total {
+		fmt.Printf("  [%4d,%4d)  <free>\n", next, total)
+	}
+	if len(parts) == 0 {
+		fmt.Println("  (no partitions recorded)")
+	}
+}
+
+// inspectTargets mounts two PU-partitioned pblk targets — the media
+// manager's multi-tenant mode — runs a short burst on each, and prints
+// the partition map plus each target's lane/GC panel.
+func inspectTargets(env *sim.Env, ln *lightnvm.Device) error {
+	var out error
+	env.Go("targets", func(p *sim.Proc) {
+		total := ln.Geometry().TotalPUs()
+		half := total / 2
+		ranges := []lightnvm.PURange{{Begin: 0, End: half}, {Begin: half, End: total}}
+		names := []string{"pblk-a", "pblk-b"}
+		var ks []*pblk.Pblk
+		for i, name := range names {
+			tgt, err := ln.CreateTarget(p, "pblk", name, ranges[i], pblk.Config{})
+			if err != nil {
+				out = err
+				return
+			}
+			ks = append(ks, tgt.(*pblk.Pblk))
+		}
+		printPartitionMap(ln)
+		for _, k := range ks {
+			span, elapsed, err := burst(p, env, k)
+			if err != nil {
+				out = err
+				return
+			}
+			printTargetPanel(k, span, elapsed)
+		}
+		for _, name := range names {
+			if err := ln.RemoveTarget(p, name); err != nil {
+				out = fmt.Errorf("remove %s: %w", name, err)
+				return
+			}
+		}
+	})
+	env.Run()
+	return out
+}
+
+// inspectLanes instantiates a full-device pblk target, pushes a short
+// QD-free write burst through it, and prints the per-lane writer shards —
+// the operator view of the sharded write datapath (queue depth high-water,
+// semaphore stalls, padding, PU rotation position).
 func inspectLanes(env *sim.Env, ln *lightnvm.Device, active int) error {
 	var out error
 	env.Go("lanes", func(p *sim.Proc) {
-		tgt, err := ln.CreateTarget(p, "pblk", "pblk0", pblk.Config{ActivePUs: active})
+		tgt, err := ln.CreateTarget(p, "pblk", "pblk0", lightnvm.PURange{}, pblk.Config{ActivePUs: active})
 		if err != nil {
 			out = err
 			return
 		}
 		k := tgt.(*pblk.Pblk)
-		const chunk = 256 * 1024
-		span := k.Capacity() / 8 / chunk * chunk
-		start := env.Now()
-		for off := int64(0); off < span; off += chunk {
-			if err := k.Write(p, off, nil, chunk); err != nil {
-				out = fmt.Errorf("write: %w", err)
-				return
-			}
-		}
-		if err := k.Flush(p); err != nil {
-			out = fmt.Errorf("flush: %w", err)
+		span, elapsed, err := burst(p, env, k)
+		if err != nil {
+			out = err
 			return
 		}
-		elapsed := env.Now() - start
-		fmt.Printf("\npblk lane stats after writing %d MB in %v (%.0f MB/s, %d active PUs):\n",
-			span>>20, elapsed.Round(time.Microsecond), float64(span)/1e6/elapsed.Seconds(), k.ActivePUs())
-		fmt.Printf("%-5s %-9s %-6s %-6s %-6s %-6s %-10s %-7s %-7s %-7s\n",
-			"lane", "pu span", "curPU", "queue", "gcq", "peak", "units", "stalls", "waits", "padded")
-		for _, s := range k.LaneStats() {
-			fmt.Printf("%-5d %-9s %-6d %-6d %-6d %-6d %-10d %-7d %-7d %-7d\n",
-				s.Lane, fmt.Sprintf("[%d,%d)", s.PULo, s.PUHi),
-				s.CurPU, s.QueueDepth, s.GCQueueDepth, s.PeakDepth, s.UnitsWritten, s.SemStalls, s.Waits, s.Padded)
-		}
-		floor, gcStart, gcStop := k.GCWatermarks()
-		fmt.Printf("\ngc: moved=%d sectors, recycled=%d groups, lost=%d sectors (unreadable during moves),\n",
-			k.Stats.GCMovedSectors, k.Stats.GCBlocksRecycled, k.Stats.GCLostSectors)
-		fmt.Printf("    peak victims in flight=%d, free groups=%d (floor %d, start %d, stop %d)\n",
-			k.Stats.GCPeakInFlight, k.FreeGroups(), floor, gcStart, gcStop)
+		printTargetPanel(k, span, elapsed)
 		if err := ln.RemoveTarget(p, "pblk0"); err != nil {
 			out = fmt.Errorf("remove: %w", err)
 		}

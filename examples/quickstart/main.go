@@ -35,7 +35,7 @@ func main() {
 	env.Go("main", func(p *sim.Proc) {
 		// 3. Create a pblk target: a full host-side FTL exposing the SSD
 		//    as a block device (the `nvm create -t pblk` analogue).
-		tgt, err := ln.CreateTarget(p, "pblk", "pblk0", pblk.Config{})
+		tgt, err := ln.CreateTarget(p, "pblk", "pblk0", lightnvm.PURange{}, pblk.Config{})
 		if err != nil {
 			log.Fatal(err)
 		}

@@ -59,6 +59,51 @@ func forEachDevice(t *testing.T, fn func(t *testing.T, env *sim.Env, p *sim.Proc
 		})
 		env.Run()
 	})
+	// Two pblk targets partitioned over one device (2 PUs each), with the
+	// per-PU owner guard armed: the full conformance contract must hold
+	// per-target while the sibling tenant is mounted, and no command may
+	// cross the partition boundary.
+	t.Run("pblk-partitioned", func(t *testing.T) {
+		env := sim.NewEnv(4)
+		m := nand.DefaultConfig()
+		m.PECycleLimit = 0
+		m.WearLatencyFactor = 0
+		raw, err := ocssd.New(env, ocssd.Config{
+			Geometry: ppa.Geometry{
+				Channels: 2, PUsPerChannel: 2, PlanesPerPU: 2,
+				BlocksPerPlane: 40, PagesPerBlock: 32,
+				SectorsPerPage: 4, SectorSize: 4096, OOBPerPage: 64,
+			},
+			Timing: ocssd.DefaultTiming(), Media: m, PageCache: true, Seed: 5,
+		})
+		if err != nil {
+			t.Fatal(err)
+		}
+		ln := lightnvm.Register("conf-mt", raw)
+		ln.EnableOwnerGuard()
+		env.Go("main", func(p *sim.Proc) {
+			cfg := pblk.Config{ActivePUs: 2, OverProvision: 0.3}
+			a, err := ln.CreateTarget(p, "pblk", "a", lightnvm.PURange{Begin: 0, End: 2}, cfg)
+			if err != nil {
+				panic(err)
+			}
+			b, err := ln.CreateTarget(p, "pblk", "b", lightnvm.PURange{Begin: 2, End: 4}, cfg)
+			if err != nil {
+				panic(err)
+			}
+			for _, tgt := range []lightnvm.Target{a, b} {
+				k := tgt.(*pblk.Pblk)
+				t.Run(k.TargetName(), func(t *testing.T) { fn(t, env, p, k) })
+			}
+			if err := ln.RemoveTarget(p, "a"); err != nil {
+				panic(err)
+			}
+			if err := ln.RemoveTarget(p, "b"); err != nil {
+				panic(err)
+			}
+		})
+		env.Run()
+	})
 	t.Run("nvmedev", func(t *testing.T) {
 		env := sim.NewEnv(3)
 		cfg := nvmedev.DefaultConfig(24)

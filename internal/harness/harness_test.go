@@ -8,7 +8,7 @@ import (
 )
 
 func TestRegistryComplete(t *testing.T) {
-	want := []string{"table1", "overhead", "fig4", "fig5", "fig6", "fig7", "fig8", "lanes", "wa",
+	want := []string{"table1", "overhead", "fig4", "fig5", "fig6", "fig7", "fig8", "lanes", "wa", "tenants",
 		"ablate-pagecache", "ablate-vector", "ablate-buffering", "ablate-gc-rl", "ablate-inflight"}
 	for _, id := range want {
 		if _, ok := ByID(id); !ok {
@@ -113,5 +113,22 @@ func TestAblateVector(t *testing.T) {
 	out := buf.String()
 	if !strings.Contains(out, "vectored") || !strings.Contains(out, "serial") {
 		t.Fatalf("missing rows:\n%s", out)
+	}
+}
+
+func TestTenantsQuick(t *testing.T) {
+	e, ok := ByID("tenants")
+	if !ok {
+		t.Fatal("tenants experiment not registered")
+	}
+	var buf bytes.Buffer
+	if err := e.Run(Options{Quick: true}, &buf); err != nil {
+		t.Fatal(err)
+	}
+	out := buf.String()
+	for _, want := range []string{"solo", "partitioned", "shared", "read p99"} {
+		if !strings.Contains(out, want) {
+			t.Fatalf("tenants output missing %q:\n%s", want, out)
+		}
 	}
 }

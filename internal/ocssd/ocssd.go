@@ -151,6 +151,10 @@ type Vector struct {
 	// programming proceeds asynchronously (flushed by FlushCMB). This is
 	// the paper's §2.3 lesson-3 device-buffering mode.
 	Buffered bool
+	// Tag identifies the submitter for the optional per-PU owner guard
+	// (SetPUOwner). lightnvm.MediaView stamps it with the target instance
+	// name; it has no effect unless a touched PU carries an owner tag.
+	Tag string
 }
 
 // Completion reports the outcome of a vector command.
@@ -237,6 +241,11 @@ type Device struct {
 	compFree []*Completion
 	taskOf   []*puTask // per-PU scratch used during one Submit call
 	puOrder  []int     // scratch: PUs touched by the current Submit
+
+	// ownerTags, when non-nil, holds a per-PU owner tag; Submit panics on
+	// any vector whose Tag differs from a touched PU's tag (debug guard
+	// for partition-translation bugs). nil (the default) costs one branch.
+	ownerTags []string
 
 	Stats Stats
 }
@@ -348,6 +357,40 @@ func (d *Device) validate(cmd *Vector) error {
 		}
 	}
 	return nil
+}
+
+// SetPUOwner tags a global PU with an owner: any subsequent Submit whose
+// vector touches the PU with a different (or empty) Tag panics. This is a
+// debug guard — tests enable it (directly or via the lightnvm owner
+// guard) so a command that escapes its partition, e.g. through a
+// relative→global translation bug, fails loudly at the device boundary
+// instead of silently corrupting a neighbour. An empty tag clears the PU.
+func (d *Device) SetPUOwner(globalPU int, tag string) {
+	if d.ownerTags == nil {
+		if tag == "" {
+			return
+		}
+		d.ownerTags = make([]string, d.cfg.Geometry.TotalPUs())
+	}
+	d.ownerTags[globalPU] = tag
+}
+
+// ClearPUOwner removes a PU's owner tag.
+func (d *Device) ClearPUOwner(globalPU int) {
+	if d.ownerTags != nil {
+		d.ownerTags[globalPU] = ""
+	}
+}
+
+// checkOwners enforces the per-PU owner guard on a validated command.
+func (d *Device) checkOwners(cmd *Vector) {
+	for _, a := range cmd.Addrs {
+		gpu := d.fmtr.GlobalPU(a)
+		if t := d.ownerTags[gpu]; t != "" && t != cmd.Tag {
+			panic(fmt.Sprintf("ocssd: %v %v touches pu %d owned by %q (submitter tag %q)",
+				cmd.Op, a, gpu, t, cmd.Tag))
+		}
+	}
 }
 
 // flashOp is one media operation: a page read/program or block erase,
@@ -472,6 +515,9 @@ func (d *Device) Submit(cmd *Vector, done func(*Completion)) {
 		comp.Done = d.env.Now()
 		d.env.Schedule(0, func() { done(comp) })
 		return
+	}
+	if d.ownerTags != nil {
+		d.checkOwners(cmd)
 	}
 	switch cmd.Op {
 	case OpRead:
@@ -1118,4 +1164,16 @@ func (d *Device) Crash() {
 	}
 	d.pendingCMB = 0
 	d.cmbDrained = nil
+}
+
+// CrashPUs drops the volatile controller state (page caches) of the
+// global PU range [begin, end) only, the partition-scoped form of Crash
+// used when one tenant of a shared device power-fails its view.
+func (d *Device) CrashPUs(begin, end int) {
+	for gpu := begin; gpu < end && gpu < len(d.pus); gpu++ {
+		pu := d.pus[gpu]
+		for i := range pu.cache {
+			pu.cache[i].ok = false
+		}
+	}
 }

@@ -63,6 +63,7 @@ func (k *Pblk) retryCount() int {
 // Intended for diagnostics and tests; the format is not stable.
 func (k *Pblk) DebugState() string {
 	var b strings.Builder
+	fmt.Fprintf(&b, "partition=%v (%d PUs, lanes relative)\n", k.dev.Range(), k.nPUs)
 	fmt.Fprintf(&b, "free=%d/%d spare=%d gcStart=%d gcStop=%d gcActive=%v gcInFlight=%d/%d rlIdle=%v quota=%d emergency=%d\n",
 		k.freeGroups, k.usableGroups, k.spareGroups(), k.gcStartGroups(), k.gcStopGroups(),
 		k.gcActive, k.gcInFlight, k.cfg.GCPipelineDepth, k.rl.idle, k.rl.userQuota, k.emergencyReserve())

@@ -416,7 +416,7 @@ func (k *Pblk) recycle(p *sim.Proc, g *group, retire bool) {
 		k.notifyState()
 		return
 	}
-	ch, pu := k.fmtr.PUAddr(g.gpu)
+	ch, pu := k.dev.PUAddr(g.gpu)
 	addrs := make([]ppa.Addr, k.geo.PlanesPerPU)
 	for pl := range addrs {
 		addrs[pl] = ppa.Addr{Ch: ch, PU: pu, Plane: pl, Block: g.blk}
@@ -561,6 +561,6 @@ func (k *Pblk) sectorAddr(g *group, dataIdx int) ppa.Addr {
 	within := dataIdx % k.unitSectors
 	plane := within / k.geo.SectorsPerPage
 	sector := within % k.geo.SectorsPerPage
-	ch, pu := k.fmtr.PUAddr(g.gpu)
+	ch, pu := k.dev.PUAddr(g.gpu)
 	return ppa.Addr{Ch: ch, PU: pu, Plane: plane, Block: g.blk, Page: unit, Sector: sector}
 }

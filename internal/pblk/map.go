@@ -8,10 +8,12 @@ import (
 	"repro/internal/sim"
 )
 
-// groupOf returns the group containing address a.
+// groupOf returns the group containing address a. The group table is
+// indexed by partition-relative PU, so the device-global PU of a is
+// translated through the media view first.
 func (k *Pblk) groupOf(a ppa.Addr) *group {
-	gpu := k.fmtr.GlobalPU(a)
-	return k.groups[gpu*k.geo.BlocksPerPlane+a.Block]
+	rel := k.dev.RelativePU(k.fmtr.GlobalPU(a))
+	return k.groups[rel*k.geo.BlocksPerPlane+a.Block]
 }
 
 // unitAddrs lists the sector addresses of one write unit: page `unit` on
@@ -26,7 +28,7 @@ func (k *Pblk) unitAddrs(g *group, unit int) []ppa.Addr {
 // addresses; the allocation-free form for the pooled write path.
 func (k *Pblk) unitAddrsInto(dst []ppa.Addr, g *group, unit int) []ppa.Addr {
 	dst = dst[:0]
-	ch, pu := k.fmtr.PUAddr(g.gpu)
+	ch, pu := k.dev.PUAddr(g.gpu)
 	for pl := 0; pl < k.geo.PlanesPerPU; pl++ {
 		for s := 0; s < k.geo.SectorsPerPage; s++ {
 			dst = append(dst, ppa.Addr{Ch: ch, PU: pu, Plane: pl, Block: g.blk, Page: unit, Sector: s})

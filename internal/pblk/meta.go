@@ -450,7 +450,7 @@ func (k *Pblk) writeSnapshot(p *sim.Proc) error {
 	}
 	// Erase, then program sequentially.
 	g := k.sysGroup()
-	ch, pu := k.fmtr.PUAddr(g.gpu)
+	ch, pu := k.dev.PUAddr(g.gpu)
 	eraseAddrs := make([]ppa.Addr, k.geo.PlanesPerPU)
 	for pl := range eraseAddrs {
 		eraseAddrs[pl] = ppa.Addr{Ch: ch, PU: pu, Plane: pl, Block: g.blk}
@@ -512,7 +512,7 @@ func (k *Pblk) loadSnapshot(p *sim.Proc) bool {
 	}
 	// Invalidate: future recoveries must not trust this snapshot.
 	g := k.sysGroup()
-	ch, pu := k.fmtr.PUAddr(g.gpu)
+	ch, pu := k.dev.PUAddr(g.gpu)
 	eraseAddrs := make([]ppa.Addr, k.geo.PlanesPerPU)
 	for pl := range eraseAddrs {
 		eraseAddrs[pl] = ppa.Addr{Ch: ch, PU: pu, Plane: pl, Block: g.blk}

@@ -191,7 +191,7 @@ func (s groupState) String() string {
 // erased and programmed together (multi-plane operation unit).
 type group struct {
 	id     int
-	gpu    int // global PU
+	gpu    int // partition-relative PU (the media view translates to global)
 	blk    int // block index within each plane
 	state  groupState
 	seq    uint64 // allocation sequence number, for recovery ordering
@@ -292,12 +292,20 @@ type flushReq struct {
 
 // Pblk is a pblk target instance. It implements blockdev.Device and
 // lightnvm.Target. All methods must be called from simulation context.
+//
+// A pblk instance owns a partition of the device — a contiguous PU range
+// wrapped in a lightnvm.MediaView — and every PU index inside pblk (group
+// table, lane spans, read fan-out, recovery scan) is partition-relative:
+// 0..nPUs-1. The view translates to device-global PUs at the submission
+// boundary and rejects any address outside the partition, so several pblk
+// instances coexist on one device without seeing each other's media.
 type Pblk struct {
 	name string
 	env  *sim.Env
-	dev  *ocssd.Device
+	dev  *lightnvm.MediaView
 	fmtr ppa.Format
 	geo  ppa.Geometry
+	nPUs int // parallel units in this instance's partition
 	cfg  Config
 
 	unitSectors   int // sectors per write unit (planes * sectors/page)
@@ -395,7 +403,7 @@ var _ blockdev.Device = (*Pblk)(nil)
 var _ lightnvm.Target = (*Pblk)(nil)
 
 func init() {
-	lightnvm.RegisterTargetType("pblk", func(p *sim.Proc, dev *lightnvm.Device, name string, cfg any) (lightnvm.Target, error) {
+	lightnvm.RegisterTargetType("pblk", func(p *sim.Proc, view *lightnvm.MediaView, name string, cfg any) (lightnvm.Target, error) {
 		var c Config
 		switch v := cfg.(type) {
 		case nil:
@@ -406,32 +414,47 @@ func init() {
 		default:
 			return nil, fmt.Errorf("pblk: config must be pblk.Config, got %T", cfg)
 		}
-		return New(p, dev, name, c)
+		return NewView(p, view, name, c)
 	})
 }
 
-// New creates a pblk instance on dev, running recovery (snapshot load or
-// two-phase scan) before returning. It must be called from simulation
-// context because recovery performs device I/O.
+// New creates a pblk instance over the whole device, running recovery
+// (snapshot load or two-phase scan) before returning. It must be called
+// from simulation context because recovery performs device I/O. For a
+// partitioned instance sharing the device with other targets, create it
+// through Device.CreateTarget with a PU range (which also reserves the
+// range) or call NewView directly.
 func New(p *sim.Proc, dev *lightnvm.Device, name string, cfg Config) (*Pblk, error) {
+	view, err := dev.View(name, lightnvm.PURange{})
+	if err != nil {
+		return nil, err
+	}
+	return NewView(p, view, name, cfg)
+}
+
+// NewView creates a pblk instance on a media view — the partition of the
+// device this instance owns. All of the instance's state (group table,
+// lanes, L2P, recovery) is confined to the view's PU range.
+func NewView(p *sim.Proc, view *lightnvm.MediaView, name string, cfg Config) (*Pblk, error) {
 	cfg = Default(cfg)
-	raw := dev.Raw()
-	geo := raw.Geometry()
+	geo := view.Geometry()
+	nPUs := view.PUs()
 	if cfg.ActivePUs == 0 {
-		cfg.ActivePUs = geo.TotalPUs()
+		cfg.ActivePUs = nPUs
 	}
-	if cfg.ActivePUs < 1 || cfg.ActivePUs > geo.TotalPUs() {
-		return nil, fmt.Errorf("pblk: ActivePUs %d outside [1,%d]", cfg.ActivePUs, geo.TotalPUs())
+	if cfg.ActivePUs < 1 || cfg.ActivePUs > nPUs {
+		return nil, fmt.Errorf("pblk: ActivePUs %d outside [1,%d]", cfg.ActivePUs, nPUs)
 	}
-	if geo.TotalPUs()%cfg.ActivePUs != 0 {
-		return nil, fmt.Errorf("pblk: ActivePUs %d must divide total PUs %d", cfg.ActivePUs, geo.TotalPUs())
+	if nPUs%cfg.ActivePUs != 0 {
+		return nil, fmt.Errorf("pblk: ActivePUs %d must divide partition PUs %d", cfg.ActivePUs, nPUs)
 	}
 	k := &Pblk{
 		name: name,
-		env:  dev.Env(),
-		dev:  raw,
-		fmtr: raw.Format(),
+		env:  view.Env(),
+		dev:  view,
+		fmtr: view.Format(),
 		geo:  geo,
+		nPUs: nPUs,
 		cfg:  cfg,
 	}
 	k.unitSectors = geo.PlanesPerPU * geo.SectorsPerPage
@@ -441,10 +464,10 @@ func New(p *sim.Proc, dev *lightnvm.Device, name string, cfg Config) (*Pblk, err
 		return nil, fmt.Errorf("pblk: geometry too small: %d units/group, need %d metadata units plus open mark and data", k.unitsPerGroup, k.metaUnits)
 	}
 	k.dataSectors = (k.unitsPerGroup - 1 - k.metaUnits) * k.unitSectors
-	if raw.SectorOOBSize() < oobBytes {
-		return nil, fmt.Errorf("pblk: per-sector OOB %dB too small, need %dB for L2P metadata", raw.SectorOOBSize(), oobBytes)
+	if view.SectorOOBSize() < oobBytes {
+		return nil, fmt.Errorf("pblk: per-sector OOB %dB too small, need %dB for L2P metadata", view.SectorOOBSize(), oobBytes)
 	}
-	media := raw.Identify().Media
+	media := view.Identify().Media
 	k.pairStride = media.PairStride
 	k.strictPair = media.StrictPairRead
 	k.lastOpened = -1
@@ -454,7 +477,7 @@ func New(p *sim.Proc, dev *lightnvm.Device, name string, cfg Config) (*Pblk, err
 	// the ring backlog), open groups on every lane (one per stream), and
 	// hysteresis slack — or user admission can freeze permanently at
 	// capacity below a floor the device cannot climb back over.
-	ringCap := k.unitSectors * cfg.BufferPairDepth * geo.TotalPUs()
+	ringCap := k.unitSectors * cfg.BufferPairDepth * nPUs
 	reserveGroups := (ringCap+k.dataSectors-1)/k.dataSectors + 4
 	spare := int64(k.usableGroups)*int64(k.dataSectors) - k.capacityLBAs
 	if need := int64(reserveGroups+2*cfg.ActivePUs+2) * int64(k.dataSectors); spare < need {
@@ -462,7 +485,7 @@ func New(p *sim.Proc, dev *lightnvm.Device, name string, cfg Config) (*Pblk, err
 			spare, need, cfg.ActivePUs)
 	}
 	k.l2p = make([]uint64, k.capacityLBAs)
-	k.readPULists = make([][]mediaSector, geo.TotalPUs())
+	k.readPULists = make([][]mediaSector, nPUs)
 	k.rb.init(k.env, ringCap)
 	k.rb.freeEntry = k.releaseEntryData
 	k.rl = newRateLimiter(cfg, k.rb.capacity(), k.unitSectors)
@@ -484,10 +507,12 @@ func New(p *sim.Proc, dev *lightnvm.Device, name string, cfg Config) (*Pblk, err
 	return k, nil
 }
 
-// initGroups builds the group table and free lists. Group 0 on PU 0 is the
-// reserved snapshot area.
+// initGroups builds the group table and free lists. Group 0 on the
+// partition's PU 0 is the reserved snapshot area — each partition carries
+// its own snapshot, so co-resident instances persist independently. All
+// PU indices here are partition-relative.
 func (k *Pblk) initGroups() {
-	nPU := k.geo.TotalPUs()
+	nPU := k.nPUs
 	perPU := k.geo.BlocksPerPlane
 	k.groups = make([]*group, nPU*perPU)
 	k.freePerPU = make([]freeHeap, nPU)
@@ -545,10 +570,11 @@ func (k *Pblk) pairOf(unit int) int {
 	return -1
 }
 
-// buildSlots partitions the PU space over ActivePUs write lanes.
+// buildSlots partitions the instance's PU space over ActivePUs write
+// lanes; lane spans are partition-relative.
 func (k *Pblk) buildSlots() {
 	n := k.cfg.ActivePUs
-	total := k.geo.TotalPUs()
+	total := k.nPUs
 	span := total / n
 	k.slots = make([]*slot, n)
 	for i := range k.slots {
@@ -605,8 +631,15 @@ func (k *Pblk) Capacity() int64 { return k.capacityLBAs * int64(k.geo.SectorSize
 // ActivePUs returns the current number of active write PUs.
 func (k *Pblk) ActivePUs() int { return k.cfg.ActivePUs }
 
-// Device returns the underlying open-channel device.
-func (k *Pblk) Device() *ocssd.Device { return k.dev }
+// Device returns the underlying open-channel device (shared with any
+// co-resident targets).
+func (k *Pblk) Device() *ocssd.Device { return k.dev.Raw() }
+
+// Partition returns the global PU range this instance owns.
+func (k *Pblk) Partition() lightnvm.PURange { return k.dev.Range() }
+
+// MediaView returns the partition view the instance performs I/O through.
+func (k *Pblk) MediaView() *lightnvm.MediaView { return k.dev }
 
 // FreeGroups returns the number of free (erased) block groups, the GC
 // feedback signal.
@@ -619,7 +652,7 @@ func (k *Pblk) FreeGroups() int { return k.freeGroups }
 // rebuilt lanes start on fresh blocks; queued traffic resumes against the
 // new writer set afterwards.
 func (k *Pblk) SetActivePUs(p *sim.Proc, n int) error {
-	if n < 1 || n > k.geo.TotalPUs() || k.geo.TotalPUs()%n != 0 {
+	if n < 1 || n > k.nPUs || k.nPUs%n != 0 {
 		return fmt.Errorf("pblk: invalid active PU count %d", n)
 	}
 	if k.stopping {

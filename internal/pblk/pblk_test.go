@@ -520,14 +520,14 @@ func TestStopRejectsFurtherIO(t *testing.T) {
 func TestLightNVMTargetLifecycle(t *testing.T) {
 	e := newEnv(t, testDeviceConfig())
 	e.run(func(p *sim.Proc) {
-		tgt, err := e.lnvm.CreateTarget(p, "pblk", "pblk0", Config{ActivePUs: 4})
+		tgt, err := e.lnvm.CreateTarget(p, "pblk", "pblk0", lightnvm.PURange{}, Config{ActivePUs: 4})
 		if err != nil {
 			t.Fatal(err)
 		}
 		if got := e.lnvm.Targets(); len(got) != 1 || got[0] != "pblk0" {
 			t.Fatalf("targets = %v", got)
 		}
-		if _, err := e.lnvm.CreateTarget(p, "pblk", "pblk0", Config{ActivePUs: 4}); err == nil {
+		if _, err := e.lnvm.CreateTarget(p, "pblk", "pblk0", lightnvm.PURange{}, Config{ActivePUs: 4}); err == nil {
 			t.Fatal("duplicate target name accepted")
 		}
 		k := tgt.(*Pblk)

@@ -124,11 +124,11 @@ func (k *Pblk) resolveRead(off int64, buf []byte, length int64, fin func(error))
 		case isMedia(v):
 			k.Stats.MediaReads++
 			a := k.mediaAddr(v)
-			gpu := k.fmtr.GlobalPU(a)
-			if len(k.readPULists[gpu]) == 0 {
-				k.readPUOrder = append(k.readPUOrder, gpu)
+			rel := k.dev.RelativePU(k.fmtr.GlobalPU(a))
+			if len(k.readPULists[rel]) == 0 {
+				k.readPUOrder = append(k.readPUOrder, rel)
 			}
-			k.readPULists[gpu] = append(k.readPULists[gpu], mediaSector{sector: i, addr: a})
+			k.readPULists[rel] = append(k.readPULists[rel], mediaSector{sector: i, addr: a})
 			media++
 		default:
 			if buf != nil {

@@ -258,7 +258,7 @@ func (k *Pblk) classifyParallel(p *sim.Proc) (fulls, partials []found, maxSeq ui
 		lbas   []int64
 		stamps []uint64
 	}, len(k.groups))
-	perPU := make([][]*group, k.geo.TotalPUs())
+	perPU := make([][]*group, k.nPUs)
 	for _, g := range k.groups {
 		switch g.state {
 		case stSys, stBad:
@@ -330,7 +330,7 @@ func (s *scanPU) onClassify(c *ocssd.Completion) {
 	}
 	if gid != g.id {
 		// Foreign or torn metadata: reclaim the group.
-		ch, pu := k.fmtr.PUAddr(g.gpu)
+		ch, pu := k.dev.PUAddr(g.gpu)
 		addrs := make([]ppa.Addr, k.geo.PlanesPerPU)
 		for pl := range addrs {
 			addrs[pl] = ppa.Addr{Ch: ch, PU: pu, Plane: pl, Block: g.blk}
@@ -505,7 +505,7 @@ func (k *Pblk) waitGroupClosed(p *sim.Proc, g *group) {
 
 // eraseGroupRaw erases all plane blocks of a group directly.
 func (k *Pblk) eraseGroupRaw(p *sim.Proc, g *group) error {
-	ch, pu := k.fmtr.PUAddr(g.gpu)
+	ch, pu := k.dev.PUAddr(g.gpu)
 	addrs := make([]ppa.Addr, k.geo.PlanesPerPU)
 	for pl := range addrs {
 		addrs[pl] = ppa.Addr{Ch: ch, PU: pu, Plane: pl, Block: g.blk}

@@ -815,11 +815,12 @@ func (k *Pblk) handleWriteError(g *group, unit int, c *ocssd.Completion) {
 	k.kickWriters()
 }
 
-// laneOf returns the lane whose PU span covers gpu. Lanes partition the
-// PU space evenly, so the owner is a single division; after a rebuild the
-// spans change but every PU always has exactly one owner.
+// laneOf returns the lane whose PU span covers the partition-relative PU
+// index. Lanes partition the instance's PU space evenly, so the owner is
+// a single division; after a rebuild the spans change but every PU always
+// has exactly one owner.
 func (k *Pblk) laneOf(gpu int) *slot {
-	span := k.geo.TotalPUs() / len(k.slots)
+	span := k.nPUs / len(k.slots)
 	return k.slots[gpu/span]
 }
 
