@@ -15,6 +15,7 @@ import (
 	"repro/internal/pblk" // registers the pblk target type
 	"repro/internal/ppa"
 	"repro/internal/sim"
+	"repro/internal/volume"
 )
 
 func main() {
@@ -22,6 +23,7 @@ func main() {
 	lanes := flag.Bool("lanes", false, "create a pblk target, run a short write burst, and dump per-lane writer stats")
 	active := flag.Int("active", 16, "active write PUs for -lanes (must divide total PUs)")
 	targets := flag.Bool("targets", false, "create two PU-partitioned pblk targets, run a burst on each, and dump the partition map with per-target stats")
+	volumes := flag.Bool("volumes", false, "build a 4+1-device fleet, compose a RAID-10 volume, kill a member, and dump member health through the online rebuild")
 	flag.Parse()
 
 	env := sim.NewEnv(1)
@@ -67,6 +69,12 @@ func main() {
 	}
 	if *targets {
 		if err := inspectTargets(env, ln); err != nil {
+			fmt.Fprintln(os.Stderr, "error:", err)
+			os.Exit(1)
+		}
+	}
+	if *volumes {
+		if err := inspectVolumes(); err != nil {
 			fmt.Fprintln(os.Stderr, "error:", err)
 			os.Exit(1)
 		}
@@ -206,6 +214,116 @@ func inspectLanes(env *sim.Env, ln *lightnvm.Device, active int) error {
 		if err := ln.RemoveTarget(p, "pblk0"); err != nil {
 			out = fmt.Errorf("remove: %w", err)
 		}
+	})
+	env.Run()
+	return out
+}
+
+// printVolumePanel renders the operator view of one volume: layout and
+// health, then every fleet member's state and routing counters.
+func printVolumePanel(mgr *volume.Manager, v *volume.Volume) {
+	st := v.Status()
+	health := "optimal"
+	switch {
+	case st.Rebuilding:
+		health = fmt.Sprintf("rebuilding (%.0f%%)", st.RebuildPct)
+	case st.Degraded:
+		health = "degraded"
+	}
+	fmt.Printf("\nvolume %s: %s, capacity %.1f GB, %s\n",
+		st.Name, st.Layout, float64(st.Capacity)/1e9, health)
+	fmt.Printf("  %-3s %-8s %-11s %-8s %-10s %-10s %-9s\n",
+		"id", "device", "state", "volume", "sub-reads", "sub-writes", "injected")
+	for _, m := range mgr.Members() {
+		vn := "-"
+		if m.Volume() != nil {
+			vn = m.Volume().Name()
+		}
+		fmt.Printf("  %-3d %-8s %-11s %-8s %-10d %-10d %-9d\n",
+			m.ID(), m.Name(), m.State(), vn, m.SubReads, m.SubWrites, m.Injected)
+	}
+	s := v.Stats()
+	fmt.Printf("  stats: %d reads (%d degraded, %d retried), %d writes (%d parked), %d deaths, %d rebuilds done\n",
+		s.Reads, s.DegradedReads, s.RetriedReads, s.Writes, s.ParkedWrites, s.MemberDeaths, s.RebuildsDone)
+}
+
+// inspectVolumes builds a small fleet, composes a stripe-of-mirrors
+// volume, and walks it through the full failure lifecycle — healthy
+// burst, member death, degraded serving, hot-spare attach, rate-limited
+// online rebuild — dumping the member-health panel at each step.
+func inspectVolumes() error {
+	env := sim.NewEnv(1)
+	var out error
+	env.Go("volumes", func(p *sim.Proc) {
+		mgr, err := volume.NewManager(p, env, volume.Config{
+			Devices: 4, Spares: 1,
+			OCSSD: volume.DefaultDeviceConfig(24),
+			Pblk:  pblk.Config{OverProvision: 0.2},
+			Seed:  1,
+		})
+		if err != nil {
+			out = err
+			return
+		}
+		v, err := mgr.CreateVolume("vol0",
+			volume.StripeOfMirrors(128<<10, []int{0, 1}, []int{2, 3}),
+			volume.Options{Rebuild: volume.RebuildConfig{RateMBps: 200}})
+		if err != nil {
+			out = err
+			return
+		}
+
+		fmt.Printf("\nfleet: %d data devices + %d hot spare(s), %d PUs each\n",
+			4, mgr.SparesLeft(), mgr.Member(0).Device().Geometry().TotalPUs())
+		const chunk = 256 << 10
+		span := v.Capacity() / 8 / chunk * chunk
+		start := env.Now()
+		for off := int64(0); off < span; off += chunk {
+			if err := v.Write(p, off, nil, chunk); err != nil {
+				out = err
+				return
+			}
+		}
+		if err := v.Flush(p); err != nil {
+			out = err
+			return
+		}
+		elapsed := env.Now() - start
+		fmt.Printf("burst: %d MB in %v (%.0f MB/s)\n",
+			span>>20, elapsed.Round(time.Microsecond), float64(span)/1e6/elapsed.Seconds())
+		printVolumePanel(mgr, v)
+
+		fmt.Println("\n--- killing member 1 (mirror of member 0) ---")
+		mgr.Kill(1)
+		for off := int64(0); off < span; off += chunk {
+			if err := v.Read(p, off, nil, chunk); err != nil {
+				out = fmt.Errorf("degraded read at %d: %w", off, err)
+				return
+			}
+		}
+		fmt.Printf("degraded scan: %d MB reread clean from surviving replicas\n", span>>20)
+		printVolumePanel(mgr, v)
+
+		fmt.Println("\n--- attaching hot spare, online rebuild at 200 MB/s ---")
+		sp := mgr.TakeSpare()
+		if sp == nil {
+			out = fmt.Errorf("no hot spare available")
+			return
+		}
+		if err := v.AttachSpare(sp); err != nil {
+			out = err
+			return
+		}
+		rbStart := env.Now()
+		for v.Rebuilding() {
+			p.Sleep(100 * time.Millisecond)
+			if v.Rebuilding() {
+				fmt.Printf("  t+%v: rebuild %.0f%%\n",
+					(env.Now() - rbStart).Round(time.Millisecond), v.RebuildProgress()*100)
+			}
+		}
+		fmt.Printf("rebuild finished in %v\n", (env.Now() - rbStart).Round(time.Millisecond))
+		printVolumePanel(mgr, v)
 	})
 	env.Run()
 	return out

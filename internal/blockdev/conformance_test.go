@@ -21,6 +21,7 @@ import (
 	"repro/internal/pblk"
 	"repro/internal/ppa"
 	"repro/internal/sim"
+	"repro/internal/volume"
 )
 
 // forEachDevice runs fn against every queue-capable device model. fn runs
@@ -104,6 +105,51 @@ func forEachDevice(t *testing.T, fn func(t *testing.T, env *sim.Env, p *sim.Proc
 		})
 		env.Run()
 	})
+	// Volume-manager virtual targets: striped, mirrored, and RAID-10
+	// volumes over a fleet of pblk-backed members must deliver the same
+	// queue contract — flush barriers and drain included — through the
+	// chunk fan-out datapath.
+	for _, vc := range []struct {
+		name   string
+		seed   int64
+		layout volume.Layout
+	}{
+		{"volume-stripe", 6, volume.Stripe(64<<10, 0, 1)},
+		{"volume-mirror", 7, volume.Mirror(0, 1)},
+		{"volume-raid10", 8, volume.StripeOfMirrors(64<<10, []int{0, 1}, []int{2, 3})},
+	} {
+		vc := vc
+		t.Run(vc.name, func(t *testing.T) {
+			devs := 0
+			for _, set := range vc.layout.Sets {
+				for _, id := range set {
+					if id+1 > devs {
+						devs = id + 1
+					}
+				}
+			}
+			env := sim.NewEnv(vc.seed)
+			env.Go("main", func(p *sim.Proc) {
+				oc := volume.DefaultDeviceConfig(16)
+				oc.Geometry.Channels = 2
+				oc.Geometry.PUsPerChannel = 2
+				mgr, err := volume.NewManager(p, env, volume.Config{
+					Devices: devs, OCSSD: oc,
+					Pblk: pblk.Config{OverProvision: 0.3},
+					Seed: vc.seed, NamePrefix: "conf-" + vc.name,
+				})
+				if err != nil {
+					panic(err)
+				}
+				v, err := mgr.CreateVolume(vc.name, vc.layout, volume.Options{})
+				if err != nil {
+					panic(err)
+				}
+				fn(t, env, p, v)
+			})
+			env.Run()
+		})
+	}
 	t.Run("nvmedev", func(t *testing.T) {
 		env := sim.NewEnv(3)
 		cfg := nvmedev.DefaultConfig(24)

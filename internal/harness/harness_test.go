@@ -2,6 +2,7 @@ package harness
 
 import (
 	"bytes"
+	"fmt"
 	"strings"
 	"testing"
 	"time"
@@ -9,7 +10,7 @@ import (
 
 func TestRegistryComplete(t *testing.T) {
 	want := []string{"table1", "overhead", "fig4", "fig5", "fig6", "fig7", "fig8", "lanes", "wa", "tenants",
-		"ablate-pagecache", "ablate-vector", "ablate-buffering", "ablate-gc-rl", "ablate-inflight"}
+		"fleet", "ablate-pagecache", "ablate-vector", "ablate-buffering", "ablate-gc-rl", "ablate-inflight"}
 	for _, id := range want {
 		if _, ok := ByID(id); !ok {
 			t.Errorf("experiment %q not registered", id)
@@ -113,6 +114,50 @@ func TestAblateVector(t *testing.T) {
 	out := buf.String()
 	if !strings.Contains(out, "vectored") || !strings.Contains(out, "serial") {
 		t.Fatalf("missing rows:\n%s", out)
+	}
+}
+
+// TestFleetQuick runs the fleet experiment end to end twice: the striped
+// volume must scale at least 3x from 1 to 4 devices, the failover drill
+// must lose no acknowledged data degraded or after the rebuild, and the
+// two runs must produce byte-identical output (the determinism contract
+// the whole simulator rests on).
+func TestFleetQuick(t *testing.T) {
+	e, ok := ByID("fleet")
+	if !ok {
+		t.Fatal("fleet experiment not registered")
+	}
+	var buf bytes.Buffer
+	if err := e.Run(Options{Quick: true}, &buf); err != nil {
+		t.Fatal(err)
+	}
+	out := buf.String()
+	for _, want := range []string{
+		"RAID-0 scaling", "Failover drill",
+		"degraded: 0 mismatched bytes; after rebuild: 0",
+		"success=true", "degraded=false",
+	} {
+		if !strings.Contains(out, want) {
+			t.Fatalf("fleet output missing %q:\n%s", want, out)
+		}
+	}
+	var wx, rx float64
+	for _, line := range strings.Split(out, "\n") {
+		if strings.HasPrefix(line, "1->4 devices:") {
+			if _, err := fmt.Sscanf(line, "1->4 devices: write %fx, read %fx", &wx, &rx); err != nil {
+				t.Fatalf("cannot parse scaling line %q: %v", line, err)
+			}
+		}
+	}
+	if wx < 3 || rx < 3 {
+		t.Errorf("RAID-0 scaling 1->4 devices below 3x: write %.2fx read %.2fx\n%s", wx, rx, out)
+	}
+	var buf2 bytes.Buffer
+	if err := e.Run(Options{Quick: true}, &buf2); err != nil {
+		t.Fatal(err)
+	}
+	if out != buf2.String() {
+		t.Fatal("fleet output differs between two identical runs: determinism broken")
 	}
 }
 

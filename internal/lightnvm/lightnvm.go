@@ -67,15 +67,49 @@ type Device struct {
 	guard bool
 }
 
-// Register wraps an ocssd device into the subsystem.
+var (
+	devRegMu sync.Mutex
+	// devReg enumerates registered devices by name, the subsystem's
+	// /sys/class/nvme view. Re-registering a name (fresh simulation
+	// environments reuse device names freely) replaces the entry.
+	devReg = make(map[string]*Device)
+)
+
+// Register wraps an ocssd device into the subsystem and records it in the
+// global device registry.
 func Register(name string, dev *ocssd.Device) *Device {
-	return &Device{
+	d := &Device{
 		name:    name,
 		dev:     dev,
 		targets: make(map[string]*targetEntry),
 		owners:  make([]string, dev.Geometry().TotalPUs()),
 		parts:   make(map[string]PURange),
 	}
+	devRegMu.Lock()
+	devReg[name] = d
+	devRegMu.Unlock()
+	return d
+}
+
+// Devices lists registered device names, sorted — the fleet enumeration
+// used by multi-device tooling (lnvm-inspect, the volume manager).
+func Devices() []string {
+	devRegMu.Lock()
+	defer devRegMu.Unlock()
+	names := make([]string, 0, len(devReg))
+	for n := range devReg {
+		names = append(names, n)
+	}
+	sort.Strings(names)
+	return names
+}
+
+// Lookup returns a registered device by name.
+func Lookup(name string) (*Device, bool) {
+	devRegMu.Lock()
+	defer devRegMu.Unlock()
+	d, ok := devReg[name]
+	return d, ok
 }
 
 // Name returns the device name.

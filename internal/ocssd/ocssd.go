@@ -62,6 +62,10 @@ var (
 	ErrPartialPage  = errors.New("ocssd: write does not cover whole flash pages")
 	ErrOOBSize      = errors.New("ocssd: per-sector OOB exceeds its share of the page OOB area")
 	ErrEmptyVector  = errors.New("ocssd: empty address vector")
+	// ErrDeviceDead is returned on every address of a command submitted to
+	// a device after Fail() — the whole-device death model used by the
+	// volume layer's fleet fault injection.
+	ErrDeviceDead = errors.New("ocssd: device dead")
 )
 
 // Timing parametrizes the device performance model (paper §3.2,
@@ -246,6 +250,12 @@ type Device struct {
 	// any vector whose Tag differs from a touched PU's tag (debug guard
 	// for partition-translation bugs). nil (the default) costs one branch.
 	ownerTags []string
+
+	// dead marks a whole-device failure: every later submission completes
+	// with ErrDeviceDead. deathHooks run once, in registration order, when
+	// Fail flips the flag.
+	dead       bool
+	deathHooks []func()
 
 	Stats Stats
 }
@@ -507,7 +517,11 @@ func (d *Device) Recycle(c *Completion) {
 func (d *Device) Submit(cmd *Vector, done func(*Completion)) {
 	comp := d.getComp(len(cmd.Addrs), cmd.Op == OpRead)
 	comp.Submitted = d.env.Now()
-	if err := d.validate(cmd); err != nil {
+	err := d.validate(cmd)
+	if err == nil && d.dead {
+		err = ErrDeviceDead
+	}
+	if err != nil {
 		for i := range comp.Errs {
 			comp.Errs[i] = err
 			comp.Status |= 1 << uint(i)
@@ -1151,6 +1165,39 @@ func (d *Device) FlushCMB(p *sim.Proc) {
 		d.cmbDrained = d.env.NewEvent()
 	}
 	p.Wait(d.cmbDrained)
+}
+
+// Fail marks the device dead — the whole-device failure model (controller
+// death, power domain loss, hot unplug). Every submission from then on
+// completes with ErrDeviceDead on all addresses; commands already executing
+// inside the device run to completion, like responses still on the wire
+// when the device drops off the bus. Registered death hooks fire once, in
+// registration order. Fail must be called from simulation context; calling
+// it on a dead device is a no-op.
+func (d *Device) Fail() {
+	if d.dead {
+		return
+	}
+	d.dead = true
+	hooks := d.deathHooks
+	d.deathHooks = nil
+	for _, fn := range hooks {
+		fn()
+	}
+}
+
+// Dead reports whether the device has failed.
+func (d *Device) Dead() bool { return d.dead }
+
+// OnDeath registers fn to run when the device fails. If the device is
+// already dead, fn runs synchronously. The volume layer uses this to flip
+// members into degraded mode and trigger hot-spare rebuilds.
+func (d *Device) OnDeath(fn func()) {
+	if d.dead {
+		fn()
+		return
+	}
+	d.deathHooks = append(d.deathHooks, fn)
 }
 
 // Crash simulates power loss: volatile controller state (page caches, CMB

@@ -532,3 +532,46 @@ func TestBufferedWriteErrorAfterAck(t *testing.T) {
 		}
 	})
 }
+
+func TestDeviceFailDeathHook(t *testing.T) {
+	env, dev := newTestDevice(t, testConfig())
+	run(env, func(p *sim.Proc) {
+		fired := 0
+		dev.OnDeath(func() { fired++ })
+		if dev.Dead() {
+			t.Fatal("fresh device reports dead")
+		}
+		if c := writeUnit(p, dev, 0, 0, 0, 0, 0x77); c.Failed() {
+			t.Fatalf("write before death failed: %v", c.FirstErr())
+		}
+		dev.Fail()
+		if !dev.Dead() {
+			t.Fatal("Fail did not mark device dead")
+		}
+		if fired != 1 {
+			t.Fatalf("death hook fired %d times, want 1", fired)
+		}
+		dev.Fail() // idempotent: hooks run once
+		if fired != 1 {
+			t.Fatalf("second Fail re-fired hooks: %d", fired)
+		}
+		late := 0
+		dev.OnDeath(func() { late++ })
+		if late != 1 {
+			t.Fatal("hook registered after death must fire immediately")
+		}
+		// All I/O on a dead device fails with ErrDeviceDead, per address.
+		c := dev.Do(p, &Vector{Op: OpRead, Addrs: []ppa.Addr{{Ch: 0, PU: 0, Plane: 0, Block: 0, Page: 0, Sector: 0}}})
+		if !c.Failed() || !errors.Is(c.FirstErr(), ErrDeviceDead) {
+			t.Fatalf("read on dead device: failed=%v err=%v, want ErrDeviceDead", c.Failed(), c.FirstErr())
+		}
+		if c = writeUnit(p, dev, 0, 0, 1, 0, 0x11); !c.Failed() || !errors.Is(c.FirstErr(), ErrDeviceDead) {
+			t.Fatalf("write on dead device: failed=%v err=%v, want ErrDeviceDead", c.Failed(), c.FirstErr())
+		}
+		// Malformed vectors still report the validation error, dead or not.
+		c = dev.Do(p, &Vector{Op: OpRead, Addrs: []ppa.Addr{{Ch: 99}}})
+		if errors.Is(c.FirstErr(), ErrDeviceDead) {
+			t.Fatalf("invalid address reported ErrDeviceDead: %v", c.FirstErr())
+		}
+	})
+}

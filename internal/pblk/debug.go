@@ -48,6 +48,12 @@ func (k *Pblk) LaneStats() []LaneStat {
 	return out
 }
 
+// Crashed reports whether the instance was abandoned by Crash (simulated
+// power loss). A crashed instance serves no further I/O; health monitors
+// (lnvm-inspect, the volume manager) use this to distinguish a dead member
+// from a stopped one.
+func (k *Pblk) Crashed() bool { return k.crashed }
+
 // retryCount sums write-failed sectors awaiting resubmission across lanes.
 func (k *Pblk) retryCount() int {
 	n := 0

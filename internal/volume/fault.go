@@ -1,0 +1,43 @@
+package volume
+
+import (
+	"math/rand"
+
+	"repro/internal/blockdev"
+)
+
+// FaultConfig arms seeded transient I/O failure injection on a member:
+// each routed sub-read (sub-write) independently fails with the given
+// probability. Draws come from the member's own seeded source and the
+// simulation schedule is deterministic, so a fixed seed reproduces the
+// exact same fault sequence run over run. The zero value disarms the
+// injector.
+type FaultConfig struct {
+	Seed           int64
+	ReadErrorRate  float64
+	WriteErrorRate float64
+}
+
+// Faults is the per-member transient failure injector.
+type Faults struct {
+	cfg FaultConfig
+	rng *rand.Rand
+}
+
+func newFaults(cfg FaultConfig) *Faults {
+	if cfg.ReadErrorRate <= 0 && cfg.WriteErrorRate <= 0 {
+		return nil
+	}
+	return &Faults{cfg: cfg, rng: rand.New(rand.NewSource(cfg.Seed))}
+}
+
+// trip reports whether this sub-request fails with ErrInjected.
+func (f *Faults) trip(op blockdev.ReqOp) bool {
+	switch op {
+	case blockdev.ReqRead:
+		return f.cfg.ReadErrorRate > 0 && f.rng.Float64() < f.cfg.ReadErrorRate
+	case blockdev.ReqWrite:
+		return f.cfg.WriteErrorRate > 0 && f.rng.Float64() < f.cfg.WriteErrorRate
+	}
+	return false
+}

@@ -1,0 +1,759 @@
+package volume
+
+import (
+	"bytes"
+	"fmt"
+	"time"
+
+	"repro/internal/blockdev"
+	"repro/internal/sim"
+)
+
+// Layout describes how a volume composes fleet members: Sets is the list
+// of stripe columns, each holding the member ids of that column's mirror
+// replicas. Chunk is the striping unit in bytes (ignored with one set).
+type Layout struct {
+	Chunk int64
+	Sets  [][]int
+}
+
+// Stripe is RAID-0: one single-replica column per device.
+func Stripe(chunk int64, devs ...int) Layout {
+	sets := make([][]int, len(devs))
+	for i, d := range devs {
+		sets[i] = []int{d}
+	}
+	return Layout{Chunk: chunk, Sets: sets}
+}
+
+// Mirror is RAID-1: one column replicated on every given device.
+func Mirror(devs ...int) Layout {
+	return Layout{Sets: [][]int{devs}}
+}
+
+// StripeOfMirrors is RAID-10: striping across columns that are each a
+// mirror set.
+func StripeOfMirrors(chunk int64, sets ...[]int) Layout {
+	return Layout{Chunk: chunk, Sets: sets}
+}
+
+// Options tune a volume's redundancy behaviour.
+type Options struct {
+	// WriteQuorum is the number of replica completions required before a
+	// mirrored write acknowledges; 0 (the default) waits for every live
+	// replica, the safe setting for the zero-data-loss guarantee. Lagging
+	// replica writes still complete in the background either way.
+	WriteQuorum int
+	// RetryLimit is the number of attempts per member for transiently
+	// failing sub-requests (default 3). A write that still fails after
+	// RetryLimit attempts ejects the member from the array.
+	RetryLimit int
+	// Rebuild configures the online rebuild engine for this volume.
+	Rebuild RebuildConfig
+}
+
+// Stats counts volume-level datapath events.
+type Stats struct {
+	Reads, Writes int64 // parent requests accepted
+	DegradedReads int64 // chunk reads served while their set was degraded
+	RetriedReads  int64 // chunk read attempts re-routed after a failure
+	RetriedWrites int64 // replica write attempts retried after a failure
+	ParkedWrites  int64 // writes held behind the rebuild copy window
+	Ejections     int64 // members ejected for persistent write failure
+	MemberDeaths  int64
+	RebuildsDone  int64
+}
+
+// mirrorSet is one stripe column: its replicas and, while a spare is
+// being filled, the rebuild state.
+type mirrorSet struct {
+	idx     int
+	v       *Volume
+	reps    []*Member
+	rb      *rebuild
+	scratch []*Member // readCandidates reuse; sim context is single-threaded
+}
+
+// readCandidates returns the replicas able to serve reads right now. The
+// returned slice is scratch, valid until the next call on this set.
+func (s *mirrorSet) readCandidates() []*Member {
+	s.scratch = s.scratch[:0]
+	for _, m := range s.reps {
+		if m.state == StateHealthy {
+			s.scratch = append(s.scratch, m)
+		}
+	}
+	return s.scratch
+}
+
+// degraded reports whether the column is short of fully-synced replicas.
+func (s *mirrorSet) degraded() bool {
+	for _, m := range s.reps {
+		if m.state != StateHealthy {
+			return true
+		}
+	}
+	return false
+}
+
+// Volume is a virtual block device striped and/or mirrored over fleet
+// members. It implements blockdev.Device (blocking calls ride an internal
+// queue) and blockdev.QueueProvider (the native asynchronous datapath:
+// requests are split at chunk boundaries and fanned out to the member
+// queues).
+type Volume struct {
+	name string
+	mgr  *Manager
+	env  *sim.Env
+
+	chunk  int64
+	sets   []*mirrorSet
+	colCap int64 // usable bytes per stripe column
+	ssize  int
+
+	writeQuorum int
+	retryLimit  int
+	rebuildCfg  RebuildConfig
+
+	rr    uint64 // deterministic read round-robin across replicas
+	stats Stats
+
+	syncQ blockdev.Queue // carries the blocking Device calls
+}
+
+// CreateVolume composes healthy, unassigned fleet members into a volume.
+// Member capacities are aligned down to the chunk size; the volume's
+// capacity is columns x min member capacity.
+func (mgr *Manager) CreateVolume(name string, l Layout, opt Options) (*Volume, error) {
+	if _, dup := mgr.vols[name]; dup {
+		return nil, fmt.Errorf("volume: volume %q already exists", name)
+	}
+	if len(l.Sets) == 0 {
+		return nil, fmt.Errorf("volume: layout has no member sets")
+	}
+	if opt.RetryLimit == 0 {
+		opt.RetryLimit = 3
+	}
+	v := &Volume{
+		name: name, mgr: mgr, env: mgr.env,
+		writeQuorum: opt.WriteQuorum, retryLimit: opt.RetryLimit,
+		rebuildCfg: opt.Rebuild.withDefaults(),
+	}
+	seen := make(map[int]bool)
+	for si, ids := range l.Sets {
+		if len(ids) == 0 {
+			return nil, fmt.Errorf("volume: set %d is empty", si)
+		}
+		set := &mirrorSet{idx: si, v: v}
+		for _, id := range ids {
+			if id < 0 || id >= len(mgr.members) {
+				return nil, fmt.Errorf("volume: no member %d", id)
+			}
+			if seen[id] {
+				return nil, fmt.Errorf("volume: member %d listed twice", id)
+			}
+			seen[id] = true
+			m := mgr.members[id]
+			if m.state != StateHealthy || m.vol != nil {
+				return nil, fmt.Errorf("volume: member %d is %v/assigned, not a free healthy device", id, m.state)
+			}
+			set.reps = append(set.reps, m)
+		}
+		v.sets = append(v.sets, set)
+	}
+	first := v.sets[0].reps[0]
+	v.ssize = first.tgt.SectorSize()
+	if l.Chunk == 0 {
+		l.Chunk = 256 << 10
+	}
+	if l.Chunk%int64(v.ssize) != 0 || l.Chunk <= 0 {
+		return nil, fmt.Errorf("volume: chunk %dB is not a positive multiple of the %dB sector", l.Chunk, v.ssize)
+	}
+	v.chunk = l.Chunk
+	// The rebuild cursor must stay chunk-aligned: a chunk write can then
+	// never straddle it (behind → spare too, ahead → survivors only, and
+	// anything overlapping the active copy window parks).
+	if rem := v.rebuildCfg.CopyChunk % v.chunk; rem != 0 {
+		v.rebuildCfg.CopyChunk += v.chunk - rem
+	}
+	v.colCap = 1<<62 - 1
+	for _, set := range v.sets {
+		for _, m := range set.reps {
+			if c := m.tgt.Capacity(); c < v.colCap {
+				v.colCap = c
+			}
+		}
+	}
+	v.colCap = v.colCap / v.chunk * v.chunk
+	if v.colCap <= 0 {
+		return nil, fmt.Errorf("volume: members too small for chunk %dB", v.chunk)
+	}
+	for _, set := range v.sets {
+		for _, m := range set.reps {
+			m.vol = v
+		}
+	}
+	v.syncQ = blockdev.NewQueue(v.env, v, 16, v.issue)
+	mgr.vols[name] = v
+	mgr.volOrder = append(mgr.volOrder, name)
+	return v, nil
+}
+
+// Name returns the volume name.
+func (v *Volume) Name() string { return v.name }
+
+// SectorSize implements blockdev.Device.
+func (v *Volume) SectorSize() int { return v.ssize }
+
+// Capacity implements blockdev.Device.
+func (v *Volume) Capacity() int64 { return v.colCap * int64(len(v.sets)) }
+
+// Chunk returns the striping unit.
+func (v *Volume) Chunk() int64 { return v.chunk }
+
+// Stats returns a snapshot of the volume datapath counters.
+func (v *Volume) Stats() Stats { return v.stats }
+
+// OpenQueue implements blockdev.QueueProvider: the volume's native
+// asynchronous datapath, sharing the generic queue state machine (depth
+// bounding, flush barriers, drain) with every other device model.
+func (v *Volume) OpenQueue(_ *sim.Env, depth int) blockdev.Queue {
+	return blockdev.NewQueue(v.env, v, depth, v.issue)
+}
+
+// Blocking blockdev.Device calls, carried by the internal queue.
+
+func (v *Volume) doSync(p *sim.Proc, op blockdev.ReqOp, off int64, buf []byte, n int64) error {
+	ev := v.env.NewEvent()
+	r := blockdev.Request{Op: op, Off: off, Buf: buf, Length: n,
+		OnComplete: func(*blockdev.Request) { ev.Signal() }}
+	v.syncQ.Submit(&r)
+	p.Wait(ev)
+	return r.Err
+}
+
+// Read implements blockdev.Device.
+func (v *Volume) Read(p *sim.Proc, off int64, buf []byte, n int64) error {
+	return v.doSync(p, blockdev.ReqRead, off, buf, n)
+}
+
+// Write implements blockdev.Device.
+func (v *Volume) Write(p *sim.Proc, off int64, buf []byte, n int64) error {
+	return v.doSync(p, blockdev.ReqWrite, off, buf, n)
+}
+
+// Flush implements blockdev.Device.
+func (v *Volume) Flush(p *sim.Proc) error {
+	return v.doSync(p, blockdev.ReqFlush, 0, nil, 0)
+}
+
+// Trim implements blockdev.Device.
+func (v *Volume) Trim(p *sim.Proc, off, n int64) error {
+	return v.doSync(p, blockdev.ReqTrim, off, nil, n)
+}
+
+// ---- asynchronous fan-out datapath ----
+
+// issue is the volume's blockdev.IssueFunc: one validated parent request
+// in, exactly one asynchronous done callback out.
+func (v *Volume) issue(req *blockdev.Request, done func(*blockdev.Request)) {
+	switch req.Op {
+	case blockdev.ReqFlush:
+		v.issueFlush(req, done)
+	default:
+		v.issueData(req, done)
+	}
+}
+
+// fanOut tracks one parent request across its chunk sub-operations.
+type fanOut struct {
+	v         *Volume
+	req       *blockdev.Request
+	done      func(*blockdev.Request)
+	remaining int
+	err       error
+}
+
+// resolve records one sub-operation outcome; the last one completes the
+// parent. It always runs in simulation context, never synchronously from
+// within issue.
+func (f *fanOut) resolve(err error) {
+	if err != nil && f.err == nil {
+		f.err = err
+	}
+	f.remaining--
+	if f.remaining == 0 {
+		f.req.Err = f.err
+		f.done(f.req)
+	}
+}
+
+// starter is one chunk sub-operation ready to run.
+type starter interface{ start() }
+
+// issueData splits a read/write/trim at chunk boundaries, maps each piece
+// to its stripe column, and starts the per-chunk operations.
+func (v *Volume) issueData(req *blockdev.Request, done func(*blockdev.Request)) {
+	if req.Length == 0 {
+		v.env.Schedule(0, func() { done(req) })
+		return
+	}
+	switch req.Op {
+	case blockdev.ReqRead:
+		v.stats.Reads++
+	case blockdev.ReqWrite:
+		v.stats.Writes++
+	}
+	fo := &fanOut{v: v, req: req, done: done}
+	nSets := int64(len(v.sets))
+	var ops []starter
+	off, rem, bufLo := req.Off, req.Length, int64(0)
+	for rem > 0 {
+		ci := off / v.chunk
+		n := v.chunk - off%v.chunk
+		if n > rem {
+			n = rem
+		}
+		set := v.sets[ci%nSets]
+		moff := (ci/nSets)*v.chunk + off%v.chunk
+		var buf []byte
+		if req.Buf != nil {
+			buf = req.Buf[bufLo : bufLo+n]
+		}
+		switch req.Op {
+		case blockdev.ReqRead:
+			ops = append(ops, &readOp{fo: fo, set: set, off: moff, n: n, buf: buf})
+		case blockdev.ReqWrite:
+			ops = append(ops, &writeOp{fo: fo, set: set, off: moff, n: n, buf: buf})
+		default:
+			ops = append(ops, &trimOp{fo: fo, set: set, off: moff, n: n})
+		}
+		off += n
+		bufLo += n
+		rem -= n
+	}
+	fo.remaining = len(ops)
+	for _, op := range ops {
+		op.start()
+	}
+}
+
+// failAsync resolves a sub-operation with err from scheduler context.
+func (f *fanOut) failAsync(err error) {
+	f.v.env.Schedule(0, func() { f.resolve(err) })
+}
+
+// readOp serves one chunk read from one replica, failing over to the
+// others (and re-rolling transient faults) before giving up.
+type readOp struct {
+	fo       *fanOut
+	set      *mirrorSet
+	off, n   int64
+	buf      []byte
+	attempts int
+	sub      blockdev.Request
+}
+
+func (op *readOp) start() {
+	v := op.fo.v
+	cands := op.set.readCandidates()
+	if len(cands) == 0 {
+		op.fo.failAsync(ErrNoReplica)
+		return
+	}
+	if op.set.degraded() {
+		v.stats.DegradedReads++
+	}
+	m := cands[int(v.rr%uint64(len(cands)))]
+	v.rr++
+	op.sub = blockdev.Request{Op: blockdev.ReqRead, Off: op.off, Buf: op.buf,
+		Length: op.n, OnComplete: op.complete}
+	m.submit(&op.sub)
+}
+
+func (op *readOp) complete(r *blockdev.Request) {
+	if r.Err == nil {
+		op.fo.resolve(nil)
+		return
+	}
+	op.attempts++
+	if op.fo.v.mgr.downtime {
+		op.fo.resolve(r.Err)
+		return
+	}
+	if op.attempts < op.fo.v.retryLimit*len(op.set.reps) {
+		op.fo.v.stats.RetriedReads++
+		op.start() // round-robin moves on to the next replica
+		return
+	}
+	op.fo.resolve(r.Err)
+}
+
+// writeOp fans one chunk write out to every writable replica of its set:
+// the live ones, plus a rebuilding spare once the chunk lies behind the
+// rebuild cursor. Writes overlapping the rebuild engine's active copy
+// window park until the window moves. A replica that keeps failing after
+// retries is ejected (its device is failed), so a stale replica can never
+// serve reads; the write succeeds as long as one replica holds the data.
+type writeOp struct {
+	fo          *fanOut
+	set         *mirrorSet
+	off, n      int64
+	buf         []byte
+	outstanding int
+	succ        int
+	firstErr    error
+	resolved    bool
+	need        int
+}
+
+func (op *writeOp) start() {
+	v := op.fo.v
+	set := op.set
+	if rb := set.rb; rb != nil && op.off < rb.activeHi && op.off+op.n > rb.activeLo {
+		v.stats.ParkedWrites++
+		rb.waiters = append(rb.waiters, op)
+		return
+	}
+	var targets []*Member
+	for _, m := range set.reps {
+		switch m.state {
+		case StateHealthy:
+			targets = append(targets, m)
+		case StateRebuilding:
+			if rb := set.rb; rb != nil && op.off+op.n <= rb.cursor {
+				targets = append(targets, m)
+			}
+		}
+	}
+	if len(targets) == 0 {
+		op.fo.failAsync(ErrNoReplica)
+		return
+	}
+	op.need = len(targets)
+	if q := v.writeQuorum; q > 0 && q < op.need {
+		op.need = q
+	}
+	op.outstanding = len(targets)
+	for _, m := range targets {
+		op.issueTo(m, 1)
+	}
+}
+
+func (op *writeOp) issueTo(m *Member, attempt int) {
+	s := &subWrite{op: op, m: m, attempt: attempt}
+	s.r = blockdev.Request{Op: blockdev.ReqWrite, Off: op.off, Buf: op.buf,
+		Length: op.n, OnComplete: s.complete}
+	m.submit(&s.r)
+}
+
+// subWrite is one replica leg of a chunk write.
+type subWrite struct {
+	op      *writeOp
+	m       *Member
+	attempt int
+	r       blockdev.Request
+}
+
+func (s *subWrite) complete(r *blockdev.Request) {
+	op := s.op
+	v := op.fo.v
+	if r.Err == nil {
+		op.replicaDone(nil)
+		return
+	}
+	if v.mgr.downtime {
+		op.replicaDone(r.Err)
+		return
+	}
+	if s.m.state == StateHealthy && s.attempt < v.retryLimit {
+		v.stats.RetriedWrites++
+		op.issueTo(s.m, s.attempt+1)
+		return
+	}
+	if s.m.state == StateHealthy {
+		// Persistent write failure on a live member: eject it. Leaving it
+		// in the array would let a replica missing this write serve reads.
+		v.stats.Ejections++
+		s.m.oc.Fail()
+	}
+	op.replicaDone(r.Err)
+}
+
+// replicaDone accounts one finished replica leg. The write acknowledges
+// at quorum; once every leg has finished it succeeds if any replica took
+// the data (failed legs were ejected) and fails only when all did.
+func (op *writeOp) replicaDone(err error) {
+	op.outstanding--
+	if err == nil {
+		op.succ++
+		if !op.resolved && op.succ >= op.need {
+			op.resolved = true
+			op.fo.resolve(nil)
+		}
+	} else if op.firstErr == nil {
+		op.firstErr = err
+	}
+	if op.outstanding == 0 && !op.resolved {
+		op.resolved = true
+		if op.succ > 0 {
+			op.fo.resolve(nil)
+		} else {
+			op.fo.resolve(op.firstErr)
+		}
+	}
+}
+
+// trimOp forwards one chunk trim to every live replica. Failures on
+// members that died mid-flight are ignored; any other failure propagates.
+type trimOp struct {
+	fo          *fanOut
+	set         *mirrorSet
+	off, n      int64
+	outstanding int
+	err         error
+}
+
+func (op *trimOp) start() {
+	var targets []*Member
+	for _, m := range op.set.reps {
+		if m.state == StateHealthy {
+			targets = append(targets, m)
+		}
+	}
+	if len(targets) == 0 {
+		op.fo.failAsync(ErrNoReplica)
+		return
+	}
+	op.outstanding = len(targets)
+	for _, m := range targets {
+		mm := m
+		r := &blockdev.Request{Op: blockdev.ReqTrim, Off: op.off, Length: op.n}
+		r.OnComplete = func(r *blockdev.Request) {
+			if r.Err != nil && mm.state == StateHealthy && op.err == nil {
+				op.err = r.Err
+			}
+			op.outstanding--
+			if op.outstanding == 0 {
+				op.fo.resolve(op.err)
+			}
+		}
+		mm.submit(r)
+	}
+}
+
+// issueFlush fans the barrier out to every member currently holding live
+// data (including a rebuilding spare — its copied chunks must be durable
+// too). Errors from members that died mid-flush are ignored: their data
+// no longer backs the volume.
+func (v *Volume) issueFlush(req *blockdev.Request, done func(*blockdev.Request)) {
+	fo := &fanOut{v: v, req: req, done: done}
+	var targets []*Member
+	for _, set := range v.sets {
+		for _, m := range set.reps {
+			if m.state == StateHealthy || m.state == StateRebuilding {
+				targets = append(targets, m)
+			}
+		}
+	}
+	if len(targets) == 0 {
+		fo.remaining = 1
+		fo.failAsync(ErrNoReplica)
+		return
+	}
+	fo.remaining = len(targets)
+	for _, m := range targets {
+		mm := m
+		r := &blockdev.Request{Op: blockdev.ReqFlush}
+		r.OnComplete = func(r *blockdev.Request) {
+			err := r.Err
+			if mm.state == StateDead {
+				err = nil
+			}
+			fo.resolve(err)
+		}
+		mm.q.Submit(r)
+	}
+}
+
+// memberDied flips the volume into degraded mode for the dead member's
+// column and, under AutoRebuild, pulls a hot spare in immediately.
+func (v *Volume) memberDied(m *Member) {
+	v.stats.MemberDeaths++
+	if v.mgr.cfg.AutoRebuild && !v.mgr.downtime {
+		if sp := v.mgr.TakeSpare(); sp != nil {
+			if err := v.AttachSpare(sp); err != nil {
+				// No set is waiting for a replacement; return the spare.
+				sp.state = StateSpare
+				v.mgr.spares = append([]*Member{sp}, v.mgr.spares...)
+			}
+		}
+	}
+}
+
+// AttachSpare replaces the first dead replica in the volume with sp and
+// starts the online rebuild engine filling it. sp must be an unassigned
+// pool spare (TakeSpare). Must run in simulation context.
+func (v *Volume) AttachSpare(sp *Member) error {
+	if sp.state != StateSpare {
+		return fmt.Errorf("volume: member %d is %v, not a pool spare", sp.id, sp.state)
+	}
+	for _, set := range v.sets {
+		for i, m := range set.reps {
+			if m.state != StateDead {
+				continue
+			}
+			m.vol = nil
+			set.reps[i] = sp
+			sp.state = StateRebuilding
+			sp.vol = v
+			v.startRebuild(set, sp)
+			return nil
+		}
+	}
+	return fmt.Errorf("volume: %s has no dead replica awaiting a spare", v.name)
+}
+
+// Degraded reports whether any column is short of fully-synced replicas.
+func (v *Volume) Degraded() bool {
+	for _, set := range v.sets {
+		if set.degraded() {
+			return true
+		}
+	}
+	return false
+}
+
+// Rebuilding reports whether any column has an active rebuild.
+func (v *Volume) Rebuilding() bool {
+	for _, set := range v.sets {
+		if set.rb != nil {
+			return true
+		}
+	}
+	return false
+}
+
+// RebuildProgress returns the completed fraction of the active rebuild
+// (the least-advanced one when several run), 1 when none is active.
+func (v *Volume) RebuildProgress() float64 {
+	p := 1.0
+	for _, set := range v.sets {
+		if rb := set.rb; rb != nil {
+			if f := float64(rb.cursor) / float64(v.colCap); f < p {
+				p = f
+			}
+		}
+	}
+	return p
+}
+
+// WaitRebuild suspends p until every active rebuild on the volume has
+// finished, reporting whether all of them completed successfully.
+func (v *Volume) WaitRebuild(p *sim.Proc) bool {
+	ok := true
+	for _, set := range v.sets {
+		for set.rb != nil {
+			rb := set.rb
+			p.Wait(rb.doneEv)
+			ok = ok && rb.ok
+		}
+	}
+	return ok
+}
+
+// Status is the operator view of a volume.
+type Status struct {
+	Name       string
+	Layout     string
+	Capacity   int64
+	Degraded   bool
+	Rebuilding bool
+	RebuildPct float64
+}
+
+// Status snapshots the volume's health.
+func (v *Volume) Status() Status {
+	return Status{
+		Name:       v.name,
+		Layout:     v.LayoutString(),
+		Capacity:   v.Capacity(),
+		Degraded:   v.Degraded(),
+		Rebuilding: v.Rebuilding(),
+		RebuildPct: v.RebuildProgress() * 100,
+	}
+}
+
+// LayoutString renders the layout, e.g. "stripe[4] chunk=256K",
+// "mirror[2]", or "stripe[2]xmirror[2] chunk=128K".
+func (v *Volume) LayoutString() string {
+	reps := len(v.sets[0].reps)
+	switch {
+	case len(v.sets) == 1:
+		return fmt.Sprintf("mirror[%d]", reps)
+	case reps == 1:
+		return fmt.Sprintf("stripe[%d] chunk=%dK", len(v.sets), v.chunk>>10)
+	default:
+		return fmt.Sprintf("stripe[%d]xmirror[%d] chunk=%dK", len(v.sets), reps, v.chunk>>10)
+	}
+}
+
+// ResyncReport summarizes a volume-level consistency pass.
+type ResyncReport struct {
+	ChunksScanned    int64
+	ChunksMismatched int64
+	BytesRepaired    int64
+	Elapsed          time.Duration
+}
+
+// Resync is the volume-level consistency check: it walks every mirrored
+// column chunk by chunk, compares the replicas, and repairs divergence by
+// rewriting the other replicas from the first live one. After a power cut
+// the replicas can legitimately diverge on writes that were still in
+// flight (never acknowledged); resync converges them so round-robin reads
+// are single-valued again. Acknowledged, flushed data is identical on all
+// replicas already and is never altered.
+func (v *Volume) Resync(p *sim.Proc) (ResyncReport, error) {
+	var rep ResyncReport
+	start := v.env.Now()
+	for _, set := range v.sets {
+		live := set.readCandidates()
+		if len(live) < 2 {
+			continue
+		}
+		// Stable copy: scratch is reused by concurrent reads.
+		reps := append([]*Member(nil), live...)
+		bufs := make([][]byte, len(reps))
+		for i := range bufs {
+			bufs[i] = make([]byte, v.chunk)
+		}
+		for off := int64(0); off < v.colCap; off += v.chunk {
+			n := v.chunk
+			if v.colCap-off < n {
+				n = v.colCap - off
+			}
+			for i, m := range reps {
+				if err := m.doSync(p, blockdev.ReqRead, off, bufs[i][:n], n); err != nil {
+					return rep, fmt.Errorf("volume: resync read %s@%d: %w", m.name, off, err)
+				}
+			}
+			rep.ChunksScanned++
+			for i := 1; i < len(reps); i++ {
+				if !bytes.Equal(bufs[i][:n], bufs[0][:n]) {
+					rep.ChunksMismatched++
+					if err := reps[i].doSync(p, blockdev.ReqWrite, off, bufs[0][:n], n); err != nil {
+						return rep, fmt.Errorf("volume: resync repair %s@%d: %w", reps[i].name, off, err)
+					}
+					rep.BytesRepaired += n
+				}
+			}
+		}
+		for _, m := range reps {
+			if err := m.doSync(p, blockdev.ReqFlush, 0, nil, 0); err != nil {
+				return rep, fmt.Errorf("volume: resync flush %s: %w", m.name, err)
+			}
+		}
+	}
+	rep.Elapsed = v.env.Now() - start
+	return rep, nil
+}
