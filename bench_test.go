@@ -22,7 +22,9 @@ import (
 	"repro/internal/nullblk"
 	"repro/internal/ocssd"
 	"repro/internal/pblk"
+	"repro/internal/ppa"
 	"repro/internal/sim"
+	"repro/internal/volume"
 )
 
 func quickOpts() harness.Options {
@@ -203,5 +205,134 @@ func BenchmarkQDSweep(b *testing.B) {
 				b.ReportMetric(iops, "sim-iops")
 			})
 		}
+	}
+	// Volume entries: the same QD32 randread, but through the fan-out and
+	// replication layer over a two-device fleet, so the pooled split path
+	// (chunk math, child requests, member queues) shows up in the same
+	// alloc/ns trajectory as the flat queue engine.
+	layouts := []struct {
+		name   string
+		layout volume.Layout
+	}{
+		{"volume-stripe", volume.Stripe(64<<10, 0, 1)},
+		{"volume-mirror", volume.Mirror(0, 1)},
+	}
+	for _, lo := range layouts {
+		b.Run(lo.name+"-qd32", func(b *testing.B) {
+			var iops float64
+			for i := 0; i < b.N; i++ {
+				env := sim.NewEnv(1)
+				var res *fio.Result
+				env.Go("main", func(p *sim.Proc) {
+					mgr, err := volume.NewManager(p, env, volume.Config{
+						Devices: 2, OCSSD: volume.DefaultDeviceConfig(20),
+						Pblk: pblk.Config{OverProvision: 0.25}, Seed: 1,
+					})
+					if err != nil {
+						b.Error(err)
+						return
+					}
+					v, err := mgr.CreateVolume("sweep", lo.layout, volume.Options{})
+					if err != nil {
+						b.Error(err)
+						return
+					}
+					// Map a small region so the reads hit real data.
+					const region = 4 << 20
+					buf := make([]byte, 256<<10)
+					for off := int64(0); off < region; off += int64(len(buf)) {
+						if err := v.Write(p, off, buf, int64(len(buf))); err != nil {
+							b.Error(err)
+							return
+						}
+					}
+					if err := v.Flush(p); err != nil {
+						b.Error(err)
+						return
+					}
+					res, err = fio.Run(p, v, fio.Job{
+						Name: "sweep", Pattern: fio.RandRead, BS: 4096,
+						QD: 32, Size: region, Runtime: 20 * time.Millisecond,
+					})
+					if err != nil {
+						b.Error(err)
+					}
+				})
+				env.Run()
+				if res != nil {
+					iops = float64(res.Reads) / res.Elapsed.Seconds()
+				}
+			}
+			b.ReportMetric(iops, "sim-iops")
+		})
+	}
+}
+
+// BenchmarkBigGeometry proves the allocation-free request path holds at
+// fleet-scale geometries: pblk mounted over 512- and 1024-PU devices
+// (32 channels) with queue depths in the thousands, a shape where the
+// seed's proc-per-request engine and slice-shift queues would drown in
+// scheduler and GC work. Blocks per plane are kept small so the media
+// map stays bounded; the metric is simulated IOPS of a mixed 70/30
+// random workload.
+func BenchmarkBigGeometry(b *testing.B) {
+	cases := []struct {
+		name          string
+		channels, pus int
+		qd            int
+	}{
+		{"pus512-qd2048", 32, 16, 2048},
+		{"pus1024-qd4096", 32, 32, 4096},
+	}
+	for _, c := range cases {
+		b.Run(c.name, func(b *testing.B) {
+			var iops float64
+			for i := 0; i < b.N; i++ {
+				env := sim.NewEnv(1)
+				m := nand.DefaultConfig()
+				m.PECycleLimit = 0
+				m.WearLatencyFactor = 0
+				dev, err := ocssd.New(env, ocssd.Config{
+					Geometry: ppa.Geometry{
+						Channels: c.channels, PUsPerChannel: c.pus,
+						PlanesPerPU: 1, BlocksPerPlane: 8, PagesPerBlock: 64,
+						SectorsPerPage: 4, SectorSize: 4096, OOBPerPage: 64,
+					},
+					Timing:    ocssd.DefaultTiming(),
+					Media:     m,
+					PageCache: true,
+					Seed:      1,
+				})
+				if err != nil {
+					b.Fatal(err)
+				}
+				ln := lightnvm.Register("bigbench", dev)
+				var res *fio.Result
+				env.Go("main", func(p *sim.Proc) {
+					k, err := pblk.New(p, ln, "pblk-big", pblk.Config{
+						ActivePUs: c.channels * c.pus, OverProvision: 0.4,
+					})
+					if err != nil {
+						b.Error(err)
+						return
+					}
+					defer k.Stop(p)
+					span := k.Capacity() / 8 / (256 << 10) * (256 << 10)
+					res, err = fio.Run(p, k, fio.Job{
+						Name: "big", Pattern: fio.RandRW, RWMixRead: 70,
+						BS: 4096, QD: c.qd, Size: span,
+						Runtime: 2 * time.Millisecond,
+					})
+					if err != nil {
+						b.Error(err)
+					}
+				})
+				env.Run()
+				if res != nil {
+					iops = float64(res.Reads+res.Writes) / res.Elapsed.Seconds()
+				}
+			}
+			b.ReportMetric(iops, "sim-iops")
+		})
 	}
 }

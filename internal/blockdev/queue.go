@@ -5,6 +5,12 @@
 // QueueProvider; any other Device is adapted with a process-backed queue.
 // SyncAdapter closes the loop for callers that keep the traditional
 // blocking call style over a queue.
+//
+// The whole datapath is allocation-free in steady state: accepted
+// requests wait in an intrusive ring (not an append/shift slice),
+// completions drain through a pooled batch with a single dispatch pass
+// per burst, and callers reuse Request objects through ReqPool instead of
+// allocating one per I/O (see the recycle contract on ReqPool).
 
 package blockdev
 
@@ -43,11 +49,26 @@ func (o ReqOp) String() string {
 	return fmt.Sprintf("reqop(%d)", int(o))
 }
 
+// Request pool states, tracked so queue and pool can panic on ownership
+// violations (double recycle, recycle in flight, submit of a pooled
+// request) instead of silently corrupting the datapath.
+const (
+	reqIdle     uint8 = iota // owned by the caller; may be mutated/submitted
+	reqInFlight              // accepted by a queue; owned by the queue
+	reqPooled                // parked in a ReqPool; must not be referenced
+)
+
 // Request is one asynchronous block I/O travelling through a Queue. Off
 // and Length are bytes and must be sector aligned; ReqFlush carries no
 // range. Buf follows the Device conventions: nil performs a synthetic
 // transfer of Length bytes. A request must not be mutated or resubmitted
 // while in flight; Buf must stay valid until completion.
+//
+// Ownership: between Submit and the completion callback the request
+// belongs to the queue. Once OnComplete has run (or, without a callback,
+// once the request is observed completed after Drain) it returns to the
+// caller, who may reuse it immediately — the queue keeps no reference —
+// or recycle it through a ReqPool.
 type Request struct {
 	Op     ReqOp
 	Off    int64
@@ -63,10 +84,51 @@ type Request struct {
 	// Submitted and Done are the virtual times the queue accepted and
 	// completed the request; Done-Submitted includes any in-queue wait.
 	Submitted, Done time.Duration
+
+	state uint8 // reqIdle/reqInFlight/reqPooled ownership guard
 }
 
 // Latency returns the request's submission-to-completion time.
 func (r *Request) Latency() time.Duration { return r.Done - r.Submitted }
+
+// ReqPool recycles Request objects so steady-state datapaths allocate
+// none. It is not safe for concurrent use; keep one pool per simulation
+// environment (or per single-threaded owner).
+//
+// Recycle contract, mirroring ocssd.Device.Recycle: a request may be
+// recycled (Put) only by its owner, after its completion callback has run
+// — the queue drops its reference before invoking OnComplete, so
+// recycling from inside the callback is legal. Put fully resets the
+// request (Op, range, Buf, OnComplete, Err, timestamps); Get returns it
+// zeroed. Recycling an in-flight request, recycling twice, or submitting
+// a request that is still pooled panics.
+type ReqPool struct {
+	free []*Request
+}
+
+// Get returns a zeroed request, reusing a recycled one when available.
+func (p *ReqPool) Get() *Request {
+	if n := len(p.free); n > 0 {
+		r := p.free[n-1]
+		p.free[n-1] = nil
+		p.free = p.free[:n-1]
+		r.state = reqIdle
+		return r
+	}
+	return &Request{}
+}
+
+// Put recycles a completed request. See the ReqPool recycle contract.
+func (p *ReqPool) Put(r *Request) {
+	switch r.state {
+	case reqPooled:
+		panic("blockdev: double recycle of a pooled Request")
+	case reqInFlight:
+		panic("blockdev: recycle of an in-flight Request")
+	}
+	*r = Request{state: reqPooled}
+	p.free = append(p.free, r)
+}
 
 // Queue is one submission/completion queue pair. At most Depth requests
 // are dispatched to the device concurrently; accepted requests beyond that
@@ -108,8 +170,10 @@ func OpenQueue(env *sim.Env, dev Device, depth int) Queue {
 // IssueFunc starts one validated request on a device. done is a stable
 // per-queue function (so implementations can schedule it without building
 // a closure per request); it must be called exactly once with the same
-// request, from simulation context but never synchronously from within
-// the IssueFunc call itself, after the request's Err is set.
+// request, from simulation context, after the request's Err is set.
+// Calling done synchronously from within the IssueFunc call is legal: the
+// queue's completion drain is iterative, so arbitrarily long synchronous
+// completion chains cannot recurse.
 type IssueFunc func(req *Request, done func(*Request))
 
 // NewQueue builds a queue pair over a native issue function. Device
@@ -122,29 +186,51 @@ func NewQueue(env *sim.Env, dev Device, depth int, issue IssueFunc) Queue {
 	}
 	q := &cbQueue{env: env, dev: dev, depth: depth, issue: issue}
 	q.completeFn = q.complete
+	q.finishArg = func(a any) { q.finish(a.(*Request)) }
 	return q
 }
 
-// NewProcQueue adapts a synchronous Device into a Queue by running each
-// dispatched request on its own simulation process. It is the fallback
-// for devices without a native asynchronous datapath (and for wrappers
-// like WithLatency that hide one).
-func NewProcQueue(env *sim.Env, dev Device, depth int) Queue {
-	return NewQueue(env, dev, depth, func(req *Request, done func(*Request)) {
-		env.Go("blockdev.q", func(p *sim.Proc) {
-			switch req.Op {
-			case ReqRead:
-				req.Err = dev.Read(p, req.Off, req.Buf, req.Length)
-			case ReqWrite:
-				req.Err = dev.Write(p, req.Off, req.Buf, req.Length)
-			case ReqFlush:
-				req.Err = dev.Flush(p)
-			case ReqTrim:
-				req.Err = dev.Trim(p, req.Off, req.Length)
-			}
-			done(req)
-		})
-	})
+// reqRing is an intrusive circular FIFO of requests. Unlike the
+// append/shift slice it replaced (pending = pending[1:], which bleeds
+// capacity and reallocates under sustained traffic), a ring in steady
+// state touches only head/tail indices: zero allocations once grown to
+// the high-water mark.
+type reqRing struct {
+	buf  []*Request
+	head int // index of the oldest element
+	n    int // elements in the ring
+}
+
+func (r *reqRing) len() int { return r.n }
+
+func (r *reqRing) push(req *Request) {
+	if r.n == len(r.buf) {
+		grown := make([]*Request, max(16, 2*len(r.buf)))
+		for i := 0; i < r.n; i++ {
+			grown[i] = r.buf[(r.head+i)%len(r.buf)]
+		}
+		r.buf, r.head = grown, 0
+	}
+	// Conditional wrap instead of modulo: this runs once per submission.
+	i := r.head + r.n
+	if i >= len(r.buf) {
+		i -= len(r.buf)
+	}
+	r.buf[i] = req
+	r.n++
+}
+
+func (r *reqRing) peek() *Request { return r.buf[r.head] }
+
+func (r *reqRing) pop() *Request {
+	req := r.buf[r.head]
+	r.buf[r.head] = nil
+	r.head++
+	if r.head == len(r.buf) {
+		r.head = 0
+	}
+	r.n--
+	return req
 }
 
 // cbQueue is the shared queue-pair state machine.
@@ -154,13 +240,22 @@ type cbQueue struct {
 	depth int
 	issue IssueFunc
 
-	pending    []*Request // accepted, not yet dispatched (submission order)
-	active     int        // dispatched to the device, not yet completed
-	inflight   int        // accepted, not yet completed
-	barrier    bool       // a flush is dispatched; hold everything behind it
-	drainEv    *sim.Event
+	pending  reqRing // accepted, not yet dispatched (submission order)
+	active   int     // dispatched to the device, not yet completed
+	inflight int     // accepted, not yet completed
+	barrier  bool    // a flush is dispatched; hold everything behind it
+	drainEv  *sim.Event
+
 	completeFn func(*Request) // == complete, bound once for closure-free issue
 	finishArg  func(any)      // == finish via any, for closure-free Schedule
+
+	// finished is the pooled completion batch: requests completing while a
+	// drain pass runs (synchronous done calls, completion chains through
+	// stacked devices) append here and the single iterative loop in finish
+	// consumes them, so a burst runs one dispatch/notify pass per batch
+	// instead of recursing once per request.
+	finished  []*Request
+	finishing bool
 }
 
 func (q *cbQueue) SectorSize() int { return q.dev.SectorSize() }
@@ -183,17 +278,21 @@ func (q *cbQueue) validate(r *Request) error {
 func (q *cbQueue) Submit(reqs ...*Request) {
 	now := q.env.Now()
 	for _, r := range reqs {
+		switch r.state {
+		case reqPooled:
+			panic("blockdev: Submit of a recycled Request still in its pool")
+		case reqInFlight:
+			panic("blockdev: Submit of a Request already in flight")
+		}
+		r.state = reqInFlight
 		r.Submitted = now
 		q.inflight++
 		if err := q.validate(r); err != nil {
 			r.Err = err
-			if q.finishArg == nil {
-				q.finishArg = func(a any) { q.finish(a.(*Request)) }
-			}
 			q.env.ScheduleArg(0, q.finishArg, r)
 			continue
 		}
-		q.pending = append(q.pending, r)
+		q.pending.push(r)
 	}
 	q.dispatch()
 }
@@ -201,15 +300,15 @@ func (q *cbQueue) Submit(reqs ...*Request) {
 // dispatch starts pending requests in submission order while slots are
 // free, stopping at a flush until the queue is empty ahead of it.
 func (q *cbQueue) dispatch() {
-	for !q.barrier && q.active < q.depth && len(q.pending) > 0 {
-		r := q.pending[0]
+	for !q.barrier && q.active < q.depth && q.pending.len() > 0 {
+		r := q.pending.peek()
 		if r.Op == ReqFlush {
 			if q.active > 0 {
 				return
 			}
 			q.barrier = true
 		}
-		q.pending = q.pending[1:]
+		q.pending.pop()
 		q.active++
 		q.issue(r, q.completeFn)
 	}
@@ -225,19 +324,40 @@ func (q *cbQueue) complete(r *Request) {
 	q.finish(r)
 }
 
-// finish completes one request: stamp, account, notify, and restart
-// dispatch for whatever the freed slot (or cleared barrier) unblocks.
+// finish completes requests through the pooled batch: the outermost call
+// runs the drain loop — stamp, account, notify, then one dispatch pass
+// per drained batch — while nested completions (synchronous done calls
+// from issue, completion chains re-entering through OnComplete or
+// dispatch) only append to the batch. Dispatch recursion depth is
+// therefore constant regardless of queue depth or burst length.
 func (q *cbQueue) finish(r *Request) {
-	r.Done = q.env.Now()
-	q.inflight--
-	if r.OnComplete != nil {
-		r.OnComplete(r)
+	q.finished = append(q.finished, r)
+	if q.finishing {
+		return
 	}
-	if q.inflight == 0 && q.drainEv != nil {
-		q.drainEv.Signal()
-		q.drainEv = nil
+	q.finishing = true
+	now := q.env.Now()
+	for i := 0; i < len(q.finished); {
+		for ; i < len(q.finished); i++ {
+			c := q.finished[i]
+			q.finished[i] = nil
+			c.Done = now
+			q.inflight--
+			// The queue's reference ends here: OnComplete may recycle or
+			// resubmit the request.
+			c.state = reqIdle
+			if c.OnComplete != nil {
+				c.OnComplete(c)
+			}
+		}
+		if q.inflight == 0 && q.drainEv != nil {
+			q.drainEv.Signal()
+			q.drainEv = nil
+		}
+		q.dispatch()
 	}
-	q.dispatch()
+	q.finished = q.finished[:0]
+	q.finishing = false
 }
 
 func (q *cbQueue) Drain(p *sim.Proc) {
@@ -249,13 +369,92 @@ func (q *cbQueue) Drain(p *sim.Proc) {
 	}
 }
 
+// procQueue adapts a synchronous Device into a queue by running
+// dispatched requests on a small pool of reusable worker processes: the
+// first requests spawn up to depth workers, and from then on workers park
+// on a per-worker event between requests, so steady-state traffic starts
+// no goroutines and builds no per-request closures.
+type procQueue struct {
+	env  *sim.Env
+	dev  Device
+	idle []*procWorker
+}
+
+type procWorker struct {
+	pq   *procQueue
+	ev   *sim.Event
+	req  *Request
+	done func(*Request)
+}
+
+// NewProcQueue adapts a synchronous Device into a Queue by dispatching
+// each request to a pooled worker process. It is the fallback for devices
+// without a native asynchronous datapath (and for wrappers like
+// WithLatency that hide one).
+func NewProcQueue(env *sim.Env, dev Device, depth int) Queue {
+	pq := &procQueue{env: env, dev: dev}
+	return NewQueue(env, dev, depth, pq.issueFn)
+}
+
+func (pq *procQueue) issueFn(req *Request, done func(*Request)) {
+	if n := len(pq.idle); n > 0 {
+		w := pq.idle[n-1]
+		pq.idle[n-1] = nil
+		pq.idle = pq.idle[:n-1]
+		w.req, w.done = req, done
+		w.ev.Signal()
+		return
+	}
+	w := &procWorker{pq: pq, ev: pq.env.NewEvent(), req: req, done: done}
+	pq.env.Go("blockdev.q", w.run)
+}
+
+func (w *procWorker) run(p *sim.Proc) {
+	dev := w.pq.dev
+	for {
+		req, done := w.req, w.done
+		w.req, w.done = nil, nil
+		switch req.Op {
+		case ReqRead:
+			req.Err = dev.Read(p, req.Off, req.Buf, req.Length)
+		case ReqWrite:
+			req.Err = dev.Write(p, req.Off, req.Buf, req.Length)
+		case ReqFlush:
+			req.Err = dev.Flush(p)
+		case ReqTrim:
+			req.Err = dev.Trim(p, req.Off, req.Length)
+		}
+		// Park before completing: the done callback may dispatch the next
+		// pending request straight back onto this worker (its event fires,
+		// so the Wait below returns immediately).
+		w.pq.idle = append(w.pq.idle, w)
+		done(req)
+		p.Wait(w.ev)
+		w.ev.Reset()
+	}
+}
+
+// syncCall is one pooled blocking-call context: an embedded request with
+// a pre-bound completion event, reused across calls so the blocking
+// bridge allocates nothing in steady state.
+type syncCall struct {
+	req Request
+	ev  *sim.Event
+	one [1]*Request // variadic-submit scratch: a one-element slice passed
+	// through Submit avoids the per-call allocation an interface call
+	// can't elide.
+}
+
 // SyncAdapter presents a Queue as a blocking Device, preserving the
 // traditional Read/Write/Flush/Trim call style for callers that do not
 // need queue depth (lsmdb, sqlbench). Each call submits one request and
-// suspends the calling process until it completes.
+// suspends the calling process until it completes. Calls reuse pooled
+// request/event pairs, so concurrent callers are safe and the steady
+// state allocates nothing.
 type SyncAdapter struct {
-	env *sim.Env
-	q   Queue
+	env  *sim.Env
+	q    Queue
+	free []*syncCall
 }
 
 // NewSyncAdapter wraps q. env must be the environment q completes on.
@@ -274,30 +473,47 @@ func (s *SyncAdapter) SectorSize() int { return s.q.SectorSize() }
 // Capacity implements Device.
 func (s *SyncAdapter) Capacity() int64 { return s.q.Capacity() }
 
-func (s *SyncAdapter) do(p *sim.Proc, req *Request) error {
-	ev := s.env.NewEvent()
-	req.OnComplete = func(*Request) { ev.Signal() }
-	s.q.Submit(req)
-	p.Wait(ev)
-	return req.Err
+func (s *SyncAdapter) getCall() *syncCall {
+	if n := len(s.free); n > 0 {
+		c := s.free[n-1]
+		s.free[n-1] = nil
+		s.free = s.free[:n-1]
+		return c
+	}
+	c := &syncCall{ev: s.env.NewEvent()}
+	c.req.OnComplete = func(*Request) { c.ev.Signal() }
+	return c
+}
+
+func (s *SyncAdapter) do(p *sim.Proc, op ReqOp, off int64, buf []byte, length int64) error {
+	c := s.getCall()
+	c.req.Op, c.req.Off, c.req.Buf, c.req.Length, c.req.Err = op, off, buf, length, nil
+	c.one[0] = &c.req
+	s.q.Submit(c.one[:]...)
+	p.Wait(c.ev)
+	c.ev.Reset()
+	err := c.req.Err
+	c.req.Buf = nil
+	s.free = append(s.free, c)
+	return err
 }
 
 // Read implements Device.
 func (s *SyncAdapter) Read(p *sim.Proc, off int64, buf []byte, length int64) error {
-	return s.do(p, &Request{Op: ReqRead, Off: off, Buf: buf, Length: length})
+	return s.do(p, ReqRead, off, buf, length)
 }
 
 // Write implements Device.
 func (s *SyncAdapter) Write(p *sim.Proc, off int64, buf []byte, length int64) error {
-	return s.do(p, &Request{Op: ReqWrite, Off: off, Buf: buf, Length: length})
+	return s.do(p, ReqWrite, off, buf, length)
 }
 
 // Flush implements Device.
 func (s *SyncAdapter) Flush(p *sim.Proc) error {
-	return s.do(p, &Request{Op: ReqFlush})
+	return s.do(p, ReqFlush, 0, nil, 0)
 }
 
 // Trim implements Device.
 func (s *SyncAdapter) Trim(p *sim.Proc, off, length int64) error {
-	return s.do(p, &Request{Op: ReqTrim, Off: off, Length: length})
+	return s.do(p, ReqTrim, off, nil, length)
 }

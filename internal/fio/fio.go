@@ -174,19 +174,23 @@ func Run(p *sim.Proc, dev blockdev.Device, job Job) (*Result, error) {
 	start := env.Now()
 	done := env.NewEvent()
 	running := job.NumJobs
+	onExit := func() {
+		running--
+		if running == 0 {
+			done.Signal()
+		}
+	}
 	for w := 0; w < job.NumJobs; w++ {
 		rng := rand.New(rand.NewSource(job.Seed + int64(w)*104729))
 		// Sequential workers partition the region so each stream stays
 		// sequential within its stripe.
 		seqCursor := int64(w) * (st.maxOff / int64(job.NumJobs))
-		env.Go(fmt.Sprintf("fio.%s.%d", job.Name, w), func(pr *sim.Proc) {
-			defer func() {
-				running--
-				if running == 0 {
-					done.Signal()
-				}
-			}()
-			runQueueWorker(pr, blockdev.OpenQueue(env, dev, job.QD), job, st, rng, seqCursor)
+		// The queue opens inside the scheduled start, exactly where the
+		// process form opened it, so any provider-side setup events keep
+		// their position in the trace.
+		env.Schedule(0, func() {
+			qw := newQueueWorker(env, blockdev.OpenQueue(env, dev, job.QD), job, st, rng, seqCursor, onExit)
+			qw.pump()
 		})
 	}
 	p.Wait(done)
@@ -259,92 +263,127 @@ func (st *jobState) record(req *blockdev.Request, bs int64) {
 	}
 }
 
-// runQueueWorker is one job worker: a single process sustaining up to QD
+// queueWorker is one job worker: a continuation pump sustaining up to QD
 // in-flight requests on q. Ready requests are gathered into a batch and
-// submitted together; the worker then sleeps until a completion frees a
-// slot (or, for rate-limited writes, until the next token matures).
-func runQueueWorker(pr *sim.Proc, q blockdev.Queue, job Job, st *jobState, rng *rand.Rand, seqCursor int64) {
-	env := pr.Env()
-	inflight := 0
-	var kick *sim.Event
+// submitted together; the pump then parks as an OnFire callback until a
+// completion frees a slot (or, for rate-limited writes, reschedules itself
+// for when the next token matures). It is the goroutine-free form of the
+// process loop it replaced: every scheduler interaction — start, token
+// sleep, completion wake — pushes exactly one event at the same position
+// the process form did, so simulated traces are unchanged while each
+// wakeup saves two channel handoffs.
+type queueWorker struct {
+	env       *sim.Env
+	q         blockdev.Queue
+	job       Job
+	st        *jobState
+	rng       *rand.Rand
+	seqCursor int64
+
+	inflight int
+	// kick is reused (Reset) across wait cycles; the pump drains the fired
+	// state before re-arming.
+	kick *sim.Event
 	// Completed requests return to a per-worker free list: a worker in
 	// steady state reuses the same QD request objects for the whole run.
-	var free []*blockdev.Request
-	var onComplete func(req *blockdev.Request)
-	onComplete = func(req *blockdev.Request) {
-		inflight--
-		st.record(req, int64(job.BS))
-		free = append(free, req)
-		if kick != nil {
-			kick.Signal()
-		}
-	}
-	newReq := func(op blockdev.ReqOp, off int64, length int64) *blockdev.Request {
-		if n := len(free); n > 0 {
-			r := free[n-1]
-			free = free[:n-1]
-			r.Op, r.Off, r.Length, r.Err = op, off, length, nil
-			return r
-		}
-		return &blockdev.Request{Op: op, Off: off, Length: length, OnComplete: onComplete}
-	}
+	free []*blockdev.Request
 	// prepared is an op that consumed budget (and, for rate-limited
 	// writes, claimed a token) but has not been submitted yet.
-	var prepared *blockdev.Request
-	var tokenAt time.Duration
-	writesSinceSync := 0
-	batch := make([]*blockdev.Request, 0, job.QD+1)
+	prepared        *blockdev.Request
+	tokenAt         time.Duration
+	writesSinceSync int
+	batch           []*blockdev.Request
+	pumpFn          func() // == pump, bound once for closure-free rescheduling
+	onExit          func() // job-level completion accounting
+}
 
+func newQueueWorker(env *sim.Env, q blockdev.Queue, job Job, st *jobState, rng *rand.Rand, seqCursor int64, onExit func()) *queueWorker {
+	w := &queueWorker{
+		env: env, q: q, job: job, st: st,
+		rng: rng, seqCursor: seqCursor, onExit: onExit,
+	}
+	w.kick = env.NewEvent()
+	w.batch = make([]*blockdev.Request, 0, job.QD+1)
+	w.pumpFn = w.pump
+	return w
+}
+
+func (w *queueWorker) onComplete(req *blockdev.Request) {
+	w.inflight--
+	w.st.record(req, int64(w.job.BS))
+	w.free = append(w.free, req)
+	w.kick.Signal()
+}
+
+func (w *queueWorker) newReq(op blockdev.ReqOp, off int64, length int64) *blockdev.Request {
+	if n := len(w.free); n > 0 {
+		r := w.free[n-1]
+		w.free = w.free[:n-1]
+		r.Op, r.Off, r.Length, r.Err = op, off, length, nil
+		return r
+	}
+	return &blockdev.Request{Op: op, Off: off, Length: length, OnComplete: w.onComplete}
+}
+
+func (w *queueWorker) pump() {
+	env, job, st := w.env, w.job, w.st
 	for {
 		// Gather everything issuable at this instant into one batch.
-		for inflight+len(batch) < job.QD {
-			if prepared == nil {
+		for w.inflight+len(w.batch) < job.QD {
+			if w.prepared == nil {
 				if st.issued >= st.opBudget || env.Now() >= st.deadline {
 					break
 				}
 				st.issued++
-				isRead, off := st.nextOp(job, rng, &seqCursor)
+				isRead, off := st.nextOp(job, w.rng, &w.seqCursor)
 				op := blockdev.ReqWrite
 				if isRead {
 					op = blockdev.ReqRead
 				}
-				prepared = newReq(op, off, int64(job.BS))
-				tokenAt = 0
+				w.prepared = w.newReq(op, off, int64(job.BS))
+				w.tokenAt = 0
 				if !isRead && st.writeGap > 0 {
-					tokenAt = st.claimWriteToken(env.Now())
+					w.tokenAt = st.claimWriteToken(env.Now())
 				}
 			}
-			if tokenAt > env.Now() {
+			if w.tokenAt > env.Now() {
 				break // token still maturing
 			}
-			batch = append(batch, prepared)
-			if prepared.Op == blockdev.ReqWrite && job.SyncEvery > 0 {
-				writesSinceSync++
-				if writesSinceSync >= job.SyncEvery {
-					writesSinceSync = 0
-					batch = append(batch, newReq(blockdev.ReqFlush, 0, 0))
+			w.batch = append(w.batch, w.prepared)
+			if w.prepared.Op == blockdev.ReqWrite && job.SyncEvery > 0 {
+				w.writesSinceSync++
+				if w.writesSinceSync >= job.SyncEvery {
+					w.writesSinceSync = 0
+					w.batch = append(w.batch, w.newReq(blockdev.ReqFlush, 0, 0))
 				}
 			}
-			prepared = nil
+			w.prepared = nil
 		}
-		if len(batch) > 0 {
-			inflight += len(batch)
-			q.Submit(batch...)
-			batch = batch[:0]
+		if len(w.batch) > 0 {
+			w.inflight += len(w.batch)
+			w.q.Submit(w.batch...)
+			w.batch = w.batch[:0]
 		}
-		if inflight == 0 && prepared == nil &&
+		if w.inflight == 0 && w.prepared == nil &&
 			(st.issued >= st.opBudget || env.Now() >= st.deadline) {
+			w.onExit()
 			return
 		}
-		if inflight == 0 && prepared != nil && tokenAt > env.Now() {
+		if w.inflight == 0 && w.prepared != nil && w.tokenAt > env.Now() {
 			// Nothing in flight: sleep until the claimed token matures.
-			pr.Sleep(tokenAt - env.Now())
+			env.Schedule(w.tokenAt-env.Now(), w.pumpFn)
+			return
+		}
+		if w.kick.Fired() {
+			// A completion arrived while the pump ran (a synchronous finish
+			// during Submit): the process form's Wait would have returned
+			// immediately, so take another pass instead of parking.
+			w.kick.Reset()
 			continue
 		}
-		// Wait for a completion to free a slot or end the run.
-		kick = env.NewEvent()
-		pr.Wait(kick)
-		kick = nil
+		// Park until a completion frees a slot or ends the run.
+		w.kick.OnFire(w.pumpFn)
+		return
 	}
 }
 

@@ -89,6 +89,11 @@ func (d *Device) Trim(p *sim.Proc, off, length int64) error {
 // with zero steady-state allocations in the device.
 func (d *Device) OpenQueue(env *sim.Env, depth int) blockdev.Queue {
 	var readDone, writeDone, flushDone, trimDone func(any)
+	// Read and write latencies are constants, so completions within each
+	// class are FIFO: a delay line per class completes any number of
+	// in-flight requests behind a single armed timer instead of one event
+	// queue entry per request.
+	var readLine, writeLine *sim.DelayLine
 	return blockdev.NewQueue(env, d, depth, func(req *blockdev.Request, done func(*blockdev.Request)) {
 		if readDone == nil {
 			readDone = func(a any) {
@@ -106,12 +111,14 @@ func (d *Device) OpenQueue(env *sim.Env, depth int) blockdev.Queue {
 				done(a.(*blockdev.Request))
 			}
 			trimDone = func(a any) { done(a.(*blockdev.Request)) }
+			readLine = env.NewDelayLine(d.cfg.ReadLatency)
+			writeLine = env.NewDelayLine(d.cfg.WriteLatency)
 		}
 		switch req.Op {
 		case blockdev.ReqRead:
-			env.ScheduleArg(d.cfg.ReadLatency, readDone, req)
+			readLine.After(readDone, req)
 		case blockdev.ReqWrite:
-			env.ScheduleArg(d.cfg.WriteLatency, writeDone, req)
+			writeLine.After(writeDone, req)
 		case blockdev.ReqFlush:
 			env.ScheduleArg(0, flushDone, req)
 		case blockdev.ReqTrim:

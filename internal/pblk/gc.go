@@ -211,7 +211,7 @@ func (k *Pblk) gcBacklogged() bool {
 	if !k.cfg.DisableRateLimiter && k.rl.userQuota == 0 {
 		return true
 	}
-	return k.rb.userIn == 0 && len(k.admitQ) == 0
+	return k.rb.userIn == 0 && k.admitHead == len(k.admitQ)
 }
 
 // launchVictims fills the GC pipeline: suspects first, then cost-benefit

@@ -341,10 +341,14 @@ type Pblk struct {
 	unitStamp uint64
 
 	// admitQ holds queue-pair writes awaiting ring admission in FIFO
-	// order; admitActive marks the admission pump armed (queue.go). The
-	// pump is a continuation, not a process: admitCur/admitSector are its
-	// cursor and the bound step functions are created once.
+	// order; admitHead indexes the next one (the consumed prefix is
+	// reclaimed wholesale when the queue empties, so admission never
+	// reallocates in steady state). admitActive marks the admission pump
+	// armed (queue.go). The pump is a continuation, not a process:
+	// admitCur/admitSector are its cursor and the bound step functions
+	// are created once.
 	admitQ       []pendingWrite
+	admitHead    int
 	admitActive  bool
 	admitCur     pendingWrite
 	admitSector  int64

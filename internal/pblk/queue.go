@@ -74,12 +74,27 @@ type pendingWrite struct {
 // blocking Write path exactly. It runs in simulation context.
 func (k *Pblk) admitStart() {
 	for {
-		if len(k.admitQ) == 0 {
+		if k.admitHead == len(k.admitQ) {
+			// Drained: recycle the backing array in place instead of
+			// bleeding capacity one slice-shift at a time.
+			k.admitQ = k.admitQ[:0]
+			k.admitHead = 0
 			k.admitActive = false
 			return
 		}
-		pw := k.admitQ[0]
-		k.admitQ = k.admitQ[1:]
+		if k.admitHead >= 64 && 2*k.admitHead >= len(k.admitQ) {
+			// Sustained backlog: slide the live suffix down so the consumed
+			// prefix is reused instead of growing the array forever.
+			n := copy(k.admitQ, k.admitQ[k.admitHead:])
+			for i := n; i < len(k.admitQ); i++ {
+				k.admitQ[i] = pendingWrite{}
+			}
+			k.admitQ = k.admitQ[:n]
+			k.admitHead = 0
+		}
+		pw := k.admitQ[k.admitHead]
+		k.admitQ[k.admitHead] = pendingWrite{}
+		k.admitHead++
 		k.admitCur = pw
 		if k.stopping {
 			pw.req.Err = ErrStopped

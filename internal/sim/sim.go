@@ -34,6 +34,17 @@ type Env struct {
 	queue eventQueue
 	seq   uint64
 
+	// nowq is a FIFO of events scheduled for exactly the current instant.
+	// Zero-delay scheduling (completion callbacks, event signals, continuation
+	// kicks) dominates hot datapaths; routing those around the heap turns a
+	// log-time sift per event into two index bumps. Ordering stays exact:
+	// every heap entry stamped at == now was pushed at an earlier instant and
+	// so carries a smaller seq than any nowq entry, and the bucket drains
+	// before the clock advances, so the merged pop order is identical to a
+	// single (at, seq) heap.
+	nowq     []queued
+	nowqHead int
+
 	// yield is the handoff channel: a running process signals it when it
 	// blocks or terminates, returning control to the scheduler.
 	yield chan struct{}
@@ -163,6 +174,10 @@ func (q *eventQueue) pop() queued {
 
 func (e *Env) push(at time.Duration, it item) {
 	e.seq++
+	if at == e.now {
+		e.nowq = append(e.nowq, queued{at: at, seq: e.seq, it: it})
+		return
+	}
 	e.queue.push(queued{at: at, seq: e.seq, it: it})
 }
 
@@ -175,7 +190,27 @@ func (e *Env) Run() {
 // RunUntil executes queued events with timestamps <= t, then advances the
 // clock to t (if t is later than the last event executed).
 func (e *Env) RunUntil(t time.Duration) {
-	for e.queue.len() > 0 && e.queue.a[0].at <= t {
+	for {
+		if e.nowqHead < len(e.nowq) && e.now <= t {
+			// Heap entries at the current instant predate every nowq entry
+			// (smaller seq), so they run first; otherwise drain the bucket.
+			if e.queue.len() > 0 && e.queue.a[0].at <= e.now {
+				e.dispatch(e.queue.pop().it)
+				continue
+			}
+			q := e.nowq[e.nowqHead]
+			e.nowq[e.nowqHead] = queued{} // release closure references
+			e.nowqHead++
+			if e.nowqHead == len(e.nowq) {
+				e.nowq = e.nowq[:0]
+				e.nowqHead = 0
+			}
+			e.dispatch(q.it)
+			continue
+		}
+		if e.queue.len() == 0 || e.queue.a[0].at > t {
+			break
+		}
 		q := e.queue.pop()
 		if q.at > e.now {
 			e.now = q.at
@@ -303,6 +338,8 @@ func (e *Env) wake(w waiter) {
 
 // Event is a one-shot condition processes and callbacks can wait on. Create
 // with Env.NewEvent. Waiting after the event fired returns immediately.
+// Reset re-arms a fired event so hot paths can reuse one event object per
+// wait cycle instead of allocating a fresh event per wakeup.
 type Event struct {
 	env     *Env
 	fired   bool
@@ -326,7 +363,19 @@ func (ev *Event) Signal() {
 	for _, w := range ev.waiters {
 		ev.env.wake(w)
 	}
-	ev.waiters = nil
+	// Keep the backing array: a Reset event re-registers its waiter into
+	// the same storage, so steady-state wait cycles allocate nothing.
+	ev.waiters = ev.waiters[:0]
+}
+
+// Reset re-arms the event for another Signal/Wait cycle. It panics if
+// waiters are still registered (the event has not fired yet): resetting
+// under a parked waiter would strand it forever.
+func (ev *Event) Reset() {
+	if len(ev.waiters) > 0 {
+		panic("sim: Reset of an event with parked waiters")
+	}
+	ev.fired = false
 }
 
 // OnFire registers fn to run when the event fires; if the event already
@@ -411,3 +460,89 @@ func (r *Resource) InUse() int { return r.inUse }
 
 // QueueLen returns the number of acquirers waiting.
 func (r *Resource) QueueLen() int { return len(r.queue) }
+
+// DelayLine schedules callbacks a fixed delay into the future. Because the
+// delay is constant, due times are monotonic in schedule order, so the line
+// keeps a FIFO of pending callbacks behind one armed timer instead of one
+// heap event per call: a burst scheduled at the same instant shares a single
+// event queue entry. Callbacks run at exactly now+d in schedule order; the
+// only observable difference from per-call Schedule is that same-instant
+// callbacks run consecutively rather than interleaved (by submission seq)
+// with unrelated events due at the same time. Fixed-latency device models
+// use it to complete any number of in-flight requests with O(1) amortized
+// scheduler work per request.
+type DelayLine struct {
+	env *Env
+	d   time.Duration
+
+	// Pending callbacks, a ring in due-time (== schedule) order.
+	buf    []delayed
+	head   int
+	n      int
+	armed  bool
+	fireFn func() // bound once; re-armed for the front entry's due time
+}
+
+type delayed struct {
+	due time.Duration
+	fn  func(any)
+	arg any
+}
+
+// NewDelayLine returns a delay line completing after d. d must be >= 0.
+func (e *Env) NewDelayLine(d time.Duration) *DelayLine {
+	if d < 0 {
+		panic("sim: negative delay")
+	}
+	l := &DelayLine{env: e, d: d}
+	l.fireFn = l.fire
+	return l
+}
+
+// After schedules fn(arg) for the current virtual time plus the line's
+// delay. Like ScheduleArg it allocates nothing in steady state.
+func (l *DelayLine) After(fn func(any), arg any) {
+	if l.n == len(l.buf) {
+		grown := make([]delayed, max(16, 2*len(l.buf)))
+		for i := 0; i < l.n; i++ {
+			grown[i] = l.buf[(l.head+i)%len(l.buf)]
+		}
+		l.buf, l.head = grown, 0
+	}
+	i := l.head + l.n
+	if i >= len(l.buf) {
+		i -= len(l.buf)
+	}
+	l.buf[i] = delayed{due: l.env.now + l.d, fn: fn, arg: arg}
+	l.n++
+	if !l.armed {
+		l.armed = true
+		l.env.Schedule(l.d, l.fireFn)
+	}
+}
+
+// Len returns the number of callbacks pending on the line.
+func (l *DelayLine) Len() int { return l.n }
+
+func (l *DelayLine) fire() {
+	now := l.env.now
+	for l.n > 0 {
+		e := &l.buf[l.head]
+		if e.due > now {
+			// A callback rescheduled onto the line mid-drain (d > 0): re-arm
+			// for its due time and yield to the scheduler.
+			l.armed = true
+			l.env.Schedule(e.due-now, l.fireFn)
+			return
+		}
+		fn, arg := e.fn, e.arg
+		*e = delayed{}
+		l.head++
+		if l.head == len(l.buf) {
+			l.head = 0
+		}
+		l.n--
+		fn(arg)
+	}
+	l.armed = false
+}

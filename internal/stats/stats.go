@@ -7,6 +7,7 @@ package stats
 import (
 	"fmt"
 	"math"
+	"math/bits"
 	"time"
 )
 
@@ -50,12 +51,7 @@ func bucketLow(b int) time.Duration {
 }
 
 func leadingZeros(v uint64) int {
-	n := 0
-	for v&(1<<63) == 0 {
-		v <<= 1
-		n++
-	}
-	return n
+	return bits.LeadingZeros64(v)
 }
 
 // grow ensures bucket b is addressable.

@@ -1,0 +1,50 @@
+package volume
+
+import (
+	"testing"
+
+	"repro/internal/fio"
+	"repro/internal/sim"
+)
+
+// TestStripedVolumeSteadyStateSpawnsNoGoroutines is the whole-stack
+// spawn-counter guard: a QD32 fio run over a striped volume rides the
+// continuation pump in fio, the intrusive ring in blockdev.Queue, the
+// pooled fan-out in the volume layer and the ring admission in pblk —
+// none of which may start a simulation process per request. Mount-time
+// spawns (pblk writers, GC loop) happen before the baseline snapshot;
+// after that the counter must not move.
+func TestStripedVolumeSteadyStateSpawnsNoGoroutines(t *testing.T) {
+	runSim(t, 7, func(p *sim.Proc, env *sim.Env) {
+		mgr := newFleet(t, p, env, testConfig(4, 0, 7))
+		v := mustVolume(t, mgr, "s0", Stripe(64<<10, 0, 1, 2, 3), Options{})
+		const region = 4 << 20
+		// Prepare: map the region so reads hit real data, then flush so
+		// every lane and admission ring is warm before measuring.
+		writeRange(t, p, v, 0, region, 0x5A)
+		if err := v.Flush(p); err != nil {
+			t.Fatalf("flush: %v", err)
+		}
+		// Warmup job: lets the fan-out pools, request pools and queue
+		// rings reach steady-state capacity outside the measured window.
+		warm := fio.Job{Name: "warm", Pattern: fio.RandRW, RWMixRead: 70,
+			BS: 4096, QD: 32, Size: region, MaxOps: 2000, Seed: 11}
+		if _, err := fio.Run(p, v, warm); err != nil {
+			t.Fatalf("warmup job: %v", err)
+		}
+		base := env.Spawns()
+		job := fio.Job{Name: "steady", Pattern: fio.RandRW, RWMixRead: 70,
+			BS: 4096, QD: 32, Size: region, MaxOps: 8000, Seed: 12}
+		res, err := fio.Run(p, v, job)
+		if err != nil {
+			t.Fatalf("steady-state job: %v", err)
+		}
+		if res.Errors != 0 || res.Reads+res.Writes != job.MaxOps {
+			t.Fatalf("steady-state job: %d reads %d writes %d errors, want %d ops",
+				res.Reads, res.Writes, res.Errors, job.MaxOps)
+		}
+		if got := env.Spawns(); got != base {
+			t.Fatalf("steady-state QD32 fio over a striped volume spawned %d goroutine(s); the datapath must spawn none", got-base)
+		}
+	})
+}

@@ -95,6 +95,11 @@ type Member struct {
 	// Per-member routing counters, for the operator view.
 	SubReads, SubWrites int64
 	Injected            int64
+
+	// one is the single-request scratch for queue submission: passing an
+	// existing slice through the variadic Queue.Submit avoids the
+	// per-call slice allocation an interface call can't elide.
+	one [1]*blockdev.Request
 }
 
 // ID returns the member's fleet index.
@@ -121,13 +126,13 @@ func (m *Member) Volume() *Volume { return m.vol }
 func (m *Member) submit(r *blockdev.Request) {
 	if m.state == StateDead || m.state == StateSpare {
 		r.Err = ErrMemberDead
-		m.mgr.env.Schedule(0, func() { r.OnComplete(r) })
+		m.mgr.env.ScheduleArg(0, completeReqArg, r)
 		return
 	}
 	if m.faults != nil && m.faults.trip(r.Op) {
 		m.Injected++
 		r.Err = ErrInjected
-		m.mgr.env.Schedule(0, func() { r.OnComplete(r) })
+		m.mgr.env.ScheduleArg(0, completeReqArg, r)
 		return
 	}
 	switch r.Op {
@@ -136,18 +141,14 @@ func (m *Member) submit(r *blockdev.Request) {
 	case blockdev.ReqWrite:
 		m.SubWrites++
 	}
-	m.q.Submit(r)
+	m.one[0] = r
+	m.q.Submit(m.one[:]...)
 }
 
 // doSync performs one blocking request on the member, bypassing the fault
 // injector — the path rebuild copies and resync repairs ride on.
 func (m *Member) doSync(p *sim.Proc, op blockdev.ReqOp, off int64, buf []byte, n int64) error {
-	ev := m.mgr.env.NewEvent()
-	r := blockdev.Request{Op: op, Off: off, Buf: buf, Length: n,
-		OnComplete: func(*blockdev.Request) { ev.Signal() }}
-	m.q.Submit(&r)
-	p.Wait(ev)
-	return r.Err
+	return m.mgr.doSyncOn(m.q, p, op, off, buf, n)
 }
 
 // Config assembles a fleet.
@@ -208,6 +209,50 @@ type Manager struct {
 
 	vols     map[string]*Volume
 	volOrder []string
+
+	// syncFree pools the request+event boxes behind the blocking doSync
+	// paths (member and volume): each box binds its completion callback
+	// once and is reused across calls, so rebuild copies and resync sweeps
+	// allocate nothing per operation. Boxes are checked out across a Wait,
+	// so concurrent blocking callers simply draw distinct boxes.
+	syncFree []*syncBox
+}
+
+// syncBox is one pooled blocking-call carrier: an embedded request whose
+// completion signals the embedded event.
+type syncBox struct {
+	r   blockdev.Request
+	ev  *sim.Event
+	one [1]*blockdev.Request // variadic-submit scratch, see Member.one
+}
+
+// doSyncOn performs one blocking request on q through the box pool.
+func (mgr *Manager) doSyncOn(q blockdev.Queue, p *sim.Proc, op blockdev.ReqOp, off int64, buf []byte, n int64) error {
+	var b *syncBox
+	if k := len(mgr.syncFree); k > 0 {
+		b = mgr.syncFree[k-1]
+		mgr.syncFree = mgr.syncFree[:k-1]
+	} else {
+		b = &syncBox{ev: mgr.env.NewEvent()}
+		b.r.OnComplete = func(*blockdev.Request) { b.ev.Signal() }
+	}
+	b.r.Op, b.r.Off, b.r.Buf, b.r.Length, b.r.Err = op, off, buf, n, nil
+	b.one[0] = &b.r
+	q.Submit(b.one[:]...)
+	p.Wait(b.ev)
+	b.ev.Reset()
+	err := b.r.Err
+	b.r.Buf = nil
+	mgr.syncFree = append(mgr.syncFree, b)
+	return err
+}
+
+// completeReqArg is the closure-free Schedule trampoline for failing a
+// sub-request from scheduler context (dead-member and injected-fault
+// paths): the request's Err is set before scheduling.
+var completeReqArg = func(a any) {
+	r := a.(*blockdev.Request)
+	r.OnComplete(r)
 }
 
 // NewManager builds the fleet: Devices+Spares ocssd devices registered

@@ -137,8 +137,7 @@ func (rb *rebuild) release() {
 	ws := rb.waiters
 	rb.waiters = nil
 	for _, op := range ws {
-		o := op
-		rb.v.env.Schedule(0, func() { o.start() })
+		rb.v.env.ScheduleArg(0, startWriteArg, op)
 	}
 }
 

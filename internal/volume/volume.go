@@ -119,7 +119,26 @@ type Volume struct {
 	stats Stats
 
 	syncQ blockdev.Queue // carries the blocking Device calls
+
+	// Fan-out object pools: the split path reuses a bounded working set of
+	// fan-out trackers, per-chunk operations, and sub-request legs instead
+	// of allocating per parent request. Simulation context is
+	// single-threaded, so plain free lists suffice. Every pooled object
+	// keeps its completion callback bound from first construction, so
+	// steady-state traffic creates no method-value closures either.
+	foFree       []*fanOut
+	readFree     []*readOp
+	writeFree    []*writeOp
+	subWFree     []*subWrite
+	trimFree     []*trimOp
+	subTFree     []*subTrim
+	subFFree     []*subFlush
+	flushScratch []*Member // issueFlush target gather; valid within one call
 }
+
+// startWriteArg is the closure-free Schedule trampoline for restarting a
+// parked chunk write (rebuild window release).
+var startWriteArg = func(a any) { a.(*writeOp).start() }
 
 // CreateVolume composes healthy, unassigned fleet members into a volume.
 // Member capacities are aligned down to the chunk size; the volume's
@@ -224,12 +243,7 @@ func (v *Volume) OpenQueue(_ *sim.Env, depth int) blockdev.Queue {
 // Blocking blockdev.Device calls, carried by the internal queue.
 
 func (v *Volume) doSync(p *sim.Proc, op blockdev.ReqOp, off int64, buf []byte, n int64) error {
-	ev := v.env.NewEvent()
-	r := blockdev.Request{Op: op, Off: off, Buf: buf, Length: n,
-		OnComplete: func(*blockdev.Request) { ev.Signal() }}
-	v.syncQ.Submit(&r)
-	p.Wait(ev)
-	return r.Err
+	return v.mgr.doSyncOn(v.syncQ, p, op, off, buf, n)
 }
 
 // Read implements blockdev.Device.
@@ -265,13 +279,26 @@ func (v *Volume) issue(req *blockdev.Request, done func(*blockdev.Request)) {
 	}
 }
 
-// fanOut tracks one parent request across its chunk sub-operations.
+// fanOut tracks one parent request across its chunk sub-operations. It is
+// pooled on the volume: the final resolve returns it to the free list
+// right before the parent's done callback runs, so a callback that
+// resubmits immediately reuses the same tracker.
 type fanOut struct {
 	v         *Volume
 	req       *blockdev.Request
 	done      func(*blockdev.Request)
 	remaining int
 	err       error
+}
+
+func (v *Volume) getFanOut(req *blockdev.Request, done func(*blockdev.Request)) *fanOut {
+	if k := len(v.foFree); k > 0 {
+		f := v.foFree[k-1]
+		v.foFree = v.foFree[:k-1]
+		f.req, f.done, f.remaining, f.err = req, done, 0, nil
+		return f
+	}
+	return &fanOut{v: v, req: req, done: done}
 }
 
 // resolve records one sub-operation outcome; the last one completes the
@@ -283,16 +310,19 @@ func (f *fanOut) resolve(err error) {
 	}
 	f.remaining--
 	if f.remaining == 0 {
-		f.req.Err = f.err
-		f.done(f.req)
+		v, req, done := f.v, f.req, f.done
+		req.Err = f.err
+		f.req, f.done, f.err = nil, nil, nil
+		v.foFree = append(v.foFree, f)
+		done(req)
 	}
 }
 
-// starter is one chunk sub-operation ready to run.
-type starter interface{ start() }
-
 // issueData splits a read/write/trim at chunk boundaries, maps each piece
-// to its stripe column, and starts the per-chunk operations.
+// to its stripe column, and starts the per-chunk operations. The chunk
+// count is computed up front so the fan-out is armed before the first
+// operation starts; the operations themselves come from the volume's
+// pools and start straight out of the split loop.
 func (v *Volume) issueData(req *blockdev.Request, done func(*blockdev.Request)) {
 	if req.Length == 0 {
 		v.env.Schedule(0, func() { done(req) })
@@ -304,9 +334,9 @@ func (v *Volume) issueData(req *blockdev.Request, done func(*blockdev.Request)) 
 	case blockdev.ReqWrite:
 		v.stats.Writes++
 	}
-	fo := &fanOut{v: v, req: req, done: done}
+	fo := v.getFanOut(req, done)
 	nSets := int64(len(v.sets))
-	var ops []starter
+	fo.remaining = int((req.Off+req.Length-1)/v.chunk - req.Off/v.chunk + 1)
 	off, rem, bufLo := req.Off, req.Length, int64(0)
 	for rem > 0 {
 		ci := off / v.chunk
@@ -322,19 +352,15 @@ func (v *Volume) issueData(req *blockdev.Request, done func(*blockdev.Request)) 
 		}
 		switch req.Op {
 		case blockdev.ReqRead:
-			ops = append(ops, &readOp{fo: fo, set: set, off: moff, n: n, buf: buf})
+			v.getReadOp(fo, set, moff, n, buf).start()
 		case blockdev.ReqWrite:
-			ops = append(ops, &writeOp{fo: fo, set: set, off: moff, n: n, buf: buf})
+			v.getWriteOp(fo, set, moff, n, buf).start()
 		default:
-			ops = append(ops, &trimOp{fo: fo, set: set, off: moff, n: n})
+			v.getTrimOp(fo, set, moff, n).start()
 		}
 		off += n
 		bufLo += n
 		rem -= n
-	}
-	fo.remaining = len(ops)
-	for _, op := range ops {
-		op.start()
 	}
 }
 
@@ -344,7 +370,9 @@ func (f *fanOut) failAsync(err error) {
 }
 
 // readOp serves one chunk read from one replica, failing over to the
-// others (and re-rolling transient faults) before giving up.
+// others (and re-rolling transient faults) before giving up. Pooled: the
+// op recycles itself right before its final resolve, so it must not touch
+// its fields afterwards.
 type readOp struct {
 	fo       *fanOut
 	set      *mirrorSet
@@ -354,11 +382,32 @@ type readOp struct {
 	sub      blockdev.Request
 }
 
+func (v *Volume) getReadOp(fo *fanOut, set *mirrorSet, off, n int64, buf []byte) *readOp {
+	var op *readOp
+	if k := len(v.readFree); k > 0 {
+		op = v.readFree[k-1]
+		v.readFree = v.readFree[:k-1]
+	} else {
+		op = &readOp{}
+		op.sub.OnComplete = op.complete // bound once for the object's lifetime
+	}
+	op.fo, op.set, op.off, op.n, op.buf, op.attempts = fo, set, off, n, buf, 0
+	return op
+}
+
+func (v *Volume) putReadOp(op *readOp) {
+	op.fo, op.set, op.buf = nil, nil, nil
+	op.sub.Buf = nil
+	v.readFree = append(v.readFree, op)
+}
+
 func (op *readOp) start() {
 	v := op.fo.v
 	cands := op.set.readCandidates()
 	if len(cands) == 0 {
-		op.fo.failAsync(ErrNoReplica)
+		fo := op.fo
+		v.putReadOp(op)
+		fo.failAsync(ErrNoReplica)
 		return
 	}
 	if op.set.degraded() {
@@ -366,27 +415,34 @@ func (op *readOp) start() {
 	}
 	m := cands[int(v.rr%uint64(len(cands)))]
 	v.rr++
-	op.sub = blockdev.Request{Op: blockdev.ReqRead, Off: op.off, Buf: op.buf,
-		Length: op.n, OnComplete: op.complete}
+	op.sub.Op, op.sub.Off, op.sub.Buf, op.sub.Length, op.sub.Err =
+		blockdev.ReqRead, op.off, op.buf, op.n, nil
 	m.submit(&op.sub)
 }
 
 func (op *readOp) complete(r *blockdev.Request) {
+	v := op.fo.v
 	if r.Err == nil {
-		op.fo.resolve(nil)
+		fo := op.fo
+		v.putReadOp(op)
+		fo.resolve(nil)
 		return
 	}
 	op.attempts++
-	if op.fo.v.mgr.downtime {
-		op.fo.resolve(r.Err)
+	if v.mgr.downtime {
+		fo, err := op.fo, r.Err
+		v.putReadOp(op)
+		fo.resolve(err)
 		return
 	}
-	if op.attempts < op.fo.v.retryLimit*len(op.set.reps) {
-		op.fo.v.stats.RetriedReads++
+	if op.attempts < v.retryLimit*len(op.set.reps) {
+		v.stats.RetriedReads++
 		op.start() // round-robin moves on to the next replica
 		return
 	}
-	op.fo.resolve(r.Err)
+	fo, err := op.fo, r.Err
+	v.putReadOp(op)
+	fo.resolve(err)
 }
 
 // writeOp fans one chunk write out to every writable replica of its set:
@@ -405,6 +461,26 @@ type writeOp struct {
 	firstErr    error
 	resolved    bool
 	need        int
+	targets     []*Member // per-op gather, reused across recycles
+}
+
+func (v *Volume) getWriteOp(fo *fanOut, set *mirrorSet, off, n int64, buf []byte) *writeOp {
+	var op *writeOp
+	if k := len(v.writeFree); k > 0 {
+		op = v.writeFree[k-1]
+		v.writeFree = v.writeFree[:k-1]
+	} else {
+		op = &writeOp{}
+	}
+	op.fo, op.set, op.off, op.n, op.buf = fo, set, off, n, buf
+	op.outstanding, op.succ, op.firstErr, op.resolved, op.need = 0, 0, nil, false, 0
+	return op
+}
+
+func (v *Volume) putWriteOp(op *writeOp) {
+	op.fo, op.set, op.buf, op.firstErr = nil, nil, nil, nil
+	op.targets = op.targets[:0]
+	v.writeFree = append(v.writeFree, op)
 }
 
 func (op *writeOp) start() {
@@ -415,39 +491,45 @@ func (op *writeOp) start() {
 		rb.waiters = append(rb.waiters, op)
 		return
 	}
-	var targets []*Member
+	op.targets = op.targets[:0]
 	for _, m := range set.reps {
 		switch m.state {
 		case StateHealthy:
-			targets = append(targets, m)
+			op.targets = append(op.targets, m)
 		case StateRebuilding:
 			if rb := set.rb; rb != nil && op.off+op.n <= rb.cursor {
-				targets = append(targets, m)
+				op.targets = append(op.targets, m)
 			}
 		}
 	}
-	if len(targets) == 0 {
-		op.fo.failAsync(ErrNoReplica)
+	if len(op.targets) == 0 {
+		fo := op.fo
+		v.putWriteOp(op)
+		fo.failAsync(ErrNoReplica)
 		return
 	}
-	op.need = len(targets)
+	op.need = len(op.targets)
 	if q := v.writeQuorum; q > 0 && q < op.need {
 		op.need = q
 	}
-	op.outstanding = len(targets)
-	for _, m := range targets {
+	op.outstanding = len(op.targets)
+	for _, m := range op.targets {
 		op.issueTo(m, 1)
 	}
 }
 
 func (op *writeOp) issueTo(m *Member, attempt int) {
-	s := &subWrite{op: op, m: m, attempt: attempt}
-	s.r = blockdev.Request{Op: blockdev.ReqWrite, Off: op.off, Buf: op.buf,
-		Length: op.n, OnComplete: s.complete}
+	v := op.fo.v
+	s := v.getSubWrite()
+	s.op, s.m, s.attempt = op, m, attempt
+	s.r.Op, s.r.Off, s.r.Buf, s.r.Length, s.r.Err =
+		blockdev.ReqWrite, op.off, op.buf, op.n, nil
 	m.submit(&s.r)
 }
 
-// subWrite is one replica leg of a chunk write.
+// subWrite is one replica leg of a chunk write. Pooled: complete moves its
+// fields to locals and recycles the leg up front, so any resubmission
+// triggered further down the callback chain may reuse it immediately.
 type subWrite struct {
 	op      *writeOp
 	m       *Member
@@ -455,34 +537,51 @@ type subWrite struct {
 	r       blockdev.Request
 }
 
+func (v *Volume) getSubWrite() *subWrite {
+	if k := len(v.subWFree); k > 0 {
+		s := v.subWFree[k-1]
+		v.subWFree = v.subWFree[:k-1]
+		return s
+	}
+	s := &subWrite{}
+	s.r.OnComplete = s.complete // bound once for the object's lifetime
+	return s
+}
+
 func (s *subWrite) complete(r *blockdev.Request) {
-	op := s.op
+	op, m, attempt, err := s.op, s.m, s.attempt, r.Err
 	v := op.fo.v
-	if r.Err == nil {
+	s.op, s.m = nil, nil
+	s.r.Buf = nil
+	v.subWFree = append(v.subWFree, s)
+	if err == nil {
 		op.replicaDone(nil)
 		return
 	}
 	if v.mgr.downtime {
-		op.replicaDone(r.Err)
+		op.replicaDone(err)
 		return
 	}
-	if s.m.state == StateHealthy && s.attempt < v.retryLimit {
+	if m.state == StateHealthy && attempt < v.retryLimit {
 		v.stats.RetriedWrites++
-		op.issueTo(s.m, s.attempt+1)
+		op.issueTo(m, attempt+1)
 		return
 	}
-	if s.m.state == StateHealthy {
+	if m.state == StateHealthy {
 		// Persistent write failure on a live member: eject it. Leaving it
 		// in the array would let a replica missing this write serve reads.
 		v.stats.Ejections++
-		s.m.oc.Fail()
+		m.oc.Fail()
 	}
-	op.replicaDone(r.Err)
+	op.replicaDone(err)
 }
 
 // replicaDone accounts one finished replica leg. The write acknowledges
 // at quorum; once every leg has finished it succeeds if any replica took
-// the data (failed legs were ejected) and fails only when all did.
+// the data (failed legs were ejected) and fails only when all did. The op
+// recycles when its last leg lands; a quorum-acknowledged parent may
+// already have resolved (and its fanOut been reused) by then, so the
+// trailing-leg path only touches fo.v, which is constant across reuse.
 func (op *writeOp) replicaDone(err error) {
 	op.outstanding--
 	if err == nil {
@@ -494,12 +593,16 @@ func (op *writeOp) replicaDone(err error) {
 	} else if op.firstErr == nil {
 		op.firstErr = err
 	}
-	if op.outstanding == 0 && !op.resolved {
-		op.resolved = true
-		if op.succ > 0 {
-			op.fo.resolve(nil)
-		} else {
-			op.fo.resolve(op.firstErr)
+	if op.outstanding == 0 {
+		fo, v := op.fo, op.fo.v
+		succ, firstErr, resolved := op.succ, op.firstErr, op.resolved
+		v.putWriteOp(op)
+		if !resolved {
+			if succ > 0 {
+				fo.resolve(nil)
+			} else {
+				fo.resolve(firstErr)
+			}
 		}
 	}
 }
@@ -512,33 +615,82 @@ type trimOp struct {
 	off, n      int64
 	outstanding int
 	err         error
+	targets     []*Member // per-op gather, reused across recycles
+}
+
+func (v *Volume) getTrimOp(fo *fanOut, set *mirrorSet, off, n int64) *trimOp {
+	var op *trimOp
+	if k := len(v.trimFree); k > 0 {
+		op = v.trimFree[k-1]
+		v.trimFree = v.trimFree[:k-1]
+	} else {
+		op = &trimOp{}
+	}
+	op.fo, op.set, op.off, op.n, op.outstanding, op.err = fo, set, off, n, 0, nil
+	return op
+}
+
+func (v *Volume) putTrimOp(op *trimOp) {
+	op.fo, op.set, op.err = nil, nil, nil
+	op.targets = op.targets[:0]
+	v.trimFree = append(v.trimFree, op)
 }
 
 func (op *trimOp) start() {
-	var targets []*Member
+	v := op.fo.v
+	op.targets = op.targets[:0]
 	for _, m := range op.set.reps {
 		if m.state == StateHealthy {
-			targets = append(targets, m)
+			op.targets = append(op.targets, m)
 		}
 	}
-	if len(targets) == 0 {
-		op.fo.failAsync(ErrNoReplica)
+	if len(op.targets) == 0 {
+		fo := op.fo
+		v.putTrimOp(op)
+		fo.failAsync(ErrNoReplica)
 		return
 	}
-	op.outstanding = len(targets)
-	for _, m := range targets {
-		mm := m
-		r := &blockdev.Request{Op: blockdev.ReqTrim, Off: op.off, Length: op.n}
-		r.OnComplete = func(r *blockdev.Request) {
-			if r.Err != nil && mm.state == StateHealthy && op.err == nil {
-				op.err = r.Err
-			}
-			op.outstanding--
-			if op.outstanding == 0 {
-				op.fo.resolve(op.err)
-			}
-		}
-		mm.submit(r)
+	op.outstanding = len(op.targets)
+	for _, m := range op.targets {
+		s := v.getSubTrim()
+		s.op, s.m = op, m
+		s.r.Op, s.r.Off, s.r.Buf, s.r.Length, s.r.Err =
+			blockdev.ReqTrim, op.off, nil, op.n, nil
+		m.submit(&s.r)
+	}
+}
+
+// subTrim is one replica leg of a chunk trim.
+type subTrim struct {
+	op *trimOp
+	m  *Member
+	r  blockdev.Request
+}
+
+func (v *Volume) getSubTrim() *subTrim {
+	if k := len(v.subTFree); k > 0 {
+		s := v.subTFree[k-1]
+		v.subTFree = v.subTFree[:k-1]
+		return s
+	}
+	s := &subTrim{}
+	s.r.OnComplete = s.complete // bound once for the object's lifetime
+	return s
+}
+
+func (s *subTrim) complete(r *blockdev.Request) {
+	op, m, err := s.op, s.m, r.Err
+	v := op.fo.v
+	s.op, s.m = nil, nil
+	v.subTFree = append(v.subTFree, s)
+	if err != nil && m.state == StateHealthy && op.err == nil {
+		op.err = err
+	}
+	op.outstanding--
+	if op.outstanding == 0 {
+		fo, e := op.fo, op.err
+		v.putTrimOp(op)
+		fo.resolve(e)
 	}
 }
 
@@ -547,33 +699,58 @@ func (op *trimOp) start() {
 // too). Errors from members that died mid-flush are ignored: their data
 // no longer backs the volume.
 func (v *Volume) issueFlush(req *blockdev.Request, done func(*blockdev.Request)) {
-	fo := &fanOut{v: v, req: req, done: done}
-	var targets []*Member
+	fo := v.getFanOut(req, done)
+	v.flushScratch = v.flushScratch[:0]
 	for _, set := range v.sets {
 		for _, m := range set.reps {
 			if m.state == StateHealthy || m.state == StateRebuilding {
-				targets = append(targets, m)
+				v.flushScratch = append(v.flushScratch, m)
 			}
 		}
 	}
-	if len(targets) == 0 {
+	if len(v.flushScratch) == 0 {
 		fo.remaining = 1
 		fo.failAsync(ErrNoReplica)
 		return
 	}
-	fo.remaining = len(targets)
-	for _, m := range targets {
-		mm := m
-		r := &blockdev.Request{Op: blockdev.ReqFlush}
-		r.OnComplete = func(r *blockdev.Request) {
-			err := r.Err
-			if mm.state == StateDead {
-				err = nil
-			}
-			fo.resolve(err)
-		}
-		mm.q.Submit(r)
+	fo.remaining = len(v.flushScratch)
+	for _, m := range v.flushScratch {
+		s := v.getSubFlush()
+		s.fo, s.m = fo, m
+		s.r.Op, s.r.Off, s.r.Buf, s.r.Length, s.r.Err =
+			blockdev.ReqFlush, 0, nil, 0, nil
+		m.one[0] = &s.r
+		m.q.Submit(m.one[:]...)
 	}
+}
+
+// subFlush is one member leg of a volume flush barrier.
+type subFlush struct {
+	fo *fanOut
+	m  *Member
+	r  blockdev.Request
+}
+
+func (v *Volume) getSubFlush() *subFlush {
+	if k := len(v.subFFree); k > 0 {
+		s := v.subFFree[k-1]
+		v.subFFree = v.subFFree[:k-1]
+		return s
+	}
+	s := &subFlush{}
+	s.r.OnComplete = s.complete // bound once for the object's lifetime
+	return s
+}
+
+func (s *subFlush) complete(r *blockdev.Request) {
+	fo, m, err := s.fo, s.m, r.Err
+	v := fo.v
+	s.fo, s.m = nil, nil
+	v.subFFree = append(v.subFFree, s)
+	if m.state == StateDead {
+		err = nil
+	}
+	fo.resolve(err)
 }
 
 // memberDied flips the volume into degraded mode for the dead member's
