@@ -11,6 +11,7 @@ import (
 	"fmt"
 	"io"
 	"regexp"
+	"runtime"
 	"strconv"
 	"testing"
 	"time"
@@ -219,43 +220,55 @@ func BenchmarkQDSweep(b *testing.B) {
 	}
 	for _, lo := range layouts {
 		b.Run(lo.name+"-qd32", func(b *testing.B) {
+			// Build the fleet, volume, and mapped region once; each timed
+			// iteration runs one fio job against the live volume, so
+			// allocs/op measures the split/replicate request path, not
+			// device construction and priming.
+			const region = 4 << 20
+			env := sim.NewEnv(1)
+			var v *volume.Volume
+			env.Go("setup", func(p *sim.Proc) {
+				mgr, err := volume.NewManager(p, env, volume.Config{
+					Devices: 2, OCSSD: volume.DefaultDeviceConfig(20),
+					Pblk: pblk.Config{OverProvision: 0.25}, Seed: 1,
+				})
+				if err != nil {
+					b.Error(err)
+					return
+				}
+				v, err = mgr.CreateVolume("sweep", lo.layout, volume.Options{})
+				if err != nil {
+					b.Error(err)
+					return
+				}
+				// Map a small region so the reads hit real data.
+				buf := make([]byte, 256<<10)
+				for off := int64(0); off < region; off += int64(len(buf)) {
+					if err := v.Write(p, off, buf, int64(len(buf))); err != nil {
+						b.Error(err)
+						return
+					}
+				}
+				if err := v.Flush(p); err != nil {
+					b.Error(err)
+				}
+			})
+			env.Run()
+			if v == nil {
+				b.Fatal("volume setup failed")
+			}
 			var iops float64
+			b.ResetTimer()
 			for i := 0; i < b.N; i++ {
-				env := sim.NewEnv(1)
 				var res *fio.Result
-				env.Go("main", func(p *sim.Proc) {
-					mgr, err := volume.NewManager(p, env, volume.Config{
-						Devices: 2, OCSSD: volume.DefaultDeviceConfig(20),
-						Pblk: pblk.Config{OverProvision: 0.25}, Seed: 1,
-					})
-					if err != nil {
-						b.Error(err)
-						return
-					}
-					v, err := mgr.CreateVolume("sweep", lo.layout, volume.Options{})
-					if err != nil {
-						b.Error(err)
-						return
-					}
-					// Map a small region so the reads hit real data.
-					const region = 4 << 20
-					buf := make([]byte, 256<<10)
-					for off := int64(0); off < region; off += int64(len(buf)) {
-						if err := v.Write(p, off, buf, int64(len(buf))); err != nil {
-							b.Error(err)
-							return
-						}
-					}
-					if err := v.Flush(p); err != nil {
-						b.Error(err)
-						return
-					}
-					res, err = fio.Run(p, v, fio.Job{
+				env.Go("fio", func(p *sim.Proc) {
+					var ferr error
+					res, ferr = fio.Run(p, v, fio.Job{
 						Name: "sweep", Pattern: fio.RandRead, BS: 4096,
 						QD: 32, Size: region, Runtime: 20 * time.Millisecond,
 					})
-					if err != nil {
-						b.Error(err)
+					if ferr != nil {
+						b.Error(ferr)
 					}
 				})
 				env.Run()
@@ -272,59 +285,86 @@ func BenchmarkQDSweep(b *testing.B) {
 // fleet-scale geometries: pblk mounted over 512- and 1024-PU devices
 // (32 channels) with queue depths in the thousands, a shape where the
 // seed's proc-per-request engine and slice-shift queues would drown in
-// scheduler and GC work. Blocks per plane are kept small so the media
-// map stays bounded; the metric is simulated IOPS of a mixed 70/30
-// random workload.
+// scheduler and GC work. The device is mounted once per sub-benchmark
+// and each iteration runs one fio job against the live instance, so
+// allocs/op measures the request path itself, not mount and recovery.
+// Blocks per plane are kept small so the media map stays bounded; the
+// metric is simulated IOPS of a mixed 70/30 random workload.
 func BenchmarkBigGeometry(b *testing.B) {
 	cases := []struct {
 		name          string
 		channels, pus int
 		qd            int
+		shards        int // 0 = serial engine; N = sharded with N device shards
 	}{
-		{"pus512-qd2048", 32, 16, 2048},
-		{"pus1024-qd4096", 32, 32, 4096},
+		{"pus512-qd2048", 32, 16, 2048, 0},
+		{"pus1024-qd4096", 32, 32, 4096, 0},
+		{"pus512-qd2048-parallel", 32, 16, 2048, 4},
+		{"pus1024-qd4096-parallel", 32, 32, 4096, 4},
 	}
 	for _, c := range cases {
 		b.Run(c.name, func(b *testing.B) {
-			var iops float64
-			for i := 0; i < b.N; i++ {
-				env := sim.NewEnv(1)
-				m := nand.DefaultConfig()
-				m.PECycleLimit = 0
-				m.WearLatencyFactor = 0
-				dev, err := ocssd.New(env, ocssd.Config{
-					Geometry: ppa.Geometry{
-						Channels: c.channels, PUsPerChannel: c.pus,
-						PlanesPerPU: 1, BlocksPerPlane: 8, PagesPerBlock: 64,
-						SectorsPerPage: 4, SectorSize: 4096, OOBPerPage: 64,
-					},
-					Timing:    ocssd.DefaultTiming(),
-					Media:     m,
-					PageCache: true,
-					Seed:      1,
-				})
-				if err != nil {
-					b.Fatal(err)
+			m := nand.DefaultConfig()
+			m.PECycleLimit = 0
+			m.WearLatencyFactor = 0
+			cfg := ocssd.Config{
+				Geometry: ppa.Geometry{
+					Channels: c.channels, PUsPerChannel: c.pus,
+					PlanesPerPU: 1, BlocksPerPlane: 8, PagesPerBlock: 64,
+					SectorsPerPage: 4, SectorSize: 4096, OOBPerPage: 64,
+				},
+				Timing:    ocssd.DefaultTiming(),
+				Media:     m,
+				PageCache: true,
+				Seed:      1,
+			}
+			var env *sim.Env
+			var dev *ocssd.Device
+			var err error
+			if c.shards > 0 {
+				se := sim.NewShardedEnv(1, 1+c.shards)
+				se.SetLookahead(2 * time.Microsecond)
+				se.SetWorkers(runtime.GOMAXPROCS(0))
+				shards := make([]*sim.Env, c.shards)
+				for s := range shards {
+					shards[s] = se.Shard(1 + s)
 				}
-				ln := lightnvm.Register("bigbench", dev)
+				cfg.Timing.SubmitLatency = 2 * time.Microsecond
+				cfg.Timing.CompleteLatency = 2 * time.Microsecond
+				env = se.Host()
+				dev, err = ocssd.NewSharded(env, shards, cfg)
+			} else {
+				env = sim.NewEnv(1)
+				dev, err = ocssd.New(env, cfg)
+			}
+			if err != nil {
+				b.Fatal(err)
+			}
+			ln := lightnvm.Register("bigbench", dev)
+			var k *pblk.Pblk
+			env.Go("mount", func(p *sim.Proc) {
+				k, err = pblk.New(p, ln, "pblk-big", pblk.Config{
+					ActivePUs: c.channels * c.pus, OverProvision: 0.4,
+				})
+			})
+			env.Run()
+			if err != nil {
+				b.Fatal(err)
+			}
+			span := k.Capacity() / 8 / (256 << 10) * (256 << 10)
+			var iops float64
+			b.ResetTimer()
+			for i := 0; i < b.N; i++ {
 				var res *fio.Result
-				env.Go("main", func(p *sim.Proc) {
-					k, err := pblk.New(p, ln, "pblk-big", pblk.Config{
-						ActivePUs: c.channels * c.pus, OverProvision: 0.4,
-					})
-					if err != nil {
-						b.Error(err)
-						return
-					}
-					defer k.Stop(p)
-					span := k.Capacity() / 8 / (256 << 10) * (256 << 10)
-					res, err = fio.Run(p, k, fio.Job{
+				env.Go("fio", func(p *sim.Proc) {
+					var ferr error
+					res, ferr = fio.Run(p, k, fio.Job{
 						Name: "big", Pattern: fio.RandRW, RWMixRead: 70,
 						BS: 4096, QD: c.qd, Size: span,
 						Runtime: 2 * time.Millisecond,
 					})
-					if err != nil {
-						b.Error(err)
+					if ferr != nil {
+						b.Error(ferr)
 					}
 				})
 				env.Run()
@@ -332,6 +372,9 @@ func BenchmarkBigGeometry(b *testing.B) {
 					iops = float64(res.Reads+res.Writes) / res.Elapsed.Seconds()
 				}
 			}
+			b.StopTimer()
+			env.Go("stop", func(p *sim.Proc) { k.Stop(p) })
+			env.Run()
 			b.ReportMetric(iops, "sim-iops")
 		})
 	}

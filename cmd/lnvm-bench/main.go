@@ -3,19 +3,26 @@
 // Usage:
 //
 //	lnvm-bench -list
-//	lnvm-bench [-quick] [-blocks N] [-duration D] <experiment-id>...
+//	lnvm-bench [-quick] [-blocks N] [-duration D] [-parallel [-workers N]] <experiment-id>...
 //	lnvm-bench all
 //
 // Experiment ids: table1, overhead, fig4, fig5, fig6, fig7, fig8, and the
 // ablation studies (ablate-*). Output is plain text, one section per
 // table/figure, with the paper's reference values inline.
+//
+// -parallel runs the supported experiments on the sharded simulation
+// engine (device shards on a worker pool under conservative time windows);
+// output is byte-identical for any -workers value. The profiling flags
+// (-cpuprofile, -memprofile, -trace) cover the whole invocation.
 package main
 
 import (
 	"flag"
 	"fmt"
 	"os"
+	"runtime"
 	"runtime/pprof"
+	"runtime/trace"
 	"time"
 
 	"repro/internal/harness"
@@ -28,7 +35,11 @@ func main() {
 		blocks     = flag.Int("blocks", 0, "blocks per plane (device scale; 0 = default)")
 		duration   = flag.Duration("duration", 0, "virtual measurement window per data point (0 = default)")
 		seed       = flag.Int64("seed", 0, "simulation seed (0 = default)")
+		parallel   = flag.Bool("parallel", false, "run on the sharded engine (worker pool over device shards)")
+		workers    = flag.Int("workers", 0, "sharded-engine worker goroutines (0 = GOMAXPROCS)")
 		cpuprofile = flag.String("cpuprofile", "", "write a CPU profile of the run to this file")
+		memprofile = flag.String("memprofile", "", "write an allocation profile at exit to this file")
+		traceFile  = flag.String("trace", "", "write a runtime execution trace to this file")
 	)
 	flag.Parse()
 
@@ -45,6 +56,33 @@ func main() {
 		}
 		defer pprof.StopCPUProfile()
 	}
+	if *traceFile != "" {
+		f, err := os.Create(*traceFile)
+		if err != nil {
+			fmt.Fprintf(os.Stderr, "lnvm-bench: -trace: %v\n", err)
+			os.Exit(1)
+		}
+		defer f.Close()
+		if err := trace.Start(f); err != nil {
+			fmt.Fprintf(os.Stderr, "lnvm-bench: -trace: %v\n", err)
+			os.Exit(1)
+		}
+		defer trace.Stop()
+	}
+	if *memprofile != "" {
+		f, err := os.Create(*memprofile)
+		if err != nil {
+			fmt.Fprintf(os.Stderr, "lnvm-bench: -memprofile: %v\n", err)
+			os.Exit(1)
+		}
+		defer func() {
+			runtime.GC() // flush final allocations into the profile
+			if err := pprof.Lookup("allocs").WriteTo(f, 0); err != nil {
+				fmt.Fprintf(os.Stderr, "lnvm-bench: -memprofile: %v\n", err)
+			}
+			f.Close()
+		}()
+	}
 
 	if *list {
 		for _, e := range harness.All() {
@@ -54,7 +92,7 @@ func main() {
 	}
 	args := flag.Args()
 	if len(args) == 0 {
-		fmt.Fprintln(os.Stderr, "usage: lnvm-bench [-quick] [-blocks N] [-duration D] <experiment-id>... | all | -list")
+		fmt.Fprintln(os.Stderr, "usage: lnvm-bench [-quick] [-blocks N] [-duration D] [-parallel [-workers N]] <experiment-id>... | all | -list")
 		os.Exit(2)
 	}
 	opts := harness.Options{
@@ -62,6 +100,8 @@ func main() {
 		Duration:       *duration,
 		Quick:          *quick,
 		Seed:           *seed,
+		Parallel:       *parallel,
+		Workers:        *workers,
 	}
 
 	var ids []string

@@ -305,6 +305,16 @@ func newQueueWorker(env *sim.Env, q blockdev.Queue, job Job, st *jobState, rng *
 	w.kick = env.NewEvent()
 	w.batch = make([]*blockdev.Request, 0, job.QD+1)
 	w.pumpFn = w.pump
+	// Pre-fill the free list from one slab: a worker's steady state is QD
+	// requests in flight (plus a prepared op and a flush), so the whole
+	// run draws from these two allocations instead of QD cold misses.
+	slab := make([]blockdev.Request, job.QD+2)
+	w.free = make([]*blockdev.Request, 0, job.QD+2)
+	cb := w.onComplete // bind the method value once, not per request
+	for i := range slab {
+		slab[i].OnComplete = cb
+		w.free = append(w.free, &slab[i])
+	}
 	return w
 }
 

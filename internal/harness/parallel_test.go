@@ -1,0 +1,63 @@
+package harness
+
+import (
+	"bytes"
+	"testing"
+	"time"
+)
+
+// parallelIDs are the experiments wired to the sharded engine.
+var parallelIDs = []string{"fig4", "fig5", "lanes", "wa", "tenants", "fleet"}
+
+func runQuick(t *testing.T, id string, parallel bool, workers int) []byte {
+	t.Helper()
+	e, ok := ByID(id)
+	if !ok {
+		t.Fatalf("unknown experiment %q", id)
+	}
+	var b bytes.Buffer
+	o := Defaults(Options{
+		Quick: true, Duration: 20 * time.Millisecond,
+		Parallel: parallel, Workers: workers,
+	})
+	if err := e.Run(o, &b); err != nil {
+		t.Fatalf("%s (parallel=%v workers=%d): %v", id, parallel, workers, err)
+	}
+	return b.Bytes()
+}
+
+// TestParallelExperimentsDeterministic is the harness-level acceptance
+// check for the sharded engine: every parallel-enabled quick experiment
+// must print byte-identical output whether its shards run serially on the
+// coordinator goroutine (workers=1) or on a worker pool (workers=4) —
+// sharded results are a function of (seed, topology, lookahead) only.
+func TestParallelExperimentsDeterministic(t *testing.T) {
+	if testing.Short() {
+		t.Skip("runs every quick experiment twice")
+	}
+	for _, id := range parallelIDs {
+		t.Run(id, func(t *testing.T) {
+			serial := runQuick(t, id, true, 1)
+			pooled := runQuick(t, id, true, 4)
+			if !bytes.Equal(serial, pooled) {
+				t.Errorf("%s: output depends on worker count\n-- workers=1 --\n%s\n-- workers=4 --\n%s",
+					id, serial, pooled)
+			}
+		})
+	}
+}
+
+// TestParallelExperimentsRun asserts the serial engine still runs the same
+// experiments (the regression guard for the shared-builder refactor).
+func TestParallelExperimentsRun(t *testing.T) {
+	if testing.Short() {
+		t.Skip("runs every quick experiment")
+	}
+	for _, id := range parallelIDs {
+		t.Run(id, func(t *testing.T) {
+			if len(runQuick(t, id, false, 0)) == 0 {
+				t.Errorf("%s: empty output", id)
+			}
+		})
+	}
+}

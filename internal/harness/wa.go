@@ -105,11 +105,11 @@ func runWA(o Options, w io.Writer) error {
 	}
 
 	run := func(c waConfig) (waRow, error) {
-		env := sim.NewEnv(o.Seed)
+		env, shards := newSimEnv(o, o.Seed, parallelShards)
 		m := nand.DefaultConfig()
 		m.PECycleLimit = 0
 		m.WearLatencyFactor = 0
-		dev, err := ocssd.New(env, ocssd.Config{
+		dev, err := newDevice(env, shards, ocssd.Config{
 			Geometry:  waGeometry(blocks),
 			Timing:    ocssd.DefaultTiming(),
 			Media:     m,

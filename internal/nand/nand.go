@@ -91,9 +91,14 @@ type block struct {
 	bad      bool
 	// data/oob hold only pages written with a real payload; synthetic
 	// writes (nil payload) track state via writePtr alone, keeping large
-	// simulated devices cheap in host memory.
-	data map[int][]byte
-	oob  map[int][]byte
+	// simulated devices cheap in host memory. Payloads point into the
+	// per-erase-cycle arenas: one allocation per block cycle instead of
+	// one per page. Erase drops the arenas rather than recycling them, so
+	// a reader still holding a pre-erase slice sees stable bytes.
+	data      map[int][]byte
+	oob       map[int][]byte
+	dataArena []byte
+	oobArena  []byte
 }
 
 // Die is one NAND die: the unit of parallelism (one I/O at a time).
@@ -209,13 +214,25 @@ func (d *Die) Program(plane, blockIdx, page int, data, oob []byte) error {
 		if b.data == nil {
 			b.data = make(map[int][]byte)
 		}
-		b.data[page] = append([]byte(nil), data...)
+		pb := d.dims.PageBytes()
+		if b.dataArena == nil {
+			b.dataArena = make([]byte, pb*d.dims.PagesPerBlock)
+		}
+		dst := b.dataArena[page*pb : (page+1)*pb]
+		copy(dst, data)
+		b.data[page] = dst
 	}
 	if len(oob) > 0 {
 		if b.oob == nil {
 			b.oob = make(map[int][]byte)
 		}
-		b.oob[page] = append([]byte(nil), oob...)
+		ob := d.dims.OOBPerPage
+		if b.oobArena == nil {
+			b.oobArena = make([]byte, ob*d.dims.PagesPerBlock)
+		}
+		dst := b.oobArena[page*ob : page*ob+len(oob)]
+		copy(dst, oob)
+		b.oob[page] = dst
 	}
 	return nil
 }
@@ -279,8 +296,12 @@ func (d *Die) Erase(plane, blockIdx int) error {
 		return ErrEraseFail
 	}
 	b.writePtr = 0
-	b.data = nil
-	b.oob = nil
+	// Reuse the map buckets across cycles; the arenas are dropped (not
+	// recycled) so in-flight readers of pre-erase pages stay safe.
+	clear(b.data)
+	clear(b.oob)
+	b.dataArena = nil
+	b.oobArena = nil
 	return nil
 }
 

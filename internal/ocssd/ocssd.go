@@ -86,6 +86,17 @@ type Timing struct {
 	// SuspendPenalty per resumption.
 	SuspendSlice   time.Duration
 	SuspendPenalty time.Duration
+
+	// SubmitLatency and CompleteLatency model the transport hop between
+	// host and controller: doorbell-to-fetch on the way down, completion
+	// posting / interrupt on the way back. Both default to zero, which
+	// preserves the historical model (commands start and retire at the
+	// instant of submission/completion). A sharded device (NewSharded)
+	// rides these hops as its cross-shard edges, so their minimum is the
+	// conservative-window lookahead; with both zero a sharded device still
+	// works but the engine degrades to lockstep windows.
+	SubmitLatency   time.Duration
+	CompleteLatency time.Duration
 }
 
 // DefaultTiming matches the paper's Table 1 characterization (see DESIGN.md
@@ -215,6 +226,10 @@ type punit struct {
 	// controller page buffer is disabled.
 	cache []cacheEnt
 	ch    int
+	// env is the shard environment the PU's command machinery runs in: the
+	// host environment on an unsharded device, a device shard on a sharded
+	// one. busy (and the owning channel's xfer) live on the same shard.
+	env *sim.Env
 }
 
 type pageKey struct {
@@ -227,11 +242,21 @@ type channel struct {
 
 // Device is an open-channel SSD instance.
 type Device struct {
-	env  *sim.Env
+	env  *sim.Env // host-side environment: Submit, pools, stats, completions
 	cfg  Config
 	fmtr ppa.Format
 	chs  []*channel
 	pus  []*punit // indexed by global PU (ch*PUsPerChannel + pu)
+
+	// sharded marks a device whose PU machinery runs on shard envs other
+	// than the host env (NewSharded); the datapath then hands tasks across
+	// the submit/complete transport edges instead of scheduling locally.
+	sharded bool
+
+	// doFree pools the event+result box used by Do, so blocking wrappers
+	// (recovery scans issue hundreds of thousands) allocate nothing in
+	// steady state.
+	doFree []*doBox
 
 	// pendingCMB counts buffered writes not yet programmed to media.
 	pendingCMB int
@@ -262,6 +287,20 @@ type Device struct {
 
 // New builds a device in env. It panics only on invalid configuration.
 func New(env *sim.Env, cfg Config) (*Device, error) {
+	return NewSharded(env, nil, cfg)
+}
+
+// NewSharded builds a device whose host side (Submit, completions, stats,
+// pools) runs in host while the per-PU command machinery is partitioned
+// across shardEnvs, whole channels at a time: channel c's transfer queue
+// and all its PUs live on shardEnvs[c*len(shardEnvs)/Channels]. The only
+// cross-shard edges are the submit hop (host → PU shard, Timing.
+// SubmitLatency) and the completion hop back (Timing.CompleteLatency);
+// with shard envs belonging to a sim.ShardedEnv those hops ride Post and
+// the device executes its channels in parallel. A nil or empty shardEnvs
+// (or one containing only host) degenerates to the classic single-
+// environment device.
+func NewSharded(host *sim.Env, shardEnvs []*sim.Env, cfg Config) (*Device, error) {
 	f, err := ppa.NewFormat(cfg.Geometry)
 	if err != nil {
 		return nil, err
@@ -269,10 +308,24 @@ func New(env *sim.Env, cfg Config) (*Device, error) {
 	if cfg.Timing.ChannelMBps <= 0 {
 		return nil, fmt.Errorf("ocssd: channel bandwidth must be positive")
 	}
-	d := &Device{env: env, cfg: cfg, fmtr: f}
+	if len(shardEnvs) > cfg.Geometry.Channels {
+		return nil, fmt.Errorf("ocssd: %d shard envs for %d channels (shards split whole channels)",
+			len(shardEnvs), cfg.Geometry.Channels)
+	}
+	d := &Device{env: host, cfg: cfg, fmtr: f}
+	envOf := func(ch int) *sim.Env {
+		if len(shardEnvs) == 0 {
+			return host
+		}
+		e := shardEnvs[ch*len(shardEnvs)/cfg.Geometry.Channels]
+		if e != host {
+			d.sharded = true
+		}
+		return e
+	}
 	d.chs = make([]*channel, cfg.Geometry.Channels)
 	for i := range d.chs {
-		d.chs[i] = &channel{xfer: env.NewResource(1)}
+		d.chs[i] = &channel{xfer: envOf(i).NewResource(1)}
 	}
 	dims := nand.Dims{
 		Planes:         cfg.Geometry.PlanesPerPU,
@@ -285,10 +338,12 @@ func New(env *sim.Env, cfg Config) (*Device, error) {
 	d.pus = make([]*punit, cfg.Geometry.TotalPUs())
 	for i := range d.pus {
 		rng := rand.New(rand.NewSource(cfg.Seed + int64(i)*7919))
+		ch := i / cfg.Geometry.PUsPerChannel
 		d.pus[i] = &punit{
 			die:  nand.NewDie(dims, cfg.Media, rng),
-			busy: env.NewResource(1),
-			ch:   i / cfg.Geometry.PUsPerChannel,
+			busy: envOf(ch).NewResource(1),
+			ch:   ch,
+			env:  envOf(ch),
 		}
 		if cfg.PageCache {
 			d.pus[i].cache = make([]cacheEnt, cfg.Geometry.PlanesPerPU)
@@ -297,6 +352,10 @@ func New(env *sim.Env, cfg Config) (*Device, error) {
 	d.taskOf = make([]*puTask, cfg.Geometry.TotalPUs())
 	return d, nil
 }
+
+// Sharded reports whether the device's PU machinery runs on shard envs
+// other than the host env.
+func (d *Device) Sharded() bool { return d.sharded }
 
 // Env returns the simulation environment the device runs in.
 func (d *Device) Env() *sim.Env { return d.env }
@@ -563,6 +622,10 @@ func (d *Device) Submit(cmd *Vector, done func(*Completion)) {
 			t.ch = d.chs[t.pu.ch]
 			t.cmd = cmd
 			t.state = tsBegin
+			t.env = t.pu.env
+			t.direct = t.env == d.env && d.cfg.Timing.CompleteLatency == 0
+			t.failMask = 0
+			t.statReads, t.statPrograms, t.statHits, t.statSusp = 0, 0, 0, 0
 			d.taskOf[gpu] = t
 			d.puOrder = append(d.puOrder, gpu)
 		}
@@ -572,9 +635,66 @@ func (d *Device) Submit(cmd *Vector, done func(*Completion)) {
 	for _, gpu := range d.puOrder {
 		t := d.taskOf[gpu]
 		d.taskOf[gpu] = nil
-		d.env.Schedule(0, t.stepFn)
+		// The submit hop: on an unsharded zero-latency device this is
+		// exactly a zero-delay local schedule; on a sharded one it crosses
+		// to the PU's shard at +SubmitLatency.
+		d.env.Post(t.env, d.cfg.Timing.SubmitLatency, taskStep, t)
 	}
 	d.puOrder = d.puOrder[:0]
+}
+
+// taskStep, taskRetire, taskBufAck and taskBufDone are the long-lived
+// trampolines tasks ride across Post/ScheduleArg hops, so no per-hop
+// closure is allocated.
+var (
+	taskStep = func(a any) { a.(*puTask).step() }
+
+	// taskRetire runs host-side: fold the task's accumulators, retire its
+	// sub-command (possibly firing the caller's done) and recycle it.
+	taskRetire = func(a any) {
+		t := a.(*puTask)
+		t.fold()
+		t.sub.finish()
+		t.d.putTask(t)
+	}
+
+	// taskBufAck runs host-side when a buffered write's data reached the
+	// controller: account the pending CMB program and ack the host while
+	// the device shard keeps programming in the background.
+	taskBufAck = func(a any) {
+		t := a.(*puTask)
+		t.d.pendingCMB++
+		t.sub.finish()
+	}
+
+	// taskBufDone runs host-side when a buffered write's background
+	// programming drained.
+	taskBufDone = func(a any) {
+		t := a.(*puTask)
+		t.fold()
+		d := t.d
+		d.pendingCMB--
+		if d.pendingCMB == 0 && d.cmbDrained != nil {
+			d.cmbDrained.Signal()
+			d.cmbDrained = nil
+		}
+		d.putTask(t)
+	}
+)
+
+// fold merges a task's shard-local accumulators into the host-side device
+// stats and completion status. On the direct path the counters were bumped
+// in place and fold is a no-op.
+func (t *puTask) fold() {
+	if t.direct {
+		return
+	}
+	d := t.d
+	d.Stats.FlashReads += t.statReads
+	d.Stats.FlashPrograms += t.statPrograms
+	d.Stats.CacheHits += t.statHits
+	d.Stats.Suspensions += t.statSusp
+	t.cmp.Status |= t.failMask
 }
 
 // DebugPUs returns a one-line-per-busy-PU view of command occupancy, for
@@ -594,21 +714,50 @@ func (d *Device) DebugPUs() string {
 	return b.String()
 }
 
-// Do submits cmd and blocks the calling process until completion.
+// doBox is the pooled event+result pair behind Do; its callback is bound
+// once so repeated blocking submissions allocate nothing.
+type doBox struct {
+	ev  *sim.Event
+	out *Completion
+	fn  func(*Completion)
+}
+
+// Do submits cmd and blocks the calling process until completion. The
+// caller must run on the device's host environment.
 func (d *Device) Do(p *sim.Proc, cmd *Vector) *Completion {
-	ev := p.Env().NewEvent()
-	var out *Completion
-	d.Submit(cmd, func(c *Completion) {
-		out = c
-		ev.Signal()
-	})
-	p.Wait(ev)
+	var b *doBox
+	if n := len(d.doFree); n > 0 {
+		b = d.doFree[n-1]
+		d.doFree = d.doFree[:n-1]
+	} else {
+		b = &doBox{ev: d.env.NewEvent()}
+		b.fn = func(c *Completion) { b.out = c; b.ev.Signal() }
+	}
+	d.Submit(cmd, b.fn)
+	p.Wait(b.ev)
+	out := b.out
+	b.out = nil
+	b.ev.Reset()
+	d.doFree = append(d.doFree, b)
 	return out
 }
 
 func setErr(comp *Completion, idx int, err error) {
 	comp.Errs[idx] = err
 	comp.Status |= 1 << uint(idx)
+}
+
+// fail records a per-address failure from task context. Errs[idx] belongs
+// to exactly this task so the write is safe from a device shard; the
+// Status bit goes through the local mask there because Status is shared
+// read-modify-write state.
+func (t *puTask) fail(idx int, err error) {
+	t.cmp.Errs[idx] = err
+	if t.direct {
+		t.cmp.Status |= 1 << uint(idx)
+	} else {
+		t.failMask |= 1 << uint(idx)
+	}
 }
 
 // puTask states. The machine transcribes the old process-based runSub
@@ -655,6 +804,23 @@ type puTask struct {
 	indices []int     // vector indices served by this PU, in vector order
 	ops     []flashOp // grouped media operations
 	idxFree [][]int   // free list for flashOp.idx inner slices
+
+	// env is the shard environment the task executes in (the owning PU's
+	// env); direct is true when that is the host env and the completion
+	// latency is zero, i.e. the classic synchronous retire path applies.
+	env    *sim.Env
+	direct bool
+
+	// Sharded-mode result accumulators, merged into the device stats and
+	// the completion's Status mask on the host side at retire time. The
+	// task writes comp.Errs[i] directly (each vector index belongs to
+	// exactly one task) but must not read-modify-write shared words from a
+	// device shard.
+	failMask     uint64
+	statReads    int64 // flash array reads
+	statPrograms int64
+	statHits     int64
+	statSusp     int64
 
 	state int
 	opi   int  // current op index
@@ -802,19 +968,28 @@ func (t *puTask) acquire(res *sim.Resource, next int) bool {
 	return false
 }
 
-// sleep charges d of virtual time and re-enters step in state next.
+// sleep charges d of virtual time and re-enters step in state next, on the
+// task's own shard environment.
 func (t *puTask) sleep(d time.Duration, next int) {
 	t.state = next
-	t.d.env.Schedule(d, t.stepFn)
+	t.env.Schedule(d, t.stepFn)
 }
 
-// finishRelease retires the sub-command: completion accounting (and the
-// caller's done callback, when this is the last PU) runs while the PU is
-// still held, then the PU frees and the task recycles.
+// finishRelease retires the sub-command. On the direct path the completion
+// accounting (and the caller's done callback, when this is the last PU)
+// runs while the PU is still held, then the PU frees and the task
+// recycles — the historical synchronous behaviour. Otherwise the PU frees
+// at device-side completion time and the task rides the completion hop
+// back to the host, which folds its results and retires it.
 func (t *puTask) finishRelease() {
-	t.sub.finish()
+	if t.direct {
+		t.sub.finish()
+		t.pu.busy.Release()
+		t.d.putTask(t)
+		return
+	}
 	t.pu.busy.Release()
-	t.d.putTask(t)
+	t.env.Post(t.d.env, t.d.cfg.Timing.CompleteLatency, taskRetire, t)
 }
 
 // startOccupy charges a long flash operation against the PU. With
@@ -852,7 +1027,7 @@ func (t *puTask) step() {
 		case tsGrouped:
 			if err := t.group(); err != nil {
 				for _, i := range t.indices {
-					setErr(t.comp(), i, err)
+					t.fail(i, err)
 				}
 				t.finishRelease()
 				return
@@ -899,7 +1074,11 @@ func (t *puTask) step() {
 			}
 			t.hit = hit
 			if hit {
-				d.Stats.CacheHits++
+				if t.direct {
+					d.Stats.CacheHits++
+				} else {
+					t.statHits++
+				}
 				t.state = tsReadCollect
 				continue
 			}
@@ -908,7 +1087,11 @@ func (t *puTask) step() {
 
 		case tsReadCollect:
 			if !t.hit {
-				d.Stats.FlashReads++
+				if t.direct {
+					d.Stats.FlashReads++
+				} else {
+					t.statReads++
+				}
 			}
 			op := &t.ops[t.opi]
 			comp := t.comp()
@@ -917,7 +1100,7 @@ func (t *puTask) step() {
 				data, oob, err := t.pu.die.Read(plane, op.block, op.page)
 				for _, i := range op.idx[pi] {
 					if err != nil {
-						setErr(comp, i, err)
+						t.fail(i, err)
 						continue
 					}
 					sec := t.cmd.Addrs[i].Sector
@@ -981,7 +1164,11 @@ func (t *puTask) step() {
 			return
 
 		case tsWriteProgram:
-			d.Stats.FlashPrograms++
+			if t.direct {
+				d.Stats.FlashPrograms++
+			} else {
+				t.statPrograms++
+			}
 			t.commitProgram(&t.ops[t.opi])
 			t.opi++
 			t.state = tsWrite
@@ -993,13 +1180,24 @@ func (t *puTask) step() {
 
 		case tsBufXferDone:
 			t.ch.xfer.Release()
-			d.pendingCMB++
-			t.sub.finish()
+			if t.direct {
+				d.pendingCMB++
+				t.sub.finish()
+			} else {
+				// Ack rides the completion hop; background programming
+				// continues on the device shard meanwhile.
+				t.env.Post(d.env, d.cfg.Timing.CompleteLatency, taskBufAck, t)
+			}
 			t.state = tsBufProgram
 			continue
 
 		case tsBufProgram:
 			if t.opi >= len(t.ops) {
+				if !t.direct {
+					t.pu.busy.Release()
+					t.env.Post(d.env, d.cfg.Timing.CompleteLatency, taskBufDone, t)
+					return
+				}
 				d.pendingCMB--
 				if d.pendingCMB == 0 && d.cmbDrained != nil {
 					d.cmbDrained.Signal()
@@ -1014,7 +1212,11 @@ func (t *puTask) step() {
 			return
 
 		case tsBufProgramDone:
-			d.Stats.FlashPrograms++
+			if t.direct {
+				d.Stats.FlashPrograms++
+			} else {
+				t.statPrograms++
+			}
 			t.commitProgram(&t.ops[t.opi])
 			t.opi++
 			t.state = tsBufProgram
@@ -1050,7 +1252,11 @@ func (t *puTask) step() {
 
 		case tsOccReacquired:
 			t.occRemaining += d.cfg.Timing.SuspendPenalty
-			d.Stats.Suspensions++
+			if t.direct {
+				d.Stats.Suspensions++
+			} else {
+				t.statSusp++
+			}
 			t.state = tsOccNext
 			continue
 
@@ -1075,7 +1281,6 @@ func (t *puTask) step() {
 func (t *puTask) commitProgram(op *flashOp) {
 	d, cmd, pu := t.d, t.cmd, t.pu
 	g := d.cfg.Geometry
-	comp := t.comp()
 	for pi, plane := range op.planes {
 		var pageData []byte
 		havePayload := false
@@ -1116,7 +1321,7 @@ func (t *puTask) commitProgram(op *flashOp) {
 		err := pu.die.Program(plane, op.block, op.page, pageData, pageOOB)
 		for _, i := range op.idx[pi] {
 			if err != nil {
-				setErr(comp, i, err)
+				t.fail(i, err)
 			}
 		}
 		if pu.cache != nil {
@@ -1129,12 +1334,11 @@ func (t *puTask) commitProgram(op *flashOp) {
 // commitErase applies one erase op to the NAND media.
 func (t *puTask) commitErase(op *flashOp) {
 	pu := t.pu
-	comp := t.comp()
 	for pi, plane := range op.planes {
 		err := pu.die.Erase(plane, op.block)
 		for _, i := range op.idx[pi] {
 			if err != nil {
-				setErr(comp, i, err)
+				t.fail(i, err)
 			}
 		}
 		if pu.cache != nil {
@@ -1200,14 +1404,33 @@ func (d *Device) OnDeath(fn func()) {
 	d.deathHooks = append(d.deathHooks, fn)
 }
 
+// puInvalidate drops a PU's volatile page cache, delivered on the PU's own
+// shard so crash messages never race its command machinery.
+var puInvalidate = func(a any) {
+	pu := a.(*punit)
+	for i := range pu.cache {
+		pu.cache[i].ok = false
+	}
+}
+
+// dropCache invalidates a PU's page cache: in place when the PU runs on
+// the host env, via a posted message (one transport hop) when it runs on
+// another shard.
+func (d *Device) dropCache(pu *punit) {
+	if pu.env == d.env {
+		puInvalidate(pu)
+		return
+	}
+	d.env.Post(pu.env, d.cfg.Timing.SubmitLatency, puInvalidate, pu)
+}
+
 // Crash simulates power loss: volatile controller state (page caches, CMB
 // contents not yet programmed) is lost; media content persists. The host
-// must run recovery before reuse.
+// must run recovery before reuse. On a sharded device the per-PU cache
+// invalidation is delivered over the submit hop, like any other command.
 func (d *Device) Crash() {
 	for _, pu := range d.pus {
-		for i := range pu.cache {
-			pu.cache[i].ok = false
-		}
+		d.dropCache(pu)
 	}
 	d.pendingCMB = 0
 	d.cmbDrained = nil
@@ -1218,9 +1441,6 @@ func (d *Device) Crash() {
 // used when one tenant of a shared device power-fails its view.
 func (d *Device) CrashPUs(begin, end int) {
 	for gpu := begin; gpu < end && gpu < len(d.pus); gpu++ {
-		pu := d.pus[gpu]
-		for i := range pu.cache {
-			pu.cache[i].ok = false
-		}
+		d.dropCache(d.pus[gpu])
 	}
 }

@@ -404,13 +404,17 @@ func (k *Pblk) recycle(p *sim.Proc, g *group, retire bool) {
 		return
 	}
 	if retire {
-		// Write failures condemn the block (§4.2.3).
+		// Write failures condemn the block (§4.2.3). Marking bad pokes the
+		// die directly, which on a sharded device belongs to another shard;
+		// the admin-style exclusive bracket keeps it off parallel windows.
+		k.env.BeginExclusive(p)
 		die := k.dev.Die(g.gpu)
 		for pl := 0; pl < k.geo.PlanesPerPU; pl++ {
 			if err := die.MarkBad(pl, g.blk); err != nil {
 				break
 			}
 		}
+		k.env.EndExclusive()
 		g.state = stBad
 		k.Stats.BadBlocks++
 		k.notifyState()
@@ -422,7 +426,9 @@ func (k *Pblk) recycle(p *sim.Proc, g *group, retire bool) {
 		addrs[pl] = ppa.Addr{Ch: ch, PU: pu, Plane: pl, Block: g.blk}
 	}
 	c := k.dev.Do(p, &ocssd.Vector{Op: ocssd.OpErase, Addrs: addrs})
-	if c.Failed() {
+	failed := c.Failed()
+	k.dev.Recycle(c)
+	if failed {
 		// No retry or recovery on erase failure: mark bad (§2.2).
 		k.Stats.EraseErrors++
 		k.Stats.BadBlocks++
@@ -441,6 +447,98 @@ func (k *Pblk) recycle(p *sim.Proc, g *group, retire bool) {
 // buffering a whole group's data in host memory.
 const gcReadWindow = 4
 
+// gcMove is one still-valid sector of a victim group awaiting rewrite.
+type gcMove struct {
+	lba  int64
+	addr ppa.Addr
+}
+
+// gcChunk is one pooled vector read of a victim drain: the moves it
+// serves, the submitted vector, the arrival event, and the completion
+// callback bound once at creation so resubmission allocates nothing.
+type gcChunk struct {
+	k     *Pblk
+	moves []gcMove
+	vec   ocssd.Vector
+	done  *sim.Event
+	c     *ocssd.Completion
+	cbFn  func(*ocssd.Completion)
+}
+
+func (rc *gcChunk) onData(c *ocssd.Completion) {
+	rc.c = c
+	rc.done.Signal()
+}
+
+// submit issues the chunk's vector read asynchronously.
+func (rc *gcChunk) submit() {
+	rc.vec.Op = ocssd.OpRead
+	rc.vec.Addrs = rc.vec.Addrs[:0]
+	for _, m := range rc.moves {
+		rc.vec.Addrs = append(rc.vec.Addrs, m.addr)
+	}
+	rc.k.dev.Submit(&rc.vec, rc.cbFn)
+}
+
+func (k *Pblk) getGCChunk() *gcChunk {
+	if n := len(k.gcChunkFree); n > 0 {
+		rc := k.gcChunkFree[n-1]
+		k.gcChunkFree = k.gcChunkFree[:n-1]
+		rc.done.Reset()
+		return rc
+	}
+	rc := &gcChunk{k: k, done: k.env.NewEvent()}
+	rc.cbFn = rc.onData
+	return rc
+}
+
+func (k *Pblk) putGCChunk(rc *gcChunk) {
+	rc.moves = nil
+	rc.c = nil
+	k.gcChunkFree = append(k.gcChunkFree, rc)
+}
+
+func (k *Pblk) getGCMoves() []gcMove {
+	if n := len(k.gcMovesFree); n > 0 {
+		m := k.gcMovesFree[n-1]
+		k.gcMovesFree = k.gcMovesFree[:n-1]
+		return m
+	}
+	return nil
+}
+
+func (k *Pblk) putGCMoves(m []gcMove) { k.gcMovesFree = append(k.gcMovesFree, m[:0]) }
+
+func (k *Pblk) getGCChunkList() []*gcChunk {
+	if n := len(k.gcChunkLists); n > 0 {
+		l := k.gcChunkLists[n-1]
+		k.gcChunkLists = k.gcChunkLists[:n-1]
+		return l
+	}
+	return nil
+}
+
+func (k *Pblk) putGCChunkList(l []*gcChunk) {
+	clear(l)
+	k.gcChunkLists = append(k.gcChunkLists, l[:0])
+}
+
+// getEvent draws a one-shot event from the pool (re-armed) or creates
+// one. Only events whose waiters have all been extracted by Signal may be
+// returned with putEvent; Signal detaches waiters before scheduling them,
+// so pooling immediately after Signal is safe.
+func (k *Pblk) getEvent() *sim.Event {
+	if n := len(k.eventFree); n > 0 {
+		ev := k.eventFree[n-1]
+		k.eventFree = k.eventFree[:n-1]
+		ev.Reset()
+		return ev
+	}
+	return k.env.NewEvent()
+}
+
+func (k *Pblk) putEvent(ev *sim.Event) { k.eventFree = append(k.eventFree, ev) }
+
 // moveValid rewrites every still-valid sector of g through the write buffer
 // and waits until all moves are persisted. The reverse map comes from the
 // close metadata stored on the group's last pages — pblk keeps no reverse
@@ -454,45 +552,28 @@ const gcReadWindow = 4
 func (k *Pblk) moveValid(p *sim.Proc, g *group) {
 	lbas := k.readGroupLBAs(p, g)
 	// Gather sectors whose mapping still points into this group.
-	type move struct {
-		lba  int64
-		addr ppa.Addr
-	}
-	var moves []move
+	moves := k.getGCMoves()
 	for i, lba := range lbas {
 		if lba == padLBA || lba < 0 || lba >= k.capacityLBAs {
 			continue
 		}
 		a := k.sectorAddr(g, i)
 		if k.l2p[lba] == k.mediaEntry(a) {
-			moves = append(moves, move{lba: lba, addr: a})
+			moves = append(moves, gcMove{lba: lba, addr: a})
 		}
 	}
-	type readChunk struct {
-		moves []move
-		done  *sim.Event
-		c     *ocssd.Completion
-	}
-	var chunks []*readChunk
+	chunks := k.getGCChunkList()
 	for lo := 0; lo < len(moves); lo += ocssd.MaxVectorLen {
 		hi := lo + ocssd.MaxVectorLen
 		if hi > len(moves) {
 			hi = len(moves)
 		}
-		chunks = append(chunks, &readChunk{moves: moves[lo:hi], done: k.env.NewEvent()})
-	}
-	submit := func(rc *readChunk) {
-		addrs := make([]ppa.Addr, len(rc.moves))
-		for j, m := range rc.moves {
-			addrs[j] = m.addr
-		}
-		k.dev.Submit(&ocssd.Vector{Op: ocssd.OpRead, Addrs: addrs}, func(c *ocssd.Completion) {
-			rc.c = c
-			rc.done.Signal()
-		})
+		rc := k.getGCChunk()
+		rc.moves = moves[lo:hi]
+		chunks = append(chunks, rc)
 	}
 	for i := 0; i < len(chunks) && i < gcReadWindow; i++ {
-		submit(chunks[i])
+		chunks[i].submit()
 	}
 	// Ring admission is serialized across victims (a FIFO token): reads of
 	// younger victims overlap the drain of the oldest, but their moves
@@ -512,7 +593,7 @@ func (k *Pblk) moveValid(p *sim.Proc, g *group) {
 	for i, rc := range chunks {
 		p.Wait(rc.done)
 		if next := i + gcReadWindow; next < len(chunks) {
-			submit(chunks[next])
+			chunks[next].submit()
 		}
 		for j, m := range rc.moves {
 			if rc.c.Errs[j] != nil {
@@ -539,16 +620,30 @@ func (k *Pblk) moveValid(p *sim.Proc, g *group) {
 			k.installCacheMapping(m.lba, pos)
 			k.Stats.GCMovedSectors++
 		}
+		// The ring entries copy nothing: they alias the NAND page slices in
+		// rc.c.Data until the lane writers program them. Recycling here only
+		// returns the Completion container (its Data slots are re-cleared on
+		// reuse), never the page memory itself.
+		k.dev.Recycle(rc.c)
+		k.putGCChunk(rc)
 		k.kickWriters()
 	}
+	k.putGCMoves(moves)
+	k.putGCChunkList(chunks)
 	release()
 	if g.gcPending > 0 {
 		// Force the moves out with an internal flush so the victim drains
 		// even when user traffic is idle. The moves are sharded over the
 		// lane queues like any writes; a stalled lane delays only its own
-		// share of the drain.
-		g.gcDone = k.env.NewEvent()
-		k.flushes = append(k.flushes, flushReq{pos: k.rb.head - 1, ev: k.env.NewEvent()})
+		// share of the drain. The done event is per-group and reused across
+		// the group's GC cycles; it is always in the fired state between
+		// cycles, so stray Signals from a previous cycle are no-ops.
+		if g.gcDone == nil {
+			g.gcDone = k.env.NewEvent()
+		} else {
+			g.gcDone.Reset()
+		}
+		k.flushes = append(k.flushes, flushReq{pos: k.rb.head - 1, ev: k.getEvent()})
 		k.kickWriters()
 		p.Wait(g.gcDone)
 	}

@@ -1,9 +1,6 @@
 package pblk
 
 import (
-	"container/heap"
-
-	"repro/internal/ocssd"
 	"repro/internal/ppa"
 	"repro/internal/sim"
 )
@@ -55,25 +52,66 @@ type freeItem struct {
 // freeHeap is a min-heap of free groups keyed on erase count (dynamic
 // wear leveling, paper §2.3 lesson 4) with the group id as a
 // deterministic tie-break. It replaces the O(n) min-erase scan that ran
-// on every group allocation and GC recycle.
+// on every group allocation and GC recycle. The sift routines are
+// hand-rolled (same element placement as container/heap) because the
+// stdlib interface boxes every pushed and popped freeItem onto the heap —
+// two allocations per group cycle on the hot recycle path.
 type freeHeap []freeItem
 
-func (h freeHeap) Len() int { return len(h) }
-func (h freeHeap) Less(i, j int) bool {
+func (h freeHeap) less(i, j int) bool {
 	if h[i].erases != h[j].erases {
 		return h[i].erases < h[j].erases
 	}
 	return h[i].id < h[j].id
 }
-func (h freeHeap) Swap(i, j int) { h[i], h[j] = h[j], h[i] }
-func (h *freeHeap) Push(x any)   { *h = append(*h, x.(freeItem)) }
-func (h *freeHeap) Pop() any     { old := *h; n := len(old); v := old[n-1]; *h = old[:n-1]; return v }
-func (h *freeHeap) put(g *group) { heap.Push(h, freeItem{erases: g.erases, id: g.id}) }
+
+func (h *freeHeap) put(g *group) {
+	*h = append(*h, freeItem{erases: g.erases, id: g.id})
+	h.up(len(*h) - 1)
+}
+
 func (h *freeHeap) take() (int, bool) {
-	if h.Len() == 0 {
+	if len(*h) == 0 {
 		return 0, false
 	}
-	return heap.Pop(h).(freeItem).id, true
+	v := (*h)[0]
+	n := len(*h) - 1
+	(*h)[0], (*h)[n] = (*h)[n], freeItem{}
+	*h = (*h)[:n]
+	if n > 0 {
+		h.down(0)
+	}
+	return v.id, true
+}
+
+func (h freeHeap) up(i int) {
+	for i > 0 {
+		p := (i - 1) / 2
+		if !h.less(i, p) {
+			break
+		}
+		h[i], h[p] = h[p], h[i]
+		i = p
+	}
+}
+
+func (h freeHeap) down(i int) {
+	n := len(h)
+	for {
+		l := 2*i + 1
+		if l >= n {
+			break
+		}
+		m := l
+		if r := l + 1; r < n && h.less(r, l) {
+			m = r
+		}
+		if !h.less(m, i) {
+			break
+		}
+		h[i], h[m] = h[m], h[i]
+		i = m
+	}
 }
 
 // takeFreeGroup removes and returns the free group with the fewest erase
@@ -94,15 +132,19 @@ func (k *Pblk) returnFreeGroup(g *group) {
 	g.state = stFree
 	g.stream = streamUser
 	g.nextUnit = 0
-	g.lbas = nil
-	g.stamps = nil
-	g.unitDone = nil
-	g.unitFinal = nil
+	// Truncate rather than drop the per-group slices: the next openGroup
+	// on this group reuses their backing arrays.
+	g.lbas = g.lbas[:0]
+	g.stamps = g.stamps[:0]
+	g.unitDone = g.unitDone[:0]
+	g.unitFinal = g.unitFinal[:0]
 	g.valid = 0
 	g.gcPending = 0
-	g.gcDone = nil
-	g.pending = nil
-	g.pendUnits = nil
+	// g.gcDone is deliberately kept: it is reused (via Reset) across the
+	// group's GC cycles and is always fired between cycles, so a stray
+	// Signal from releaseGCRef before the next drain re-arms it is a no-op.
+	clear(g.pending)
+	g.pendUnits = g.pendUnits[:0]
 	k.freePerPU[g.gpu].put(g)
 	k.freeGroups++
 	k.rl.update(k.freeGroups)
@@ -159,29 +201,33 @@ func (k *Pblk) openGroup(g *group, st int) {
 	g.prev = int64(k.lastOpened)
 	k.lastOpened = g.id
 	g.nextUnit = 1
-	g.lbas = make([]int64, 0, k.dataSectors)
-	g.stamps = make([]uint64, 0, k.dataSectors)
-	g.unitDone = make([]bool, k.unitsPerGroup)
-	g.unitFinal = make([]bool, k.unitsPerGroup)
-	mark := k.encodeOpenMark(g)
-	addrs := k.unitAddrs(g, 0)
-	data := make([][]byte, len(addrs))
-	oob := make([][]byte, len(addrs))
-	data[0] = mark
-	stamp := k.nextStamp()
-	for i := range oob {
-		oob[i] = k.encodeOOB(padLBA, false, stamp)
+	if cap(g.lbas) < k.dataSectors {
+		g.lbas = make([]int64, 0, k.dataSectors)
+	} else {
+		g.lbas = g.lbas[:0]
 	}
-	gid := g.id
-	k.dev.Submit(&ocssd.Vector{Op: ocssd.OpWrite, Addrs: addrs, Data: data, OOB: oob}, func(c *ocssd.Completion) {
-		if c.Failed() {
-			// Treat a failed open mark like any write failure: the group
-			// is suspect and will be retired once drained.
-			k.markSuspect(k.groups[gid])
-		}
-		g.unitDone[0] = true
-		g.unitFinal[0] = true
-	})
+	if cap(g.stamps) < k.dataSectors {
+		g.stamps = make([]uint64, 0, k.dataSectors)
+	} else {
+		g.stamps = g.stamps[:0]
+	}
+	if cap(g.unitDone) < k.unitsPerGroup {
+		g.unitDone = make([]bool, k.unitsPerGroup)
+		g.unitFinal = make([]bool, k.unitsPerGroup)
+	} else {
+		g.unitDone = g.unitDone[:k.unitsPerGroup]
+		g.unitFinal = g.unitFinal[:k.unitsPerGroup]
+		clear(g.unitDone)
+		clear(g.unitFinal)
+	}
+	ms := k.getMetaScratch()
+	ms.close = false
+	stamp := k.nextStamp()
+	ms.prep(g, 0, stamp)
+	mark := ms.payload[:k.geo.SectorSize]
+	k.encodeOpenMarkInto(mark, g)
+	ms.data[0] = mark
+	ms.submit()
 }
 
 // advanceSlotPU moves a lane to its next PU after a block fills (paper:

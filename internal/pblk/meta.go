@@ -119,12 +119,18 @@ func parseOOB(b []byte) (lba int64, stamp uint64, valid bool, ok bool) {
 // reference to the previously opened block.
 func (k *Pblk) encodeOpenMark(g *group) []byte {
 	b := make([]byte, k.geo.SectorSize)
+	k.encodeOpenMarkInto(b, g)
+	return b
+}
+
+// encodeOpenMarkInto writes the open mark into b (len >= sector size,
+// already zeroed past the mark); the allocation-free form.
+func (k *Pblk) encodeOpenMarkInto(b []byte, g *group) {
 	le.PutUint64(b[0:8], openMagic)
 	le.PutUint64(b[8:16], uint64(g.id))
 	le.PutUint64(b[16:24], g.seq)
 	le.PutUint64(b[24:32], encLBA(g.prev))
 	le.PutUint32(b[32:36], crc32.ChecksumIEEE(b[0:32]))
-	return b
 }
 
 func parseOpenMark(b []byte) (gid int, seq uint64, prev int64, ok bool) {
@@ -171,8 +177,14 @@ func (k *Pblk) closeMetaUnits() int {
 // stamps (for globally ordered replay), the write stream, and the same
 // sequence number as the open mark.
 func (k *Pblk) encodeCloseMeta(g *group, lbas []int64, stamps []uint64) []byte {
-	size := k.closeMetaSizeFor(k.dataSectors)
-	b := make([]byte, size)
+	return k.encodeCloseMetaInto(make([]byte, k.closeMetaSizeFor(k.dataSectors)), g, lbas, stamps)
+}
+
+// encodeCloseMetaInto is encodeCloseMeta into a caller-owned buffer
+// (len == closeMetaSizeFor(dataSectors), already zeroed) — the
+// allocation-free form for the pooled close path.
+func (k *Pblk) encodeCloseMetaInto(b []byte, g *group, lbas []int64, stamps []uint64) []byte {
+	size := len(b)
 	le.PutUint64(b[0:8], closeMagic)
 	le.PutUint64(b[8:16], uint64(g.id))
 	le.PutUint64(b[16:24], g.seq)
@@ -232,51 +244,137 @@ func (k *Pblk) parseCloseMeta(b []byte) (seq uint64, stream uint8, lbas []int64,
 	return le.Uint64(b[16:24]), b[28], lbas, stamps, true
 }
 
+// metaScratch is the pooled context of one metadata-unit write — a group
+// open mark or one close-metadata unit: the vector, its slices, a payload
+// arena, one shared pad-OOB record, and the completion callback bound
+// once, so metadata submission allocates nothing in steady state.
+type metaScratch struct {
+	k        *Pblk
+	g        *group
+	unit     int
+	close    bool // close-meta unit (vs open mark)
+	vec      ocssd.Vector
+	addrs    []ppa.Addr
+	data     [][]byte
+	oob      [][]byte
+	oobArena []byte
+	payload  []byte
+	cbFn     func(*ocssd.Completion)
+}
+
+func (k *Pblk) getMetaScratch() *metaScratch {
+	if n := len(k.metaScratchFree); n > 0 {
+		ms := k.metaScratchFree[n-1]
+		k.metaScratchFree = k.metaScratchFree[:n-1]
+		return ms
+	}
+	ms := &metaScratch{k: k}
+	ms.cbFn = ms.onProgrammed
+	return ms
+}
+
+// prep sizes the scratch for one unit on group g: payload sectors are
+// zeroed, data pointers start nil (synthetic), and every sector's OOB
+// points at one shared pad record stamped with stamp.
+func (ms *metaScratch) prep(g *group, unit int, stamp uint64) {
+	k := ms.k
+	ms.g, ms.unit = g, unit
+	ms.addrs = k.unitAddrsInto(ms.addrs, g, unit)
+	n := len(ms.addrs)
+	ss := k.geo.SectorSize
+	if cap(ms.data) < n {
+		ms.data = make([][]byte, n)
+		ms.oob = make([][]byte, n)
+	}
+	ms.data = ms.data[:n]
+	ms.oob = ms.oob[:n]
+	if len(ms.oobArena) < oobBytes {
+		ms.oobArena = make([]byte, oobBytes)
+	}
+	if len(ms.payload) < n*ss {
+		ms.payload = make([]byte, n*ss)
+	} else {
+		clear(ms.payload[:n*ss])
+	}
+	k.encodeOOBInto(ms.oobArena, padLBA, false, stamp)
+	for i := range ms.data {
+		ms.data[i] = nil
+		ms.oob[i] = ms.oobArena[:oobBytes]
+	}
+}
+
+func (ms *metaScratch) submit() {
+	ms.vec.Op = ocssd.OpWrite
+	ms.vec.Addrs = ms.addrs
+	ms.vec.Data = ms.data
+	ms.vec.OOB = ms.oob
+	ms.k.dev.Submit(&ms.vec, ms.cbFn)
+}
+
+func (ms *metaScratch) onProgrammed(c *ocssd.Completion) {
+	k, g, unit, isClose := ms.k, ms.g, ms.unit, ms.close
+	if !isClose && c.Failed() {
+		// A failed open mark is treated like any write failure: the group
+		// is suspect and will be retired once drained.
+		k.markSuspect(g)
+	}
+	g.unitDone[unit] = true
+	g.unitFinal[unit] = true
+	if isClose && c.Failed() {
+		k.markSuspect(g)
+	}
+	ms.g = nil
+	ms.vec.Addrs, ms.vec.Data, ms.vec.OOB = nil, nil, nil
+	k.metaScratchFree = append(k.metaScratchFree, ms)
+	k.dev.Recycle(c)
+	if isClose {
+		g.metaRemaining--
+		if g.metaRemaining == 0 {
+			if g.state == stOpen {
+				g.state = stClosed
+			}
+			// Meta covers any trailing pair pages; re-run finalize.
+			k.finalizeGroup(g)
+			k.rb.advanceTail()
+			k.checkFlushes()
+			k.maybeKickGC()
+			k.notifyState()
+		}
+	}
+}
+
 // submitCloseMeta writes the close metadata into the group's trailing
 // units. Submission is asynchronous; the per-PU FIFO orders it after the
 // group's data, and the group becomes GC-eligible (closed) only once every
 // metadata unit is programmed.
 func (k *Pblk) submitCloseMeta(p *sim.Proc, g *group) {
-	meta := k.encodeCloseMeta(g, g.lbas, g.stamps)
-	g.lbas = nil
-	g.stamps = nil
+	size := k.closeMetaSizeFor(k.dataSectors)
+	if cap(k.closeMetaBuf) < size {
+		k.closeMetaBuf = make([]byte, size)
+	} else {
+		k.closeMetaBuf = k.closeMetaBuf[:size]
+		clear(k.closeMetaBuf)
+	}
+	meta := k.encodeCloseMetaInto(k.closeMetaBuf, g, g.lbas, g.stamps)
+	g.lbas = g.lbas[:0]
+	g.stamps = g.stamps[:0]
 	ss := k.geo.SectorSize
 	unitBytes := k.unitSectors * ss
-	remainingUnits := k.metaUnits
+	g.metaRemaining = k.metaUnits
 	for m := 0; m < k.metaUnits; m++ {
 		unit := k.firstMetaUnit() + m
-		addrs := k.unitAddrs(g, unit)
-		data := make([][]byte, len(addrs))
-		oob := make([][]byte, len(addrs))
-		for s := range addrs {
+		ms := k.getMetaScratch()
+		ms.close = true
+		ms.prep(g, unit, k.unitStamp)
+		for s := range ms.addrs {
 			off := m*unitBytes + s*ss
 			if off < len(meta) {
-				sec := make([]byte, ss)
+				sec := ms.payload[s*ss : (s+1)*ss]
 				copy(sec, meta[off:])
-				data[s] = sec
+				ms.data[s] = sec
 			}
-			oob[s] = k.encodeOOB(padLBA, false, k.unitStamp)
 		}
-		u := unit
-		k.dev.Submit(&ocssd.Vector{Op: ocssd.OpWrite, Addrs: addrs, Data: data, OOB: oob}, func(c *ocssd.Completion) {
-			g.unitDone[u] = true
-			g.unitFinal[u] = true
-			if c.Failed() {
-				k.markSuspect(g)
-			}
-			remainingUnits--
-			if remainingUnits == 0 {
-				if g.state == stOpen {
-					g.state = stClosed
-				}
-				// Meta covers any trailing pair pages; re-run finalize.
-				k.finalizeGroup(g)
-				k.rb.advanceTail()
-				k.checkFlushes()
-				k.maybeKickGC()
-				k.notifyState()
-			}
-		})
+		ms.submit()
 	}
 	g.nextUnit = k.unitsPerGroup
 }
@@ -288,13 +386,21 @@ func (k *Pblk) readCloseMeta(p *sim.Proc, g *group) (seq uint64, stream uint8, l
 	for m := 0; m < k.metaUnits; m++ {
 		addrs := k.unitAddrs(g, k.firstMetaUnit()+m)
 		c := k.dev.Do(p, &ocssd.Vector{Op: ocssd.OpRead, Addrs: addrs})
+		fail := false
 		for s := range addrs {
 			if c.Errs[s] != nil {
-				return 0, 0, nil, nil, false
+				fail = true
+				break
 			}
 			if d := c.Data[s]; d != nil {
 				copy(buf[(m*k.unitSectors+s)*ss:], d)
 			}
+		}
+		// The sector contents were copied into buf above; the completion
+		// container can go back to the device pool.
+		k.dev.Recycle(c)
+		if fail {
+			return 0, 0, nil, nil, false
 		}
 	}
 	return k.parseCloseMeta(buf)
@@ -322,9 +428,11 @@ func (k *Pblk) scanGroupOOB(p *sim.Proc, g *group) (watermark int, lbas []int64,
 		addrs := k.unitAddrs(g, unit)
 		c := k.dev.Do(p, &ocssd.Vector{Op: ocssd.OpRead, Addrs: addrs})
 		if isUnwritten(c.Errs[0]) {
+			k.dev.Recycle(c)
 			break
 		}
 		if unit >= k.firstMetaUnit() {
+			k.dev.Recycle(c)
 			continue // metadata region reached; not data
 		}
 		for s := range addrs {
@@ -341,6 +449,8 @@ func (k *Pblk) scanGroupOOB(p *sim.Proc, g *group) (watermark int, lbas []int64,
 			lbas = append(lbas, lba)
 			stamps = append(stamps, stamp)
 		}
+		// parseOOB extracts values; nothing retains c after this point.
+		k.dev.Recycle(c)
 	}
 	return unit, lbas, stamps
 }

@@ -221,6 +221,9 @@ type group struct {
 	// fires when it reaches zero.
 	gcPending int
 	gcDone    *sim.Event
+	// metaRemaining counts the group's close-metadata units still being
+	// programmed; the group closes when it reaches zero.
+	metaRemaining int
 }
 
 // slot is one write lane of the mapper: at any instant it owns a single
@@ -368,6 +371,23 @@ type Pblk struct {
 	// entries' sector payload buffers, recycled when the tail frees them.
 	unitScratchFree []*unitScratch
 	dataBufFree     [][]byte
+	// possFree recycles the ring-position lists that travel from dispatch
+	// (chunk.poss) into writeUnitOn and from setPending (group.pending)
+	// back out of finalizeGroup, so steady-state unit formation allocates
+	// nothing.
+	possFree [][]uint64
+	// metaScratchFree recycles the metadata-unit write contexts (open
+	// marks and close-meta units, meta.go); closeMetaBuf is the reused
+	// close-metadata serialization buffer.
+	metaScratchFree []*metaScratch
+	closeMetaBuf    []byte
+	// GC victim-drain pools (gc.go): move lists, vector-read chunks and
+	// their per-victim chunk lists. eventFree recycles fired one-shot
+	// events (flush barriers).
+	gcMovesFree  [][]gcMove
+	gcChunkFree  []*gcChunk
+	gcChunkLists [][]*gcChunk
+	eventFree    []*sim.Event
 
 	flushes    []flushReq
 	gcKick     *sim.Event
@@ -475,6 +495,13 @@ func NewView(p *sim.Proc, view *lightnvm.MediaView, name string, cfg Config) (*P
 	k.pairStride = media.PairStride
 	k.strictPair = media.StrictPairRead
 	k.lastOpened = -1
+	// Mount reads the media directly (factory-bad scan) and replays
+	// recovery state; on a sharded device that must not interleave with
+	// parallel windows still executing other shards' traffic (e.g. stale
+	// in-flight commands after a crash), so the whole mount runs under the
+	// coordinator's exclusive mode. On a plain environment this is a no-op.
+	k.env.BeginExclusive(p)
+	defer k.env.EndExclusive()
 	k.initGroups()
 	k.initCapacity()
 	// The spare pool must cover the emergency reserve (which scales with
@@ -520,10 +547,14 @@ func (k *Pblk) initGroups() {
 	perPU := k.geo.BlocksPerPlane
 	k.groups = make([]*group, nPU*perPU)
 	k.freePerPU = make([]freeHeap, nPU)
+	// One slab for all group structs: at fleet geometries the table runs
+	// to thousands of entries, and per-entry allocations dominate mount.
+	slab := make([]group, nPU*perPU)
 	for gpu := 0; gpu < nPU; gpu++ {
 		for b := 0; b < perPU; b++ {
 			id := gpu*perPU + b
-			g := &group{id: id, gpu: gpu, blk: b, state: stFree, prev: -1}
+			g := &slab[id]
+			*g = group{id: id, gpu: gpu, blk: b, state: stFree, prev: -1}
 			k.groups[id] = g
 			if gpu == 0 && b == 0 {
 				g.state = stSys
@@ -581,8 +612,9 @@ func (k *Pblk) buildSlots() {
 	total := k.nPUs
 	span := total / n
 	k.slots = make([]*slot, n)
+	slab := make([]slot, n)
 	for i := range k.slots {
-		k.slots[i] = &slot{
+		slab[i] = slot{
 			lane:  i,
 			puLo:  i * span,
 			puHi:  (i + 1) * span,
@@ -591,6 +623,7 @@ func (k *Pblk) buildSlots() {
 			kick:  k.env.NewEvent(),
 			done:  k.env.NewEvent(),
 		}
+		k.slots[i] = &slab[i]
 	}
 	for st := range k.rrNext {
 		k.rrNext[st] = 0

@@ -34,10 +34,7 @@ func (k *Pblk) OpenQueue(env *sim.Env, depth int) blockdev.Queue {
 func (k *Pblk) IssueAsync(req *blockdev.Request, done func(*blockdev.Request)) {
 	switch req.Op {
 	case blockdev.ReqRead:
-		k.startRead(req.Off, req.Buf, req.Length, func(err error) {
-			req.Err = err
-			done(req)
-		})
+		k.startReadReq(req, done)
 	case blockdev.ReqWrite:
 		k.admitQ = append(k.admitQ, pendingWrite{req: req, done: done})
 		if !k.admitActive {
@@ -191,7 +188,7 @@ func (k *Pblk) startFlush(fin func(error)) {
 		k.env.Schedule(0, func() { fin(nil) })
 		return
 	}
-	req := flushReq{pos: k.rb.head - 1, ev: k.env.NewEvent()}
+	req := flushReq{pos: k.rb.head - 1, ev: k.getEvent()}
 	k.flushes = append(k.flushes, req)
 	k.kickWriters()
 	req.ev.OnFire(func() { fin(nil) })

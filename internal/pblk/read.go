@@ -33,11 +33,19 @@ func (k *Pblk) Read(p *sim.Proc, off int64, buf []byte, length int64) error {
 // validated. fin runs in simulation context with the first error once
 // every sector is resolved.
 func (k *Pblk) startRead(off int64, buf []byte, length int64, fin func(error)) {
-	if k.stopping {
-		k.env.Schedule(0, func() { fin(ErrStopped) })
-		return
-	}
-	k.env.Schedule(k.cfg.HostReadOverhead, func() { k.resolveRead(off, buf, length, fin) })
+	r := k.getReadReq()
+	r.off, r.buf, r.length, r.fin = off, buf, length, fin
+	k.env.Schedule(k.cfg.HostReadOverhead, r.resolveFn)
+}
+
+// startReadReq is the request-carrying form of startRead used by the queue
+// datapath: the blockdev request and its completion callback ride in the
+// pooled readReq, so issuing a read allocates nothing.
+func (k *Pblk) startReadReq(req *blockdev.Request, done func(*blockdev.Request)) {
+	r := k.getReadReq()
+	r.off, r.buf, r.length = req.Off, req.Buf, req.Length
+	r.breq, r.bdone = req, done
+	k.env.Schedule(k.cfg.HostReadOverhead, r.resolveFn)
 }
 
 // mediaSector is one request sector to be fetched from flash.
@@ -46,15 +54,37 @@ type mediaSector struct {
 	addr   ppa.Addr
 }
 
-// readReq is the shared context of one read request's media fan-out; the
-// last chunk completion reports the first error seen. Pooled.
+// readReq is the whole context of one read request, from host-overhead
+// scheduling through the media fan-out; the last chunk completion reports
+// the first error seen. Pooled; resolveFn is bound once so neither issuing
+// nor resolving a read allocates. The completion goes to fin (plain
+// callback form) or to bdone(breq) (queue form) — exactly one is set.
 type readReq struct {
 	k           *Pblk
 	off         int64
 	buf         []byte
+	length      int64
 	fin         func(error)
+	breq        *blockdev.Request
+	bdone       func(*blockdev.Request)
 	outstanding int
 	firstErr    error
+	resolveFn   func()
+}
+
+// finish reports the request's outcome, recycling the readReq first so the
+// callback can immediately issue another read from a warm pool.
+func (r *readReq) finish(err error) {
+	k := r.k
+	fin, breq, bdone := r.fin, r.breq, r.bdone
+	r.buf, r.fin, r.breq, r.bdone, r.firstErr = nil, nil, nil, nil, nil
+	k.readReqFree = append(k.readReqFree, r)
+	if breq != nil {
+		breq.Err = err
+		bdone(breq)
+		return
+	}
+	fin(err)
 }
 
 // readChunk is one vector read of a request: its addresses (all on one
@@ -73,7 +103,9 @@ func (k *Pblk) getReadReq() *readReq {
 		k.readReqFree = k.readReqFree[:n-1]
 		return r
 	}
-	return &readReq{k: k}
+	r := &readReq{k: k}
+	r.resolveFn = r.resolve
+	return r
 }
 
 func (k *Pblk) getReadChunk() *readChunk {
@@ -87,7 +119,7 @@ func (k *Pblk) getReadChunk() *readChunk {
 	return c
 }
 
-// resolveRead serves each sector from the write buffer when its mapping is
+// resolve serves each sector from the write buffer when its mapping is
 // a cacheline (paper §4.2.1: "reads are directed to the write buffer until
 // all page pairs have been persisted"), as zeros when unmapped, and from
 // media otherwise — gathered into vector reads submitted through the
@@ -97,11 +129,13 @@ func (k *Pblk) getReadChunk() *readChunk {
 // read pays one command overhead per PU per 64 sectors instead of one per
 // PU per chunk. Media read failures surface as ErrReadFailed: pblk has no
 // read recovery (§4.2.3, ECC and threshold tuning live in the device).
-func (k *Pblk) resolveRead(off int64, buf []byte, length int64, fin func(error)) {
+func (r *readReq) resolve() {
+	k := r.k
 	if k.stopping {
-		fin(ErrStopped)
+		r.finish(ErrStopped)
 		return
 	}
+	off, buf, length := r.off, r.buf, r.length
 	ss := int64(k.geo.SectorSize)
 	n := int(length / ss)
 
@@ -138,13 +172,11 @@ func (k *Pblk) resolveRead(off int64, buf []byte, length int64, fin func(error))
 		k.Stats.UserReads++
 	}
 	if media == 0 {
-		fin(nil)
+		r.finish(nil)
 		return
 	}
 
-	req := k.getReadReq()
-	req.off, req.buf, req.fin = off, buf, fin
-	req.outstanding, req.firstErr = 0, nil
+	r.outstanding, r.firstErr = 0, nil
 	for _, gpu := range k.readPUOrder {
 		list := k.readPULists[gpu]
 		for lo := 0; lo < len(list); lo += ocssd.MaxVectorLen {
@@ -153,13 +185,13 @@ func (k *Pblk) resolveRead(off int64, buf []byte, length int64, fin func(error))
 				hi = len(list)
 			}
 			c := k.getReadChunk()
-			c.req = req
+			c.req = r
 			for _, m := range list[lo:hi] {
 				c.vec.Addrs = append(c.vec.Addrs, m.addr)
 				c.sect = append(c.sect, m.sector)
 			}
 			c.vec.Op = ocssd.OpRead
-			req.outstanding++
+			r.outstanding++
 			k.dev.Submit(&c.vec, c.cbFn)
 		}
 		k.readPULists[gpu] = k.readPULists[gpu][:0]
@@ -198,9 +230,6 @@ func (c *readChunk) onComplete(comp *ocssd.Completion) {
 	k.readChunkFree = append(k.readChunkFree, c)
 	req.outstanding--
 	if req.outstanding == 0 {
-		fin, err := req.fin, req.firstErr
-		req.buf, req.fin, req.firstErr = nil, nil, nil
-		k.readReqFree = append(k.readReqFree, req)
-		fin(err)
+		req.finish(req.firstErr)
 	}
 }

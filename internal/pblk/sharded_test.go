@@ -1,0 +1,213 @@
+package pblk
+
+import (
+	"fmt"
+	"math/rand"
+	"testing"
+	"time"
+
+	"repro/internal/blockdev"
+	"repro/internal/lightnvm"
+	"repro/internal/ocssd"
+	"repro/internal/sim"
+)
+
+// shardedDeviceConfig is a 4-channel variant of the test device so the
+// sharded build gets four PU-group shards; blocks per plane halve to keep
+// capacity (and test runtime) near the 2-channel config.
+func shardedDeviceConfig() ocssd.Config {
+	cfg := testDeviceConfig()
+	cfg.Geometry.Channels = 4
+	cfg.Geometry.BlocksPerPlane = 20
+	cfg.Timing.SubmitLatency = 2 * time.Microsecond
+	cfg.Timing.CompleteLatency = 2 * time.Microsecond
+	return cfg
+}
+
+// runShardedMixed mounts pblk over a 4-shard device and drives the same
+// mixed read/write/flush workload as TestDeterministicMixedWorkload, deep
+// enough to recycle groups, then snapshots every observable: pblk stats,
+// device stats, the full L2P and the virtual clock.
+func runShardedMixed(t *testing.T, workers int) (Stats, string, []uint64, time.Duration) {
+	t.Helper()
+	devCfg := shardedDeviceConfig()
+	se := sim.NewShardedEnv(11, 5)
+	se.SetLookahead(2 * time.Microsecond)
+	se.SetWorkers(workers)
+	shards := make([]*sim.Env, 4)
+	for i := range shards {
+		shards[i] = se.Shard(1 + i)
+	}
+	dev, err := ocssd.NewSharded(se.Host(), shards, devCfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	ln := lightnvm.Register("nvme-sharded", dev)
+	var stats Stats
+	var devStats string
+	var l2p []uint64
+	se.Host().Go("test", func(p *sim.Proc) {
+		k, err := New(p, ln, "pblk0", Config{ActivePUs: 8, OverProvision: 0.3})
+		if err != nil {
+			t.Error(err)
+			return
+		}
+		defer k.Stop(p)
+		q := blockdev.OpenQueue(se.Host(), k, 16)
+		span := k.Capacity() / 6
+		bs := int64(16384)
+		rng := rand.New(rand.NewSource(42))
+		inflight := 0
+		var kick *sim.Event
+		onDone := func(r *blockdev.Request) {
+			inflight--
+			if kick != nil {
+				kick.Signal()
+			}
+		}
+		buf := fill(int(bs), 1)
+		for i := 0; i < 16000; i++ {
+			for inflight >= 16 {
+				kick = se.Host().NewEvent()
+				p.Wait(kick)
+				kick = nil
+			}
+			off := rng.Int63n(span/bs) * bs
+			req := &blockdev.Request{Off: off, Length: bs, OnComplete: onDone}
+			switch {
+			case i%7 == 3:
+				req.Op = blockdev.ReqRead
+				req.Buf = make([]byte, bs)
+			case i%31 == 17:
+				req.Op = blockdev.ReqFlush
+				req.Off, req.Length = 0, 0
+			default:
+				req.Op = blockdev.ReqWrite
+				req.Buf = buf
+			}
+			inflight++
+			q.Submit(req)
+		}
+		q.Drain(p)
+		if k.Stats.GCBlocksRecycled == 0 {
+			t.Error("workload did not trigger GC; determinism test too weak")
+		}
+		stats = k.Stats
+		devStats = fmt.Sprintf("%+v", dev.Stats)
+		l2p = append([]uint64(nil), k.l2p...)
+	})
+	se.Run()
+	return stats, devStats, l2p, se.Now()
+}
+
+// TestShardedMixedWorkloadDeterministic is the parallel-engine extension
+// of TestDeterministicMixedWorkload: mount over a 4-shard device and
+// require that worker count has zero observable effect — stats, L2P and
+// virtual time byte-identical between serial (workers=1) and parallel
+// execution of the same sharded topology.
+func TestShardedMixedWorkloadDeterministic(t *testing.T) {
+	if testing.Short() {
+		t.Skip("long workload")
+	}
+	s1, d1, l1, now1 := runShardedMixed(t, 1)
+	s4, d4, l4, now4 := runShardedMixed(t, 4)
+	if now1 != now4 {
+		t.Fatalf("virtual end time diverged: %v vs %v", now1, now4)
+	}
+	if s1 != s4 {
+		t.Fatalf("pblk stats diverged:\n  workers=1: %+v\n  workers=4: %+v", s1, s4)
+	}
+	if d1 != d4 {
+		t.Fatalf("device stats diverged:\n  workers=1: %s\n  workers=4: %s", d1, d4)
+	}
+	if len(l1) != len(l4) {
+		t.Fatalf("L2P sizes differ: %d vs %d", len(l1), len(l4))
+	}
+	for i := range l1 {
+		if l1[i] != l4[i] {
+			t.Fatalf("L2P diverged at lba %d", i)
+		}
+	}
+}
+
+// TestShardedCrashRecovery crashes a sharded pblk mid-workload, remounts
+// (scan recovery runs under the exclusive window bracket) and verifies the
+// recovered L2P matches between worker counts.
+func TestShardedCrashRecovery(t *testing.T) {
+	run := func(workers int) ([]uint64, time.Duration) {
+		devCfg := shardedDeviceConfig()
+		se := sim.NewShardedEnv(13, 5)
+		se.SetLookahead(2 * time.Microsecond)
+		se.SetWorkers(workers)
+		shards := make([]*sim.Env, 4)
+		for i := range shards {
+			shards[i] = se.Shard(1 + i)
+		}
+		dev, err := ocssd.NewSharded(se.Host(), shards, devCfg)
+		if err != nil {
+			t.Fatal(err)
+		}
+		ln := lightnvm.Register("nvme-sharded-crash", dev)
+		var l2p []uint64
+		se.Host().Go("test", func(p *sim.Proc) {
+			k, err := New(p, ln, "pblk0", Config{ActivePUs: 8, OverProvision: 0.3})
+			if err != nil {
+				t.Error(err)
+				return
+			}
+			span := k.Capacity() / 2
+			bs := int64(16384)
+			for off := int64(0); off+bs <= span; off += bs {
+				if err := k.Write(p, off, fill(int(bs), byte(off/bs)), bs); err != nil {
+					t.Error(err)
+					return
+				}
+			}
+			rng := rand.New(rand.NewSource(99))
+			for i := 0; i < 150; i++ {
+				off := rng.Int63n(span/bs) * bs
+				if err := k.Write(p, off, fill(int(bs), byte(i)), bs); err != nil {
+					t.Error(err)
+					return
+				}
+			}
+			if err := k.Flush(p); err != nil {
+				t.Error(err)
+				return
+			}
+			for i := 0; i < 8; i++ {
+				if err := k.Write(p, int64(i)*bs, fill(int(bs), 0xAA), bs); err != nil {
+					t.Error(err)
+					return
+				}
+			}
+			k.Crash()
+			dev.Crash()
+			k2, err := New(p, ln, "pblk0", Config{ActivePUs: 8, OverProvision: 0.3})
+			if err != nil {
+				t.Error(err)
+				return
+			}
+			defer k2.Stop(p)
+			if k2.Stats.Recoveries != 1 {
+				t.Errorf("Recoveries = %d, want 1", k2.Stats.Recoveries)
+			}
+			l2p = append([]uint64(nil), k2.l2p...)
+		})
+		se.Run()
+		return l2p, se.Now()
+	}
+	l1, now1 := run(1)
+	l4, now4 := run(4)
+	if now1 != now4 {
+		t.Fatalf("virtual end time diverged: %v vs %v", now1, now4)
+	}
+	if len(l1) == 0 || len(l1) != len(l4) {
+		t.Fatalf("recovered L2P sizes: %d vs %d", len(l1), len(l4))
+	}
+	for i := range l1 {
+		if l1[i] != l4[i] {
+			t.Fatalf("recovered L2P diverged at lba %d", i)
+		}
+	}
+}

@@ -215,11 +215,12 @@ func (k *Pblk) dispatch() {
 				}
 				n = len(k.pend[st])
 			}
-			poss := append([]uint64(nil), k.pend[st][:n]...)
+			poss := append(k.getPoss(), k.pend[st][:n]...)
 			if len(k.pend[st]) == n {
-				k.pend[st] = nil
+				k.pend[st] = k.pend[st][:0]
 			} else {
-				k.pend[st] = k.pend[st][n:]
+				rem := copy(k.pend[st], k.pend[st][n:])
+				k.pend[st] = k.pend[st][:rem]
 			}
 			var s *slot
 			if st == streamGC {
@@ -397,10 +398,12 @@ func (k *Pblk) laneWriter(p *sim.Proc, s *slot) {
 	}
 }
 
-// laneWait parks the writer until its lane is kicked.
+// laneWait parks the writer until its lane is kicked. The kick event is
+// reused (Reset) across cycles: the lane writer is its only waiter, so a
+// fired kick never has parked waiters left to lose.
 func (k *Pblk) laneWait(p *sim.Proc, s *slot) {
 	if s.kick.Fired() {
-		s.kick = k.env.NewEvent()
+		s.kick.Reset()
 	}
 	s.waits++
 	p.Wait(s.kick)
@@ -413,7 +416,9 @@ func (k *Pblk) laneWait(p *sim.Proc, s *slot) {
 func (s *slot) nextChunk() (chunk, bool) {
 	if len(s.retry) > 0 {
 		c := s.retry[0]
-		s.retry = s.retry[1:]
+		n := copy(s.retry, s.retry[1:])
+		s.retry[n] = chunk{}
+		s.retry = s.retry[:n]
 		return c, true
 	}
 	st := -1
@@ -425,10 +430,33 @@ func (s *slot) nextChunk() (chunk, bool) {
 	if st < 0 {
 		return chunk{}, false
 	}
+	// Pop by sliding down so the queue's backing array is reused instead
+	// of bled away one slice-shift at a time.
 	c := s.q[st][0]
-	s.q[st] = s.q[st][1:]
+	n := copy(s.q[st], s.q[st][1:])
+	s.q[st][n] = chunk{}
+	s.q[st] = s.q[st][:n]
 	s.qSectors[st] -= len(c.poss)
 	return c, true
+}
+
+// getPoss draws a ring-position list from the pool; putPoss returns one.
+// Lists flow dispatch → chunk → writeUnitOn (recycled there) and
+// setPending → group.pending → finalizeGroup (recycled there).
+func (k *Pblk) getPoss() []uint64 {
+	if n := len(k.possFree); n > 0 {
+		p := k.possFree[n-1]
+		k.possFree = k.possFree[:n-1]
+		return p
+	}
+	return make([]uint64, 0, k.unitSectors)
+}
+
+func (k *Pblk) putPoss(p []uint64) {
+	if p == nil {
+		return
+	}
+	k.possFree = append(k.possFree, p[:0])
 }
 
 // unitScratch is the pooled context of one vector write: the Vector, its
@@ -544,7 +572,7 @@ func (k *Pblk) writeUnitOn(p *sim.Proc, s *slot) {
 	g.nextUnit++
 	u := k.getUnitScratch()
 	u.prep(k, s, g, unit)
-	poss := make([]uint64, 0, len(u.addrs))
+	poss := k.getPoss()
 	for i := range u.addrs {
 		if i >= len(c.poss) {
 			// Padding (paper: "pblk adds padding before the write
@@ -567,6 +595,7 @@ func (k *Pblk) writeUnitOn(p *sim.Proc, s *slot) {
 		poss = append(poss, e.pos)
 	}
 	k.setPending(g, unit, poss)
+	k.putPoss(c.poss)
 	s.unitsWritten++
 	u.submit()
 	if g.nextUnit == k.firstMetaUnit() {
@@ -681,6 +710,7 @@ func (k *Pblk) finalizeGroup(g *group) {
 		u := g.pendUnits[i]
 		if g.unitFinal[u] {
 			// Already finalized elsewhere; drop the stale entry.
+			k.putPoss(g.pending[u])
 			g.pending[u] = nil
 			last := len(g.pendUnits) - 1
 			g.pendUnits[i] = g.pendUnits[last]
@@ -695,6 +725,7 @@ func (k *Pblk) finalizeGroup(g *group) {
 		for _, pos := range g.pending[u] {
 			k.finalizeEntry(k.rb.at(pos))
 		}
+		k.putPoss(g.pending[u])
 		g.pending[u] = nil
 		last := len(g.pendUnits) - 1
 		g.pendUnits[i] = g.pendUnits[last]
@@ -743,7 +774,12 @@ func (k *Pblk) releaseGCRef(e *rbEntry) {
 func (k *Pblk) checkFlushes() {
 	for len(k.flushes) > 0 && k.rb.tail > k.flushes[0].pos {
 		k.flushes[0].ev.Signal()
-		k.flushes = k.flushes[1:]
+		// Signal extracted the waiters, so the event can go straight back
+		// to the pool. Pop by copy-down to keep the queue's backing array.
+		k.putEvent(k.flushes[0].ev)
+		n := copy(k.flushes, k.flushes[1:])
+		k.flushes[n] = flushReq{}
+		k.flushes = k.flushes[:n]
 	}
 	if len(k.flushes) > 0 {
 		// Wake the covered lanes: padding (or pair covering) may be

@@ -1,0 +1,210 @@
+package sim
+
+import (
+	"fmt"
+	"reflect"
+	"testing"
+	"time"
+)
+
+// pingPong builds a 1+n-shard topology where the host shard sprays work at
+// device shards, each device shard does some local timed work drawing from
+// its rng, and replies to the host, which chains the next round. The trace
+// records every hop per shard; it must be identical for any worker count.
+func pingPong(workers int, lookahead time.Duration) [][]string {
+	const shards = 4
+	s := NewShardedEnv(7, shards)
+	s.SetLookahead(lookahead)
+	s.SetWorkers(workers)
+	trace := make([][]string, shards)
+	note := func(sh int, format string, args ...any) {
+		trace[sh] = append(trace[sh], fmt.Sprintf("%d:", s.Shard(sh).Now())+fmt.Sprintf(format, args...))
+	}
+	host := s.Host()
+	var send func(round int)
+	var reply func(arg any)
+	work := func(arg any) {
+		v := arg.(int)
+		sh := 1 + v%(shards-1)
+		env := s.Shard(sh)
+		note(sh, "work %d", v)
+		// Local timed activity, deterministic but shard-specific.
+		env.Schedule(time.Duration(env.Rand().Intn(5))*time.Microsecond, func() {
+			note(sh, "done %d", v)
+			env.Post(host, lookahead, reply, v)
+		})
+	}
+	reply = func(arg any) {
+		v := arg.(int)
+		note(0, "reply %d", v)
+		if v < 30 {
+			send(v + 1)
+		}
+	}
+	send = func(round int) {
+		note(0, "send %d", round)
+		for i := 0; i < 3; i++ {
+			host.Post(s.Shard(1+(round+i)%(shards-1)), lookahead, work, round*10+i)
+		}
+	}
+	host.Schedule(0, func() { send(0) })
+	s.Run()
+	return trace
+}
+
+func TestShardedDeterministicAcrossWorkers(t *testing.T) {
+	for _, la := range []time.Duration{2 * time.Microsecond, 0} {
+		serial := pingPong(1, la)
+		for _, w := range []int{2, 4, 8} {
+			got := pingPong(w, la)
+			if !reflect.DeepEqual(serial, got) {
+				t.Fatalf("lookahead %v: workers=%d trace differs from workers=1\nserial: %v\ngot:    %v", la, w, serial, got)
+			}
+		}
+		if len(serial[0]) == 0 || len(serial[1]) == 0 {
+			t.Fatalf("trace empty: %v", serial)
+		}
+	}
+}
+
+// TestSingleShardMatchesPlainEnv: a one-shard ShardedEnv must reproduce
+// NewEnv(seed) exactly — same event interleaving, same rng draws, same
+// clock.
+func TestSingleShardMatchesPlainEnv(t *testing.T) {
+	run := func(e *Env, runAll func()) []string {
+		var log []string
+		r := e.NewResource(1)
+		for i := 0; i < 3; i++ {
+			i := i
+			e.Go(fmt.Sprintf("p%d", i), func(p *Proc) {
+				for j := 0; j < 3; j++ {
+					r.Acquire(p)
+					p.Sleep(time.Duration(e.Rand().Intn(7)) * time.Microsecond)
+					log = append(log, fmt.Sprintf("%d:p%d.%d", e.Now(), i, j))
+					r.Release()
+					p.Sleep(time.Microsecond)
+				}
+			})
+		}
+		runAll()
+		log = append(log, fmt.Sprintf("end:%d", e.Now()))
+		return log
+	}
+	plain := NewEnv(11)
+	want := run(plain, plain.Run)
+	s := NewShardedEnv(11, 1)
+	got := run(s.Host(), s.Run)
+	if !reflect.DeepEqual(want, got) {
+		t.Fatalf("single-shard run differs from plain Env\nplain:   %v\nsharded: %v", want, got)
+	}
+}
+
+func TestPostContract(t *testing.T) {
+	s := NewShardedEnv(1, 2)
+	s.SetLookahead(5 * time.Microsecond)
+	// Same-shard post is plain scheduling, any delay allowed.
+	ran := false
+	s.Host().Schedule(0, func() {
+		s.Host().Post(s.Host(), 0, func(any) { ran = true }, nil)
+	})
+	s.Run()
+	if !ran {
+		t.Fatal("same-shard Post did not run")
+	}
+
+	// Cross-shard below lookahead panics.
+	s2 := NewShardedEnv(1, 2)
+	s2.SetLookahead(5 * time.Microsecond)
+	s2.Host().Schedule(0, func() {
+		defer func() {
+			if recover() == nil {
+				t.Error("Post below lookahead did not panic")
+			}
+		}()
+		s2.Host().Post(s2.Shard(1), time.Microsecond, func(any) {}, nil)
+	})
+	s2.Run()
+
+	// Posting between unrelated environments panics.
+	e1, e2 := NewEnv(1), NewEnv(2)
+	func() {
+		defer func() {
+			if recover() == nil {
+				t.Error("Post across unrelated envs did not panic")
+			}
+		}()
+		e1.Post(e2, time.Microsecond, func(any) {}, nil)
+	}()
+}
+
+// TestShardedRunUntil: windows must not execute events past the bound even
+// when the lookahead window straddles it, and all clocks advance to t.
+func TestShardedRunUntil(t *testing.T) {
+	s := NewShardedEnv(3, 3)
+	s.SetLookahead(10 * time.Microsecond)
+	var fired []time.Duration
+	for i := 0; i < 12; i++ {
+		d := time.Duration(i) * 3 * time.Microsecond
+		sh := s.Shard(i % 3)
+		sh.Schedule(d, func() { fired = append(fired, d) })
+	}
+	s.RunUntil(14 * time.Microsecond)
+	for _, at := range fired {
+		if at > 14*time.Microsecond {
+			t.Fatalf("event at %v executed past RunUntil bound", at)
+		}
+	}
+	if len(fired) != 5 {
+		t.Fatalf("expected 5 events <= 14us, got %d", len(fired))
+	}
+	for i := 0; i < 3; i++ {
+		if now := s.Shard(i).Now(); now != 14*time.Microsecond {
+			t.Fatalf("shard %d clock %v, want 14us", i, now)
+		}
+	}
+	s.Run()
+	if len(fired) != 12 {
+		t.Fatalf("expected all 12 events after Run, got %d", len(fired))
+	}
+}
+
+// TestExclusiveWindows: BeginExclusive forces single-threaded windows from
+// the next window on; work across shards still completes and determinism
+// holds. On a plain Env both calls are no-ops.
+func TestExclusiveWindows(t *testing.T) {
+	e := NewEnv(1)
+	e.Go("plain", func(p *Proc) {
+		before := e.Now()
+		e.BeginExclusive(p)
+		if e.Now() != before {
+			t.Error("BeginExclusive slept on a plain Env")
+		}
+		e.EndExclusive()
+	})
+	e.Run()
+
+	s := NewShardedEnv(2, 3)
+	s.SetLookahead(2 * time.Microsecond)
+	s.SetWorkers(4)
+	done := 0
+	work := func(any) { done++ }
+	s.Host().Go("ctl", func(p *Proc) {
+		s.Host().BeginExclusive(p)
+		// Exclusive section: post device-side work and wait it out.
+		for i := 1; i < 3; i++ {
+			sh := s.Shard(i)
+			s.Host().Post(sh, 2*time.Microsecond, func(any) {
+				sh.Post(s.Host(), 2*time.Microsecond, work, nil)
+			}, nil)
+		}
+		p.Sleep(time.Millisecond)
+		s.Host().EndExclusive()
+	})
+	s.Run()
+	if done != 2 {
+		t.Fatalf("exclusive-section work incomplete: %d", done)
+	}
+	if got := s.exclusive.Load(); got != 0 {
+		t.Fatalf("exclusive depth %d after EndExclusive", got)
+	}
+}

@@ -53,6 +53,13 @@ type Env struct {
 	panicked any
 	inProc   *Proc // process currently holding control, nil if scheduler
 	spawns   int64 // total Go calls, for asserting goroutine-free fast paths
+
+	// Sharded mode (see sharded.go). A plain Env has coord == nil. A shard
+	// Env belongs to a ShardedEnv; cross-shard sends buffer in outbox during
+	// a window and are merged by the coordinator at the window boundary.
+	coord  *ShardedEnv
+	shard  int
+	outbox []xmsg
 }
 
 // NewEnv returns an environment whose clock starts at zero and whose random
@@ -188,8 +195,20 @@ func (e *Env) Run() {
 }
 
 // RunUntil executes queued events with timestamps <= t, then advances the
-// clock to t (if t is later than the last event executed).
+// clock to t (if t is later than the last event executed). On the host
+// shard of a multi-shard coordinator it drives the whole sharded run, so
+// code written against a plain Env works unchanged when handed a host
+// shard.
 func (e *Env) RunUntil(t time.Duration) {
+	if e.coord != nil && e.shard == 0 && len(e.coord.shards) > 1 {
+		e.coord.RunUntil(t)
+		return
+	}
+	e.runUntilLocal(t)
+}
+
+// runUntilLocal is RunUntil restricted to this shard's own queue.
+func (e *Env) runUntilLocal(t time.Duration) {
 	for {
 		if e.nowqHead < len(e.nowq) && e.now <= t {
 			// Heap entries at the current instant predate every nowq entry
@@ -392,11 +411,45 @@ func (ev *Event) OnFire(fn func()) {
 // and wait, in arrival order, when none are free. Processes block in
 // Acquire; continuations register a callback with AcquireFn. The zero
 // value is not usable; call Env.NewResource.
+//
+// The wait queue is a ring: dequeue moves a head index instead of
+// reslicing, so a resource that oscillates between contended and idle
+// reuses one backing array instead of reallocating it on every wave of
+// waiters.
 type Resource struct {
 	env      *Env
 	capacity int
 	inUse    int
-	queue    []waiter
+	q        []waiter
+	qHead    int
+	qLen     int
+}
+
+func (r *Resource) enqueue(w waiter) {
+	if r.qLen == len(r.q) {
+		grown := make([]waiter, max(8, 2*len(r.q)))
+		for i := 0; i < r.qLen; i++ {
+			grown[i] = r.q[(r.qHead+i)%len(r.q)]
+		}
+		r.q, r.qHead = grown, 0
+	}
+	i := r.qHead + r.qLen
+	if i >= len(r.q) {
+		i -= len(r.q)
+	}
+	r.q[i] = w
+	r.qLen++
+}
+
+func (r *Resource) dequeue() waiter {
+	w := r.q[r.qHead]
+	r.q[r.qHead] = waiter{} // release references
+	r.qHead++
+	if r.qHead == len(r.q) {
+		r.qHead = 0
+	}
+	r.qLen--
+	return w
 }
 
 // NewResource returns a resource with the given capacity (> 0).
@@ -413,7 +466,7 @@ func (r *Resource) Acquire(p *Proc) {
 		r.inUse++
 		return
 	}
-	r.queue = append(r.queue, waiter{proc: p})
+	r.enqueue(waiter{proc: p})
 	p.pause()
 }
 
@@ -428,7 +481,7 @@ func (r *Resource) AcquireFn(fn func()) {
 		fn()
 		return
 	}
-	r.queue = append(r.queue, waiter{fn: fn})
+	r.enqueue(waiter{fn: fn})
 }
 
 // TryAcquire takes one unit if immediately available and reports success.
@@ -446,10 +499,8 @@ func (r *Resource) Release() {
 	if r.inUse <= 0 {
 		panic("sim: release of idle resource")
 	}
-	if len(r.queue) > 0 {
-		w := r.queue[0]
-		r.queue = r.queue[1:]
-		r.env.wake(w)
+	if r.qLen > 0 {
+		r.env.wake(r.dequeue())
 		return
 	}
 	r.inUse--
@@ -459,7 +510,7 @@ func (r *Resource) Release() {
 func (r *Resource) InUse() int { return r.inUse }
 
 // QueueLen returns the number of acquirers waiting.
-func (r *Resource) QueueLen() int { return len(r.queue) }
+func (r *Resource) QueueLen() int { return r.qLen }
 
 // DelayLine schedules callbacks a fixed delay into the future. Because the
 // delay is constant, due times are monotonic in schedule order, so the line

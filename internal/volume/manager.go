@@ -169,6 +169,14 @@ type Config struct {
 	// (default "fleet").
 	NamePrefix string
 	Seed       int64
+	// Shards, when non-empty, places each member's device-level simulation
+	// (PU service, channel transfers, NAND latencies) on its own shard of a
+	// sim.ShardedEnv coordinator: member i runs on Shards[i%len(Shards)].
+	// The manager, every FTL instance and the volume fan-out stay on the
+	// host env, so member submit/completion transport hops are the only
+	// cross-shard edges; set OCSSD.Timing.SubmitLatency/CompleteLatency to
+	// the coordinator lookahead (they must not be below it).
+	Shards []*sim.Env
 	// AutoRebuild attaches a pool spare and starts the rebuild engine
 	// automatically when a volume member dies.
 	AutoRebuild bool
@@ -292,7 +300,13 @@ func NewManager(p *sim.Proc, env *sim.Env, cfg Config) (*Manager, error) {
 func (mgr *Manager) addDevice(p *sim.Proc, id int) (*Member, error) {
 	occfg := mgr.cfg.OCSSD
 	occfg.Seed = mgr.cfg.Seed + int64(id)*6151
-	oc, err := ocssd.New(mgr.env, occfg)
+	var oc *ocssd.Device
+	var err error
+	if n := len(mgr.cfg.Shards); n > 0 {
+		oc, err = ocssd.NewSharded(mgr.env, mgr.cfg.Shards[id%n:id%n+1], occfg)
+	} else {
+		oc, err = ocssd.New(mgr.env, occfg)
+	}
 	if err != nil {
 		return nil, fmt.Errorf("volume: device %d: %w", id, err)
 	}

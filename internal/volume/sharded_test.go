@@ -1,0 +1,125 @@
+package volume
+
+import (
+	"fmt"
+	"testing"
+	"time"
+
+	"repro/internal/fio"
+	"repro/internal/sim"
+)
+
+// shardedFleetConfig is the 2-device fleet with each member's device
+// simulation pinned to its own shard; the 2µs transport hops equal the
+// coordinator lookahead.
+func shardedFleetConfig(se *sim.ShardedEnv, seed int64) Config {
+	cfg := testConfig(2, 0, seed)
+	cfg.OCSSD.Timing.SubmitLatency = 2 * time.Microsecond
+	cfg.OCSSD.Timing.CompleteLatency = 2 * time.Microsecond
+	cfg.Shards = []*sim.Env{se.Shard(1), se.Shard(2)}
+	return cfg
+}
+
+// runShardedFleet builds a 2-member sharded fleet, runs a mixed
+// read/write/flush workload with enough overwrite churn to force GC on the
+// members, and returns a full observable snapshot: fio counters, per-member
+// pblk stats, L2P tables, device stats, and the virtual clock.
+func runShardedFleet(t *testing.T, layout Layout, workers int) (string, [][]uint64, time.Duration) {
+	t.Helper()
+	se := sim.NewShardedEnv(7, 3)
+	se.SetLookahead(2 * time.Microsecond)
+	se.SetWorkers(workers)
+	var snap string
+	var l2ps [][]uint64
+	done := false
+	se.Host().Go("main", func(p *sim.Proc) {
+		mgr := newFleet(t, p, se.Host(), shardedFleetConfig(se, 7))
+		v := mustVolume(t, mgr, "det", layout, Options{})
+		const region = 8 << 20
+		writeRange(t, p, v, 0, region, 0x5A)
+		if err := v.Flush(p); err != nil {
+			t.Errorf("flush: %v", err)
+			return
+		}
+		res, err := fio.Run(p, v, fio.Job{
+			Name: "det", Pattern: fio.RandRW, RWMixRead: 40,
+			BS: 16384, QD: 32, Size: region, MaxOps: 12000,
+			SyncEvery: 200, Seed: 42,
+		})
+		if err != nil {
+			t.Errorf("fio: %v", err)
+			return
+		}
+		// A final raw read through the fan-out; its checksum goes into the
+		// snapshot so divergent payloads are caught, not just counters.
+		tail := make([]byte, 64<<10)
+		if err := v.Read(p, 0, tail, int64(len(tail))); err != nil {
+			t.Errorf("post-workload read: %v", err)
+			return
+		}
+		sum := uint64(0)
+		for i, c := range tail {
+			sum = sum*31 + uint64(c) + uint64(i&7)
+		}
+		gc := int64(0)
+		var b []byte
+		b = fmt.Appendf(b, "fio r%d w%d err%d rb%d wb%d el%v rlat[%s] wlat[%s] csum%x\n",
+			res.Reads, res.Writes, res.Errors, res.ReadBytes, res.WriteBytes,
+			res.Elapsed, res.ReadLat.Summarize(), res.WriteLat.Summarize(), sum)
+		for _, m := range mgr.Members() {
+			s := m.Target().Stats
+			gc += s.GCBlocksRecycled
+			b = fmt.Appendf(b, "m%d sub r%d w%d pblk %+v dev %+v\n",
+				m.ID(), m.SubReads, m.SubWrites, s, m.Device().Stats)
+			l2ps = append(l2ps, m.Target().L2PSnapshot())
+		}
+		if gc == 0 {
+			t.Error("fleet workload recycled no blocks; determinism test too weak")
+		}
+		snap = string(b)
+		done = true
+	})
+	se.Run()
+	if !done {
+		t.Fatal("simulation deadlocked: main process never finished")
+	}
+	return snap, l2ps, se.Now()
+}
+
+// TestShardedFleetDeterministic is the volume-level half of the parallel
+// determinism cross-check: a mixed R/W/flush/GC workload over a 2-device
+// fleet, one shard per member, must produce byte-identical fio counters,
+// member stats, L2P tables and virtual end time at every worker count.
+func TestShardedFleetDeterministic(t *testing.T) {
+	for _, lo := range []struct {
+		name   string
+		layout Layout
+	}{
+		{"stripe", Stripe(64<<10, 0, 1)},
+		{"mirror", Mirror(0, 1)},
+	} {
+		t.Run(lo.name, func(t *testing.T) {
+			snap1, l2p1, now1 := runShardedFleet(t, lo.layout, 1)
+			snap4, l2p4, now4 := runShardedFleet(t, lo.layout, 4)
+			if now1 != now4 {
+				t.Fatalf("virtual end time diverged: %v vs %v", now1, now4)
+			}
+			if snap1 != snap4 {
+				t.Fatalf("observable state diverged:\nworkers=1:\n%s\nworkers=4:\n%s", snap1, snap4)
+			}
+			if len(l2p1) != len(l2p4) {
+				t.Fatalf("member counts differ: %d vs %d", len(l2p1), len(l2p4))
+			}
+			for m := range l2p1 {
+				if len(l2p1[m]) != len(l2p4[m]) {
+					t.Fatalf("member %d L2P sizes differ", m)
+				}
+				for i := range l2p1[m] {
+					if l2p1[m][i] != l2p4[m][i] {
+						t.Fatalf("member %d L2P diverged at lba %d", m, i)
+					}
+				}
+			}
+		})
+	}
+}
