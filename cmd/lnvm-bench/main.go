@@ -37,6 +37,9 @@ func main() {
 		seed       = flag.Int64("seed", 0, "simulation seed (0 = default)")
 		parallel   = flag.Bool("parallel", false, "run on the sharded engine (worker pool over device shards)")
 		workers    = flag.Int("workers", 0, "sharded-engine worker goroutines (0 = GOMAXPROCS)")
+		peLimit    = flag.Int("pe-limit", 0, "media P/E cycle budget for wear-aware experiments (0 = default)")
+		retAccel   = flag.Float64("retention-accel", 0, "retention-BER clock multiplier, bake-oven style (0 = default)")
+		readRetry  = flag.Int("read-retry", 0, "device read-retry tier budget (0 = default, negative = none)")
 		cpuprofile = flag.String("cpuprofile", "", "write a CPU profile of the run to this file")
 		memprofile = flag.String("memprofile", "", "write an allocation profile at exit to this file")
 		traceFile  = flag.String("trace", "", "write a runtime execution trace to this file")
@@ -102,6 +105,9 @@ func main() {
 		Seed:           *seed,
 		Parallel:       *parallel,
 		Workers:        *workers,
+		PELimit:        *peLimit,
+		RetentionAccel: *retAccel,
+		ReadRetry:      *readRetry,
 	}
 
 	var ids []string

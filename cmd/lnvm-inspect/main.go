@@ -153,6 +153,24 @@ func printPartitionMap(ln *lightnvm.Device) {
 	}
 }
 
+// printWearMap renders the media manager's per-tenant wear accounting:
+// P/E consumption and grown bad blocks aggregated over each partition's
+// PU range, so the operator can see which tenant is burning which media.
+func printWearMap(ln *lightnvm.Device) {
+	fmt.Printf("\nper-tenant wear:\n")
+	fmt.Printf("  %-12s %-11s %-5s %-10s %-9s %-6s\n",
+		"tenant", "pu range", "pus", "total P/E", "avg/PU", "bad")
+	for _, pt := range ln.Partitions() {
+		w := ln.WearOf(pt.Range)
+		avg := float64(0)
+		if w.PUs > 0 {
+			avg = float64(w.TotalPE) / float64(w.PUs)
+		}
+		fmt.Printf("  %-12s %-11s %-5d %-10d %-9.1f %-6d\n",
+			pt.Name, pt.Range, w.PUs, w.TotalPE, avg, w.BadBlocks)
+	}
+}
+
 // inspectTargets mounts two PU-partitioned pblk targets — the media
 // manager's multi-tenant mode — runs a short burst on each, and prints
 // the partition map plus each target's lane/GC panel.
@@ -181,6 +199,7 @@ func inspectTargets(env *sim.Env, ln *lightnvm.Device) error {
 			}
 			printTargetPanel(k, span, elapsed)
 		}
+		printWearMap(ln)
 		for _, name := range names {
 			if err := ln.RemoveTarget(p, name); err != nil {
 				out = fmt.Errorf("remove %s: %w", name, err)

@@ -7,7 +7,7 @@ import (
 )
 
 // parallelIDs are the experiments wired to the sharded engine.
-var parallelIDs = []string{"fig4", "fig5", "lanes", "wa", "tenants", "fleet"}
+var parallelIDs = []string{"fig4", "fig5", "lanes", "wa", "tenants", "fleet", "lifetime"}
 
 func runQuick(t *testing.T, id string, parallel bool, workers int) []byte {
 	t.Helper()

@@ -349,6 +349,33 @@ func (d *Device) TargetRange(name string) (PURange, bool) {
 	return e.r, true
 }
 
+// Wear aggregates media wear over a PU range — the media manager's
+// per-tenant wear accounting. TotalPE is the sum of block P/E cycles over
+// the range, MaxPE the worst single block, BadBlocks the grown + factory
+// bad count. Divided by the range width these tell the operator which
+// tenant is burning which partition.
+type Wear struct {
+	PUs       int
+	TotalPE   int64
+	MaxPE     int
+	BadBlocks int
+}
+
+// WearOf aggregates wear counters over a PU range straight from the dies;
+// it reads device state only, so it is safe outside simulation context.
+func (d *Device) WearOf(r PURange) Wear {
+	w := Wear{PUs: r.Width()}
+	for pu := r.Begin; pu < r.End; pu++ {
+		total, max, bad := d.dev.Die(pu).WearSummary()
+		w.TotalPE += total
+		if max > w.MaxPE {
+			w.MaxPE = max
+		}
+		w.BadBlocks += bad
+	}
+	return w
+}
+
 // Partition is one row of the device partition map: a PU range and the
 // state of the instance holding (or remembering) it.
 type Partition struct {

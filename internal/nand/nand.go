@@ -13,6 +13,7 @@ package nand
 import (
 	"errors"
 	"fmt"
+	"math"
 	"math/rand"
 )
 
@@ -69,6 +70,47 @@ type Config struct {
 	// WearLatencyFactor scales access latency as blocks age: factor =
 	// 1 + WearLatencyFactor * pe/PECycleLimit (paper §2.3, lesson 4).
 	WearLatencyFactor float64
+
+	// ---- Raw bit-error-rate model (all zero = off, media never degrades
+	// beyond the injected coin flips above). The raw BER of a page is
+	//
+	//   rawBER = BERWearCoeff      * (pe/PECycleLimit)^2
+	//          + BERRetentionCoeff * retentionSeconds * RetentionAccel
+	//          + BERDisturbCoeff   * blockReadsSinceErase
+	//
+	// deterministic in the die state — no random draws — so enabling the
+	// model perturbs nothing else and stays byte-identical across engines.
+
+	// BERWearCoeff scales the P/E-cycle wear term (quadratic in the
+	// consumed fraction of PECycleLimit).
+	BERWearCoeff float64
+	// BERRetentionCoeff scales the charge-leak term, per second of virtual
+	// time since the block was first programmed after its last erase.
+	BERRetentionCoeff float64
+	// RetentionAccel multiplies the retention clock (bake-oven style
+	// acceleration so lifetime experiments age retention in simulated
+	// milliseconds instead of months). 0 disables the retention term.
+	RetentionAccel float64
+	// BERDisturbCoeff scales the read-disturb term, per read issued to the
+	// block since its last erase.
+	BERDisturbCoeff float64
+
+	// ---- ECC and read-retry (§2.2: the device retries reads at shifted
+	// threshold voltages before declaring an uncorrectable error).
+
+	// ECCBER is the raw BER the sector ECC corrects with zero retries.
+	ECCBER float64
+	// ReadRetryStep is the additional raw BER each retry tier recovers;
+	// a read needs ceil((rawBER-ECCBER)/ReadRetryStep) tiers.
+	ReadRetryStep float64
+	// ReadRetryTiers is the number of retry tiers available before the
+	// read fails with ErrReadFail.
+	ReadRetryTiers int
+
+	// GrownBadProb scales the chance an erase grows a bad block as wear
+	// accumulates: p = GrownBadProb * (pe/PECycleLimit)^4, so young blocks
+	// almost never fail and blocks near end of life fail often (§2.2).
+	GrownBadProb float64
 }
 
 // DefaultConfig returns an MLC-like configuration matching the paper's
@@ -99,6 +141,14 @@ type block struct {
 	oob       map[int][]byte
 	dataArena []byte
 	oobArena  []byte
+	// programNS is the virtual time the block was first programmed after
+	// its last erase (retention clock origin); reads counts page reads
+	// since the last erase (read disturb). corrupt marks pages whose
+	// charge was destroyed by a failed program (the page itself and, on
+	// MLC, the paired lower page).
+	programNS int64
+	reads     int
+	corrupt   map[int]bool
 }
 
 // Die is one NAND die: the unit of parallelism (one I/O at a time).
@@ -108,6 +158,9 @@ type Die struct {
 	rng  *rand.Rand
 	// planes[p][b]
 	planes [][]block
+	// nowFn, when set, supplies virtual time for the retention clock (the
+	// device model wires it to its simulation environment).
+	nowFn func() int64
 
 	// Stats counts media operations for utilization reporting.
 	Stats Stats
@@ -121,6 +174,13 @@ type Stats struct {
 	ReadFails    int64
 	ProgramFails int64
 	EraseFails   int64
+	// ReadRetries totals retry tiers charged across all reads; GrownBad
+	// counts blocks that failed an erase through the wear-driven grown-bad
+	// model; PairCorruptions counts lower pages destroyed by a failed
+	// program of their paired upper page.
+	ReadRetries     int64
+	GrownBad        int64
+	PairCorruptions int64
 }
 
 // NewDie builds a die with the given dimensions and behaviour. The rng seeds
@@ -146,6 +206,10 @@ func NewDie(dims Dims, cfg Config, rng *rand.Rand) *Die {
 // Dims returns the die dimensions.
 func (d *Die) Dims() Dims { return d.dims }
 
+// SetNow installs the virtual-time source for the retention clock. Without
+// it (or with RetentionAccel = 0) the retention BER term is disabled.
+func (d *Die) SetNow(fn func() int64) { d.nowFn = fn }
+
 func (d *Die) blk(plane, blockIdx int) (*block, error) {
 	if plane < 0 || plane >= d.dims.Planes || blockIdx < 0 || blockIdx >= d.dims.BlocksPerPlane {
 		return nil, fmt.Errorf("nand: address out of range plane=%d block=%d", plane, blockIdx)
@@ -169,6 +233,31 @@ func (d *Die) PairOf(page int) int {
 		return page + d.cfg.PairStride
 	}
 	return -1
+}
+
+// lowerOf returns the paired lower page for an upper page, or -1 when page
+// is not an upper page.
+func (d *Die) lowerOf(page int) int {
+	s := d.cfg.PairStride
+	if s <= 0 || (page/s)%2 == 0 {
+		return -1
+	}
+	return page - s
+}
+
+// loseCharge destroys a programmed page's content: its payload is dropped
+// and subsequent reads fail uncorrectably.
+func (b *block) loseCharge(page int) {
+	if b.data != nil {
+		delete(b.data, page)
+	}
+	if b.oob != nil {
+		delete(b.oob, page)
+	}
+	if b.corrupt == nil {
+		b.corrupt = make(map[int]bool)
+	}
+	b.corrupt[page] = true
 }
 
 // Program writes one full page (payload data plus oob) at the given address.
@@ -197,16 +286,21 @@ func (d *Die) Program(plane, blockIdx, page int, data, oob []byte) error {
 		return ErrOOBTooLarge
 	}
 	d.Stats.PagePrograms++
+	if b.writePtr == 0 && d.nowFn != nil {
+		b.programNS = d.nowFn()
+	}
 	b.writePtr++
 	if d.cfg.WriteFailProb > 0 && d.rng.Float64() < d.cfg.WriteFailProb {
 		d.Stats.ProgramFails++
-		// Content of the failed page (and, on real MLC, possibly its
-		// pair) is lost.
-		if b.data != nil {
-			delete(b.data, page)
-		}
-		if b.oob != nil {
-			delete(b.oob, page)
+		// Content of the failed page is lost; on MLC (strict pairing), a
+		// failed upper-page program also destroys the charge of its
+		// already-programmed lower pair (§2.2).
+		b.loseCharge(page)
+		if d.cfg.StrictPairRead {
+			if lower := d.lowerOf(page); lower >= 0 && lower < b.writePtr {
+				b.loseCharge(lower)
+				d.Stats.PairCorruptions++
+			}
 		}
 		return ErrWriteFail
 	}
@@ -246,30 +340,81 @@ func (d *Die) Program(plane, blockIdx, page int, data, oob []byte) error {
 // always installs a fresh buffer. Pages programmed with an unspecified
 // (nil) payload return nil data; readers treat that as zeros.
 func (d *Die) Read(plane, blockIdx, page int) (data, oob []byte, err error) {
+	data, oob, _, err = d.ReadRetry(plane, blockIdx, page)
+	return data, oob, err
+}
+
+// ReadRetry is Read plus the tiered read-retry model: it additionally
+// reports how many retry tiers (threshold-voltage shifts) the device needed
+// to correct the page's raw bit-error rate. retries is 0 while the raw BER
+// sits within plain ECC reach and grows as wear, retention, and read
+// disturb push it up; once the required tier count exceeds
+// Config.ReadRetryTiers the read is uncorrectable (ErrReadFail). The device
+// model charges extra latency per tier and flags deep-tier reads for host
+// relocation.
+func (d *Die) ReadRetry(plane, blockIdx, page int) (data, oob []byte, retries int, err error) {
 	b, err := d.blk(plane, blockIdx)
 	if err != nil {
-		return nil, nil, err
+		return nil, nil, 0, err
 	}
 	if page < 0 || page >= d.dims.PagesPerBlock {
-		return nil, nil, fmt.Errorf("nand: page %d out of range", page)
+		return nil, nil, 0, fmt.Errorf("nand: page %d out of range", page)
 	}
 	if b.bad {
-		return nil, nil, ErrBadBlock
+		return nil, nil, 0, ErrBadBlock
 	}
 	if page >= b.writePtr {
-		return nil, nil, ErrUnwritten
+		return nil, nil, 0, ErrUnwritten
 	}
 	if d.cfg.StrictPairRead {
 		if pair := d.PairOf(page); pair >= 0 && pair >= b.writePtr {
-			return nil, nil, ErrPairIncomplete
+			return nil, nil, 0, ErrPairIncomplete
 		}
 	}
 	d.Stats.PageReads++
+	b.reads++
 	if d.cfg.ReadFailProb > 0 && d.rng.Float64() < d.cfg.ReadFailProb {
 		d.Stats.ReadFails++
-		return nil, nil, ErrReadFail
+		return nil, nil, 0, ErrReadFail
 	}
-	return b.data[page], b.oob[page], nil
+	if b.corrupt[page] {
+		d.Stats.ReadFails++
+		return nil, nil, 0, ErrReadFail
+	}
+	if raw := d.rawBER(b); raw > d.cfg.ECCBER {
+		need := d.cfg.ReadRetryTiers + 1 // no tiers configured: uncorrectable
+		if d.cfg.ReadRetryStep > 0 {
+			need = int(math.Ceil((raw - d.cfg.ECCBER) / d.cfg.ReadRetryStep))
+		}
+		if need > d.cfg.ReadRetryTiers {
+			d.Stats.ReadFails++
+			d.Stats.ReadRetries += int64(d.cfg.ReadRetryTiers)
+			return nil, nil, d.cfg.ReadRetryTiers, ErrReadFail
+		}
+		retries = need
+		d.Stats.ReadRetries += int64(need)
+	}
+	return b.data[page], b.oob[page], retries, nil
+}
+
+// rawBER evaluates the deterministic raw bit-error-rate model for a block:
+// quadratic P/E wear, linear (accelerated) retention since first program,
+// linear read disturb. All terms are off by default.
+func (d *Die) rawBER(b *block) float64 {
+	var ber float64
+	if d.cfg.BERWearCoeff > 0 && d.cfg.PECycleLimit > 0 {
+		r := float64(b.pe) / float64(d.cfg.PECycleLimit)
+		ber += d.cfg.BERWearCoeff * r * r
+	}
+	if d.cfg.BERRetentionCoeff > 0 && d.cfg.RetentionAccel > 0 && d.nowFn != nil {
+		if age := float64(d.nowFn()-b.programNS) / 1e9; age > 0 {
+			ber += d.cfg.BERRetentionCoeff * d.cfg.RetentionAccel * age
+		}
+	}
+	if d.cfg.BERDisturbCoeff > 0 {
+		ber += d.cfg.BERDisturbCoeff * float64(b.reads)
+	}
+	return ber
 }
 
 // Erase wipes a block and charges one PE cycle. Erasing a worn-out block
@@ -295,6 +440,17 @@ func (d *Die) Erase(plane, blockIdx int) error {
 		b.bad = true
 		return ErrEraseFail
 	}
+	// Grown bad blocks: the erase-failure probability climbs steeply as the
+	// block approaches its cycle limit (quartic in consumed life).
+	if d.cfg.GrownBadProb > 0 && d.cfg.PECycleLimit > 0 {
+		r := float64(b.pe) / float64(d.cfg.PECycleLimit)
+		if d.rng.Float64() < d.cfg.GrownBadProb*r*r*r*r {
+			d.Stats.EraseFails++
+			d.Stats.GrownBad++
+			b.bad = true
+			return ErrEraseFail
+		}
+	}
 	b.writePtr = 0
 	// Reuse the map buckets across cycles; the arenas are dropped (not
 	// recycled) so in-flight readers of pre-erase pages stay safe.
@@ -302,6 +458,9 @@ func (d *Die) Erase(plane, blockIdx int) error {
 	clear(b.oob)
 	b.dataArena = nil
 	b.oobArena = nil
+	b.programNS = 0
+	b.reads = 0
+	clear(b.corrupt)
 	return nil
 }
 
@@ -338,6 +497,35 @@ func (d *Die) PECycles(plane, blockIdx int) int {
 		return 0
 	}
 	return b.pe
+}
+
+// BlockReads returns the reads issued to a block since its last erase —
+// its read-disturb pressure.
+func (d *Die) BlockReads(plane, blockIdx int) int {
+	b, err := d.blk(plane, blockIdx)
+	if err != nil {
+		return 0
+	}
+	return b.reads
+}
+
+// WearSummary aggregates wear across the die: total and maximum per-block
+// P/E cycles plus the bad-block count. Inspection tooling uses it for
+// per-tenant wear accounting.
+func (d *Die) WearSummary() (totalPE int64, maxPE, bad int) {
+	for p := range d.planes {
+		for i := range d.planes[p] {
+			b := &d.planes[p][i]
+			totalPE += int64(b.pe)
+			if b.pe > maxPE {
+				maxPE = b.pe
+			}
+			if b.bad {
+				bad++
+			}
+		}
+	}
+	return totalPE, maxPE, bad
 }
 
 // WearFactor returns the access-latency multiplier for a block given its

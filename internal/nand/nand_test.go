@@ -247,6 +247,200 @@ func TestOutOfRangeAddresses(t *testing.T) {
 	}
 }
 
+func TestFailedProgramCorruptsPage(t *testing.T) {
+	cfg := DefaultConfig()
+	cfg.WriteFailProb = 1.0
+	d := newTestDie(cfg)
+	page := bytes.Repeat([]byte{0x5a}, smallDims().PageBytes())
+	if err := d.Program(0, 0, 0, page, nil); !errors.Is(err, ErrWriteFail) {
+		t.Fatalf("err = %v, want ErrWriteFail", err)
+	}
+	// A failed page must read back uncorrectable, not as silent zeros.
+	if _, _, err := d.Read(0, 0, 0); !errors.Is(err, ErrReadFail) {
+		t.Fatalf("read of failed page: err = %v, want ErrReadFail", err)
+	}
+}
+
+func TestFailedUpperProgramCorruptsPair(t *testing.T) {
+	cfg := DefaultConfig()
+	cfg.StrictPairRead = true
+	cfg.PairStride = 2
+	d := newTestDie(cfg)
+	page := bytes.Repeat([]byte{0x11}, smallDims().PageBytes())
+	for pg := 0; pg < 2; pg++ { // lowers 0,1
+		if err := d.Program(0, 0, pg, page, nil); err != nil {
+			t.Fatal(err)
+		}
+	}
+	// Fail the program of upper page 2 (pair of lower 0).
+	d.cfg.WriteFailProb = 1.0
+	if err := d.Program(0, 0, 2, page, nil); !errors.Is(err, ErrWriteFail) {
+		t.Fatalf("err = %v, want ErrWriteFail", err)
+	}
+	d.cfg.WriteFailProb = 0
+	if d.Stats.PairCorruptions != 1 {
+		t.Fatalf("PairCorruptions = %d, want 1", d.Stats.PairCorruptions)
+	}
+	// Lower 0's charge is destroyed along with its failed upper.
+	if _, _, err := d.Read(0, 0, 0); !errors.Is(err, ErrReadFail) {
+		t.Fatalf("read of corrupted lower pair: err = %v, want ErrReadFail", err)
+	}
+	// Lower 1 pairs with upper 3, untouched by the failure; its pair is
+	// unprogrammed so strict pairing still blocks it — program page 3 and
+	// verify it survived.
+	if err := d.Program(0, 0, 3, page, nil); err != nil {
+		t.Fatal(err)
+	}
+	if got, _, err := d.Read(0, 0, 1); err != nil || !bytes.Equal(got, page) {
+		t.Fatalf("unrelated lower page lost: %v", err)
+	}
+	// Erase resurrects the block: corruption is per-cycle state.
+	if err := d.Erase(0, 0); err != nil {
+		t.Fatal(err)
+	}
+	if err := d.Program(0, 0, 0, page, nil); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestWearBERReadRetry(t *testing.T) {
+	cfg := DefaultConfig()
+	cfg.PECycleLimit = 10
+	cfg.WearLatencyFactor = 0
+	cfg.BERWearCoeff = 1e-2 // rawBER = 1e-2 * (pe/10)^2
+	cfg.ECCBER = 1e-3
+	cfg.ReadRetryStep = 2e-3
+	cfg.ReadRetryTiers = 3
+	d := newTestDie(cfg)
+	d.Program(0, 0, 0, nil, nil)
+	// pe=0: rawBER 0, within plain ECC.
+	if _, _, r, err := d.ReadRetry(0, 0, 0); err != nil || r != 0 {
+		t.Fatalf("fresh block: retries=%d err=%v", r, err)
+	}
+	// pe=5: rawBER 2.5e-3 -> ceil(1.5e-3/2e-3) = 1 tier.
+	for i := 0; i < 5; i++ {
+		if err := d.Erase(0, 0); err != nil {
+			t.Fatal(err)
+		}
+	}
+	d.Program(0, 0, 0, nil, nil)
+	if _, _, r, err := d.ReadRetry(0, 0, 0); err != nil || r != 1 {
+		t.Fatalf("mid-life block: retries=%d err=%v, want 1 tier", r, err)
+	}
+	// pe=9: rawBER 8.1e-3 -> ceil(7.1e-3/2e-3) = 4 tiers > 3 available.
+	for i := 0; i < 4; i++ {
+		if err := d.Erase(0, 0); err != nil {
+			t.Fatal(err)
+		}
+	}
+	d.Program(0, 0, 0, nil, nil)
+	if _, _, _, err := d.ReadRetry(0, 0, 0); !errors.Is(err, ErrReadFail) {
+		t.Fatalf("end-of-life block: err = %v, want ErrReadFail", err)
+	}
+	if d.Stats.ReadRetries == 0 {
+		t.Fatal("retry tiers not counted")
+	}
+}
+
+func TestRetentionBER(t *testing.T) {
+	cfg := DefaultConfig()
+	cfg.BERRetentionCoeff = 1e-3 // per accelerated second
+	cfg.RetentionAccel = 1
+	cfg.ECCBER = 1e-3
+	cfg.ReadRetryStep = 1e-3
+	cfg.ReadRetryTiers = 4
+	d := newTestDie(cfg)
+	now := int64(0)
+	d.SetNow(func() int64 { return now })
+	d.Program(0, 0, 0, nil, nil) // retention clock starts at 0
+	if _, _, r, err := d.ReadRetry(0, 0, 0); err != nil || r != 0 {
+		t.Fatalf("fresh data: retries=%d err=%v", r, err)
+	}
+	now = 3e9 // 3 virtual seconds: rawBER 3e-3 -> 2 tiers
+	if _, _, r, err := d.ReadRetry(0, 0, 0); err != nil || r != 2 {
+		t.Fatalf("aged data: retries=%d err=%v, want 2 tiers", r, err)
+	}
+	now = 10e9 // rawBER 1e-2 -> 9 tiers > 4: data gone
+	if _, _, _, err := d.ReadRetry(0, 0, 0); !errors.Is(err, ErrReadFail) {
+		t.Fatalf("expired data: err = %v, want ErrReadFail", err)
+	}
+	// A refresh (erase + reprogram) resets the retention clock.
+	if err := d.Erase(0, 0); err != nil {
+		t.Fatal(err)
+	}
+	d.Program(0, 0, 0, nil, nil)
+	if _, _, r, err := d.ReadRetry(0, 0, 0); err != nil || r != 0 {
+		t.Fatalf("refreshed data: retries=%d err=%v", r, err)
+	}
+}
+
+func TestReadDisturbBER(t *testing.T) {
+	cfg := DefaultConfig()
+	cfg.BERDisturbCoeff = 1e-4 // per read since erase
+	cfg.ECCBER = 1e-3
+	cfg.ReadRetryStep = 1e-3
+	cfg.ReadRetryTiers = 8
+	d := newTestDie(cfg)
+	d.Program(0, 0, 0, nil, nil)
+	// Reads 1..10 stay within ECC (disturb counted before evaluation).
+	for i := 0; i < 10; i++ {
+		if _, _, r, err := d.ReadRetry(0, 0, 0); err != nil || r != 0 {
+			t.Fatalf("read %d: retries=%d err=%v", i, r, err)
+		}
+	}
+	// Hammer the block: by read 30 the disturb term needs retry tiers.
+	sawRetry := false
+	for i := 0; i < 20; i++ {
+		_, _, r, err := d.ReadRetry(0, 0, 0)
+		if err != nil {
+			t.Fatalf("read failed at disturb level %d: %v", d.BlockReads(0, 0), err)
+		}
+		if r > 0 {
+			sawRetry = true
+		}
+	}
+	if !sawRetry {
+		t.Fatal("read disturb never pushed BER past plain ECC")
+	}
+	if d.BlockReads(0, 0) != 30 {
+		t.Fatalf("BlockReads = %d, want 30", d.BlockReads(0, 0))
+	}
+}
+
+func TestGrownBadBlocks(t *testing.T) {
+	cfg := DefaultConfig()
+	cfg.PECycleLimit = 100
+	cfg.GrownBadProb = 1.0 // p = (pe/100)^4: certain only at end of life
+	d := newTestDie(cfg)
+	// Young blocks essentially never grow bad.
+	for i := 0; i < 5; i++ {
+		if err := d.Erase(0, 0); err != nil {
+			t.Fatalf("young erase %d: %v", i, err)
+		}
+	}
+	// Age a different block to near the limit; it must grow bad before
+	// hitting the hard ErrWornOut wall.
+	grown := false
+	for i := 0; i < 99; i++ {
+		if err := d.Erase(0, 1); err != nil {
+			if !errors.Is(err, ErrEraseFail) {
+				t.Fatalf("erase %d: %v", i, err)
+			}
+			grown = true
+			break
+		}
+	}
+	if !grown {
+		t.Fatal("no grown bad block across a full lifetime at GrownBadProb=1")
+	}
+	if d.Stats.GrownBad != 1 {
+		t.Fatalf("GrownBad = %d, want 1", d.Stats.GrownBad)
+	}
+	if !d.IsBad(0, 1) {
+		t.Fatal("grown bad block not retired")
+	}
+}
+
 // Property: for any sequence of programs with random payloads, reading back
 // any programmed page returns exactly what was last programmed there since
 // the last erase.

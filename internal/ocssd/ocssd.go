@@ -20,6 +20,7 @@ package ocssd
 import (
 	"errors"
 	"fmt"
+	"math/bits"
 	"math/rand"
 	"strings"
 	"time"
@@ -78,6 +79,12 @@ type Timing struct {
 	ChannelMBps float64       // per-channel transfer bandwidth, decimal MB/s
 	CmdOverhead time.Duration // controller/firmware cost per PU sub-command
 
+	// ReadRetry is the additional array time per read-retry tier: each
+	// threshold-voltage shift re-senses the page. Charged only when the
+	// media's BER model (nand.Config) demands retry tiers, so the default
+	// zero-error configuration never pays it.
+	ReadRetry time.Duration
+
 	// SuspendSlice enables erase/program suspension (paper §3.3: "the
 	// erase-suspend allows reads to suspend an active write or program,
 	// and thus improve its access latency, at the cost of longer write
@@ -108,6 +115,7 @@ func DefaultTiming() Timing {
 		BlockErase:  3 * time.Millisecond,
 		ChannelMBps: 280,
 		CmdOverhead: 6 * time.Microsecond,
+		ReadRetry:   25 * time.Microsecond,
 	}
 }
 
@@ -182,6 +190,12 @@ type Completion struct {
 	// Data and OOB hold per-address results for reads.
 	Data [][]byte
 	OOB  [][]byte
+	// Retries is the total number of read-retry tiers the command's flash
+	// reads needed (0 on healthy media). Relocate has bit i set when
+	// Addrs[i] was recovered only through deep retry tiers — the device's
+	// hint that the host should refresh that data soon (§4.2.3).
+	Retries  int32
+	Relocate uint64
 	// Submitted and Done are the virtual submission/completion times.
 	Submitted, Done time.Duration
 
@@ -211,6 +225,8 @@ type Stats struct {
 	CacheHits                   int64
 	BufferedWrites              int64
 	Suspensions                 int64 // program/erase suspensions granted
+	ReadRetries                 int64 // read-retry tiers charged across all reads
+	RelocateAdvised             int64 // addresses flagged for host relocation (deep retries)
 }
 
 // cacheEnt is one plane's last-read-page buffer slot.
@@ -339,11 +355,17 @@ func NewSharded(host *sim.Env, shardEnvs []*sim.Env, cfg Config) (*Device, error
 	for i := range d.pus {
 		rng := rand.New(rand.NewSource(cfg.Seed + int64(i)*7919))
 		ch := i / cfg.Geometry.PUsPerChannel
+		die := nand.NewDie(dims, cfg.Media, rng)
+		// The retention clock reads the PU's own shard environment, so BER
+		// evaluation stays deterministic on the sharded engine (a PU's
+		// commands always execute on its shard).
+		puEnv := envOf(ch)
+		die.SetNow(func() int64 { return int64(puEnv.Now()) })
 		d.pus[i] = &punit{
-			die:  nand.NewDie(dims, cfg.Media, rng),
-			busy: envOf(ch).NewResource(1),
+			die:  die,
+			busy: puEnv.NewResource(1),
 			ch:   ch,
-			env:  envOf(ch),
+			env:  puEnv,
 		}
 		if cfg.PageCache {
 			d.pus[i].cache = make([]cacheEnt, cfg.Geometry.PlanesPerPU)
@@ -521,6 +543,7 @@ func (d *Device) getComp(n int, read bool) *Completion {
 	}
 	c.Status = 0
 	c.noRecycle = false
+	c.Retries, c.Relocate = 0, 0
 	c.Submitted, c.Done = 0, 0
 	if cap(c.Errs) >= n {
 		c.Errs = c.Errs[:cap(c.Errs)]
@@ -625,7 +648,9 @@ func (d *Device) Submit(cmd *Vector, done func(*Completion)) {
 			t.env = t.pu.env
 			t.direct = t.env == d.env && d.cfg.Timing.CompleteLatency == 0
 			t.failMask = 0
+			t.relocMask = 0
 			t.statReads, t.statPrograms, t.statHits, t.statSusp = 0, 0, 0, 0
+			t.statRetries = 0
 			d.taskOf[gpu] = t
 			d.puOrder = append(d.puOrder, gpu)
 		}
@@ -694,7 +719,11 @@ func (t *puTask) fold() {
 	d.Stats.FlashPrograms += t.statPrograms
 	d.Stats.CacheHits += t.statHits
 	d.Stats.Suspensions += t.statSusp
+	d.Stats.ReadRetries += t.statRetries
+	d.Stats.RelocateAdvised += int64(bits.OnesCount64(t.relocMask))
 	t.cmp.Status |= t.failMask
+	t.cmp.Retries += int32(t.statRetries)
+	t.cmp.Relocate |= t.relocMask
 }
 
 // DebugPUs returns a one-line-per-busy-PU view of command occupancy, for
@@ -770,6 +799,7 @@ const (
 	tsGrouped               // overhead charged: group into flash ops, branch per opcode
 	tsRead                  // start the next read op, or finish
 	tsReadCollect           // flash array latency charged: gather data, start transfer
+	tsReadRetry             // retry-tier latency charged: start transfer or next op
 	tsReadXfer              // channel held: charge transfer time
 	tsReadXferDone          // transfer done: release channel, next op
 	tsWrite                 // start the next write op, or finish
@@ -817,10 +847,12 @@ type puTask struct {
 	// exactly one task) but must not read-modify-write shared words from a
 	// device shard.
 	failMask     uint64
-	statReads    int64 // flash array reads
+	relocMask    uint64 // addresses recovered only via deep retry tiers
+	statReads    int64  // flash array reads
 	statPrograms int64
 	statHits     int64
 	statSusp     int64
+	statRetries  int64 // read-retry tiers this task charged
 
 	state int
 	opi   int  // current op index
@@ -1096,8 +1128,22 @@ func (t *puTask) step() {
 			op := &t.ops[t.opi]
 			comp := t.comp()
 			bytes := 0
+			opRetries := 0
 			for pi, plane := range op.planes {
-				data, oob, err := t.pu.die.Read(plane, op.block, op.page)
+				data, oob, retries, err := t.pu.die.ReadRetry(plane, op.block, op.page)
+				opRetries += retries
+				if err == nil && retries > d.cfg.Media.ReadRetryTiers/2 && retries > 0 {
+					// Deep-tier recovery: advise the host to relocate this
+					// data before the next tier runs out.
+					for _, i := range op.idx[pi] {
+						if t.direct {
+							comp.Relocate |= 1 << uint(i)
+							d.Stats.RelocateAdvised++
+						} else {
+							t.relocMask |= 1 << uint(i)
+						}
+					}
+				}
 				for _, i := range op.idx[pi] {
 					if err != nil {
 						t.fail(i, err)
@@ -1115,8 +1161,26 @@ func (t *puTask) step() {
 					t.pu.cache[plane] = cacheEnt{key: pageKey{plane, op.block, op.page}, ok: true}
 				}
 			}
-			if bytes > 0 {
-				t.bytes = bytes
+			t.bytes = bytes
+			if opRetries > 0 {
+				if t.direct {
+					d.Stats.ReadRetries += int64(opRetries)
+					comp.Retries += int32(opRetries)
+				} else {
+					t.statRetries += int64(opRetries)
+				}
+				// Each retry tier re-senses the flash array at a shifted
+				// threshold voltage: extra array occupancy per tier.
+				if rr := d.cfg.Timing.ReadRetry; rr > 0 {
+					t.sleep(time.Duration(opRetries)*rr, tsReadRetry)
+					return
+				}
+			}
+			t.state = tsReadRetry
+			continue
+
+		case tsReadRetry:
+			if t.bytes > 0 {
 				if !t.acquire(t.ch.xfer, tsReadXfer) {
 					return
 				}

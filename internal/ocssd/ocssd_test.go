@@ -575,3 +575,67 @@ func TestDeviceFailDeathHook(t *testing.T) {
 		}
 	})
 }
+
+func TestReadRetryLatencyAndRelocate(t *testing.T) {
+	// Retention-driven BER: with coeff 1e-3/s and ECC floor 1e-3, a page
+	// aged ~2.5s needs 2 retry tiers, aged ~4.5s needs 4 (deep → relocate
+	// advised at tiers > ReadRetryTiers/2), and aged ~5.5s exceeds the 4
+	// tiers and fails. Mid-band ages keep ceil() stable against the few
+	// ms of write/read latency. Each tier charges Timing.ReadRetry of array time.
+	cfg := testConfig()
+	cfg.PageCache = false // cache hits would bypass the die read path
+	cfg.Media.BERRetentionCoeff = 1e-3
+	cfg.Media.RetentionAccel = 1
+	cfg.Media.ECCBER = 1e-3
+	cfg.Media.ReadRetryStep = 1e-3
+	cfg.Media.ReadRetryTiers = 4
+	env, dev := newTestDevice(t, cfg)
+	run(env, func(p *sim.Proc) {
+		writeUnit(p, dev, 0, 0, 0, 0, 0x7c)
+		one := []ppa.Addr{{Ch: 0, PU: 0, Plane: 0, Block: 0, Page: 0, Sector: 0}}
+
+		start := env.Now()
+		c := dev.Do(p, &Vector{Op: OpRead, Addrs: one})
+		if c.Failed() || c.Retries != 0 || c.Relocate != 0 {
+			t.Fatalf("fresh read: err=%v retries=%d reloc=%b", c.FirstErr(), c.Retries, c.Relocate)
+		}
+		fresh := env.Now() - start
+
+		p.Sleep(2500 * time.Millisecond)
+		start = env.Now()
+		c = dev.Do(p, &Vector{Op: OpRead, Addrs: one})
+		if c.Failed() {
+			t.Fatalf("aged read failed: %v", c.FirstErr())
+		}
+		if c.Retries != 2 || c.Relocate != 0 {
+			t.Fatalf("2.5s read: retries=%d reloc=%b, want 2 tiers, no relocate", c.Retries, c.Relocate)
+		}
+		aged := env.Now() - start
+		extra := aged - fresh
+		if want := 2 * dev.cfg.Timing.ReadRetry; extra != want {
+			t.Fatalf("retry latency: aged-fresh = %v, want %v", extra, want)
+		}
+
+		p.Sleep(2 * time.Second) // age ~4.5s → 4 tiers, deep retry
+		c = dev.Do(p, &Vector{Op: OpRead, Addrs: one})
+		if c.Failed() || c.Retries != 4 {
+			t.Fatalf("4.5s read: err=%v retries=%d, want 4 tiers", c.FirstErr(), c.Retries)
+		}
+		if c.Relocate != 1 {
+			t.Fatalf("deep retry must advise relocation: reloc=%b", c.Relocate)
+		}
+
+		p.Sleep(time.Second) // age ~5.5s → beyond all tiers
+		c = dev.Do(p, &Vector{Op: OpRead, Addrs: one})
+		if !c.Failed() || !errors.Is(c.FirstErr(), nand.ErrReadFail) {
+			t.Fatalf("5.5s read: err=%v, want ErrReadFail", c.FirstErr())
+		}
+
+		if dev.Stats.ReadRetries != 2+4+4 { // failed read still burned all tiers
+			t.Fatalf("Stats.ReadRetries = %d, want 10", dev.Stats.ReadRetries)
+		}
+		if dev.Stats.RelocateAdvised != 1 {
+			t.Fatalf("Stats.RelocateAdvised = %d, want 1", dev.Stats.RelocateAdvised)
+		}
+	})
+}

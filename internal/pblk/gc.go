@@ -229,11 +229,23 @@ func (k *Pblk) launchVictims() {
 		}
 		var g *group
 		retire := false
+		scrub := false
 		switch {
 		case len(k.suspects) > 0:
 			g = k.groups[k.suspects[0]]
 			k.suspects = k.suspects[1:]
 			retire = true
+		case len(k.scrubQ) > 0:
+			cand := k.groups[k.scrubQ[0]]
+			k.scrubQ = k.scrubQ[1:]
+			if !cand.scrubQueued || cand.state != stClosed {
+				// Recycled or retired since it was queued; the flag was
+				// cleared on that path, so the entry is stale.
+				continue
+			}
+			cand.scrubQueued = false
+			g = cand
+			scrub = true
 		case k.gcNeeded():
 			v, anyGarbage := k.pickVictim(k.gcMaxValidFrac(first))
 			if v == nil {
@@ -258,6 +270,10 @@ func (k *Pblk) launchVictims() {
 		k.gcInFlight++
 		if retire {
 			k.gcRetiring++
+		}
+		if scrub {
+			k.Stats.ScrubbedGroups++
+			k.Stats.ScrubbedSectors += int64(g.valid)
 		}
 		if int64(k.gcInFlight) > k.Stats.GCPeakInFlight {
 			k.Stats.GCPeakInFlight = int64(k.gcInFlight)

@@ -140,6 +140,9 @@ func (k *Pblk) returnFreeGroup(g *group) {
 	g.unitFinal = g.unitFinal[:0]
 	g.valid = 0
 	g.gcPending = 0
+	g.closedAt = 0
+	g.retryHints = 0
+	g.scrubQueued = false
 	// g.gcDone is deliberately kept: it is reused (via Reset) across the
 	// group's GC cycles and is always fired between cycles, so a stray
 	// Signal from releaseGCRef before the next drain re-arms it is a no-op.
@@ -149,6 +152,9 @@ func (k *Pblk) returnFreeGroup(g *group) {
 	k.freeGroups++
 	k.rl.update(k.freeGroups)
 	k.rb.signalSpace() // user admission may have been gated on free blocks
+	if k.scrubOn() {
+		k.scrubKick.Signal() // space recovered: a standing-down patrol may resume
+	}
 	k.notifyState()
 }
 
@@ -196,6 +202,10 @@ func (k *Pblk) openGroupOn(p *sim.Proc, s *slot, st int) *group {
 func (k *Pblk) openGroup(g *group, st int) {
 	k.seqCounter++
 	g.state = stOpen
+	// The retention clock starts now: the group's oldest data is at most
+	// this old, so aging from open time (not close time) keeps the scrub
+	// deadline conservative for slowly-filling groups.
+	g.closedAt = int64(k.env.Now())
 	g.stream = uint8(st)
 	g.seq = k.seqCounter
 	g.prev = int64(k.lastOpened)

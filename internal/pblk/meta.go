@@ -313,6 +313,9 @@ func (ms *metaScratch) submit() {
 
 func (ms *metaScratch) onProgrammed(c *ocssd.Completion) {
 	k, g, unit, isClose := ms.k, ms.g, ms.unit, ms.close
+	if c.Failed() {
+		k.requeuePairLower(g, unit)
+	}
 	if !isClose && c.Failed() {
 		// A failed open mark is treated like any write failure: the group
 		// is suspect and will be retired once drained.
@@ -332,6 +335,7 @@ func (ms *metaScratch) onProgrammed(c *ocssd.Completion) {
 		if g.metaRemaining == 0 {
 			if g.state == stOpen {
 				g.state = stClosed
+				k.noteGroupClosed(g)
 			}
 			// Meta covers any trailing pair pages; re-run finalize.
 			k.finalizeGroup(g)
@@ -525,6 +529,11 @@ func (k *Pblk) applySnapshot(b []byte) error {
 			// closed — GC falls back to an OOB scan for its reverse map.
 			g.state = stClosed
 			g.nextUnit = k.unitsPerGroup
+			// Retention clock restarts at mount: stamping the true close
+			// time is not persisted, and a zero stamp would trigger a
+			// refresh storm right after recovery. Genuinely aged data is
+			// still caught by the read-retry pressure path.
+			g.closedAt = int64(k.env.Now())
 		case stSuspect:
 			g.state = stSuspect
 			k.suspects = append(k.suspects, g.id)
@@ -532,6 +541,7 @@ func (k *Pblk) applySnapshot(b []byte) error {
 			g.state = st
 			if st == stClosed {
 				g.nextUnit = k.unitsPerGroup
+				g.closedAt = int64(k.env.Now())
 			}
 		}
 	}

@@ -83,6 +83,20 @@ type Config struct {
 	// per-PU parallel scan chains. Kept for regression comparison; the two
 	// scans produce identical L2P tables.
 	SequentialRecoverScan bool
+	// Scrubber (media self-healing). ScrubInterval > 0 enables a background
+	// patrol process (scrub.go) that refreshes closed groups whose data is
+	// at risk: groups older than ScrubRetentionAge since close, or whose
+	// reads needed deep retry tiers ("relocate advised" hints from the
+	// device) at least ScrubRetryThreshold times, are drained through the
+	// cold write stream and erased exactly like GC victims. At most
+	// ScrubGroupsPerSweep groups are queued per interval, and the patrol
+	// stands down while free space is below the GC start threshold. An
+	// enabled scrubber keeps a patrol timer armed, so simulations must
+	// Stop the target to run to completion.
+	ScrubInterval       time.Duration
+	ScrubRetentionAge   time.Duration
+	ScrubRetryThreshold int
+	ScrubGroupsPerSweep int
 }
 
 // Default fills unset Config fields with the paper-faithful defaults.
@@ -120,6 +134,14 @@ func Default(cfg Config) Config {
 	if cfg.RLKi == 0 {
 		cfg.RLKi = 0.3
 	}
+	if cfg.ScrubInterval > 0 {
+		if cfg.ScrubGroupsPerSweep == 0 {
+			cfg.ScrubGroupsPerSweep = 1
+		}
+		if cfg.ScrubRetryThreshold == 0 {
+			cfg.ScrubRetryThreshold = 1
+		}
+	}
 	if cfg.RLKd == 0 {
 		// The derivative term damps quota oscillation when the free-group
 		// error moves fast (a GC burst recycling several groups at once).
@@ -149,6 +171,15 @@ type Stats struct {
 	BadBlocks        int64
 	Recoveries       int64 // full scans performed at init
 	SnapshotLoads    int64
+	// Scrubber (media self-healing) accounting.
+	ScrubbedGroups      int64 // closed groups refreshed by the scrubber
+	ScrubbedSectors     int64 // valid sectors rewritten by scrub refreshes
+	ScrubAgeRefreshes   int64 // refreshes triggered by retention age
+	ScrubRetryRefreshes int64 // refreshes triggered by deep-retry pressure
+	ScrubStaleCloses    int64 // stale open groups folded closed for patrol
+	// PairRescuedSectors counts lower-pair sectors re-queued for rewrite
+	// after an upper-page program failure corrupted their media copy.
+	PairRescuedSectors int64
 	// RecoverScanTime is the virtual time spent in mount-time scan
 	// recovery (classify, close-meta reads, OOB scans, replay).
 	RecoverScanTime time.Duration
@@ -224,6 +255,15 @@ type group struct {
 	// metaRemaining counts the group's close-metadata units still being
 	// programmed; the group closes when it reaches zero.
 	metaRemaining int
+	// closedAt is the virtual time the group transitioned to closed; the
+	// scrubber patrols closed groups oldest-first and refreshes on
+	// retention age.
+	closedAt int64
+	// retryHints counts deep-retry "relocate advised" hints reads reported
+	// against this group (scrub pressure).
+	retryHints int
+	// scrubQueued marks the group as waiting in the scrub refresh queue.
+	scrubQueued bool
 }
 
 // slot is one write lane of the mapper: at any instant it owns a single
@@ -359,6 +399,9 @@ type Pblk struct {
 	admitStartFn func()
 	// suspects queues write-failed groups for priority GC + retirement.
 	suspects []int
+	// scrubQ queues closed groups for refresh through the GC machinery;
+	// the scrubber (scrub.go) feeds it, launchVictims consumes it.
+	scrubQ []int
 
 	// Read fan-out pools (read.go): per-PU grouping scratch and the
 	// request/chunk objects of the asynchronous read path.
@@ -405,6 +448,14 @@ type Pblk struct {
 	// victims drain oldest-first (reads still overlap; see moveValid).
 	gcAdmit *sim.Resource
 	gcDone  *sim.Event
+	// Scrubber plumbing: the patrol loop parks on scrubKick and re-arms a
+	// one-shot timer for the next known deadline; lastScrubNS paces the
+	// patrol to one queueing burst per ScrubInterval.
+	scrubKick     *sim.Event
+	scrubDone     *sim.Event
+	scrubStopping bool
+	scrubTimer    bool // a patrol timer is currently armed
+	lastScrubNS   int64
 	// stateEv is the event-driven replacement for the old polling waits:
 	// it fires on any group state transition or ring drain progress, and
 	// quiesce/waitGroupClosed re-check their condition on each firing.
@@ -523,6 +574,8 @@ func NewView(p *sim.Proc, view *lightnvm.MediaView, name string, cfg Config) (*P
 	k.gcKick = k.env.NewEvent()
 	k.gcAdmit = k.env.NewResource(1)
 	k.gcDone = k.env.NewEvent()
+	k.scrubKick = k.env.NewEvent()
+	k.scrubDone = k.env.NewEvent()
 	if err := k.recover(p); err != nil {
 		return nil, err
 	}
@@ -535,6 +588,11 @@ func NewView(p *sim.Proc, view *lightnvm.MediaView, name string, cfg Config) (*P
 	k.rl.update(k.freeGroups)
 	k.startWriters()
 	k.env.Go("pblk."+name+".gc", k.gcLoop)
+	if k.scrubOn() {
+		k.env.Go("pblk."+name+".scrub", k.scrubLoop)
+	} else {
+		k.scrubDone.Signal()
+	}
 	return k, nil
 }
 
@@ -601,6 +659,18 @@ func (k *Pblk) pairOf(unit int) int {
 	}
 	if (unit/s)%2 == 0 && unit+s < k.unitsPerGroup {
 		return unit + s
+	}
+	return -1
+}
+
+// lowerPairOf returns the paired lower unit for an upper unit, or -1.
+func (k *Pblk) lowerPairOf(unit int) int {
+	s := k.pairStride
+	if s <= 0 {
+		return -1
+	}
+	if (unit/s)%2 == 1 {
+		return unit - s
 	}
 	return -1
 }
@@ -734,7 +804,13 @@ func (k *Pblk) Stop(p *sim.Proc) error {
 	if k.stopping {
 		return nil
 	}
-	// Stop GC first, while the lane writers still drain its moves; the
+	// Quiesce the scrubber before GC: it only feeds the collector's queue,
+	// so stopping it first means no new refresh victims appear while the
+	// scheduler drains.
+	k.scrubStopping = true
+	k.scrubKick.Signal()
+	p.Wait(k.scrubDone)
+	// Stop GC next, while the lane writers still drain its moves; the
 	// scheduler waits for every in-flight victim worker before signalling.
 	k.gcStopping = true
 	k.gcKick.Signal()
@@ -805,6 +881,7 @@ func (k *Pblk) Crash() {
 		s.wake()
 	}
 	k.gcKick.Signal()
+	k.scrubKick.Signal()
 	k.rb.signalSpace()
 	k.notifyState()
 	k.dev.Crash()

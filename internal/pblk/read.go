@@ -206,6 +206,9 @@ func (r *readReq) resolve() {
 func (c *readChunk) onComplete(comp *ocssd.Completion) {
 	req := c.req
 	k := req.k
+	if comp.Relocate != 0 {
+		k.noteReadRetryPressure(comp, c)
+	}
 	ss := int64(k.geo.SectorSize)
 	for j, si := range c.sect {
 		if comp.Errs[j] != nil {

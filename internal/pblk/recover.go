@@ -128,6 +128,7 @@ func (k *Pblk) scanRecover(p *sim.Proc) error {
 		collect(f.g, f.lbas, f.stamps)
 		f.g.state = stClosed
 		f.g.nextUnit = k.unitsPerGroup
+		k.noteGroupClosed(f.g)
 	}
 
 	// Phase two: partially written blocks — scanned linearly until an
@@ -147,6 +148,7 @@ func (k *Pblk) scanRecover(p *sim.Proc) error {
 		}
 		f.g.state = stClosed
 		f.g.nextUnit = k.unitsPerGroup
+		k.noteGroupClosed(f.g)
 	}
 
 	// Replay: globally ordered by admission stamp, later sectors overwrite.

@@ -217,3 +217,110 @@ func TestEraseFailureRetiresBlock(t *testing.T) {
 		}
 	})
 }
+
+func TestStrictPairFailedUpperRescuesLower(t *testing.T) {
+	// A failed upper-page program corrupts the paired lower page on MLC
+	// media (the nand model now implements the pair loss). The lower
+	// unit's acknowledged-but-unfinalized entries must be re-buffered and
+	// rewritten before the suspect group waives pair covering — otherwise
+	// finalize would point the L2P at corrupt flash and the data is gone.
+	cfg := strictDeviceConfig()
+	m := cfg.Media
+	m.WriteFailProb = 0.02
+	cfg.Media = m
+	e := newEnv(t, cfg)
+	e.run(func(p *sim.Proc) {
+		k := e.newPblk(p, Config{ActivePUs: 4, OverProvision: 0.3})
+		defer k.Stop(p)
+		const chunk = 32 * 1024
+		span := k.Capacity() / 2 / chunk * chunk
+		bufs := make(map[int64]byte)
+		vol := 2 * k.Device().Geometry().TotalBytes()
+		var written int64
+		for written = 0; written < vol; written += chunk {
+			off := written % span
+			seed := byte(written/chunk%251) + 1
+			if err := k.Write(p, off, fill(chunk, seed), chunk); err != nil {
+				t.Fatal(err)
+			}
+			bufs[off] = seed
+		}
+		if err := k.Flush(p); err != nil {
+			t.Fatal(err)
+		}
+		if k.Stats.WriteErrors == 0 {
+			t.Skip("no write failures injected at this seed")
+		}
+		if k.Stats.PairRescuedSectors == 0 {
+			t.Skip("no upper-page failures with pending lower pairs at this seed")
+		}
+		got := make([]byte, chunk)
+		for off, seed := range bufs {
+			if err := k.Read(p, off, got, chunk); err != nil {
+				t.Fatalf("read at %d after pair loss: %v", off, err)
+			}
+			if !bytes.Equal(got, fill(chunk, seed)) {
+				t.Fatalf("data at %d lost across failed-upper pair corruption", off)
+			}
+		}
+		if err := k.CheckInvariants(); err != nil {
+			t.Fatal(err)
+		}
+	})
+}
+
+func TestWornOutConvergesUnderGCAndScrub(t *testing.T) {
+	// Worn-out path under concurrent GC and scrubbing: a tiny device with
+	// a low P/E budget and steep grown-bad probability is overwritten
+	// until a good share of its blocks die. GC retirement, the scrubber
+	// patrol, and the writers must converge without deadlock, and every
+	// failed erase must leave a retired block behind.
+	cfg := testDeviceConfig()
+	g := cfg.Geometry
+	g.BlocksPerPlane = 16
+	g.PagesPerBlock = 16
+	cfg.Geometry = g
+	m := cfg.Media
+	m.PECycleLimit = 10
+	m.GrownBadProb = 1.0
+	m.BERWearCoeff = 8e-3
+	m.ECCBER = 1e-3
+	m.ReadRetryStep = 1e-3
+	m.ReadRetryTiers = 8
+	cfg.Media = m
+	e := newEnv(t, cfg)
+	e.run(func(p *sim.Proc) {
+		k := e.newPblk(p, Config{
+			ActivePUs:           4,
+			OverProvision:       0.3,
+			ScrubInterval:       2 * time.Millisecond,
+			ScrubRetentionAge:   40 * time.Millisecond,
+			ScrubRetryThreshold: 2,
+		})
+		defer k.Stop(p)
+		const chunk = 64 * 1024
+		span := k.Capacity() / 2 / chunk * chunk
+		vol := 5 * k.Device().Geometry().TotalBytes()
+		badTarget := int64(len(k.groups) / 4)
+		for written := int64(0); written < vol; written += chunk {
+			if err := k.Write(p, written%span, nil, chunk); err != nil {
+				t.Fatal(err)
+			}
+			if k.Stats.BadBlocks >= badTarget {
+				break
+			}
+		}
+		if err := k.Flush(p); err != nil {
+			t.Fatal(err)
+		}
+		if k.Stats.BadBlocks == 0 {
+			t.Fatal("no blocks wore out: the device was not driven past its P/E budget")
+		}
+		if k.Stats.BadBlocks < k.Stats.EraseErrors {
+			t.Fatalf("erase errors %d but only %d retired blocks", k.Stats.EraseErrors, k.Stats.BadBlocks)
+		}
+		if err := k.CheckInvariants(); err != nil {
+			t.Fatal(err)
+		}
+	})
+}

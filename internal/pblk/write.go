@@ -386,6 +386,8 @@ func (k *Pblk) laneWriter(p *sim.Proc, s *slot) {
 		case k.strictPair && len(k.flushes) > 0 && k.lanePairCoverNeeded(s):
 			k.coverPairs(p, s)
 			k.laneWait(p, s)
+		case k.laneStaleOpen(s):
+			k.closeStaleOpen(p, s)
 		default:
 			if k.stopping || s.quit {
 				return
@@ -636,6 +638,51 @@ func (k *Pblk) shedTargetAtExhaustion(s *slot, st int) *slot {
 	return any
 }
 
+// laneStaleOpen reports whether one of the lane's open groups has aged
+// past the scrub retention threshold: its data decays in place and the
+// patrol cannot reach it until it closes.
+func (k *Pblk) laneStaleOpen(s *slot) bool {
+	if !k.scrubOn() || k.stopping || k.crashed {
+		return false
+	}
+	now := int64(k.env.Now())
+	for _, g := range s.grp {
+		if g != nil && k.openStale(g, now) {
+			return true
+		}
+	}
+	return false
+}
+
+// closeStaleOpen folds the lane's stale open groups closed so the scrub
+// patrol can refresh their data: groups holding data are padded out and
+// closed (keeping their open-time retention stamp, so they come due
+// immediately); a group holding only its open mark has nothing at risk
+// and just restarts its clock.
+func (k *Pblk) closeStaleOpen(p *sim.Proc, s *slot) {
+	now := int64(k.env.Now())
+	for st := range s.grp {
+		g := s.grp[st]
+		if g == nil || !k.openStale(g, now) {
+			continue
+		}
+		if g.nextUnit <= 1 {
+			g.closedAt = now
+			g.scrubQueued = false
+			continue
+		}
+		k.Stats.ScrubStaleCloses++
+		// Mirror coverPairs' re-checks: a write error completing during a
+		// pad can detach the group from the lane mid-fold.
+		for s.grp[st] == g && g.nextUnit < k.firstMetaUnit() {
+			k.padUnit(p, s, g)
+		}
+		if s.grp[st] == g {
+			k.closeGroup(p, s, st)
+		}
+	}
+}
+
 // coverPairs pads lane s's open groups forward under strict pairing so
 // that their flushed data becomes readable from media: every submitted
 // unit with an uncovered lower/upper pair is covered, on both streams.
@@ -847,8 +894,55 @@ func (k *Pblk) handleWriteError(g *group, unit int, c *ocssd.Completion) {
 		}
 		s.wake()
 	}
+	k.requeuePairLower(g, unit)
 	k.markSuspect(g)
 	k.kickWriters()
+}
+
+// requeuePairLower rescues the MLC pair of a failed upper-page program.
+// On strict-pair media the die corrupts the shared cells, so the paired
+// lower unit's data — possibly already acknowledged — is gone on flash.
+// Any of its entries still pending (not yet finalized) are re-buffered
+// and resubmitted through the lane retry queue before markSuspect waives
+// the group's pair covering. The entries keep their admission stamps:
+// the corrupt originals are unreadable so replay cannot resurrect them,
+// and readable duplicates on other planes carry identical content.
+func (k *Pblk) requeuePairLower(g *group, unit int) {
+	if !k.strictPair || g.state == stSuspect || g.state == stBad {
+		return
+	}
+	lower := k.lowerPairOf(unit)
+	if lower < 0 || g.pending == nil || len(g.pending[lower]) == 0 || g.unitFinal[lower] {
+		return
+	}
+	requeued := k.getPoss()
+	for _, pos := range g.pending[lower] {
+		e := k.rb.at(pos)
+		if e.state != esSubmitted {
+			continue
+		}
+		if k.entryIsCurrent(e) {
+			e.state = esBuffered
+			requeued = append(requeued, pos)
+		} else {
+			k.releaseGCRef(e)
+			e.state = esDone
+		}
+	}
+	// finalizeGroup's stale-unit branch recycles g.pending[lower] once it
+	// sees unitFinal; the rescued positions travel in a fresh list.
+	g.unitFinal[lower] = true
+	if len(requeued) == 0 {
+		k.putPoss(requeued)
+		return
+	}
+	k.Stats.PairRescuedSectors += int64(len(requeued))
+	s := k.laneOf(g.gpu)
+	s.retry = append(s.retry, chunk{stream: int(g.stream), poss: requeued})
+	if d := s.pendingSectors(); d > s.peakDepth {
+		s.peakDepth = d
+	}
+	s.wake()
 }
 
 // laneOf returns the lane whose PU span covers the partition-relative PU
