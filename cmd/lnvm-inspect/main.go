@@ -11,6 +11,8 @@ import (
 	"time"
 
 	"repro/internal/lightnvm"
+	"repro/internal/lsmdb"
+	"repro/internal/nand"
 	"repro/internal/ocssd"
 	"repro/internal/pblk" // registers the pblk target type
 	"repro/internal/ppa"
@@ -24,6 +26,7 @@ func main() {
 	active := flag.Int("active", 16, "active write PUs for -lanes (must divide total PUs)")
 	targets := flag.Bool("targets", false, "create two PU-partitioned pblk targets, run a burst on each, and dump the partition map with per-target stats")
 	volumes := flag.Bool("volumes", false, "build a 4+1-device fleet, compose a RAID-10 volume, kill a member, and dump member health through the online rebuild")
+	lsm := flag.Bool("lsm", false, "mount lsmdb on a flash-native pblk stream, run fill+overwrite, and dump per-stream group occupancy with the combined-WA readout")
 	flag.Parse()
 
 	env := sim.NewEnv(1)
@@ -75,6 +78,12 @@ func main() {
 	}
 	if *volumes {
 		if err := inspectVolumes(); err != nil {
+			fmt.Fprintln(os.Stderr, "error:", err)
+			os.Exit(1)
+		}
+	}
+	if *lsm {
+		if err := inspectLSM(); err != nil {
 			fmt.Fprintln(os.Stderr, "error:", err)
 			os.Exit(1)
 		}
@@ -232,6 +241,116 @@ func inspectLanes(env *sim.Env, ln *lightnvm.Device, active int) error {
 		printTargetPanel(k, span, elapsed)
 		if err := ln.RemoveTarget(p, "pblk0"); err != nil {
 			out = fmt.Errorf("remove: %w", err)
+		}
+	})
+	env.Run()
+	return out
+}
+
+// printStreamPanel renders per-stream group occupancy: how the FTL's
+// block groups are divided between the user, GC, and app write streams,
+// and how full each stream's groups are. On a flash-native LSM stack the
+// app stream should run at ~100% occupancy — whole-table extents die as a
+// unit, so closed app groups are either fully valid or fully dead.
+func printStreamPanel(k *pblk.Pblk, sectorSize int) {
+	dataSectors := k.EraseUnitBytes() / int64(sectorSize)
+	fmt.Printf("\nper-stream group occupancy:\n")
+	fmt.Printf("  %-6s %-5s %-7s %-11s %-9s %-9s\n",
+		"stream", "open", "closed", "gc-claimed", "valid MB", "occupancy")
+	for _, s := range k.StreamStats() {
+		groups := int64(s.OpenGroups + s.ClosedGroups + s.GCGroups)
+		occ := "-"
+		if groups > 0 {
+			occ = fmt.Sprintf("%.0f%%", 100*float64(s.ValidSectors)/float64(groups*dataSectors))
+		}
+		fmt.Printf("  %-6s %-5d %-7d %-11d %-9.1f %-9s\n",
+			s.Stream, s.OpenGroups, s.ClosedGroups, s.GCGroups,
+			float64(s.ValidSectors)*float64(sectorSize)/1e6, occ)
+	}
+	fmt.Printf("  free groups: %d\n", k.FreeGroups())
+}
+
+// inspectLSM mounts the lsmdb engine on a flash-native pblk stream — the
+// LSM/FTL co-design stack the wa-e2e experiment measures — runs fill plus
+// overwrite drive-passes, and dumps the operator view: per-stream group
+// occupancy and the combined (app x FTL) write-amplification readout.
+func inspectLSM() error {
+	env := sim.NewEnv(1)
+	media := nand.DefaultConfig()
+	media.PECycleLimit = 0
+	media.WearLatencyFactor = 0
+	geo := ppa.Geometry{
+		Channels: 4, PUsPerChannel: 2, PlanesPerPU: 2,
+		BlocksPerPlane: 28, PagesPerBlock: 32,
+		SectorsPerPage: 4, SectorSize: 4096, OOBPerPage: 64,
+	}
+	dev, err := ocssd.New(env, ocssd.Config{
+		Geometry: geo, Timing: ocssd.DefaultTiming(), Media: media,
+		PageCache: true, Seed: 1,
+	})
+	if err != nil {
+		return err
+	}
+	ln := lightnvm.Register("lsm0n1", dev)
+	var out error
+	env.Go("lsm", func(p *sim.Proc) {
+		k, err := pblk.New(p, ln, "pblk-lsm", pblk.Config{
+			ActivePUs: 2, OverProvision: 0.10, HintPolicy: pblk.HintNativeStream,
+		})
+		if err != nil {
+			out = err
+			return
+		}
+		defer k.Stop(p)
+		segment := int64(k.ActivePUs()) * k.EraseUnitBytes()
+		cfg := lsmdb.DefaultConfig()
+		cfg.Seed = 1
+		cfg.KeySize = 16
+		cfg.ValueSize = 2016
+		cfg.MemtableSize = segment - 160<<10
+		cfg.WALSize = 4 << 20
+		cfg.WALSyncBytes = 128 << 10
+		cfg.L0CompactionTrigger = 2
+		cfg.L0StallLimit = 4
+		cfg.LevelRatio = 3
+		cfg.MaxLevels = 3
+		cfg.BlockSize = 4 << 10
+		cfg.TableTargetSize = segment - 128<<10
+		cfg.TableSlotSize = segment
+		cfg.BlockCacheSize = 8 << 20
+		cfg.ColdHints = true
+		db, err := lsmdb.Open(p, env, k, cfg)
+		if err != nil {
+			out = err
+			return
+		}
+		fmt.Printf("\nlsm stack: lsmdb on %s, flash-native append stream\n", k.TargetName())
+		fmt.Printf("  erase unit %d KB x %d lanes -> table slot %d KB; memtable %d KB\n",
+			k.EraseUnitBytes()>>10, k.ActivePUs(), segment>>10, cfg.MemtableSize>>10)
+		entries := int64(0.42*float64(k.Capacity())) / int64(cfg.KeySize+cfg.ValueSize)
+		lsmdb.FillRandomN(p, db, 4, entries)
+		lsmdb.OverwriteRandomN(p, db, 4, entries, 1)
+		ftl0 := k.Stats
+		appB := db.WALBytes + db.FlushedBytes + db.CompactionWriteBytes
+		inB := db.UserBytesIn
+		res := lsmdb.OverwriteRandomN(p, db, 4, entries, 2)
+		appWA := float64(db.WALBytes+db.FlushedBytes+db.CompactionWriteBytes-appB) /
+			float64(db.UserBytesIn-inB)
+		user := k.Stats.UserWrites - ftl0.UserWrites
+		moved := k.Stats.GCMovedSectors - ftl0.GCMovedSectors
+		padded := k.Stats.PaddedSectors - ftl0.PaddedSectors
+		ftlWA := float64(user+moved+padded) / float64(user)
+		fmt.Printf("  fill %d entries (42%% of capacity) + 1 warm-up + 1 measured drive-pass: %.1f MB/s\n",
+			entries, res.UserMBps)
+		fmt.Printf("  levels: %v tables\n", db.LevelTables())
+		printStreamPanel(k, geo.SectorSize)
+		fmt.Printf("\ncombined write amplification (measured pass):\n")
+		fmt.Printf("  app WA   %.2f  (WAL + flush + compaction bytes / user bytes)\n", appWA)
+		fmt.Printf("  FTL WA   %.2f  (user + GC-moved + padded sectors / user: moved=%d padded=%d)\n",
+			ftlWA, moved, padded)
+		fmt.Printf("  combined %.2f  (media bytes per user byte)\n", appWA*ftlWA)
+		if err := db.Close(p); err != nil {
+			out = err
 		}
 	})
 	env.Run()

@@ -35,6 +35,25 @@ const (
 	ReqTrim
 )
 
+// Write-lifetime hints, carried on Request.Hint. They mirror NVMe write
+// stream directives: a hint-aware device (pblk) may use them to segregate
+// data with different lifetimes into different append streams; every other
+// device ignores them.
+const (
+	// HintNone marks ordinary data with unknown lifetime.
+	HintNone uint8 = iota
+	// HintCold marks long-lived sequential data (SSTable flush/compaction
+	// output) that the application erases in whole extents.
+	HintCold
+	// HintColdSeg marks the first write of a new cold append segment. A
+	// stream-aware FTL placing cold data in a dedicated append stream may
+	// realign that stream to an erase-unit boundary at the marker (the ZNS
+	// finish-zone-per-SSTable discipline), so segments sized to the erase
+	// unit map onto whole units and die whole when the application trims
+	// them. Devices without stream placement treat it exactly as HintCold.
+	HintColdSeg
+)
+
 func (o ReqOp) String() string {
 	switch o {
 	case ReqRead:
@@ -74,6 +93,11 @@ type Request struct {
 	Off    int64
 	Buf    []byte
 	Length int64
+
+	// Hint is an optional write-lifetime hint (HintNone/HintCold).
+	// Hint-aware devices may route the write to a matching append stream;
+	// all other devices ignore it.
+	Hint uint8
 
 	// OnComplete, when non-nil, runs exactly once in simulation context
 	// when the request finishes; Err, Submitted and Done are set by then.

@@ -105,7 +105,22 @@ type Experiment struct {
 
 var registry []Experiment
 
-func register(e Experiment) { registry = append(registry, e) }
+// register wraps each experiment so the global lightnvm registry is
+// emptied when its Run returns: experiments register fresh devices every
+// run and never revisit them afterwards, and a registry entry pins the
+// whole simulated media (NAND arenas included) as live heap. Without the
+// sweep, a process running experiments back to back — the determinism
+// test suite, a multi-experiment lnvm-bench invocation — accumulates
+// every prior run's device state, and later experiments spend their time
+// in GC cycles scanning it (quick fig5 after fig4: 4s -> 120s wall).
+func register(e Experiment) {
+	run := e.Run
+	e.Run = func(o Options, w io.Writer) error {
+		defer lightnvm.UnregisterAll()
+		return run(o, w)
+	}
+	registry = append(registry, e)
+}
 
 // All lists registered experiments sorted by ID.
 func All() []Experiment {

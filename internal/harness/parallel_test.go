@@ -7,7 +7,7 @@ import (
 )
 
 // parallelIDs are the experiments wired to the sharded engine.
-var parallelIDs = []string{"fig4", "fig5", "lanes", "wa", "tenants", "fleet", "lifetime"}
+var parallelIDs = []string{"fig4", "fig5", "lanes", "wa", "tenants", "fleet", "lifetime", "wa-e2e"}
 
 func runQuick(t *testing.T, id string, parallel bool, workers int) []byte {
 	t.Helper()

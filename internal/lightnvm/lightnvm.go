@@ -104,6 +104,17 @@ func Devices() []string {
 	return names
 }
 
+// UnregisterAll empties the device registry, dropping the subsystem's
+// references to every registered device. Live *Device handles keep
+// working — unregistration only affects name lookups — so a caller that
+// is done with a simulation can release the device tree (NAND arenas
+// included) to the garbage collector even while stale handles exist.
+func UnregisterAll() {
+	devRegMu.Lock()
+	devReg = make(map[string]*Device)
+	devRegMu.Unlock()
+}
+
 // Lookup returns a registered device by name.
 func Lookup(name string) (*Device, bool) {
 	devRegMu.Lock()

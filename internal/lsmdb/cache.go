@@ -1,0 +1,87 @@
+package lsmdb
+
+// blockCache is a clock-eviction (second chance) cache of SSTable data
+// blocks, keyed by (table id, block offset). Table ids are never reused,
+// so entries of dropped tables simply age out. Slot buffers are allocated
+// once at capacity and reused across evictions, so steady-state churn
+// allocates nothing.
+
+type cacheKey struct {
+	id  uint64
+	off int32
+}
+
+type cacheSlot struct {
+	key cacheKey
+	buf []byte
+	n   int
+	ref bool
+}
+
+type blockCache struct {
+	slots    []cacheSlot
+	idx      map[cacheKey]int32
+	hand     int
+	capSlots int
+	maxBlock int
+}
+
+func (c *blockCache) init(bytes int64, maxBlock int) {
+	if maxBlock <= 0 {
+		maxBlock = 1
+	}
+	c.maxBlock = maxBlock
+	c.capSlots = int(bytes / int64(maxBlock))
+	if bytes > 0 && c.capSlots == 0 {
+		c.capSlots = 1
+	}
+	c.idx = make(map[cacheKey]int32, c.capSlots)
+}
+
+// get returns the cached block and marks it recently used.
+func (c *blockCache) get(id uint64, off int32) ([]byte, bool) {
+	i, ok := c.idx[cacheKey{id, off}]
+	if !ok {
+		return nil, false
+	}
+	s := &c.slots[i]
+	s.ref = true
+	return s.buf[:s.n], true
+}
+
+// insert copies data into the cache, evicting by clock when full. Blocks
+// larger than the slot size (oversized records) are not cached.
+func (c *blockCache) insert(id uint64, off int32, data []byte) {
+	if c.capSlots == 0 || len(data) > c.maxBlock {
+		return
+	}
+	key := cacheKey{id, off}
+	if i, ok := c.idx[key]; ok {
+		s := &c.slots[i]
+		s.n = copy(s.buf[:cap(s.buf)], data)
+		s.ref = true
+		return
+	}
+	var i int32
+	if len(c.slots) < c.capSlots {
+		c.slots = append(c.slots, cacheSlot{buf: make([]byte, c.maxBlock)})
+		i = int32(len(c.slots) - 1)
+	} else {
+		for {
+			s := &c.slots[c.hand]
+			if !s.ref {
+				i = int32(c.hand)
+				c.hand = (c.hand + 1) % len(c.slots)
+				break
+			}
+			s.ref = false
+			c.hand = (c.hand + 1) % len(c.slots)
+		}
+		delete(c.idx, c.slots[i].key)
+	}
+	s := &c.slots[i]
+	s.key = key
+	s.n = copy(s.buf, data)
+	s.ref = true
+	c.idx[key] = i
+}

@@ -1,40 +1,52 @@
 // Package lsmdb is a storage-level LSM-tree key-value engine standing in
 // for RocksDB in the paper's application evaluation (§5.4, Fig 6/Table 2).
 //
-// It reproduces RocksDB's I/O behaviour rather than its SQL-visible
-// semantics: a write-ahead log with group commit and optional sync, an
-// in-memory memtable flushed to L0 sstables as large sequential writes,
-// leveled background compaction that consumes device bandwidth invisibly
-// to the benchmark ("internally RocksDB performs its own garbage
-// collection, i.e. sstable compaction"), write stalls when flushes or L0
-// fall behind, and point reads served through a block cache.
+// It is a real leveled LSM rather than a synthetic I/O model: a
+// write-ahead log with group commit, a sorted-skiplist memtable with an
+// immutable flush queue, block-format SSTables with per-table bloom
+// filters, a clock-eviction block cache, a double-slot manifest for
+// crash-consistent level state, and leveled background compaction with
+// overlap-based victim picking. Keys and values are materialized, so
+// point lookups, crash recovery (manifest load + WAL replay), and
+// compaction merges operate on real data.
 //
-// Payloads are synthetic (nil buffers): placement, sizes, and timing are
-// exact; key/value bytes are not materialized.
+// All device I/O rides the blockdev.Queue asynchronous datapath through
+// pooled requests (ioCall), so the steady-state read/write path allocates
+// nothing. SSTable flush and compaction output may be tagged with
+// blockdev.HintCold (Config.ColdHints): a hint-aware FTL (pblk) then
+// segregates them into a cold or dedicated app append stream, and because
+// lsmdb erases whole table extents with ReqTrim after each compaction,
+// the FTL never has to relocate SSTable data — compaction is the garbage
+// collection (the paper's argument against log-on-log stacking).
 package lsmdb
 
 import (
+	"errors"
 	"fmt"
 	"math/rand"
 	"time"
 
 	"repro/internal/blockdev"
 	"repro/internal/sim"
-	"repro/internal/stats"
 )
 
 // Config shapes the engine.
 type Config struct {
-	// KeySize+ValueSize is the logical entry size (db_bench: 16+100 by
-	// default; the paper-scale runs use larger values).
+	// KeySize+ValueSize is the logical entry size the db_bench-style
+	// drivers generate (db_bench: 16+100 by default; the paper-scale runs
+	// use larger values). The engine itself takes arbitrary keys/values.
 	KeySize, ValueSize int
-	// MemtableSize triggers a flush to L0 (RocksDB write_buffer_size).
+	// MemtableSize seals the active memtable for flushing to L0
+	// (RocksDB write_buffer_size).
 	MemtableSize int64
-	// WALSyncBytes is the group-commit granularity: with SyncWAL, a device
-	// flush is issued every WALSyncBytes of log.
+	// WALSize is the circular WAL region in bytes. 0 derives 4x
+	// MemtableSize, clamped to 1/8 of the device.
+	WALSize int64
+	// WALSyncBytes is the group-commit sync granularity: with SyncWAL, a
+	// device flush is issued every WALSyncBytes of log.
 	WALSyncBytes int
-	// SyncWAL enables fsync on commit batches (the paper runs with sync
-	// enabled "to guarantee data integrity").
+	// SyncWAL makes Put wait until its record's WAL batch write completes
+	// (the paper runs with sync enabled "to guarantee data integrity").
 	SyncWAL bool
 	// DisableWAL skips the log entirely (db_bench --disable_wal).
 	DisableWAL bool
@@ -44,10 +56,29 @@ type Config struct {
 	LevelRatio int
 	// MaxLevels bounds the tree depth.
 	MaxLevels int
-	// BlockCacheHitRate is the probability a Get is served from memory.
-	BlockCacheHitRate float64
-	// ReadBlocksPerGet is the sstable blocks fetched on a cache miss.
-	ReadBlocksPerGet int
+	// BlockSize is the SSTable data-block payload target; blocks are
+	// padded to sector boundaries so block reads need no realignment.
+	BlockSize int
+	// TableTargetSize splits compaction output tables.
+	TableTargetSize int64
+	// TableSlotSize, when >0, fixes the uniform table extent size instead
+	// of the computed worst case, and pads every table image to fill its
+	// slot exactly. Set it to the device's erase unit (pblk.EraseUnitBytes)
+	// for flash-native alignment: each table then consumes exactly one
+	// reclaim unit of the FTL's append stream, so erasing a table leaves a
+	// whole unit invalid and GC never has to move SSTable data. The slot
+	// must exceed the worst-case table image (TableTargetSize plus entry
+	// overshoot, bloom, index, footer) or Open fails.
+	TableSlotSize int64
+	// BlockCacheSize bounds the clock block cache in bytes (0 disables).
+	BlockCacheSize int64
+	// BloomBitsPerKey sizes the per-table bloom filters; 0 means 10.
+	BloomBitsPerKey int
+	// QueueDepth is the submission queue depth opened on the device.
+	QueueDepth int
+	// ColdHints tags SSTable flush and compaction writes with
+	// blockdev.HintCold so a hint-aware FTL can segregate them.
+	ColdHints bool
 	// CPUPerOp is the host CPU cost charged to every Put and Get
 	// (memtable/skiplist work, comparisons, checksums).
 	CPUPerOp time.Duration
@@ -66,43 +97,107 @@ func DefaultConfig() Config {
 		L0StallLimit:        8,
 		LevelRatio:          10,
 		MaxLevels:           4,
-		BlockCacheHitRate:   0.35,
-		ReadBlocksPerGet:    2,
+		BlockSize:           32 << 10,
+		TableTargetSize:     8 << 20,
+		BlockCacheSize:      32 << 20,
+		BloomBitsPerKey:     10,
+		QueueDepth:          32,
 		CPUPerOp:            2 * time.Microsecond,
 		Seed:                1,
 	}
 }
 
-// sstable is one on-device table: an extent of the sstable area.
-type sstable struct {
-	off, size int64
-}
+// ErrClosed is returned for operations after Close.
+var ErrClosed = errors.New("lsmdb: closed")
+
+// maxImmutables bounds the flush queue before writers stall (RocksDB
+// max_write_buffer_number - 1).
+const maxImmutables = 2
+
+// walMaxPend bounds the accumulating group-commit batch; producers park
+// until the writer drains below it.
+const walMaxPend = 1 << 20
 
 // DB is the engine instance.
 type DB struct {
 	cfg Config
-	dev blockdev.Device
 	env *sim.Env
+	q   blockdev.Queue
 	rng *rand.Rand
+	ss  int64 // device sector size
 
-	// WAL: a circular region at the front of the device.
-	walBase, walSize, walHead int64
-	walSinceSync              int64
+	// Device layout: [manifest slot 0 | slot 1 | WAL region | table area).
+	walBase, walSize  int64
+	areaBase, areaEnd int64
 
-	// sstable area: bump allocator with wraparound over [areaBase, cap).
-	areaBase, areaHead int64
+	// WAL state: walHead/walTail are monotonic byte cursors into the
+	// circular region (position = cursor mod walSize).
+	walHead, walTail int64
+	walPend          []byte // accumulating group-commit payload
+	walPendFirst     uint64 // seq of the first record in walPend
+	walPendCount     int
+	walSpare         []byte // last written payload, recycled as next walPend
+	walFrame         []byte // framed batch build buffer (writer-owned)
+	walWrittenSeq    uint64 // last seq whose batch write completed
+	walSyncedSeq     uint64 // last seq covered by a completed device flush
+	walSinceSync     int64
+	walActive        bool // writer mid-batch
+	walKick          *sim.Event
+	walBatch         *sim.Event
+	walDone          *sim.Event
 
-	memBytes      int64
-	immutables    int // memtables waiting to flush
-	flushKick     *sim.Event
-	stallEv       *sim.Event
-	levels        [][]sstable // levels[0] = L0 files
-	levelBytes    []int64
+	mem       *memtable
+	immQ      []*memtable
+	memPool   []*memtable
+	flushKick *sim.Event
+	stallEv   *sim.Event
+	advanceEv *sim.Event // fires on flush/compaction progress (WAL space, stalls)
+
+	// levels[0] is L0 in flush order (newest last); deeper levels are
+	// sorted by minKey and non-overlapping. Edits that remove tables
+	// replace the slice wholesale (copy-on-write) so readers can capture a
+	// level's slice and iterate across I/O waits.
+	levels      [][]*tableMeta
+	levelBytes  []int64
+	nextTableID uint64
+	seq         uint64 // last assigned sequence number
+	flushedSeq  uint64 // highest seq persisted in SSTables (manifest)
+	manifestVer uint64
+	manifestBuf []byte
+	manifestMu  *sim.Resource
+
+	freeExt   []extent // sorted free extents of the table area
+	tableSlot int64    // uniform table extent size (fragmentation-proof)
+	slotPad   bool     // pad table images to tableSlot (erase-unit alignment)
+
+	// tableWriteMu serializes whole table-image writes: without it a flush
+	// and a compaction output interleave their chunks in the device's
+	// append stream, and no extent then maps to a contiguous physical run.
+	// With slot-aligned padded images this keeps table extent == erase
+	// group exactly, which is what makes trim-after-compaction free.
+	tableWriteMu *sim.Resource
+
+	flushing      bool
 	compacting    bool
-	compactKick   *sim.Event
 	stopping      bool
+	failed        error // first background I/O failure: engine is fail-stop
 	flusherDone   *sim.Event
 	compactorDone *sim.Event
+	compactKick   *sim.Event
+
+	cache blockCache
+
+	// Pools: blocking-call contexts, fire-and-forget trim requests,
+	// SSTable builders and iterators, block scratch buffers.
+	callFree    []*ioCall
+	trimPool    blockdev.ReqPool
+	builderFree []*tableBuilder
+	iterFree    []*tableIter
+	blockFree   [][]byte
+
+	// Driver state: highest key index loaded, shared by the db_bench-style
+	// drivers so read phases know the populated range.
+	loaded int64
 
 	// Stats observable by the harness.
 	Puts, Gets           int64
@@ -115,236 +210,291 @@ type DB struct {
 	Syncs                int64
 	WriteStalls          int64
 	CacheHits            int64
+	CacheMisses          int64
+	BloomSkips           int64
+	Flushes              int64
+	Compactions          int64
+	TrimmedBytes         int64
 }
 
-// Open creates an engine on dev. The first 1/16 of the device holds the
-// WAL; the rest is sstable space.
+// Open creates or recovers an engine on dev: the manifest's newer valid
+// slot restores the level state, and WAL replay rebuilds the memtable up
+// to the crash point. The engine owns the whole device.
 func Open(p *sim.Proc, env *sim.Env, dev blockdev.Device, cfg Config) (*DB, error) {
 	if cfg.MemtableSize == 0 {
 		cfg = DefaultConfig()
 	}
+	if cfg.BlockSize == 0 {
+		cfg.BlockSize = 32 << 10
+	}
+	if cfg.TableTargetSize == 0 {
+		cfg.TableTargetSize = 8 << 20
+	}
+	if cfg.BloomBitsPerKey == 0 {
+		cfg.BloomBitsPerKey = 10
+	}
+	if cfg.QueueDepth == 0 {
+		cfg.QueueDepth = 32
+	}
+	if cfg.MaxLevels < 2 {
+		cfg.MaxLevels = 2
+	}
 	ss := int64(dev.SectorSize())
 	db := &DB{
-		cfg: cfg, dev: dev, env: env,
-		rng:     rand.New(rand.NewSource(cfg.Seed)),
-		walSize: dev.Capacity() / 16 / ss * ss,
+		cfg: cfg, env: env, ss: ss,
+		q:   blockdev.OpenQueue(env, dev, cfg.QueueDepth),
+		rng: rand.New(rand.NewSource(cfg.Seed)),
 	}
-	db.walBase = 0
-	db.areaBase = db.walSize
-	db.areaHead = db.areaBase
-	db.levels = make([][]sstable, cfg.MaxLevels)
+	walSize := cfg.WALSize
+	if walSize == 0 {
+		walSize = 4 * cfg.MemtableSize
+	}
+	if max := dev.Capacity() / 8; walSize > max {
+		walSize = max
+	}
+	db.walBase = 2 * manifestSlotSize
+	db.walSize = walSize / ss * ss
+	db.areaBase = db.walBase + db.walSize
+	db.areaEnd = dev.Capacity() / ss * ss
+	if db.areaEnd-db.areaBase < 2*cfg.MemtableSize {
+		return nil, fmt.Errorf("lsmdb: device too small: %d bytes of table area", db.areaEnd-db.areaBase)
+	}
+	// Table extents are uniform slots sized for the worst-case table image
+	// (data overshoot past the cut threshold, bloom at tombstone-only
+	// density, block index, footer, sector padding). Same-size extents make
+	// the area immune to fragmentation: any free hole fits any table, so a
+	// long-running instance at high occupancy cannot strand free bytes in
+	// sub-table shards.
+	{
+		maxEntry := int64(cfg.KeySize + cfg.ValueSize + tableRecHdr)
+		if b := int64(cfg.BlockSize); maxEntry < b {
+			maxEntry = b
+		}
+		maxData := cfg.TableTargetSize + maxEntry + ss
+		entries := maxData/int64(tableRecHdr+cfg.KeySize+1) + 1
+		bloom := entries*int64(cfg.BloomBitsPerKey)/8 + 64
+		blocks := maxData/int64(cfg.BlockSize) + 2
+		index := blocks * int64(10+cfg.KeySize+8)
+		db.tableSlot = db.sectorAlign(maxData + bloom + index + 3*ss)
+	}
+	if cfg.TableSlotSize > 0 {
+		slot := db.sectorAlign(cfg.TableSlotSize)
+		// The explicit slot must still fit a worst-case image — including a
+		// tombstone-dense one, whose bloom and index are largest — since a
+		// table that overflows its slot would break the alignment invariant.
+		maxData := cfg.TableTargetSize + int64(cfg.KeySize+cfg.ValueSize+tableRecHdr) + ss
+		entries := maxData/int64(tableRecHdr+cfg.KeySize+1) + 1
+		meta := entries*int64(cfg.BloomBitsPerKey)/8 + 64 +
+			(maxData/int64(cfg.BlockSize)+2)*int64(10+cfg.KeySize+8) + 3*ss
+		if slot < db.sectorAlign(maxData+meta) {
+			return nil, fmt.Errorf("lsmdb: TableSlotSize %d below worst-case table image %d",
+				slot, db.sectorAlign(maxData+meta))
+		}
+		db.tableSlot = slot
+		db.slotPad = true
+	}
+	db.levels = make([][]*tableMeta, cfg.MaxLevels)
 	db.levelBytes = make([]int64, cfg.MaxLevels)
+	db.nextTableID = 1
+	db.walKick = env.NewEvent()
+	db.walBatch = env.NewEvent()
+	db.walDone = env.NewEvent()
 	db.flushKick = env.NewEvent()
 	db.compactKick = env.NewEvent()
+	db.advanceEv = env.NewEvent()
 	db.flusherDone = env.NewEvent()
 	db.compactorDone = env.NewEvent()
+	db.manifestMu = env.NewResource(1)
+	db.tableWriteMu = env.NewResource(1)
+	db.cache.init(cfg.BlockCacheSize, cfg.BlockSize+2*int(ss))
+	db.mem = db.getMemtable()
+	if err := db.recover(p); err != nil {
+		return nil, err
+	}
+	env.Go("lsmdb.wal", db.walWriter)
 	env.Go("lsmdb.flusher", db.flusher)
 	env.Go("lsmdb.compactor", db.compactor)
 	return db, nil
 }
 
-// Quiesce blocks until background flushes and compactions settle, so a
-// read benchmark starts from a steady tree (db_bench's wait between
-// phases).
-func (db *DB) Quiesce(p *sim.Proc) {
-	for db.immutables > 0 || db.compacting || db.pickCompaction() >= 0 {
-		db.flushKick.Signal()
-		db.compactKick.Signal()
-		p.Sleep(time.Millisecond)
+// SyncedSeq returns the highest sequence number guaranteed durable: data
+// at or below it survives a crash (covered by a completed WAL device
+// flush or a committed SSTable flush). Crash tests compare recovered
+// state against it.
+func (db *DB) SyncedSeq() uint64 {
+	if db.flushedSeq > db.walSyncedSeq {
+		return db.flushedSeq
 	}
+	return db.walSyncedSeq
 }
 
-// Close stops background work, flushing the active memtable.
-func (db *DB) Close(p *sim.Proc) error {
-	if db.memBytes > 0 {
-		db.immutables++
-		db.memBytes = 0
-		db.flushKick.Signal()
+// LastSeq returns the last assigned sequence number.
+func (db *DB) LastSeq() uint64 { return db.seq }
+
+// Flushing reports whether a memtable flush is writing its SSTable —
+// crash tests poll it to power-cut mid-flush.
+func (db *DB) Flushing() bool { return db.flushing }
+
+// Compacting reports whether a compaction is in progress.
+func (db *DB) Compacting() bool { return db.compacting }
+
+// LevelTables returns the table count per level (diagnostics).
+func (db *DB) LevelTables() []int {
+	out := make([]int, len(db.levels))
+	for i := range db.levels {
+		out[i] = len(db.levels[i])
 	}
-	for db.immutables > 0 || db.compacting {
-		p.Sleep(500 * time.Microsecond)
-	}
-	db.stopping = true
-	db.flushKick.Signal()
-	db.compactKick.Signal()
-	p.Wait(db.flusherDone)
-	p.Wait(db.compactorDone)
-	return nil
+	return out
 }
 
 func (db *DB) entrySize() int64 { return int64(db.cfg.KeySize + db.cfg.ValueSize) }
 
-func (db *DB) sectorAlign(n int64) int64 {
-	ss := int64(db.dev.SectorSize())
-	return (n + ss - 1) / ss * ss
+func (db *DB) sectorAlign(n int64) int64 { return (n + db.ss - 1) / db.ss * db.ss }
+
+// ---- pooled blocking I/O over the queue ----
+
+// ioCall is one pooled blocking-call context: an embedded request with a
+// pre-bound completion event, reused across calls so the datapath
+// allocates nothing in steady state (the hint-carrying analogue of
+// blockdev.SyncAdapter's syncCall).
+type ioCall struct {
+	req blockdev.Request
+	ev  *sim.Event
+	one [1]*blockdev.Request
 }
 
-// Put appends one entry: WAL write (with group-commit sync), memtable
-// insert, and stall handling when background work falls behind.
-func (db *DB) Put(p *sim.Proc) error {
+func (db *DB) getCall() *ioCall {
+	if n := len(db.callFree); n > 0 {
+		c := db.callFree[n-1]
+		db.callFree[n-1] = nil
+		db.callFree = db.callFree[:n-1]
+		return c
+	}
+	c := &ioCall{ev: db.env.NewEvent()}
+	c.req.OnComplete = func(*blockdev.Request) { c.ev.Signal() }
+	return c
+}
+
+// doIO submits one request and suspends p until it completes. hint is the
+// write-lifetime hint (blockdev.HintNone/HintCold).
+func (db *DB) doIO(p *sim.Proc, op blockdev.ReqOp, off int64, buf []byte, length int64, hint uint8) error {
+	c := db.getCall()
+	c.req.Op, c.req.Off, c.req.Buf, c.req.Length, c.req.Hint, c.req.Err = op, off, buf, length, hint, nil
+	c.one[0] = &c.req
+	db.q.Submit(c.one[:]...)
+	p.Wait(c.ev)
+	c.ev.Reset()
+	err := c.req.Err
+	c.req.Buf = nil
+	db.callFree = append(db.callFree, c)
+	return err
+}
+
+// asyncTrim discards a dead extent without blocking: fire-and-forget
+// through the request pool. The FTL drops the mappings, so the erased
+// table's sectors become zero-cost garbage instead of data GC would move.
+func (db *DB) asyncTrim(off, length int64) {
+	r := db.trimPool.Get()
+	r.Op, r.Off, r.Length = blockdev.ReqTrim, off, length
+	r.OnComplete = db.trimDone
+	db.q.Submit(r)
+	db.TrimmedBytes += length
+}
+
+func (db *DB) trimDone(r *blockdev.Request) { db.trimPool.Put(r) }
+
+func (db *DB) tableHint() uint8 {
+	if db.cfg.ColdHints {
+		return blockdev.HintCold
+	}
+	return blockdev.HintNone
+}
+
+// ---- write path ----
+
+// Put inserts one key/value pair: WAL append (group commit), memtable
+// insert, seal on overflow, and stall handling when background work falls
+// behind (RocksDB behaviour: too many immutable memtables or L0 files).
+func (db *DB) Put(p *sim.Proc, key, val []byte) error {
+	return db.write(p, key, val, false)
+}
+
+// Delete writes a tombstone for key.
+func (db *DB) Delete(p *sim.Proc, key []byte) error {
+	return db.write(p, key, nil, true)
+}
+
+func (db *DB) write(p *sim.Proc, key, val []byte, tomb bool) error {
+	if db.stopping {
+		return db.errClosed()
+	}
+	if len(key) == 0 || len(key) > 0xFFFF {
+		return fmt.Errorf("lsmdb: invalid key length %d", len(key))
+	}
 	if db.cfg.CPUPerOp > 0 {
 		p.Sleep(db.cfg.CPUPerOp)
 	}
-	sz := db.entrySize()
-	// Write stall conditions (RocksDB behaviour): too many immutable
-	// memtables or too many L0 files.
-	for db.immutables >= 2 || len(db.levels[0]) >= db.cfg.L0StallLimit {
+	for len(db.immQ) >= maxImmutables || len(db.levels[0]) >= db.cfg.L0StallLimit {
 		db.WriteStalls++
-		db.compactKick.Signal()
 		db.flushKick.Signal()
+		db.compactKick.Signal()
 		if db.stallEv == nil || db.stallEv.Fired() {
 			db.stallEv = db.env.NewEvent()
 		}
 		p.Wait(db.stallEv)
-	}
-	if !db.cfg.DisableWAL {
-		// WAL append: sector-rounded group writes.
-		walOff := db.walBase + db.walHead%db.walSize
-		wlen := db.sectorAlign(sz)
-		if walOff+wlen > db.walBase+db.walSize {
-			walOff = db.walBase
-			db.walHead = 0
-		}
-		if err := db.dev.Write(p, walOff, nil, wlen); err != nil {
-			return err
-		}
-		db.walHead += wlen
-		db.WALBytes += wlen
-		db.walSinceSync += wlen
-		if db.cfg.SyncWAL && db.walSinceSync >= int64(db.cfg.WALSyncBytes) {
-			db.walSinceSync = 0
-			db.Syncs++
-			if err := db.dev.Flush(p); err != nil {
-				return err
-			}
+		if db.stopping {
+			return db.errClosed()
 		}
 	}
-	db.memBytes += sz
+	db.seq++
+	s := db.seq
+	if err := db.walAppend(p, key, val, tomb, s); err != nil {
+		return err
+	}
+	db.mem.insert(key, val, s, tomb)
 	db.Puts++
-	db.UserBytesIn += sz
-	if db.memBytes >= db.cfg.MemtableSize {
-		db.memBytes = 0
-		db.immutables++
-		db.flushKick.Signal()
+	db.UserBytesIn += int64(len(key) + len(val))
+	if db.mem.size >= db.cfg.MemtableSize {
+		db.sealActive()
 	}
 	return nil
 }
 
-// Get performs one point lookup: block cache hit, or sstable block reads.
-func (db *DB) Get(p *sim.Proc) error {
-	if db.cfg.CPUPerOp > 0 {
-		p.Sleep(db.cfg.CPUPerOp)
+// sealActive moves the active memtable onto the immutable flush queue.
+// The WAL mark taken here is where reclamation may advance once this
+// memtable's flush commits.
+func (db *DB) sealActive() {
+	if db.mem.size == 0 {
+		return
 	}
-	db.Gets++
-	db.UserBytesOut += db.entrySize()
-	if db.rng.Float64() < db.cfg.BlockCacheHitRate {
-		db.CacheHits++
-		return nil
-	}
-	reads := db.cfg.ReadBlocksPerGet
-	if reads < 1 {
-		reads = 1
-	}
-	ss := int64(db.dev.SectorSize())
-	for i := 0; i < reads; i++ {
-		tbl := db.randomTable()
-		if tbl.size == 0 {
-			return nil // empty tree
-		}
-		sectors := tbl.size / ss
-		off := tbl.off + db.rng.Int63n(sectors)*ss
-		if err := db.dev.Read(p, off, nil, ss); err != nil {
-			return err
-		}
-	}
-	return nil
+	db.mem.walMark = db.walHead
+	db.immQ = append(db.immQ, db.mem)
+	db.mem = db.getMemtable()
+	db.flushKick.Signal()
 }
 
-// randomTable picks a table weighted toward larger levels (where most data
-// lives).
-func (db *DB) randomTable() sstable {
-	var total int64
-	for _, b := range db.levelBytes {
-		total += b
+// fail records the first background I/O error and stops the engine
+// (fail-stop, like a kernel filesystem going read-only): a device crash
+// mid-run must park the engine, not panic the simulation. Subsequent
+// operations return the original error.
+func (db *DB) fail(err error) {
+	if db.failed == nil {
+		db.failed = err
 	}
-	if total == 0 {
-		return sstable{}
-	}
-	target := db.rng.Int63n(total)
-	for lv := range db.levels {
-		if target < db.levelBytes[lv] {
-			tables := db.levels[lv]
-			if len(tables) == 0 {
-				break
-			}
-			return tables[db.rng.Intn(len(tables))]
-		}
-		target -= db.levelBytes[lv]
-	}
-	for lv := len(db.levels) - 1; lv >= 0; lv-- {
-		if len(db.levels[lv]) > 0 {
-			return db.levels[lv][0]
-		}
-	}
-	return sstable{}
+	db.stopping = true
+	db.walKick.Signal()
+	db.flushKick.Signal()
+	db.compactKick.Signal()
+	db.walBatch.Signal()
+	db.advance()
 }
 
-// alloc reserves an extent in the sstable area (ring bump allocation: the
-// oldest space is reclaimed by compaction dropping tables).
-func (db *DB) alloc(size int64) int64 {
-	if db.areaHead+size > db.dev.Capacity() {
-		db.areaHead = db.areaBase
+// errClosed is the error for operations after Close or a failure.
+func (db *DB) errClosed() error {
+	if db.failed != nil {
+		return db.failed
 	}
-	off := db.areaHead
-	db.areaHead += size
-	return off
-}
-
-// writeTable streams an sstable to the device in 256 KB chunks and flushes.
-func (db *DB) writeTable(p *sim.Proc, size int64) (sstable, error) {
-	size = db.sectorAlign(size)
-	off := db.alloc(size)
-	const chunk = 256 << 10
-	for done := int64(0); done < size; {
-		n := int64(chunk)
-		if size-done < n {
-			n = size - done
-		}
-		if err := db.dev.Write(p, off+done, nil, n); err != nil {
-			return sstable{}, err
-		}
-		done += n
-	}
-	if err := db.dev.Flush(p); err != nil {
-		return sstable{}, err
-	}
-	return sstable{off: off, size: size}, nil
-}
-
-// flusher turns immutable memtables into L0 sstables.
-func (db *DB) flusher(p *sim.Proc) {
-	defer db.flusherDone.Signal()
-	for !db.stopping {
-		if db.immutables == 0 {
-			if db.flushKick.Fired() {
-				db.flushKick = db.env.NewEvent()
-			}
-			p.Wait(db.flushKick)
-			continue
-		}
-		tbl, err := db.writeTable(p, db.cfg.MemtableSize)
-		if err != nil {
-			panic(fmt.Sprintf("lsmdb: flush failed: %v", err))
-		}
-		db.immutables--
-		db.levels[0] = append(db.levels[0], tbl)
-		db.levelBytes[0] += tbl.size
-		db.FlushedBytes += tbl.size
-		db.wakeStalled()
-		if len(db.levels[0]) >= db.cfg.L0CompactionTrigger {
-			db.compactKick.Signal()
-		}
-	}
+	return ErrClosed
 }
 
 func (db *DB) wakeStalled() {
@@ -353,23 +503,157 @@ func (db *DB) wakeStalled() {
 	}
 }
 
-// targetBytes is the size budget of a level.
-func (db *DB) targetBytes(level int) int64 {
-	t := db.cfg.MemtableSize * int64(db.cfg.L0CompactionTrigger)
-	for i := 1; i <= level; i++ {
-		t *= int64(db.cfg.LevelRatio)
-	}
-	return t
+// advance signals flush/compaction progress to anyone waiting on WAL
+// space or stall conditions.
+func (db *DB) advance() {
+	db.advanceEv.Signal()
+	db.wakeStalled()
 }
 
-// compactor merges levels that exceed their budget: it reads the source
-// tables plus an overlapping share of the next level and writes the merge
-// result down — bandwidth the foreground benchmark never sees.
+func (db *DB) waitAdvance(p *sim.Proc) {
+	if db.advanceEv.Fired() {
+		db.advanceEv = db.env.NewEvent()
+	}
+	p.Wait(db.advanceEv)
+}
+
+// ---- read path ----
+
+// Get performs one point lookup: memtable, immutable memtables (newest
+// first), L0 tables (newest first), then one candidate table per deeper
+// level — each gated by the table's bloom filter, with data blocks served
+// through the block cache. The value is appended to dst[:0] (pass a
+// reusable buffer to keep the path allocation-free); ok reports whether
+// the key exists.
+func (db *DB) Get(p *sim.Proc, key, dst []byte) (val []byte, ok bool, err error) {
+	if db.stopping {
+		return dst, false, db.errClosed()
+	}
+	if db.cfg.CPUPerOp > 0 {
+		p.Sleep(db.cfg.CPUPerOp)
+	}
+	db.Gets++
+	if v, tomb, found := db.mem.get(key); found {
+		return db.finishGet(dst, v, tomb)
+	}
+	for i := len(db.immQ) - 1; i >= 0; i-- {
+		if v, tomb, found := db.immQ[i].get(key); found {
+			return db.finishGet(dst, v, tomb)
+		}
+	}
+	// Capture each level's slice before descending into it: edits that
+	// remove tables are copy-on-write, and compaction only moves data
+	// downward, so a key always remains visible to this downward scan.
+	l0 := db.levels[0]
+	for i := len(l0) - 1; i >= 0; i-- {
+		v, tomb, found, err := db.tableGet(p, l0[i], key)
+		if err != nil {
+			return dst, false, err
+		}
+		if found {
+			return db.finishGet(dst, v, tomb)
+		}
+	}
+	for lv := 1; lv < len(db.levels); lv++ {
+		t := levelFind(db.levels[lv], key)
+		if t == nil {
+			continue
+		}
+		v, tomb, found, err := db.tableGet(p, t, key)
+		if err != nil {
+			return dst, false, err
+		}
+		if found {
+			return db.finishGet(dst, v, tomb)
+		}
+	}
+	return dst, false, nil
+}
+
+func (db *DB) finishGet(dst, v []byte, tomb bool) ([]byte, bool, error) {
+	if tomb {
+		return dst, false, nil
+	}
+	db.UserBytesOut += int64(len(v))
+	return append(dst[:0], v...), true, nil
+}
+
+// levelFind locates the single table of a sorted level that may hold key.
+func levelFind(ts []*tableMeta, key []byte) *tableMeta {
+	lo, hi := 0, len(ts)
+	for lo < hi {
+		mid := (lo + hi) / 2
+		if keyLess(ts[mid].maxKey, key) {
+			lo = mid + 1
+		} else {
+			hi = mid
+		}
+	}
+	if lo == len(ts) || keyLess(key, ts[lo].minKey) {
+		return nil
+	}
+	return ts[lo]
+}
+
+// ---- background processes ----
+
+// flusher turns immutable memtables into L0 SSTables and commits the
+// manifest so the WAL region behind them can be reclaimed.
+func (db *DB) flusher(p *sim.Proc) {
+	defer db.flusherDone.Signal()
+	for {
+		if len(db.immQ) == 0 {
+			if db.stopping {
+				return
+			}
+			if db.flushKick.Fired() {
+				db.flushKick = db.env.NewEvent()
+			}
+			p.Wait(db.flushKick)
+			continue
+		}
+		m := db.immQ[0]
+		db.flushing = true
+		t, err := db.flushMemtable(p, m)
+		db.flushing = false
+		if err != nil {
+			db.fail(fmt.Errorf("lsmdb: flush: %w", err))
+			return
+		}
+		db.levels[0] = append(db.levels[0], t)
+		db.levelBytes[0] += t.size
+		db.FlushedBytes += t.size
+		db.Flushes++
+		if m.maxSeq > db.flushedSeq {
+			db.flushedSeq = m.maxSeq
+		}
+		if m.walMark > db.walTail {
+			db.walTail = m.walMark
+		}
+		if err := db.commitManifest(p); err != nil {
+			db.fail(fmt.Errorf("lsmdb: manifest commit: %w", err))
+			return
+		}
+		n := copy(db.immQ, db.immQ[1:])
+		db.immQ[n] = nil
+		db.immQ = db.immQ[:n]
+		db.putMemtable(m)
+		db.advance()
+		if len(db.levels[0]) >= db.cfg.L0CompactionTrigger {
+			db.compactKick.Signal()
+		}
+	}
+}
+
+// compactor merges levels over budget (compact.go holds the machinery).
 func (db *DB) compactor(p *sim.Proc) {
 	defer db.compactorDone.Signal()
-	for !db.stopping {
-		level := db.pickCompaction()
-		if level < 0 {
+	for {
+		lv := db.pickCompaction()
+		if lv < 0 {
+			if db.stopping {
+				return
+			}
 			if db.compactKick.Fired() {
 				db.compactKick = db.env.NewEvent()
 			}
@@ -377,254 +661,48 @@ func (db *DB) compactor(p *sim.Proc) {
 			continue
 		}
 		db.compacting = true
-		if err := db.compact(p, level); err != nil {
-			panic(fmt.Sprintf("lsmdb: compaction failed: %v", err))
+		if err := db.compact(p, lv); err != nil {
+			db.fail(fmt.Errorf("lsmdb: compaction: %w", err))
+			return
 		}
 		db.compacting = false
-		db.wakeStalled()
+		db.Compactions++
+		db.advance()
 	}
 }
 
-func (db *DB) pickCompaction() int {
-	if len(db.levels[0]) >= db.cfg.L0CompactionTrigger {
-		return 0
+// Quiesce blocks until background flushes and compactions settle, so a
+// read benchmark starts from a steady tree (db_bench's wait between
+// phases).
+func (db *DB) Quiesce(p *sim.Proc) {
+	for db.failed == nil && (len(db.immQ) > 0 || db.flushing || db.compacting || db.pickCompaction() >= 0) {
+		db.flushKick.Signal()
+		db.compactKick.Signal()
+		p.Sleep(time.Millisecond)
 	}
-	for lv := 1; lv < db.cfg.MaxLevels-1; lv++ {
-		if db.levelBytes[lv] > db.targetBytes(lv) {
-			return lv
-		}
-	}
-	return -1
 }
 
-// compact merges level lv into lv+1.
-func (db *DB) compact(p *sim.Proc, lv int) error {
-	src := db.levels[lv]
-	if len(src) == 0 {
-		return nil
+// Close drains the WAL, flushes the active memtable, waits for background
+// work, and stops the engine. The on-device state is fully recoverable by
+// a subsequent Open.
+func (db *DB) Close(p *sim.Proc) error {
+	if db.stopping {
+		return db.failed
 	}
-	var srcBytes int64
-	if lv == 0 {
-		for _, t := range src {
-			srcBytes += t.size
-		}
-		db.levels[0] = nil
-		db.levelBytes[0] = 0
-	} else {
-		// Move roughly half the level down per round.
-		n := (len(src) + 1) / 2
-		for _, t := range src[:n] {
-			srcBytes += t.size
-		}
-		db.levels[lv] = append([]sstable(nil), src[n:]...)
-		db.levelBytes[lv] -= srcBytes
+	db.sealActive()
+	for db.failed == nil && (len(db.immQ) > 0 || db.flushing || db.compacting || len(db.walPend) > 0 || db.walActive) {
+		db.flushKick.Signal()
+		db.walKick.Signal()
+		p.Sleep(500 * time.Microsecond)
 	}
-	// Overlap share of the destination level, bounded by what it holds.
-	overlap := srcBytes * 2
-	if overlap > db.levelBytes[lv+1] {
-		overlap = db.levelBytes[lv+1]
-	}
-	// Drop destination tables worth `overlap` bytes (they are re-merged).
-	var dropped int64
-	dst := db.levels[lv+1]
-	for len(dst) > 0 && dropped < overlap {
-		dropped += dst[0].size
-		dst = dst[1:]
-	}
-	db.levels[lv+1] = dst
-	db.levelBytes[lv+1] -= dropped
-
-	// Read everything being merged.
-	readBytes := srcBytes + dropped
-	const chunk = 256 << 10
-	for done := int64(0); done < readBytes; {
-		n := int64(chunk)
-		if readBytes-done < n {
-			n = readBytes - done
-		}
-		// Reads scatter over the area; model as sequential chunks from a
-		// random prior extent position.
-		off := db.areaBase + db.rng.Int63n(maxI64(1, db.areaHead-db.areaBase-n))
-		off = off / int64(db.dev.SectorSize()) * int64(db.dev.SectorSize())
-		if err := db.dev.Read(p, off, nil, n); err != nil {
-			return err
-		}
-		done += n
-	}
-	db.CompactionReadBytes += readBytes
-
-	// Write the merged result (assume ~10% dedup/tombstone savings).
-	outBytes := db.sectorAlign(readBytes * 9 / 10)
-	if outBytes > 0 {
-		tbl, err := db.writeTable(p, outBytes)
-		if err != nil {
-			return err
-		}
-		db.levels[lv+1] = append(db.levels[lv+1], tbl)
-		db.levelBytes[lv+1] += tbl.size
-	}
-	db.CompactionWriteBytes += outBytes
-	return nil
-}
-
-func maxI64(a, b int64) int64 {
-	if a > b {
-		return a
-	}
-	return b
-}
-
-// ---- db_bench-style drivers ----
-
-// BenchResult reports one workload run.
-type BenchResult struct {
-	Name     string
-	Ops      int64
-	UserMBps float64
-	Lat      stats.Hist // per-op latency of the measured op type
-	ReadLat  stats.Hist // for mixed workloads: reader latency
-	WriteLat stats.Hist // for mixed workloads: writer latency
-	Elapsed  time.Duration
-	Stalls   int64
-}
-
-// FillSeq runs sequential Puts for the given duration (db_bench fillseq).
-func FillSeq(p *sim.Proc, db *DB, d time.Duration) *BenchResult {
-	res := &BenchResult{Name: "fillseq"}
-	env := p.Env()
-	start := env.Now()
-	for env.Now() < start+d {
-		t0 := env.Now()
-		if err := db.Put(p); err != nil {
-			panic(err)
-		}
-		res.Lat.Add(env.Now() - t0)
-		res.Ops++
-	}
-	res.Elapsed = env.Now() - start
-	res.UserMBps = stats.Throughput(res.Ops*db.entrySize(), res.Elapsed)
-	res.Stalls = db.WriteStalls
-	return res
-}
-
-// FillSeqN loads a fixed number of entries using `threads` concurrent
-// writers (db_bench fillseq with --threads): group commit shares WAL syncs
-// across writers, and the run ends when the volume target is met, so the
-// resulting tree is populated deterministically for subsequent read
-// benchmarks.
-func FillSeqN(p *sim.Proc, db *DB, threads int, entries int64) *BenchResult {
-	if threads < 1 {
-		threads = 1
-	}
-	res := &BenchResult{Name: "fillseq"}
-	env := p.Env()
-	start := env.Now()
-	done := env.NewEvent()
-	running := threads
-	remaining := entries
-	for i := 0; i < threads; i++ {
-		env.Go(fmt.Sprintf("db_bench.filler%d", i), func(pw *sim.Proc) {
-			defer func() {
-				running--
-				if running == 0 {
-					done.Signal()
-				}
-			}()
-			for remaining > 0 {
-				remaining--
-				t0 := env.Now()
-				if err := db.Put(pw); err != nil {
-					panic(err)
-				}
-				res.Lat.Add(env.Now() - t0)
-				res.Ops++
-			}
-		})
-	}
-	p.Wait(done)
-	res.Elapsed = env.Now() - start
-	res.UserMBps = stats.Throughput(res.Ops*db.entrySize(), res.Elapsed)
-	res.Stalls = db.WriteStalls
-	return res
-}
-
-// ReadRandom runs point lookups with `threads` parallel readers
-// (db_bench readrandom).
-func ReadRandom(p *sim.Proc, db *DB, threads int, d time.Duration) *BenchResult {
-	res := &BenchResult{Name: "readrandom"}
-	env := p.Env()
-	start := env.Now()
-	done := env.NewEvent()
-	running := threads
-	for i := 0; i < threads; i++ {
-		env.Go(fmt.Sprintf("db_bench.reader%d", i), func(pr *sim.Proc) {
-			defer func() {
-				running--
-				if running == 0 {
-					done.Signal()
-				}
-			}()
-			for env.Now() < start+d {
-				t0 := env.Now()
-				if err := db.Get(pr); err != nil {
-					panic(err)
-				}
-				res.Lat.Add(env.Now() - t0)
-				res.Ops++
-			}
-		})
-	}
-	p.Wait(done)
-	res.Elapsed = env.Now() - start
-	res.UserMBps = stats.Throughput(res.Ops*db.entrySize(), res.Elapsed)
-	return res
-}
-
-// ReadWhileWriting runs `threads` readers against one full-speed writer
-// (db_bench readwhilewriting). Reported throughput covers reads, matching
-// db_bench; writer volume is in the DB counters.
-func ReadWhileWriting(p *sim.Proc, db *DB, threads int, d time.Duration) *BenchResult {
-	res := &BenchResult{Name: "readwhilewriting"}
-	env := p.Env()
-	start := env.Now()
-	stop := false
-	wDone := env.NewEvent()
-	env.Go("db_bench.writer", func(pw *sim.Proc) {
-		defer wDone.Signal()
-		for !stop {
-			t0 := env.Now()
-			if err := db.Put(pw); err != nil {
-				panic(err)
-			}
-			res.WriteLat.Add(env.Now() - t0)
-		}
-	})
-	done := env.NewEvent()
-	running := threads
-	for i := 0; i < threads; i++ {
-		env.Go(fmt.Sprintf("db_bench.reader%d", i), func(pr *sim.Proc) {
-			defer func() {
-				running--
-				if running == 0 {
-					done.Signal()
-				}
-			}()
-			for env.Now() < start+d {
-				t0 := env.Now()
-				if err := db.Get(pr); err != nil {
-					panic(err)
-				}
-				res.ReadLat.Add(env.Now() - t0)
-				res.Ops++
-			}
-		})
-	}
-	p.Wait(done)
-	stop = true
-	p.Wait(wDone)
-	res.Elapsed = env.Now() - start
-	res.UserMBps = stats.Throughput(res.Ops*db.entrySize(), res.Elapsed)
-	res.Lat.Merge(&res.ReadLat)
-	res.Stalls = db.WriteStalls
-	return res
+	db.stopping = true
+	db.walKick.Signal()
+	db.flushKick.Signal()
+	db.compactKick.Signal()
+	db.wakeStalled()
+	p.Wait(db.walDone)
+	p.Wait(db.flusherDone)
+	p.Wait(db.compactorDone)
+	db.q.Drain(p)
+	return db.failed
 }

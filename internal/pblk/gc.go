@@ -3,6 +3,7 @@ package pblk
 import (
 	"fmt"
 
+	"repro/internal/blockdev"
 	"repro/internal/ocssd"
 	"repro/internal/ppa"
 	"repro/internal/sim"
@@ -385,6 +386,15 @@ func (k *Pblk) pickVictim(maxValidFrac float64) (victim *group, anyGarbage bool)
 		if g.valid >= k.dataSectors {
 			continue
 		}
+		if g.stream == streamApp && g.valid > 0 && k.freeGroups > k.emergencyReserve() {
+			// Compaction-as-GC: app-stream groups hold SSTable extents the
+			// application erases as a unit (trim after a manifest commit), so
+			// relocating their live sectors would just duplicate the LSM's
+			// own reclaim. They become ordinary victims once fully dead —
+			// zero-cost erases — and the exemption lifts at the emergency
+			// floor so a misbehaving application cannot wedge the device.
+			continue
+		}
 		anyGarbage = true
 		if g.valid > maxValid {
 			continue
@@ -631,7 +641,7 @@ func (k *Pblk) moveValid(p *sim.Proc, g *group) {
 			if k.l2p[m.lba] != k.mediaEntry(m.addr) {
 				continue
 			}
-			pos := k.produce(m.lba, rc.c.Data[j], true, g.id)
+			pos := k.produce(m.lba, rc.c.Data[j], true, g.id, blockdev.HintNone)
 			g.gcPending++
 			k.installCacheMapping(m.lba, pos)
 			k.Stats.GCMovedSectors++

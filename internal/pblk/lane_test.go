@@ -151,7 +151,7 @@ func TestRecoveryOrderAcrossLanes(t *testing.T) {
 		// lands on lane 0, gen2's on lane 1.
 		for gen := byte(1); gen <= 2; gen++ {
 			for i := 0; i < us; i++ {
-				pos := k.produce(int64(i), fill(ss, gen), false, -1)
+				pos := k.produce(int64(i), fill(ss, gen), false, -1, blockdev.HintNone)
 				k.installCacheMapping(int64(i), pos)
 			}
 			k.dispatch()

@@ -71,6 +71,16 @@ type Config struct {
 	// data, as the pre-stream datapath did. Baselines only — mixing hot
 	// and cold data inflates write amplification.
 	SingleStream bool
+	// HintPolicy selects how write-lifetime hints (blockdev.Request.Hint)
+	// are honoured. HintIgnore (default) drops them: hinted writes ride the
+	// user stream like everything else. HintColdStream folds hinted writes
+	// into the GC (cold) stream, so application cold data and GC rewrites
+	// share blocks but stay out of hot user blocks. HintNativeStream opens
+	// a third, dedicated app stream for hinted writes and exempts its block
+	// groups from GC victim selection while they hold valid data — the
+	// application promises to erase those extents wholesale (trim), so its
+	// own reclaim (LSM compaction) replaces FTL GC for that data.
+	HintPolicy HintPolicy
 	// Rate limiter PID gains (paper §4.2.4) on the free-block error signal.
 	// Zero means the paper-faithful default; a negative value disables that
 	// term explicitly.
@@ -98,6 +108,19 @@ type Config struct {
 	ScrubRetryThreshold int
 	ScrubGroupsPerSweep int
 }
+
+// HintPolicy selects how pblk treats write-lifetime hints.
+type HintPolicy uint8
+
+const (
+	// HintIgnore drops write hints: every user write rides the user stream.
+	HintIgnore HintPolicy = iota
+	// HintColdStream routes hinted (cold) writes onto the GC stream.
+	HintColdStream
+	// HintNativeStream routes hinted writes onto a dedicated app stream
+	// whose groups are exempt from GC while they hold valid data.
+	HintNativeStream
+)
 
 // Default fills unset Config fields with the paper-faithful defaults.
 func Default(cfg Config) Config {
@@ -291,6 +314,14 @@ type slot struct {
 	kick     *sim.Event      // wakes the lane writer
 	done     *sim.Event      // fires when the lane writer exits
 	quit     bool            // drain everything, then exit (lane rebuild)
+	// appRealign asks the writer to pad-close a partially written
+	// app-stream group before its next unit: a HintColdSeg marker arrived,
+	// so the stream must restart on an erase-unit boundary. Segments sized
+	// to lanes x erase unit leave nothing to pad in steady state; the flag
+	// only costs writes after a slip (forced sub-unit dispatch under a
+	// flush barrier), and then it stops the slip from shearing every later
+	// segment across two groups.
+	appRealign bool
 
 	// Lane telemetry, surfaced by LaneStats and lnvm-inspect.
 	unitsWritten int64 // write units submitted by this lane
@@ -321,8 +352,14 @@ func (s *slot) retrySectors() int {
 	return n
 }
 
-// queuedSectors counts dispatched sectors across both stream queues.
-func (s *slot) queuedSectors() int { return s.qSectors[streamUser] + s.qSectors[streamGC] }
+// queuedSectors counts dispatched sectors across all stream queues.
+func (s *slot) queuedSectors() int {
+	n := 0
+	for st := 0; st < numStreams; st++ {
+		n += s.qSectors[st]
+	}
+	return n
+}
 
 // pendingSectors counts everything the lane still has to submit.
 func (s *slot) pendingSectors() int { return s.queuedSectors() + s.retrySectors() }
@@ -379,6 +416,10 @@ type Pblk struct {
 	// streams stripe evenly across the active PUs.
 	rrNext     [numStreams]int
 	lastOpened int // most recently opened group id, -1 initially
+	// lastAppHint is the hint of the last app-stream entry the dispatcher
+	// scanned: a HintNone/HintCold -> HintColdSeg transition marks a new
+	// segment and raises appRealign on the lanes.
+	lastAppHint uint8
 	// unitStamp is the global write-order counter; every admitted sector
 	// gets the next value, persisted in OOB and close metadata.
 	unitStamp uint64
@@ -562,7 +603,13 @@ func NewView(p *sim.Proc, view *lightnvm.MediaView, name string, cfg Config) (*P
 	ringCap := k.unitSectors * cfg.BufferPairDepth * nPUs
 	reserveGroups := (ringCap+k.dataSectors-1)/k.dataSectors + 4
 	spare := int64(k.usableGroups)*int64(k.dataSectors) - k.capacityLBAs
-	if need := int64(reserveGroups+2*cfg.ActivePUs+2) * int64(k.dataSectors); spare < need {
+	// Each lane can hold one open group per stream it actually uses: two
+	// (user+GC) normally, three when the native app stream is enabled.
+	activeStreams := 2
+	if cfg.HintPolicy == HintNativeStream {
+		activeStreams = numStreams
+	}
+	if need := int64(reserveGroups+activeStreams*cfg.ActivePUs+2) * int64(k.dataSectors); spare < need {
 		return nil, fmt.Errorf("pblk: over-provisioning too small: %d spare sectors, need %d for %d active PUs (raise OverProvision or BlocksPerPlane)",
 			spare, need, cfg.ActivePUs)
 	}
@@ -737,6 +784,15 @@ func (k *Pblk) Capacity() int64 { return k.capacityLBAs * int64(k.geo.SectorSize
 
 // ActivePUs returns the current number of active write PUs.
 func (k *Pblk) ActivePUs() int { return k.cfg.ActivePUs }
+
+// EraseUnitBytes returns the data payload of one block group — the FTL's
+// reclaim granularity. Open-channel SSDs expose geometry precisely so
+// flash-native applications can size their append segments to it: a
+// segment that consumes exactly one group leaves the whole group invalid
+// when the application erases it, and reclaim needs no data movement.
+func (k *Pblk) EraseUnitBytes() int64 {
+	return int64(k.dataSectors) * int64(k.geo.SectorSize)
+}
 
 // Device returns the underlying open-channel device (shared with any
 // co-resident targets).

@@ -134,7 +134,7 @@ func (k *Pblk) admitStep() {
 		if pw.req.Buf != nil {
 			data = k.copySector(pw.req.Buf[i*ss : (i+1)*ss])
 		}
-		pos := k.produce(lba, data, false, -1)
+		pos := k.produce(lba, data, false, -1, pw.req.Hint)
 		k.installCacheMapping(lba, pos)
 		k.Stats.UserWrites++
 		k.admitSector++

@@ -1,6 +1,7 @@
 package pblk
 
 import (
+	"repro/internal/blockdev"
 	"repro/internal/ppa"
 	"repro/internal/sim"
 )
@@ -39,16 +40,24 @@ const padLBA int64 = -1
 // Write streams (paper §4.2.3 separates user data from GC rewrites so hot
 // and cold data never share a block): every ring entry belongs to exactly
 // one stream, the dispatcher cuts stream-homogeneous chunks, and each lane
-// keeps one open block group per stream.
+// keeps one open block group per stream. The app stream carries
+// hint-tagged application writes (SSTable flush/compaction output) under
+// Config.HintPolicy == HintNativeStream: those groups are erased by the
+// application trimming whole extents, so GC leaves them alone
+// (compaction-as-GC, see pickVictim).
 const (
 	streamUser = 0
 	streamGC   = 1
-	numStreams = 2
+	streamApp  = 2
+	numStreams = 3
 )
 
 func streamName(st int) string {
-	if st == streamGC {
+	switch st {
+	case streamGC:
 		return "gc"
+	case streamApp:
+		return "app"
 	}
 	return "user"
 }
@@ -71,6 +80,9 @@ type rbEntry struct {
 	// origin is the group a GC rewrite was copied from, -1 for user I/O
 	// and padding; used to detect when a victim is fully moved.
 	origin int
+	// hint is the write-lifetime hint the sector was admitted with
+	// (blockdev.HintNone/HintCold); streamOf may route on it.
+	hint uint8
 }
 
 // ring is the circular write buffer (paper §4.2.1): multiple producers
@@ -111,9 +123,9 @@ func (r *ring) at(pos uint64) *rbEntry { return &r.e[pos%uint64(len(r.e))] }
 
 // produce appends one entry and returns its position. The caller must have
 // checked free space and drawn the admission stamp.
-func (r *ring) produce(lba int64, data []byte, isGC bool, origin int, stamp uint64) uint64 {
+func (r *ring) produce(lba int64, data []byte, isGC bool, origin int, stamp uint64, hint uint8) uint64 {
 	pos := r.head
-	*r.at(pos) = rbEntry{pos: pos, lba: lba, data: data, state: esBuffered, isGC: isGC, origin: origin, stamp: stamp}
+	*r.at(pos) = rbEntry{pos: pos, lba: lba, data: data, state: esBuffered, isGC: isGC, origin: origin, stamp: stamp, hint: hint}
 	r.head++
 	if lba != padLBA {
 		if isGC {
@@ -128,8 +140,8 @@ func (r *ring) produce(lba int64, data []byte, isGC bool, origin int, stamp uint
 // produce admits one sector into the ring under the next global write
 // stamp. Stamps are drawn here — at admission, in ring-position order —
 // so stamp order always equals admission order across streams and lanes.
-func (k *Pblk) produce(lba int64, data []byte, isGC bool, origin int) uint64 {
-	return k.rb.produce(lba, data, isGC, origin, k.nextStamp())
+func (k *Pblk) produce(lba int64, data []byte, isGC bool, origin int, hint uint8) uint64 {
+	return k.rb.produce(lba, data, isGC, origin, k.nextStamp(), hint)
 }
 
 // waitSpace blocks the producing process until at least one free slot
@@ -198,10 +210,24 @@ func (k *Pblk) nextStamp() uint64 {
 // streamOf returns the write stream an entry belongs to. With stream
 // separation disabled (Config.SingleStream), GC rewrites ride the user
 // stream and cohabit blocks with user data, as the pre-stream datapath
-// did — kept for write-amplification baselines.
+// did — kept for write-amplification baselines. Hint-tagged entries route
+// by the instance's HintPolicy: HintColdStream folds them into the GC
+// (cold) stream; HintNativeStream gives them a dedicated app stream whose
+// groups GC never relocates while they hold valid data.
 func (k *Pblk) streamOf(e *rbEntry) int {
-	if e.isGC && !k.cfg.SingleStream {
+	if k.cfg.SingleStream {
+		return streamUser
+	}
+	if e.isGC {
 		return streamGC
+	}
+	if e.hint == blockdev.HintCold || e.hint == blockdev.HintColdSeg {
+		switch k.cfg.HintPolicy {
+		case HintColdStream:
+			return streamGC
+		case HintNativeStream:
+			return streamApp
+		}
 	}
 	return streamUser
 }

@@ -30,7 +30,7 @@ func (k *Pblk) Write(p *sim.Proc, off int64, buf []byte, length int64) error {
 		if buf != nil {
 			data = k.copySector(buf[i*ss : (i+1)*ss])
 		}
-		pos := k.produce(lba, data, false, -1)
+		pos := k.produce(lba, data, false, -1, blockdev.HintNone)
 		k.installCacheMapping(lba, pos)
 		k.Stats.UserWrites++
 	}
@@ -203,6 +203,17 @@ func (k *Pblk) dispatch() {
 	for k.rb.disp < k.rb.head {
 		e := k.rb.at(k.rb.disp)
 		st := k.streamOf(e)
+		if st == streamApp {
+			// A new cold segment begins: tell every lane to restart its
+			// app-stream group on an erase-unit boundary before writing
+			// this segment's units.
+			if e.hint == blockdev.HintColdSeg && k.lastAppHint != blockdev.HintColdSeg {
+				for _, s := range k.slots {
+					s.appRealign = true
+				}
+			}
+			k.lastAppHint = e.hint
+		}
 		k.pend[st] = append(k.pend[st], k.rb.disp)
 		k.rb.disp++
 	}
@@ -533,6 +544,19 @@ func (k *Pblk) getUnitScratch() *unitScratch {
 // chunk per unit: chunks are stream-homogeneous, so a unit never mixes
 // user data with GC rewrites.
 func (k *Pblk) writeUnitOn(p *sim.Proc, s *slot) {
+	if s.appRealign {
+		// Segment boundary: restart the app stream on a fresh group. By the
+		// time the marker was admitted the previous segment's units were all
+		// programmed (the writer completes each before acknowledging), so a
+		// partial group here is a slip to repair, not in-flight data.
+		s.appRealign = false
+		if g := s.grp[streamApp]; g != nil && g.nextUnit > 0 {
+			for g.nextUnit < k.firstMetaUnit() {
+				k.padUnit(p, s, g)
+			}
+			k.closeGroup(p, s, streamApp)
+		}
+	}
 	s.acquire(p)
 	if k.crashed || (k.stopping && s.pendingSectors() == 0) {
 		s.sem.Release()
@@ -549,7 +573,7 @@ func (k *Pblk) writeUnitOn(p *sim.Proc, s *slot) {
 		// forward progress: borrow the lane's other open group, or shed
 		// the chunk to a lane that still has a group open, instead of
 		// blocking on an allocation only a drained victim could satisfy.
-		if other := 1 - st; k.freeGroups <= 2 && s.grp[other] != nil {
+		if other := k.borrowStream(s, st); k.freeGroups <= 2 && other >= 0 {
 			st = other
 		} else if t := k.shedTargetAtExhaustion(s, st); t != nil {
 			t.retry = append(t.retry, c)
@@ -631,11 +655,28 @@ func (k *Pblk) shedTargetAtExhaustion(s *slot, st int) *slot {
 		if t.grp[st] != nil {
 			return t
 		}
-		if any == nil && (t.grp[streamUser] != nil || t.grp[streamGC] != nil) {
-			any = t
+		if any == nil {
+			for _, g := range t.grp {
+				if g != nil {
+					any = t
+					break
+				}
+			}
 		}
 	}
 	return any
+}
+
+// borrowStream returns another stream of lane s with an open group, or -1.
+// Used at free-space exhaustion, where stream separation yields to forward
+// progress.
+func (k *Pblk) borrowStream(s *slot, st int) int {
+	for o := 0; o < numStreams; o++ {
+		if o != st && s.grp[o] != nil {
+			return o
+		}
+	}
+	return -1
 }
 
 // laneStaleOpen reports whether one of the lane's open groups has aged
